@@ -1,0 +1,46 @@
+//! Worst-case schedulability analysis for priority ceiling protocols
+//! (paper §9).
+//!
+//! The paper's analysis rests on the single-blocking property: under
+//! PCP-DA (and RW-PCP) a transaction `T_i` can be blocked by at most one
+//! lower-priority transaction, so its worst-case blocking time `B_i` is the
+//! largest execution time among the transactions in its *blocking
+//! transaction set* `BTS_i`:
+//!
+//! * **PCP-DA**: `BTS_i = { T_L | P_L < P_i ∧ T_L reads x ∧ Wceil(x) ≥ P_i }`
+//!   — only *read* operations of lower-priority transactions can block,
+//!   because write locks raise no ceiling;
+//! * **RW-PCP**: additionally `T_L writes x ∧ Aceil(x) ≥ P_i` — a strict
+//!   superset, which is the paper's headline analytical result: `B_i`
+//!   under PCP-DA is never larger, and often smaller, than under RW-PCP;
+//! * **PCP / CCP**: any access to `x` with `Aceil(x) ≥ P_i` (CCP shortens
+//!   the blocking *duration* via early unlock but not the set; we use the
+//!   conservative PCP set for both).
+//!
+//! With `B_i` in hand, two admission tests are provided:
+//!
+//! * the Liu–Layland utilization bound with blocking (the condition the
+//!   paper quotes): for every `i`,
+//!   `C_1/Pd_1 + … + C_i/Pd_i + B_i/Pd_i ≤ i(2^{1/i} − 1)`;
+//! * exact response-time analysis (sufficient and necessary for this task
+//!   model): `R_i = C_i + B_i + Σ_{j<i} ⌈R_i/Pd_j⌉ C_j` iterated to a
+//!   fixpoint, schedulable iff `R_i ≤ Pd_i`.
+//!
+//! [`breakdown_utilization`] scales every execution time by a common
+//! factor and binary-searches the largest total utilization at which the
+//! set remains schedulable — the classical way to compare protocols'
+//! schedulability conditions (experiment E11).
+
+pub mod blocking;
+pub mod breakdown;
+pub mod rm;
+
+pub use blocking::{
+    blocking_terms, bts, ccp_blocking_terms, ccp_worst_blocking, chain_set,
+    repaired_blocking_terms, repaired_worst_blocking, worst_blocking, AnalysisProtocol,
+};
+pub use breakdown::breakdown_utilization;
+pub use rm::{
+    liu_layland_bound, liu_layland_with_blocking, response_times, schedulable,
+    schedulable_repaired_pcpda, schedulable_with_blocking, SchedReport,
+};

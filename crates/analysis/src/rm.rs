@@ -1,0 +1,265 @@
+//! Rate-monotonic admission tests with blocking.
+
+use crate::blocking::{blocking_terms, AnalysisProtocol};
+use rtdb_types::{Duration, TransactionSet, TxnId};
+
+/// The Liu–Layland bound `n(2^{1/n} − 1)`.
+pub fn liu_layland_bound(n: usize) -> f64 {
+    let n = n as f64;
+    n * (2f64.powf(1.0 / n) - 1.0)
+}
+
+/// Per-transaction Liu–Layland test with blocking (the schedulability
+/// condition the paper quotes in §9): transaction `i` (1-based rank in
+/// descending priority order) passes iff
+/// `Σ_{j≤i} C_j/Pd_j + B_i/Pd_i ≤ i (2^{1/i} − 1)`.
+///
+/// `blocking[k]` is `B` of template `TxnId(k)`. Returns pass/fail per
+/// template, indexed by `TxnId`.
+pub fn liu_layland_with_blocking(set: &TransactionSet, blocking: &[Duration]) -> Vec<bool> {
+    let order = set.by_descending_priority();
+    let mut pass = vec![false; set.len()];
+    let mut util_sum = 0.0;
+    for (rank0, &id) in order.iter().enumerate() {
+        let t = set.template(id);
+        util_sum += t.utilization();
+        let b = blocking[id.index()].raw() as f64 / t.period.raw() as f64;
+        pass[id.index()] = util_sum + b <= liu_layland_bound(rank0 + 1) + 1e-12;
+    }
+    pass
+}
+
+/// Exact response-time analysis with blocking: iterate
+/// `R_i = C_i + B_i + Σ_{j<i} ⌈R_i/Pd_j⌉ C_j` to a fixpoint. Returns the
+/// response time per template (indexed by `TxnId`), or `None` where the
+/// iteration diverges past the period (unschedulable).
+pub fn response_times(set: &TransactionSet, blocking: &[Duration]) -> Vec<Option<Duration>> {
+    response_times_f64(
+        &tasks_of(set),
+        &blocking.iter().map(|b| b.raw() as f64).collect::<Vec<_>>(),
+    )
+    .into_iter()
+    .map(|r| r.map(|v| Duration(v.ceil() as u64)))
+    .collect()
+}
+
+/// A task for the floating-point analysis core (used by breakdown search,
+/// where execution times are scaled by non-integral factors).
+#[derive(Clone, Copy, Debug)]
+pub struct AnalysisTask {
+    /// Execution time.
+    pub c: f64,
+    /// Period (= relative deadline).
+    pub period: f64,
+    /// Priority rank: 0 = highest.
+    pub rank: usize,
+}
+
+pub(crate) fn tasks_of(set: &TransactionSet) -> Vec<AnalysisTask> {
+    let order = set.by_descending_priority();
+    let mut tasks = vec![
+        AnalysisTask {
+            c: 0.0,
+            period: 0.0,
+            rank: 0
+        };
+        set.len()
+    ];
+    for (rank, &id) in order.iter().enumerate() {
+        let t = set.template(id);
+        tasks[id.index()] = AnalysisTask {
+            c: t.wcet().raw() as f64,
+            period: t.period.raw() as f64,
+            rank,
+        };
+    }
+    tasks
+}
+
+/// Floating-point response-time analysis. `tasks[k]`/`blocking[k]` belong
+/// to template `TxnId(k)`.
+pub(crate) fn response_times_f64(tasks: &[AnalysisTask], blocking: &[f64]) -> Vec<Option<f64>> {
+    let mut by_rank: Vec<usize> = (0..tasks.len()).collect();
+    by_rank.sort_by_key(|&k| tasks[k].rank);
+
+    let mut out = vec![None; tasks.len()];
+    for (pos, &k) in by_rank.iter().enumerate() {
+        let t = tasks[k];
+        let mut r = t.c + blocking[k];
+        let result = loop {
+            let interference: f64 = by_rank[..pos]
+                .iter()
+                .map(|&j| (r / tasks[j].period).ceil() * tasks[j].c)
+                .sum();
+            let next = t.c + blocking[k] + interference;
+            if next > t.period + 1e-9 {
+                break None; // diverged past the deadline
+            }
+            if (next - r).abs() < 1e-9 {
+                break Some(next);
+            }
+            r = next;
+        };
+        out[k] = result;
+    }
+    out
+}
+
+/// Full admission report for a set under one protocol's blocking formula.
+#[derive(Clone, Debug)]
+pub struct SchedReport {
+    /// Protocol analysed.
+    pub protocol: AnalysisProtocol,
+    /// `B_i` per template.
+    pub blocking: Vec<Duration>,
+    /// Liu–Layland pass per template.
+    pub liu_layland: Vec<bool>,
+    /// Response time per template (`None` = unschedulable).
+    pub response: Vec<Option<Duration>>,
+}
+
+impl SchedReport {
+    /// Whole set passes the (sufficient) Liu–Layland condition.
+    pub fn liu_layland_schedulable(&self) -> bool {
+        self.liu_layland.iter().all(|&b| b)
+    }
+
+    /// Whole set passes exact response-time analysis.
+    pub fn rta_schedulable(&self) -> bool {
+        self.response.iter().all(|r| r.is_some())
+    }
+
+    /// Response time of one template.
+    pub fn response_of(&self, id: TxnId) -> Option<Duration> {
+        self.response[id.index()]
+    }
+}
+
+/// Run both admission tests for `set` under `protocol`.
+pub fn schedulable(set: &TransactionSet, protocol: AnalysisProtocol) -> SchedReport {
+    let blocking = blocking_terms(set, protocol);
+    schedulable_with_blocking(set, protocol, blocking)
+}
+
+/// Run both admission tests with explicit blocking terms.
+pub fn schedulable_with_blocking(
+    set: &TransactionSet,
+    protocol: AnalysisProtocol,
+    blocking: Vec<Duration>,
+) -> SchedReport {
+    let liu_layland = liu_layland_with_blocking(set, &blocking);
+    let response = response_times(set, &blocking);
+    SchedReport {
+        protocol,
+        blocking,
+        liu_layland,
+        response,
+    }
+}
+
+/// Admission test for the **repaired** PCP-DA (`PcpDa::new`), using the
+/// chain-closure blocking bound of
+/// [`crate::blocking::repaired_blocking_terms`] — sound for the protocol
+/// with erratum clauses (A)–(D), at the price of pessimism relative to
+/// the paper's (unsound for its printed rules) single-`C_L` bound.
+pub fn schedulable_repaired_pcpda(set: &TransactionSet) -> SchedReport {
+    schedulable_with_blocking(
+        set,
+        AnalysisProtocol::PcpDa,
+        crate::blocking::repaired_blocking_terms(set),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdb_types::{ItemId, SetBuilder, Step, TransactionTemplate};
+
+    #[test]
+    fn liu_layland_bound_values() {
+        assert!((liu_layland_bound(1) - 1.0).abs() < 1e-12);
+        assert!((liu_layland_bound(2) - 0.8284271247461903).abs() < 1e-12);
+        // n -> ln 2 as n grows.
+        assert!((liu_layland_bound(1000) - std::f64::consts::LN_2).abs() < 1e-3);
+    }
+
+    /// Example 3 as the paper tells it: under RW-PCP, T1 (C=2, Pd=5) with
+    /// B=4 fails; under PCP-DA, B=0 passes.
+    #[test]
+    fn example3_schedulability_flips_between_protocols() {
+        let set = SetBuilder::new()
+            .with(TransactionTemplate::new(
+                "T1",
+                5,
+                vec![Step::read(ItemId(0), 1), Step::read(ItemId(1), 1)],
+            ))
+            .with(TransactionTemplate::new(
+                "T2",
+                10,
+                vec![
+                    Step::write(ItemId(0), 1),
+                    Step::compute(2),
+                    Step::write(ItemId(1), 1),
+                    Step::compute(1),
+                ],
+            ))
+            .build()
+            .unwrap();
+
+        let da = schedulable(&set, AnalysisProtocol::PcpDa);
+        assert_eq!(da.blocking, vec![Duration(0), Duration(0)]);
+        assert!(da.rta_schedulable());
+        // T1: R = 2 <= 5; T2: R = 5 + interference(1 release of T1 in 5:
+        // ceil(9/5)*2=4 -> R=9 <= 10).
+        assert_eq!(da.response_of(TxnId(0)), Some(Duration(2)));
+        assert_eq!(da.response_of(TxnId(1)), Some(Duration(9)));
+
+        let rw = schedulable(&set, AnalysisProtocol::RwPcp);
+        assert_eq!(rw.blocking[0], Duration(5)); // B_1 = C_2 = 5
+        // T1: R = 2 + 5 = 7 > 5 -> unschedulable.
+        assert_eq!(rw.response_of(TxnId(0)), None);
+        assert!(!rw.rta_schedulable());
+        assert!(!rw.liu_layland_schedulable());
+    }
+
+    #[test]
+    fn response_times_account_for_interference() {
+        // Independent tasks (no data): classical RTA.
+        let set = SetBuilder::new()
+            .with(TransactionTemplate::new("A", 10, vec![Step::compute(3)]))
+            .with(TransactionTemplate::new("B", 20, vec![Step::compute(6)]))
+            .build()
+            .unwrap();
+        let r = response_times(&set, &[Duration::ZERO, Duration::ZERO]);
+        assert_eq!(r[0], Some(Duration(3)));
+        // B: 6 + ceil(R/10)*3 -> R=9? 6+3=9; ceil(9/10)=1 -> 9 stable.
+        assert_eq!(r[1], Some(Duration(9)));
+    }
+
+    #[test]
+    fn overloaded_set_is_unschedulable() {
+        let set = SetBuilder::new()
+            .with(TransactionTemplate::new("A", 10, vec![Step::compute(6)]))
+            .with(TransactionTemplate::new("B", 10, vec![Step::compute(6)]))
+            .build()
+            .unwrap();
+        let r = response_times(&set, &[Duration::ZERO, Duration::ZERO]);
+        assert_eq!(r[0], Some(Duration(6)));
+        assert_eq!(r[1], None);
+    }
+
+    #[test]
+    fn liu_layland_is_conservative_wrt_rta() {
+        // A set that passes LL must pass RTA (LL is sufficient).
+        let set = SetBuilder::new()
+            .with(TransactionTemplate::new("A", 10, vec![Step::compute(2)]))
+            .with(TransactionTemplate::new("B", 20, vec![Step::compute(4)]))
+            .with(TransactionTemplate::new("C", 40, vec![Step::compute(8)]))
+            .build()
+            .unwrap();
+        let b = vec![Duration::ZERO; 3];
+        let ll = liu_layland_with_blocking(&set, &b);
+        assert!(ll.iter().all(|&x| x));
+        assert!(response_times(&set, &b).iter().all(|r| r.is_some()));
+    }
+}

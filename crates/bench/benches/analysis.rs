@@ -1,0 +1,42 @@
+//! Schedulability-analysis throughput: blocking sets, exact response-time
+//! analysis and the breakdown-utilization search (a few thousand RTA
+//! invocations per call).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtdb::prelude::*;
+
+fn bench_analysis(c: &mut Criterion) {
+    let small = rtdb_bench::standard_workload(11);
+    let large = WorkloadParams {
+        templates: 24,
+        items: 64,
+        target_utilization: 0.65,
+        seed: 11,
+        ..Default::default()
+    }
+    .generate()
+    .expect("valid workload")
+    .set;
+
+    let mut group = c.benchmark_group("analysis");
+    for (name, set) in [("6txn", &small), ("24txn", &large)] {
+        group.bench_with_input(BenchmarkId::new("blocking_terms", name), set, |b, set| {
+            b.iter(|| {
+                std::hint::black_box(rtdb::analysis::blocking_terms(
+                    set,
+                    AnalysisProtocol::RwPcp,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rta", name), set, |b, set| {
+            b.iter(|| std::hint::black_box(schedulable(set, AnalysisProtocol::PcpDa)))
+        });
+        group.bench_with_input(BenchmarkId::new("breakdown", name), set, |b, set| {
+            b.iter(|| std::hint::black_box(breakdown_utilization(set, AnalysisProtocol::PcpDa)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

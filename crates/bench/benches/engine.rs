@@ -1,0 +1,56 @@
+//! Whole-engine simulation throughput: one full horizon of a standard and
+//! a contended workload per protocol. These are the numbers behind every
+//! E9/E10 sweep, so regressions here make the experiments slow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtdb::prelude::*;
+
+fn bench_engine(c: &mut Criterion) {
+    let standard = rtdb_bench::standard_workload(5);
+    let contended = rtdb_bench::contended_workload(5);
+
+    let mut group = c.benchmark_group("engine_run");
+    group.sample_size(20);
+    for (workload_name, set) in [("standard", &standard), ("contended", &contended)] {
+        for make in [
+            || Box::new(PcpDa::new()) as Box<dyn Protocol>,
+            || Box::new(RwPcp::new()) as Box<dyn Protocol>,
+            || Box::new(TwoPlHp::new()) as Box<dyn Protocol>,
+        ] {
+            let name = make().name();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{workload_name}_horizon5k"), name),
+                set,
+                |b, set| {
+                    b.iter(|| {
+                        let mut protocol = make();
+                        let mut cfg = SimConfig::with_horizon(5_000);
+                        cfg.resolve_deadlocks = true;
+                        let r = Engine::new(set, cfg)
+                            .run(protocol.as_mut())
+                            .expect("run succeeds");
+                        std::hint::black_box(r.metrics.deadline_misses())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_figure_examples(c: &mut Criterion) {
+    // The worked examples are tiny; this tracks fixed engine overhead.
+    let set = rtdb::paper::example4();
+    c.bench_function("engine_run/example4_pcpda", |b| {
+        b.iter(|| {
+            let mut protocol = PcpDa::new();
+            let r = Engine::new(&set, SimConfig::default())
+                .run(&mut protocol)
+                .expect("run succeeds");
+            std::hint::black_box(r.history.committed())
+        })
+    });
+}
+
+criterion_group!(benches, bench_engine, bench_figure_examples);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Correctness-oracle throughput: serialization-graph construction, cycle
+//! detection and the serial-replay check over a long history. The oracles
+//! run after every property-test case, so their cost bounds test time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtdb::prelude::*;
+
+fn long_run() -> (TransactionSet, RunResult) {
+    let set = rtdb_bench::standard_workload(21);
+    let mut protocol = PcpDa::new();
+    let r = Engine::new(&set, SimConfig::with_horizon(20_000))
+        .run(&mut protocol)
+        .expect("run succeeds");
+    (set, r)
+}
+
+fn bench_oracles(c: &mut Criterion) {
+    let (set, run) = long_run();
+    let committed = run.history.committed();
+    assert!(committed > 100, "history too short to be meaningful");
+
+    let mut group = c.benchmark_group("oracles");
+    group.bench_function("serialization_graph_build", |b| {
+        b.iter(|| std::hint::black_box(run.serialization_graph()))
+    });
+    let graph = run.serialization_graph();
+    group.bench_function("cycle_detection", |b| {
+        b.iter(|| std::hint::black_box(graph.find_cycle()))
+    });
+    group.bench_function("serial_replay", |b| {
+        b.iter(|| {
+            let outcome = run.replay_check(&set);
+            assert!(outcome.is_serializable());
+            std::hint::black_box(outcome)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracles);
+criterion_main!(benches);

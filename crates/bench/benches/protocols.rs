@@ -1,0 +1,70 @@
+//! Lock-decision latency per protocol: how long one `request()` takes
+//! against a representative lock-table state. This is the hot path of any
+//! lock-based RTDBS scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcpda::testkit::StaticView;
+use rtdb::prelude::*;
+
+/// A view with a populated lock table: half the low-priority templates
+/// hold read locks, one holds a write lock.
+fn populated_view(set: &TransactionSet) -> StaticView<'_> {
+    let mut view = StaticView::new(set);
+    let n = set.len() as u32;
+    for t in (n / 2)..n {
+        let who = InstanceId::first(TxnId(t));
+        let template = set.template(TxnId(t));
+        if let Some(&item) = template.read_set().iter().next() {
+            view.grant(who, item, LockMode::Read);
+            view.record_read(who, item);
+        }
+        if let Some(&item) = template.write_set().iter().next() {
+            view.grant(who, item, LockMode::Write);
+        }
+    }
+    view
+}
+
+fn bench_decisions(c: &mut Criterion) {
+    let set = rtdb_bench::standard_workload(3);
+    let view = populated_view(&set);
+    let requester = InstanceId::first(TxnId(0));
+    let item = *set
+        .template(TxnId(0))
+        .access_set()
+        .iter()
+        .next()
+        .expect("template accesses something");
+
+    let mut group = c.benchmark_group("lock_decision");
+    let mut protocols: Vec<Box<dyn Protocol>> = vec![
+        Box::new(PcpDa::new()),
+        Box::new(RwPcp::new()),
+        Box::new(Pcp::new()),
+        Box::new(Ccp::new()),
+        Box::new(TwoPlPi::new()),
+        Box::new(TwoPlHp::new()),
+    ];
+    for protocol in protocols.iter_mut() {
+        group.bench_with_input(
+            BenchmarkId::new("read_request", protocol.name()),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(protocol.request(
+                        &view,
+                        LockRequest {
+                            who: requester,
+                            item,
+                            mode: LockMode::Read,
+                        },
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decisions);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Generate the E9 evaluation curves: deadline-miss ratio, blocking and
+//! restarts as functions of CPU utilization and of data contention, per
+//! protocol, averaged over seeded workloads.
+//!
+//! ```sh
+//! cargo run --release -p rtdb-bench --bin curves            # full sweep
+//! cargo run --release -p rtdb-bench --bin curves -- --quick # 3 seeds
+//! ```
+//!
+//! Writes `results/curve_utilization.csv` and
+//! `results/curve_contention.csv` (one row per (x, protocol)) and prints
+//! a digest. The shape to look for, per the paper's claims: PCP-DA's
+//! blocking stays below RW-PCP/PCP everywhere, with zero restarts; the
+//! abort-based protocols trade blocking for restarts that grow with
+//! contention.
+
+use rtdb::prelude::*;
+use rtdb::sim::sweep;
+use std::fmt::Write as _;
+
+struct Acc {
+    runs: u32,
+    miss_ratio: f64,
+    total_blocking: u64,
+    max_blocking: u64,
+    restarts: u64,
+    released: u64,
+}
+
+impl Acc {
+    fn new() -> Self {
+        Acc {
+            runs: 0,
+            miss_ratio: 0.0,
+            total_blocking: 0,
+            max_blocking: 0,
+            restarts: 0,
+            released: 0,
+        }
+    }
+    fn add(&mut self, row: &sweep::ProtocolRow) {
+        self.runs += 1;
+        self.miss_ratio += row.miss_ratio;
+        self.total_blocking += row.total_blocking;
+        self.max_blocking = self.max_blocking.max(row.max_blocking);
+        self.restarts += row.restarts as u64;
+        self.released += row.released as u64;
+    }
+}
+
+fn sweep_axis(
+    label: &str,
+    xs: &[f64],
+    seeds: u64,
+    make: impl Fn(f64, u64) -> WorkloadParams,
+) -> String {
+    let mut csv = String::from("x,protocol,mean_miss_ratio,mean_blocking_per_1k,max_blocking,mean_restarts_per_1k\n");
+    println!("== {label} sweep ({seeds} seeds per point) ==");
+    println!(
+        "{:>6} {:<8} {:>12} {:>16} {:>13} {:>16}",
+        label, "protocol", "miss-ratio", "blocking/1k", "max-blocking", "restarts/1k"
+    );
+    for &x in xs {
+        let names: Vec<&'static str> = sweep::standard_protocols()
+            .iter()
+            .map(|p| p.name())
+            .collect();
+        let mut accs: Vec<Acc> = names.iter().map(|_| Acc::new()).collect();
+        for seed in 0..seeds {
+            let params = make(x, seed);
+            let set = params.generate().expect("valid workload").set;
+            let mut protocols = sweep::standard_protocols();
+            let rows = sweep::compare_protocols(
+                &set,
+                &SimConfig::with_horizon(10_000),
+                &mut protocols,
+            )
+            .expect("sweep runs");
+            for (acc, row) in accs.iter_mut().zip(&rows) {
+                acc.add(row);
+            }
+        }
+        for (name, acc) in names.iter().zip(&accs) {
+            let n = acc.runs as f64;
+            let per_1k = |v: u64| v as f64 / (acc.released as f64 / 1000.0);
+            let miss = acc.miss_ratio / n;
+            let blocking = per_1k(acc.total_blocking);
+            let restarts = per_1k(acc.restarts);
+            println!(
+                "{:>6.2} {:<8} {:>12.4} {:>16.1} {:>13} {:>16.2}",
+                x, name, miss, blocking, acc.max_blocking, restarts
+            );
+            let _ = writeln!(
+                csv,
+                "{x:.2},{name},{miss:.6},{blocking:.3},{},{restarts:.4}",
+                acc.max_blocking
+            );
+        }
+        println!();
+    }
+    csv
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seeds = if quick { 3 } else { 10 };
+
+    std::fs::create_dir_all("results").ok();
+
+    // Axis 1: CPU utilization at moderate contention.
+    let utils = [0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+    let csv = sweep_axis("U", &utils, seeds, |u, seed| WorkloadParams {
+        templates: 6,
+        items: 16,
+        target_utilization: u,
+        hotspot_items: 3,
+        hotspot_prob: 0.5,
+        write_fraction: 0.4,
+        seed: seed + 1,
+        ..Default::default()
+    });
+    std::fs::write("results/curve_utilization.csv", csv).expect("results writable");
+
+    // Axis 2: data contention (hotspot probability) at fixed utilization.
+    let hots = [0.0, 0.2, 0.4, 0.6, 0.8, 0.95];
+    let csv = sweep_axis("hot", &hots, seeds, |h, seed| WorkloadParams {
+        templates: 6,
+        items: 16,
+        target_utilization: 0.6,
+        hotspot_items: 3,
+        hotspot_prob: h,
+        write_fraction: 0.4,
+        seed: seed + 101,
+        ..Default::default()
+    });
+    std::fs::write("results/curve_contention.csv", csv).expect("results writable");
+
+    println!("CSV written to results/curve_utilization.csv and results/curve_contention.csv");
+}

@@ -1,0 +1,471 @@
+//! `rtdbsim` — run a workload file through the simulator and the
+//! schedulability analysis from the command line.
+//!
+//! ```sh
+//! rtdbsim workloads/example3.json                      # PCP-DA + summary
+//! rtdbsim workloads/avionics.json --protocol rw-pcp --gantt
+//! rtdbsim workloads/avionics.json --compare            # all protocols
+//! rtdbsim workloads/avionics.json --analysis           # §9 admission
+//! rtdbsim workloads/example3.json --horizon 50 --json  # machine output
+//! ```
+//!
+//! ## Workload file format
+//!
+//! ```json
+//! {
+//!   "priority": "rate_monotonic",          // or "as_listed" (default)
+//!   "templates": [
+//!     {
+//!       "name": "sensor",
+//!       "period": 10,
+//!       "offset": 0,                        // optional
+//!       "instances": null,                  // optional cap
+//!       "steps": [
+//!         { "op": "write", "item": 0, "duration": 1 },
+//!         { "op": "read",  "item": 1, "duration": 1 },
+//!         { "op": "compute", "duration": 2 }
+//!       ]
+//!     }
+//!   ]
+//! }
+//! ```
+
+use rtdb::prelude::*;
+use rtdb::sim::{gantt, sweep};
+use serde::Deserialize;
+use std::process::ExitCode;
+
+#[derive(Deserialize)]
+struct WorkloadFile {
+    #[serde(default)]
+    priority: PriorityRule,
+    templates: Vec<TemplateSpec>,
+}
+
+#[derive(Deserialize, Default, Clone, Copy, PartialEq)]
+#[serde(rename_all = "snake_case")]
+enum PriorityRule {
+    /// Shorter period = higher priority.
+    RateMonotonic,
+    /// First template listed = highest priority (the paper's convention).
+    #[default]
+    AsListed,
+}
+
+#[derive(Deserialize)]
+struct TemplateSpec {
+    name: String,
+    period: u64,
+    #[serde(default)]
+    offset: u64,
+    #[serde(default)]
+    instances: Option<u32>,
+    steps: Vec<StepSpec>,
+}
+
+#[derive(Deserialize)]
+#[serde(tag = "op", rename_all = "lowercase")]
+enum StepSpec {
+    Read { item: u32, duration: u64 },
+    Write { item: u32, duration: u64 },
+    Compute { duration: u64 },
+}
+
+fn parse_workload(text: &str) -> Result<TransactionSet, String> {
+    let file: WorkloadFile =
+        serde_json::from_str(text).map_err(|e| format!("workload parse error: {e}"))?;
+    let mut builder = SetBuilder::new();
+    for spec in &file.templates {
+        let steps: Vec<Step> = spec
+            .steps
+            .iter()
+            .map(|s| match *s {
+                StepSpec::Read { item, duration } => Step::read(ItemId(item), duration),
+                StepSpec::Write { item, duration } => Step::write(ItemId(item), duration),
+                StepSpec::Compute { duration } => Step::compute(duration),
+            })
+            .collect();
+        let mut t = TransactionTemplate::new(spec.name.clone(), spec.period, steps)
+            .with_offset(spec.offset);
+        if let Some(n) = spec.instances {
+            t = t.with_instances(n);
+        }
+        builder.add(t);
+    }
+    match file.priority {
+        PriorityRule::RateMonotonic => builder.build_rate_monotonic(),
+        PriorityRule::AsListed => builder.build(),
+    }
+    .map_err(|e| format!("invalid workload: {e}"))
+}
+
+fn protocol_by_name(name: &str) -> Option<Box<dyn Protocol>> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "pcp-da" | "pcpda" => Box::new(PcpDa::new()),
+        "pcp-da-literal" | "literal" => Box::new(PcpDa::paper_literal()),
+        "rw-pcp" | "rwpcp" => Box::new(RwPcp::new()),
+        "pcp" => Box::new(Pcp::new()),
+        "ccp" => Box::new(Ccp::new()),
+        "2pl-pi" | "2plpi" => Box::new(TwoPlPi::new()),
+        "2pl-hp" | "2plhp" => Box::new(TwoPlHp::new()),
+        "occ" | "occ-bc" => Box::new(OccBc::new()),
+        "naive-da" => Box::new(NaiveDa::new()),
+        _ => return None,
+    })
+}
+
+struct Args {
+    workload: String,
+    protocol: String,
+    horizon: Option<u64>,
+    gantt: bool,
+    json: bool,
+    compare: bool,
+    analysis: bool,
+    trace: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: rtdbsim <workload.json> [--protocol NAME] [--horizon N] \
+     [--gantt] [--json] [--compare] [--analysis] [--trace OUT.json]\n\
+     protocols: pcp-da (default), pcp-da-literal, rw-pcp, pcp, ccp, \
+     2pl-pi, 2pl-hp, occ-bc, naive-da"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        workload: String::new(),
+        protocol: "pcp-da".into(),
+        horizon: None,
+        gantt: false,
+        json: false,
+        compare: false,
+        analysis: false,
+        trace: None,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--protocol" => {
+                args.protocol = it.next().ok_or("--protocol needs a value")?.clone();
+            }
+            "--horizon" => {
+                args.horizon = Some(
+                    it.next()
+                        .ok_or("--horizon needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad horizon: {e}"))?,
+                );
+            }
+            "--trace" => {
+                args.trace = Some(it.next().ok_or("--trace needs a path")?.clone());
+            }
+            "--gantt" => args.gantt = true,
+            "--json" => args.json = true,
+            "--compare" => args.compare = true,
+            "--analysis" => args.analysis = true,
+            other if args.workload.is_empty() && !other.starts_with('-') => {
+                args.workload = other.to_string();
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if args.workload.is_empty() {
+        return Err(usage().to_string());
+    }
+    Ok(args)
+}
+
+fn config(args: &Args) -> SimConfig {
+    let mut cfg = match args.horizon {
+        Some(h) => SimConfig::with_horizon(h),
+        None => SimConfig::default(),
+    };
+    // The CLI should always finish: resolve 2PL/Naive deadlocks by abort.
+    cfg.resolve_deadlocks = true;
+    cfg
+}
+
+fn print_summary(set: &TransactionSet, run: &RunResult) {
+    println!("protocol: {}", run.protocol);
+    println!(
+        "instances: {}  committed: {}  aborts: {}",
+        run.metrics.instances().count(),
+        run.history.committed(),
+        run.history.aborts()
+    );
+    println!(
+        "deadline misses: {} ({:.2}%)  total blocking: {}  Max_Sysceil: {}",
+        run.metrics.deadline_misses(),
+        run.metrics.miss_ratio() * 100.0,
+        run.metrics.total_blocking(),
+        run.metrics.max_sysceil
+    );
+    println!("\nper-template:");
+    println!(
+        "  {:<14} {:>8} {:>6} {:>7} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        "name", "released", "done", "misses", "p50-resp", "p99-resp", "max-resp", "max-block", "restarts"
+    );
+    for (txn, m) in run.metrics.by_template() {
+        let t = set.template(txn);
+        let pct = |q| {
+            run.metrics
+                .response_percentile(txn, q)
+                .map(|d| d.raw().to_string())
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "  {:<14} {:>8} {:>6} {:>7} {:>9} {:>9} {:>9} {:>10} {:>9}",
+            t.name,
+            m.released,
+            m.completed,
+            m.deadline_misses,
+            pct(0.5),
+            pct(0.99),
+            m.max_response,
+            m.max_blocking,
+            m.restarts
+        );
+    }
+    let replay_ok = run.is_conflict_serializable();
+    println!("\nserializability (conflict graph): {}", if replay_ok { "OK" } else { "VIOLATED" });
+}
+
+fn print_json(run: &RunResult) {
+    #[derive(serde::Serialize)]
+    struct TemplateOut {
+        template: String,
+        released: u32,
+        completed: u32,
+        deadline_misses: u32,
+        max_response: u64,
+        mean_response: f64,
+        max_blocking: u64,
+        restarts: u32,
+    }
+    #[derive(serde::Serialize)]
+    struct Out {
+        protocol: String,
+        committed: usize,
+        aborts: usize,
+        deadline_misses: u32,
+        miss_ratio: f64,
+        total_blocking: u64,
+        max_sysceil: String,
+        serializable: bool,
+        templates: Vec<TemplateOut>,
+    }
+    let out = Out {
+        protocol: run.protocol.to_string(),
+        committed: run.history.committed(),
+        aborts: run.history.aborts(),
+        deadline_misses: run.metrics.deadline_misses(),
+        miss_ratio: run.metrics.miss_ratio(),
+        total_blocking: run.metrics.total_blocking().raw(),
+        max_sysceil: run.metrics.max_sysceil.to_string(),
+        serializable: run.is_conflict_serializable(),
+        templates: run
+            .metrics
+            .by_template()
+            .iter()
+            .map(|(txn, m)| TemplateOut {
+                template: format!("{txn}"),
+                released: m.released,
+                completed: m.completed,
+                deadline_misses: m.deadline_misses,
+                max_response: m.max_response.raw(),
+                mean_response: m.mean_response,
+                max_blocking: m.max_blocking.raw(),
+                restarts: m.restarts,
+            })
+            .collect(),
+    };
+    println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+}
+
+fn print_analysis(set: &TransactionSet) {
+    println!(
+        "{:<10} {:>14} {:>14} {:>12}",
+        "protocol", "LL-admit", "RTA-admit", "breakdown-U"
+    );
+    for kind in AnalysisProtocol::all() {
+        let rep = schedulable(set, kind);
+        let (_, bu) = breakdown_utilization(set, kind);
+        println!(
+            "{:<10} {:>14} {:>14} {:>12.3}",
+            kind.name(),
+            rep.liu_layland_schedulable(),
+            rep.rta_schedulable(),
+            bu
+        );
+    }
+    let repaired = rtdb::analysis::schedulable_repaired_pcpda(set);
+    println!(
+        "{:<10} {:>14} {:>14} {:>12}",
+        "PCP-DA*",
+        repaired.liu_layland_schedulable(),
+        repaired.rta_schedulable(),
+        "(chain B_i)"
+    );
+    println!("\nper-template blocking terms:");
+    println!(
+        "  {:<14} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "name", "PCP-DA", "RW-PCP", "PCP", "CCP", "PCP-DA*"
+    );
+    for t in set.templates() {
+        println!(
+            "  {:<14} {:>8} {:>8} {:>8} {:>8} {:>10}",
+            t.name,
+            rtdb::analysis::worst_blocking(set, AnalysisProtocol::PcpDa, t.id),
+            rtdb::analysis::worst_blocking(set, AnalysisProtocol::RwPcp, t.id),
+            rtdb::analysis::worst_blocking(set, AnalysisProtocol::Pcp, t.id),
+            rtdb::analysis::ccp_worst_blocking(set, t.id),
+            rtdb::analysis::repaired_worst_blocking(set, t.id),
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&args.workload) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.workload);
+            return ExitCode::FAILURE;
+        }
+    };
+    let set = match parse_workload(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.analysis {
+        print_analysis(&set);
+        return ExitCode::SUCCESS;
+    }
+
+    if args.compare {
+        let mut protocols = sweep::standard_protocols();
+        match sweep::compare_protocols(&set, &config(&args), &mut protocols) {
+            Ok(rows) => print!("{}", sweep::format_table(&rows)),
+            Err(e) => {
+                eprintln!("simulation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(mut protocol) = protocol_by_name(&args.protocol) else {
+        eprintln!("unknown protocol `{}`\n{}", args.protocol, usage());
+        return ExitCode::FAILURE;
+    };
+    let run = match Engine::new(&set, config(&args)).run(protocol.as_mut()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.json {
+        print_json(&run);
+    } else {
+        print_summary(&set, &run);
+        if args.gantt {
+            println!("\n{}", gantt::render(&set, &run.trace));
+        }
+    }
+    if let Some(path) = &args.trace {
+        if let Err(e) = std::fs::write(path, run.trace.to_json()) {
+            eprintln!("cannot write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("trace written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r#"{
+        "priority": "rate_monotonic",
+        "templates": [
+            {"name": "fast", "period": 10,
+             "steps": [{"op": "write", "item": 0, "duration": 1},
+                       {"op": "compute", "duration": 1}]},
+            {"name": "slow", "period": 40, "offset": 2, "instances": 3,
+             "steps": [{"op": "read", "item": 0, "duration": 2}]}
+        ]
+    }"#;
+
+    #[test]
+    fn parses_workload_files() {
+        let set = parse_workload(EXAMPLE).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(set.priority_of(TxnId(0)) > set.priority_of(TxnId(1)));
+        assert_eq!(set.template(TxnId(1)).offset, Tick(2));
+        assert_eq!(set.template(TxnId(1)).instances, Some(3));
+    }
+
+    #[test]
+    fn rejects_malformed_files() {
+        assert!(parse_workload("{}").is_err());
+        assert!(parse_workload("not json").is_err());
+        let zero_period = r#"{"templates":[{"name":"a","period":0,
+            "steps":[{"op":"compute","duration":1}]}]}"#;
+        assert!(parse_workload(zero_period).is_err());
+    }
+
+    #[test]
+    fn args_parse() {
+        let a = parse_args(&[
+            "w.json".into(),
+            "--protocol".into(),
+            "rw-pcp".into(),
+            "--horizon".into(),
+            "500".into(),
+            "--gantt".into(),
+        ])
+        .unwrap();
+        assert_eq!(a.workload, "w.json");
+        assert_eq!(a.protocol, "rw-pcp");
+        assert_eq!(a.horizon, Some(500));
+        assert!(a.gantt);
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&["w.json".into(), "--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn all_protocol_names_resolve() {
+        for name in [
+            "pcp-da", "pcp-da-literal", "rw-pcp", "pcp", "ccp", "2pl-pi", "2pl-hp", "occ-bc",
+            "naive-da",
+        ] {
+            assert!(protocol_by_name(name).is_some(), "{name}");
+        }
+        assert!(protocol_by_name("nonsense").is_none());
+    }
+
+    #[test]
+    fn end_to_end_run() {
+        let set = parse_workload(EXAMPLE).unwrap();
+        let mut p = protocol_by_name("pcp-da").unwrap();
+        let run = Engine::new(&set, SimConfig::with_horizon(100))
+            .run(p.as_mut())
+            .unwrap();
+        assert!(run.history.committed() > 0);
+        assert!(run.is_conflict_serializable());
+    }
+}

@@ -1,0 +1,66 @@
+//! Benchmark harness for the PCP-DA reproduction.
+//!
+//! * `src/bin/figures.rs` — regenerates **every table and figure** of the
+//!   paper (experiments E1–E11 of DESIGN.md) as text, and emits
+//!   machine-readable JSON records used by EXPERIMENTS.md;
+//! * `benches/` — Criterion micro- and macro-benchmarks: lock-decision
+//!   latency per protocol, full-engine simulation throughput,
+//!   schedulability-analysis throughput and the correctness oracles.
+//!
+//! Shared helpers live here.
+
+use rtdb::prelude::*;
+
+/// The protocols compared throughout the harness, in presentation order.
+pub fn lineup() -> Vec<Box<dyn Protocol>> {
+    rtdb::sim::sweep::standard_protocols()
+}
+
+/// A mid-sized standard workload used by several benches: 6 templates,
+/// 60% utilization, moderate contention.
+pub fn standard_workload(seed: u64) -> TransactionSet {
+    WorkloadParams {
+        templates: 6,
+        items: 16,
+        target_utilization: 0.6,
+        hotspot_items: 3,
+        hotspot_prob: 0.5,
+        write_fraction: 0.4,
+        seed,
+        ..Default::default()
+    }
+    .generate()
+    .expect("standard workload is valid")
+    .set
+}
+
+/// A high-contention workload (every access in a 3-item hotspot).
+pub fn contended_workload(seed: u64) -> TransactionSet {
+    WorkloadParams {
+        templates: 6,
+        items: 8,
+        target_utilization: 0.6,
+        hotspot_items: 3,
+        hotspot_prob: 0.95,
+        write_fraction: 0.5,
+        seed,
+        ..Default::default()
+    }
+    .generate()
+    .expect("contended workload is valid")
+    .set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_produce_valid_workloads() {
+        assert_eq!(lineup().len(), 7);
+        let w = standard_workload(1);
+        assert!(w.total_utilization() > 0.3);
+        let c = contended_workload(1);
+        assert!(!c.items().is_empty());
+    }
+}

@@ -1,0 +1,278 @@
+//! Static and dynamic priority ceilings.
+//!
+//! Static ceilings are fixed a priori by the transaction set:
+//!
+//! * `Wceil(x)` / `HPW(x)` — the priority of the highest-priority
+//!   transaction that may **write** `x` (the only static ceiling PCP-DA
+//!   needs, paper §4.2);
+//! * `Aceil(x)` — the priority of the highest-priority transaction that may
+//!   read **or** write `x` (RW-PCP and the original PCP).
+//!
+//! Dynamic system ceilings are computed from the current lock table:
+//!
+//! * PCP-DA: `Sysceil_i` = max `Wceil(x)` over items **read-locked** by
+//!   transactions other than `T_i` (write locks raise no ceiling);
+//! * RW-PCP: `Sysceil_i` = max `RWceil(x)` over items locked by others,
+//!   where `RWceil(x) = Aceil(x)` while `x` is write-locked and
+//!   `RWceil(x) = Wceil(x)` while `x` is (only) read-locked;
+//! * PCP: `Sysceil_i` = max `Aceil(x)` over items locked by others.
+
+use crate::locks::LockTable;
+use rtdb_types::{Ceiling, InstanceId, ItemId, TransactionSet, TxnId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Precomputed static ceilings and per-template write sets.
+#[derive(Clone, Debug)]
+pub struct CeilingTable {
+    wceil: BTreeMap<ItemId, Ceiling>,
+    aceil: BTreeMap<ItemId, Ceiling>,
+    write_sets: Vec<BTreeSet<ItemId>>,
+}
+
+/// A dynamic system ceiling together with the instances that hold locks at
+/// that level — the candidates for priority inheritance (`T*` in the
+/// paper, unique under PCP-DA's invariants).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SysCeil {
+    /// The ceiling value.
+    pub ceiling: Ceiling,
+    /// Holders of the item(s) whose ceiling equals the system ceiling.
+    /// Empty iff `ceiling` is dummy.
+    pub holders: BTreeSet<InstanceId>,
+}
+
+impl SysCeil {
+    fn dummy() -> Self {
+        SysCeil {
+            ceiling: Ceiling::Dummy,
+            holders: BTreeSet::new(),
+        }
+    }
+}
+
+impl CeilingTable {
+    /// Precompute ceilings for a transaction set.
+    pub fn new(set: &TransactionSet) -> Self {
+        let mut wceil = BTreeMap::new();
+        let mut aceil = BTreeMap::new();
+        for item in set.items() {
+            wceil.insert(item, set.wceil(item));
+            aceil.insert(item, set.aceil(item));
+        }
+        let write_sets = set.templates().iter().map(|t| t.write_set()).collect();
+        CeilingTable {
+            wceil,
+            aceil,
+            write_sets,
+        }
+    }
+
+    /// `Wceil(x)` / `HPW(x)`.
+    pub fn wceil(&self, item: ItemId) -> Ceiling {
+        self.wceil.get(&item).copied().unwrap_or(Ceiling::Dummy)
+    }
+
+    /// `Aceil(x)`.
+    pub fn aceil(&self, item: ItemId) -> Ceiling {
+        self.aceil.get(&item).copied().unwrap_or(Ceiling::Dummy)
+    }
+
+    /// Static `WriteSet(T)` of a template.
+    pub fn write_set(&self, txn: TxnId) -> &BTreeSet<ItemId> {
+        &self.write_sets[txn.index()]
+    }
+
+    /// True if template `txn` may write `item`.
+    pub fn may_write(&self, txn: TxnId, item: ItemId) -> bool {
+        self.write_sets[txn.index()].contains(&item)
+    }
+
+    /// PCP-DA `Sysceil` with respect to `who`: the highest `Wceil(x)` over
+    /// all items read-locked by other transactions, with the holders of
+    /// the ceiling item(s) (`T*`).
+    pub fn pcpda_sysceil(&self, locks: &LockTable, who: InstanceId) -> SysCeil {
+        let mut best = SysCeil::dummy();
+        for (item, holders) in locks.read_locked_by_others(who) {
+            let c = self.wceil(item);
+            if c.is_dummy() {
+                continue;
+            }
+            match c.cmp(&best.ceiling) {
+                std::cmp::Ordering::Greater => {
+                    best.ceiling = c;
+                    best.holders = holders.collect();
+                }
+                std::cmp::Ordering::Equal => best.holders.extend(holders),
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        best
+    }
+
+    /// RW-PCP `Sysceil` with respect to `who`: the highest `RWceil(x)` over
+    /// all items locked by other transactions.
+    ///
+    /// `RWceil` is determined at run time by the lock modes present: a
+    /// write lock sets it to `Aceil(x)`; a read lock sets it to `Wceil(x)`.
+    /// If both modes are present (an upgrade in progress elsewhere) the
+    /// write-mode ceiling dominates.
+    pub fn rwpcp_sysceil(&self, locks: &LockTable, who: InstanceId) -> SysCeil {
+        let mut best = SysCeil::dummy();
+        for (item, read_by_other, written_by_other, holders) in locks.locked_by_others(who) {
+            let mut c = Ceiling::Dummy;
+            if written_by_other {
+                c = c.max(self.aceil(item));
+            }
+            if read_by_other {
+                c = c.max(self.wceil(item));
+            }
+            if c.is_dummy() {
+                continue;
+            }
+            match c.cmp(&best.ceiling) {
+                std::cmp::Ordering::Greater => {
+                    best.ceiling = c;
+                    best.holders = holders.into_iter().collect();
+                }
+                std::cmp::Ordering::Equal => best.holders.extend(holders),
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        best
+    }
+
+    /// Original-PCP `Sysceil` with respect to `who`: the highest `Aceil(x)`
+    /// over all items locked (in any mode) by other transactions.
+    pub fn pcp_sysceil(&self, locks: &LockTable, who: InstanceId) -> SysCeil {
+        let mut best = SysCeil::dummy();
+        for (item, _, _, holders) in locks.locked_by_others(who) {
+            let c = self.aceil(item);
+            if c.is_dummy() {
+                continue;
+            }
+            match c.cmp(&best.ceiling) {
+                std::cmp::Ordering::Greater => {
+                    best.ceiling = c;
+                    best.holders = holders.into_iter().collect();
+                }
+                std::cmp::Ordering::Equal => best.holders.extend(holders),
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdb_types::{LockMode, SetBuilder, Step, TransactionTemplate};
+
+    fn i(t: u32) -> InstanceId {
+        InstanceId::first(TxnId(t))
+    }
+
+    /// Paper Example 4 set: T1: R(x); T2: W(y); T3: R(z),W(z); T4: R(y),W(x).
+    fn set() -> TransactionSet {
+        SetBuilder::new()
+            .with(TransactionTemplate::new("T1", 30, vec![Step::read(ItemId(0), 2)]))
+            .with(TransactionTemplate::new("T2", 30, vec![Step::write(ItemId(1), 2)]))
+            .with(TransactionTemplate::new(
+                "T3",
+                30,
+                vec![Step::read(ItemId(2), 1), Step::write(ItemId(2), 1)],
+            ))
+            .with(TransactionTemplate::new(
+                "T4",
+                30,
+                vec![Step::read(ItemId(1), 1), Step::write(ItemId(0), 1), Step::compute(3)],
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn static_ceilings_match_example4() {
+        let s = set();
+        let c = CeilingTable::new(&s);
+        assert_eq!(c.wceil(ItemId(1)), s.priority_of(TxnId(1)).as_ceiling()); // Wceil(y)=P2
+        assert_eq!(c.wceil(ItemId(2)), s.priority_of(TxnId(2)).as_ceiling()); // Wceil(z)=P3
+        assert_eq!(c.wceil(ItemId(0)), s.priority_of(TxnId(3)).as_ceiling()); // Wceil(x)=P4
+        assert_eq!(c.aceil(ItemId(0)), s.priority_of(TxnId(0)).as_ceiling()); // Aceil(x)=P1
+        assert!(c.may_write(TxnId(3), ItemId(0)));
+        assert!(!c.may_write(TxnId(0), ItemId(0)));
+    }
+
+    #[test]
+    fn pcpda_sysceil_counts_only_read_locks() {
+        let s = set();
+        let c = CeilingTable::new(&s);
+        let mut lt = LockTable::new();
+
+        // T4 write-locks x: raises nothing under PCP-DA.
+        lt.grant(i(3), ItemId(0), LockMode::Write);
+        assert_eq!(c.pcpda_sysceil(&lt, i(0)).ceiling, Ceiling::Dummy);
+
+        // T4 read-locks y: Sysceil = Wceil(y) = P2 for everyone else.
+        lt.grant(i(3), ItemId(1), LockMode::Read);
+        let sc = c.pcpda_sysceil(&lt, i(2));
+        assert_eq!(sc.ceiling, s.priority_of(TxnId(1)).as_ceiling());
+        assert_eq!(sc.holders, [i(3)].into_iter().collect());
+
+        // From T4's own perspective the ceiling is still dummy.
+        assert_eq!(c.pcpda_sysceil(&lt, i(3)).ceiling, Ceiling::Dummy);
+    }
+
+    #[test]
+    fn rwpcp_sysceil_uses_rwceil() {
+        let s = set();
+        let c = CeilingTable::new(&s);
+        let mut lt = LockTable::new();
+
+        // T4 read-locks y: RWceil(y) = Wceil(y) = P2.
+        lt.grant(i(3), ItemId(1), LockMode::Read);
+        assert_eq!(
+            c.rwpcp_sysceil(&lt, i(2)).ceiling,
+            s.priority_of(TxnId(1)).as_ceiling()
+        );
+
+        // T4 additionally write-locks x: RWceil(x) = Aceil(x) = P1 dominates.
+        lt.grant(i(3), ItemId(0), LockMode::Write);
+        let sc = c.rwpcp_sysceil(&lt, i(0));
+        assert_eq!(sc.ceiling, s.priority_of(TxnId(0)).as_ceiling());
+        assert_eq!(sc.holders, [i(3)].into_iter().collect());
+    }
+
+    #[test]
+    fn pcp_sysceil_uses_aceil_for_reads_too() {
+        let s = set();
+        let c = CeilingTable::new(&s);
+        let mut lt = LockTable::new();
+        lt.grant(i(3), ItemId(1), LockMode::Read); // y: Aceil(y)=P2
+        assert_eq!(
+            c.pcp_sysceil(&lt, i(0)).ceiling,
+            s.priority_of(TxnId(1)).as_ceiling()
+        );
+    }
+
+    #[test]
+    fn ties_collect_all_holders() {
+        let s = set();
+        let c = CeilingTable::new(&s);
+        let mut lt = LockTable::new();
+        // Two different transactions read-lock items with equal Wceil:
+        // construct via z (Wceil=P3) read-locked by T1 and T2.
+        lt.grant(i(0), ItemId(2), LockMode::Read);
+        lt.grant(i(1), ItemId(2), LockMode::Read);
+        let sc = c.pcpda_sysceil(&lt, i(3));
+        assert_eq!(sc.ceiling, s.priority_of(TxnId(2)).as_ceiling());
+        assert_eq!(sc.holders.len(), 2);
+    }
+
+    #[test]
+    fn unknown_items_have_dummy_ceilings() {
+        let c = CeilingTable::new(&set());
+        assert!(c.wceil(ItemId(99)).is_dummy());
+        assert!(c.aceil(ItemId(99)).is_dummy());
+    }
+}

@@ -1,0 +1,216 @@
+//! Priority inheritance.
+//!
+//! "If a transaction blocks a higher priority transaction, its running
+//! priority will inherit that of the higher priority transaction" (paper
+//! §5). Inheritance is transitive: if `T_3` blocks `T_2` which blocks
+//! `T_1`, `T_3` runs at `P_1`. A transaction returns to its original
+//! priority when the blocking edge disappears (here: when the engine clears
+//! the edge after a release re-evaluation).
+//!
+//! The tracker recomputes running priorities by fixpoint iteration over the
+//! current blocking edges. The edge set is tiny (bounded by the number of
+//! live instances), so the simple algorithm is both obviously correct and
+//! fast enough.
+
+use rtdb_types::{InstanceId, Priority};
+use std::collections::BTreeMap;
+
+/// Base priorities plus the current blocking edges, yielding running
+/// priorities.
+#[derive(Clone, Debug, Default)]
+pub struct PriorityManager {
+    base: BTreeMap<InstanceId, Priority>,
+    /// blocked instance -> the instances blocking it.
+    edges: BTreeMap<InstanceId, Vec<InstanceId>>,
+    running: BTreeMap<InstanceId, Priority>,
+}
+
+impl PriorityManager {
+    /// Empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a live instance with its original priority.
+    pub fn register(&mut self, who: InstanceId, base: Priority) {
+        self.base.insert(who, base);
+        self.running.insert(who, base);
+        self.recompute();
+    }
+
+    /// Remove a completed/aborted instance and any edges touching it.
+    pub fn remove(&mut self, who: InstanceId) {
+        self.base.remove(&who);
+        self.running.remove(&who);
+        self.edges.remove(&who);
+        for blockers in self.edges.values_mut() {
+            blockers.retain(|&b| b != who);
+        }
+        self.edges.retain(|_, blockers| !blockers.is_empty());
+        self.recompute();
+    }
+
+    /// Record that `blocked` is currently blocked by `blockers`
+    /// (replacing any previous edge for `blocked`).
+    pub fn set_blocked(&mut self, blocked: InstanceId, blockers: Vec<InstanceId>) {
+        debug_assert!(!blockers.contains(&blocked));
+        self.edges.insert(blocked, blockers);
+        self.recompute();
+    }
+
+    /// Clear `blocked`'s edge (its request was granted or re-evaluated).
+    pub fn clear_blocked(&mut self, blocked: InstanceId) {
+        if self.edges.remove(&blocked).is_some() {
+            self.recompute();
+        }
+    }
+
+    /// Original priority.
+    ///
+    /// # Panics
+    /// Panics if `who` was never registered.
+    pub fn base(&self, who: InstanceId) -> Priority {
+        self.base[&who]
+    }
+
+    /// Current running priority (base joined with every priority inherited
+    /// through the blocking edges, transitively).
+    ///
+    /// # Panics
+    /// Panics if `who` was never registered.
+    pub fn running(&self, who: InstanceId) -> Priority {
+        self.running[&who]
+    }
+
+    /// The instances currently blocking `who`, if any.
+    pub fn blockers_of(&self, who: InstanceId) -> Option<&[InstanceId]> {
+        self.edges.get(&who).map(|v| v.as_slice())
+    }
+
+    /// True if `who` is currently marked blocked.
+    pub fn is_blocked(&self, who: InstanceId) -> bool {
+        self.edges.contains_key(&who)
+    }
+
+    /// All current blocking edges (blocked -> blockers), for the wait-for
+    /// graph.
+    pub fn edges(&self) -> &BTreeMap<InstanceId, Vec<InstanceId>> {
+        &self.edges
+    }
+
+    /// Is anyone registered?
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    fn recompute(&mut self) {
+        // Start from base priorities.
+        for (who, base) in &self.base {
+            self.running.insert(*who, *base);
+        }
+        // Propagate to fixpoint: each pass pushes the blocked instance's
+        // running priority into its blockers. At most n passes are needed
+        // (each pass extends the longest settled chain by one).
+        let n = self.base.len();
+        for _ in 0..n {
+            let mut changed = false;
+            for (blocked, blockers) in &self.edges {
+                let Some(&p) = self.running.get(blocked) else {
+                    continue;
+                };
+                for b in blockers {
+                    if let Some(rb) = self.running.get_mut(b) {
+                        if *rb < p {
+                            *rb = p;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdb_types::TxnId;
+
+    fn i(t: u32) -> InstanceId {
+        InstanceId::first(TxnId(t))
+    }
+
+    fn mgr3() -> PriorityManager {
+        let mut m = PriorityManager::new();
+        m.register(i(0), Priority(3)); // T1, highest
+        m.register(i(1), Priority(2));
+        m.register(i(2), Priority(1));
+        m
+    }
+
+    #[test]
+    fn no_edges_means_base_priorities() {
+        let m = mgr3();
+        assert_eq!(m.running(i(0)), Priority(3));
+        assert_eq!(m.running(i(2)), Priority(1));
+        assert!(!m.is_blocked(i(2)));
+    }
+
+    #[test]
+    fn direct_inheritance() {
+        let mut m = mgr3();
+        m.set_blocked(i(0), vec![i(2)]); // T3 blocks T1
+        assert_eq!(m.running(i(2)), Priority(3));
+        assert_eq!(m.base(i(2)), Priority(1));
+        m.clear_blocked(i(0));
+        assert_eq!(m.running(i(2)), Priority(1));
+    }
+
+    #[test]
+    fn transitive_inheritance() {
+        let mut m = mgr3();
+        m.set_blocked(i(0), vec![i(1)]); // T2 blocks T1
+        m.set_blocked(i(1), vec![i(2)]); // T3 blocks T2
+        assert_eq!(m.running(i(1)), Priority(3));
+        assert_eq!(m.running(i(2)), Priority(3)); // inherited through T2
+    }
+
+    #[test]
+    fn inheritance_is_max_not_sum() {
+        let mut m = mgr3();
+        m.set_blocked(i(0), vec![i(2)]);
+        m.set_blocked(i(1), vec![i(2)]); // T3 blocks both T1 and T2
+        assert_eq!(m.running(i(2)), Priority(3));
+    }
+
+    #[test]
+    fn higher_priority_blocker_is_unaffected() {
+        let mut m = mgr3();
+        m.set_blocked(i(2), vec![i(0)]); // T1 "blocks" T3 (conflict hold)
+        assert_eq!(m.running(i(0)), Priority(3)); // no change
+    }
+
+    #[test]
+    fn removal_clears_edges_and_restores() {
+        let mut m = mgr3();
+        m.set_blocked(i(0), vec![i(2)]);
+        assert_eq!(m.running(i(2)), Priority(3));
+        m.remove(i(0)); // the blocked transaction disappears
+        assert_eq!(m.running(i(2)), Priority(1));
+        assert!(m.edges().is_empty());
+    }
+
+    #[test]
+    fn paper_example1_inheritance_chain() {
+        // Example 1: T3 write-locks x; T2 blocked (ceiling) -> T3 inherits
+        // P2; then T1 blocked (conflict) -> T3 inherits P1.
+        let mut m = mgr3();
+        m.set_blocked(i(1), vec![i(2)]);
+        assert_eq!(m.running(i(2)), Priority(2));
+        m.set_blocked(i(0), vec![i(2)]);
+        assert_eq!(m.running(i(2)), Priority(3));
+    }
+}

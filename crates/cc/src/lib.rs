@@ -1,0 +1,33 @@
+//! Concurrency-control framework shared by PCP-DA and every baseline.
+//!
+//! The crate factors out the machinery every priority-ceiling-style
+//! protocol needs, so that each protocol implementation is only its
+//! *locking conditions*:
+//!
+//! * [`LockTable`] — who holds which item in which mode, plus the wait
+//!   queues' raw material. PCP-DA permits several concurrent write locks
+//!   on one item (blind writes are non-conflicting under deferred updates,
+//!   paper §4.1 Case 3), so the table tracks reader *and* writer sets per
+//!   item and supports upgrades;
+//! * [`CeilingTable`] — the static ceilings `Wceil(x)`/`HPW(x)` and
+//!   `Aceil(x)` derived from a [`rtdb_types::TransactionSet`], and the
+//!   dynamic `Sysceil` computations of PCP-DA (read locks only), RW-PCP
+//!   (`RWceil`) and the original PCP (`Aceil` for any lock);
+//! * [`Protocol`] — the trait a concurrency-control protocol implements;
+//!   the simulation engine calls [`Protocol::request`] and applies the
+//!   returned [`Decision`];
+//! * [`PriorityManager`] — base priorities plus transitive priority
+//!   inheritance over the current blocking edges;
+//! * [`waitfor`] — the wait-for graph and deadlock detection.
+
+pub mod ceilings;
+pub mod inherit;
+pub mod locks;
+pub mod protocol;
+pub mod waitfor;
+
+pub use ceilings::CeilingTable;
+pub use inherit::PriorityManager;
+pub use locks::{HeldLock, LockTable};
+pub use protocol::{Decision, EngineView, LockRequest, Protocol, UpdateModel};
+pub use waitfor::WaitForGraph;

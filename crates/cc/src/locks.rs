@@ -1,0 +1,296 @@
+//! The lock table.
+//!
+//! Tracks, per item, the set of read holders and the set of write holders.
+//! Unusually for a lock manager, *several* concurrent write holders are
+//! representable: under PCP-DA's deferred-update model two blind writes do
+//! not conflict (paper §4.1, Case 3), so LC1 admits a write lock regardless
+//! of existing write locks. Protocols that forbid this (2PL, RW-PCP, PCP)
+//! simply never grant the second write lock.
+//!
+//! The table is pure bookkeeping: *who may lock what* is decided by a
+//! [`crate::Protocol`]; the engine records grants and releases here.
+
+use rtdb_types::{InstanceId, ItemId, LockMode};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One lock held by an instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct HeldLock {
+    /// Locked item.
+    pub item: ItemId,
+    /// Mode held.
+    pub mode: LockMode,
+}
+
+#[derive(Clone, Debug, Default)]
+struct ItemLocks {
+    readers: BTreeSet<InstanceId>,
+    writers: BTreeSet<InstanceId>,
+}
+
+impl ItemLocks {
+    fn is_empty(&self) -> bool {
+        self.readers.is_empty() && self.writers.is_empty()
+    }
+}
+
+/// The lock table of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct LockTable {
+    items: BTreeMap<ItemId, ItemLocks>,
+    // Reverse index: instance -> its held locks.
+    held: BTreeMap<InstanceId, BTreeSet<HeldLock>>,
+}
+
+impl LockTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a granted lock. Granting a mode already held is a no-op
+    /// (idempotent), so upgrades just add the second mode.
+    pub fn grant(&mut self, who: InstanceId, item: ItemId, mode: LockMode) {
+        let locks = self.items.entry(item).or_default();
+        match mode {
+            LockMode::Read => locks.readers.insert(who),
+            LockMode::Write => locks.writers.insert(who),
+        };
+        self.held
+            .entry(who)
+            .or_default()
+            .insert(HeldLock { item, mode });
+    }
+
+    /// Release one lock (CCP's early unlock). No-op if not held.
+    pub fn release(&mut self, who: InstanceId, item: ItemId, mode: LockMode) {
+        if let Some(locks) = self.items.get_mut(&item) {
+            match mode {
+                LockMode::Read => locks.readers.remove(&who),
+                LockMode::Write => locks.writers.remove(&who),
+            };
+            if locks.is_empty() {
+                self.items.remove(&item);
+            }
+        }
+        if let Some(held) = self.held.get_mut(&who) {
+            held.remove(&HeldLock { item, mode });
+            if held.is_empty() {
+                self.held.remove(&who);
+            }
+        }
+    }
+
+    /// Release every lock held by `who` (commit or abort); returns them.
+    pub fn release_all(&mut self, who: InstanceId) -> Vec<HeldLock> {
+        let held: Vec<HeldLock> = self
+            .held
+            .remove(&who)
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default();
+        for lock in &held {
+            if let Some(locks) = self.items.get_mut(&lock.item) {
+                match lock.mode {
+                    LockMode::Read => locks.readers.remove(&who),
+                    LockMode::Write => locks.writers.remove(&who),
+                };
+                if locks.is_empty() {
+                    self.items.remove(&lock.item);
+                }
+            }
+        }
+        held
+    }
+
+    /// True if `who` holds `item` in `mode`.
+    pub fn holds(&self, who: InstanceId, item: ItemId, mode: LockMode) -> bool {
+        self.held
+            .get(&who)
+            .is_some_and(|s| s.contains(&HeldLock { item, mode }))
+    }
+
+    /// All locks held by `who`.
+    pub fn held_by(&self, who: InstanceId) -> impl Iterator<Item = HeldLock> + '_ {
+        self.held.get(&who).into_iter().flatten().copied()
+    }
+
+    /// Read holders of `item`.
+    pub fn readers(&self, item: ItemId) -> impl Iterator<Item = InstanceId> + '_ {
+        self.items
+            .get(&item)
+            .into_iter()
+            .flat_map(|l| l.readers.iter().copied())
+    }
+
+    /// Write holders of `item`.
+    pub fn writers(&self, item: ItemId) -> impl Iterator<Item = InstanceId> + '_ {
+        self.items
+            .get(&item)
+            .into_iter()
+            .flat_map(|l| l.writers.iter().copied())
+    }
+
+    /// `No_Rlock(x)` of the paper: true if `item` is *not* read-locked by
+    /// any transaction other than `who`.
+    pub fn no_rlock_by_others(&self, item: ItemId, who: InstanceId) -> bool {
+        self.readers(item).all(|r| r == who)
+    }
+
+    /// Read holders of `item` other than `who`.
+    pub fn readers_other_than(
+        &self,
+        item: ItemId,
+        who: InstanceId,
+    ) -> impl Iterator<Item = InstanceId> + '_ {
+        self.readers(item).filter(move |&r| r != who)
+    }
+
+    /// Write holders of `item` other than `who`.
+    pub fn writers_other_than(
+        &self,
+        item: ItemId,
+        who: InstanceId,
+    ) -> impl Iterator<Item = InstanceId> + '_ {
+        self.writers(item).filter(move |&w| w != who)
+    }
+
+    /// Items read-locked by transactions other than `who`, with those
+    /// holders. Drives PCP-DA's `Sysceil`.
+    pub fn read_locked_by_others(
+        &self,
+        who: InstanceId,
+    ) -> impl Iterator<Item = (ItemId, impl Iterator<Item = InstanceId> + '_)> + '_ {
+        self.items.iter().filter_map(move |(&item, locks)| {
+            let mut holders = locks.readers.iter().copied().filter(move |&r| r != who).peekable();
+            holders.peek()?;
+            Some((item, holders))
+        })
+    }
+
+    /// Items locked (in any mode) by transactions other than `who`, with
+    /// the per-item reader/writer split. Drives RW-PCP's and PCP's
+    /// `Sysceil`.
+    pub fn locked_by_others(
+        &self,
+        who: InstanceId,
+    ) -> impl Iterator<Item = (ItemId, bool, bool, Vec<InstanceId>)> + '_ {
+        self.items.iter().filter_map(move |(&item, locks)| {
+            let holders: Vec<InstanceId> = locks
+                .readers
+                .iter()
+                .chain(locks.writers.iter())
+                .copied()
+                .filter(|&h| h != who)
+                .collect();
+            if holders.is_empty() {
+                return None;
+            }
+            let read_by_other = locks.readers.iter().any(|&r| r != who);
+            let written_by_other = locks.writers.iter().any(|&w| w != who);
+            Some((item, read_by_other, written_by_other, holders))
+        })
+    }
+
+    /// All instances currently holding at least one lock.
+    pub fn holders(&self) -> impl Iterator<Item = InstanceId> + '_ {
+        self.held.keys().copied()
+    }
+
+    /// Number of locked items.
+    pub fn locked_items(&self) -> usize {
+        self.items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdb_types::TxnId;
+
+    fn i(t: u32) -> InstanceId {
+        InstanceId::first(TxnId(t))
+    }
+
+    #[test]
+    fn grant_and_release_roundtrip() {
+        let mut lt = LockTable::new();
+        lt.grant(i(0), ItemId(0), LockMode::Read);
+        lt.grant(i(0), ItemId(1), LockMode::Write);
+        assert!(lt.holds(i(0), ItemId(0), LockMode::Read));
+        assert!(!lt.holds(i(0), ItemId(0), LockMode::Write));
+        assert_eq!(lt.held_by(i(0)).count(), 2);
+
+        let released = lt.release_all(i(0));
+        assert_eq!(released.len(), 2);
+        assert_eq!(lt.held_by(i(0)).count(), 0);
+        assert_eq!(lt.locked_items(), 0);
+    }
+
+    #[test]
+    fn multiple_writers_are_representable() {
+        let mut lt = LockTable::new();
+        lt.grant(i(0), ItemId(0), LockMode::Write);
+        lt.grant(i(1), ItemId(0), LockMode::Write);
+        assert_eq!(lt.writers(ItemId(0)).count(), 2);
+    }
+
+    #[test]
+    fn upgrade_holds_both_modes() {
+        let mut lt = LockTable::new();
+        lt.grant(i(0), ItemId(0), LockMode::Read);
+        lt.grant(i(0), ItemId(0), LockMode::Write);
+        assert!(lt.holds(i(0), ItemId(0), LockMode::Read));
+        assert!(lt.holds(i(0), ItemId(0), LockMode::Write));
+        lt.release(i(0), ItemId(0), LockMode::Write);
+        assert!(lt.holds(i(0), ItemId(0), LockMode::Read));
+        assert_eq!(lt.locked_items(), 1);
+    }
+
+    #[test]
+    fn no_rlock_ignores_own_read_lock() {
+        let mut lt = LockTable::new();
+        lt.grant(i(0), ItemId(0), LockMode::Read);
+        assert!(lt.no_rlock_by_others(ItemId(0), i(0)));
+        lt.grant(i(1), ItemId(0), LockMode::Read);
+        assert!(!lt.no_rlock_by_others(ItemId(0), i(0)));
+        assert_eq!(lt.readers_other_than(ItemId(0), i(0)).count(), 1);
+    }
+
+    #[test]
+    fn read_locked_by_others_excludes_self_and_write_locks() {
+        let mut lt = LockTable::new();
+        lt.grant(i(0), ItemId(0), LockMode::Read); // own read
+        lt.grant(i(1), ItemId(1), LockMode::Write); // other's write
+        lt.grant(i(1), ItemId(2), LockMode::Read); // other's read
+        let items: Vec<ItemId> = lt.read_locked_by_others(i(0)).map(|(x, _)| x).collect();
+        assert_eq!(items, vec![ItemId(2)]);
+    }
+
+    #[test]
+    fn locked_by_others_reports_modes() {
+        let mut lt = LockTable::new();
+        lt.grant(i(1), ItemId(0), LockMode::Read);
+        lt.grant(i(2), ItemId(0), LockMode::Write);
+        let rows: Vec<_> = lt.locked_by_others(i(0)).collect();
+        assert_eq!(rows.len(), 1);
+        let (item, read, written, holders) = &rows[0];
+        assert_eq!(*item, ItemId(0));
+        assert!(*read && *written);
+        assert_eq!(holders.len(), 2);
+
+        // From i(1)'s perspective the item is only write-locked by others.
+        let rows: Vec<_> = lt.locked_by_others(i(1)).collect();
+        let (_, read, written, _) = &rows[0];
+        assert!(!*read && *written);
+    }
+
+    #[test]
+    fn release_is_idempotent() {
+        let mut lt = LockTable::new();
+        lt.grant(i(0), ItemId(0), LockMode::Read);
+        lt.release(i(0), ItemId(0), LockMode::Read);
+        lt.release(i(0), ItemId(0), LockMode::Read);
+        assert_eq!(lt.locked_items(), 0);
+        assert!(lt.release_all(i(0)).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Wait-for graph and deadlock detection.
+//!
+//! A deadlock is a cycle in the wait-for graph ("in a circular-wait
+//! situation, each transaction in the cycle has locked some data items
+//! while waiting to lock a data item which is being locked by another
+//! transaction", paper §7). Theorem 2 proves PCP-DA never produces one;
+//! the deliberately weakened Naive-DA baseline reproduces the Example 5
+//! deadlock, which this detector reports.
+
+use rtdb_types::InstanceId;
+use std::collections::BTreeMap;
+
+/// A snapshot wait-for graph: blocked instance → instances it waits for.
+#[derive(Clone, Debug, Default)]
+pub struct WaitForGraph {
+    edges: BTreeMap<InstanceId, Vec<InstanceId>>,
+}
+
+impl WaitForGraph {
+    /// Build from the current blocking edges.
+    pub fn from_edges(edges: &BTreeMap<InstanceId, Vec<InstanceId>>) -> Self {
+        WaitForGraph {
+            edges: edges.clone(),
+        }
+    }
+
+    /// Add one edge (used by tests).
+    pub fn add_edge(&mut self, blocked: InstanceId, waits_for: InstanceId) {
+        self.edges.entry(blocked).or_default().push(waits_for);
+    }
+
+    /// Find a deadlock cycle, if any, as the ordered list of instances on
+    /// it (`a` waits for `b` waits for ... waits for `a`).
+    pub fn find_cycle(&self) -> Option<Vec<InstanceId>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let mut color: BTreeMap<InstanceId, Color> = BTreeMap::new();
+        for (&from, tos) in &self.edges {
+            color.entry(from).or_insert(Color::White);
+            for &to in tos {
+                color.entry(to).or_insert(Color::White);
+            }
+        }
+        let nodes: Vec<InstanceId> = color.keys().copied().collect();
+        for start in nodes {
+            if color[&start] != Color::White {
+                continue;
+            }
+            let mut stack: Vec<(InstanceId, usize)> = vec![(start, 0)];
+            let mut path: Vec<InstanceId> = vec![start];
+            color.insert(start, Color::Grey);
+            while let Some((node, idx)) = stack.last_mut() {
+                let node = *node;
+                let succs = self.edges.get(&node).map(|v| v.as_slice()).unwrap_or(&[]);
+                if *idx < succs.len() {
+                    let next = succs[*idx];
+                    *idx += 1;
+                    match color[&next] {
+                        Color::White => {
+                            color.insert(next, Color::Grey);
+                            stack.push((next, 0));
+                            path.push(next);
+                        }
+                        Color::Grey => {
+                            let pos = path.iter().position(|&n| n == next).unwrap();
+                            return Some(path[pos..].to_vec());
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color.insert(node, Color::Black);
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// True if the graph has no cycle.
+    pub fn is_deadlock_free(&self) -> bool {
+        self.find_cycle().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdb_types::TxnId;
+
+    fn i(t: u32) -> InstanceId {
+        InstanceId::first(TxnId(t))
+    }
+
+    #[test]
+    fn empty_graph_is_deadlock_free() {
+        assert!(WaitForGraph::default().is_deadlock_free());
+    }
+
+    #[test]
+    fn chain_is_not_a_deadlock() {
+        let mut g = WaitForGraph::default();
+        g.add_edge(i(0), i(1));
+        g.add_edge(i(1), i(2));
+        assert!(g.is_deadlock_free());
+    }
+
+    #[test]
+    fn two_cycle_is_detected() {
+        // Example 5's shape: T_H waits for T_L; T_L waits for T_H.
+        let mut g = WaitForGraph::default();
+        g.add_edge(i(0), i(1));
+        g.add_edge(i(1), i(0));
+        let cycle = g.find_cycle().unwrap();
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle.contains(&i(0)) && cycle.contains(&i(1)));
+    }
+
+    #[test]
+    fn longer_cycle_is_detected() {
+        let mut g = WaitForGraph::default();
+        g.add_edge(i(0), i(1));
+        g.add_edge(i(1), i(2));
+        g.add_edge(i(2), i(0));
+        g.add_edge(i(3), i(0)); // extra non-cycle edge
+        let cycle = g.find_cycle().unwrap();
+        assert_eq!(cycle.len(), 3);
+    }
+
+    #[test]
+    fn diamond_without_cycle_is_free() {
+        let mut g = WaitForGraph::default();
+        g.add_edge(i(0), i(1));
+        g.add_edge(i(0), i(2));
+        g.add_edge(i(1), i(3));
+        g.add_edge(i(2), i(3));
+        assert!(g.is_deadlock_free());
+    }
+}

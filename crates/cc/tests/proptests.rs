@@ -1,0 +1,175 @@
+//! Property tests for the concurrency-control framework.
+
+use proptest::prelude::*;
+use rtdb_cc::*;
+use rtdb_types::*;
+
+fn inst(t: u32) -> InstanceId {
+    InstanceId::first(TxnId(t))
+}
+
+proptest! {
+    /// Lock table: grants and releases are exact inverses; `release_all`
+    /// returns exactly what was granted (deduplicated by (item, mode)).
+    #[test]
+    fn lock_table_roundtrip(grants in prop::collection::vec((0u32..4, 0u32..6, any::<bool>()), 0..20)) {
+        let mut lt = LockTable::new();
+        let mut expect: std::collections::BTreeSet<(u32, u32, bool)> = Default::default();
+        for &(who, item, write) in &grants {
+            let mode = if write { LockMode::Write } else { LockMode::Read };
+            lt.grant(inst(who), ItemId(item), mode);
+            expect.insert((who, item, write));
+        }
+        for who in 0..4u32 {
+            let mine: std::collections::BTreeSet<(u32, u32, bool)> = expect
+                .iter()
+                .filter(|&&(w, _, _)| w == who)
+                .copied()
+                .collect();
+            let held: std::collections::BTreeSet<(u32, u32, bool)> = lt
+                .held_by(inst(who))
+                .map(|l| (who, l.item.0, l.mode == LockMode::Write))
+                .collect();
+            prop_assert_eq!(&mine, &held);
+            let released = lt.release_all(inst(who));
+            prop_assert_eq!(released.len(), mine.len());
+        }
+        prop_assert_eq!(lt.locked_items(), 0);
+    }
+
+    /// Priority inheritance: running priority is always >= base, equals
+    /// base with no edges, and equals the max over base + blocked
+    /// requesters' running priorities (fixpoint property).
+    #[test]
+    fn inheritance_fixpoint(
+        bases in prop::collection::vec(0u32..20, 2..8),
+        edges in prop::collection::vec((0usize..8, 0usize..8), 0..8),
+    ) {
+        let n = bases.len();
+        let mut pm = PriorityManager::new();
+        for (i, &b) in bases.iter().enumerate() {
+            pm.register(inst(i as u32), Priority(b + (i as u32) * 100)); // distinct
+        }
+        // Apply edges (skip self-edges and out-of-range, one blocker per
+        // blocked instance — last wins, like the engine).
+        let mut applied: std::collections::BTreeMap<usize, usize> = Default::default();
+        for &(blocked, blocker) in &edges {
+            if blocked < n && blocker < n && blocked != blocker {
+                // Avoid trivial cycles for this test: only allow edges
+                // from a higher-index node to a lower one.
+                if blocked > blocker {
+                    pm.set_blocked(inst(blocked as u32), vec![inst(blocker as u32)]);
+                    applied.insert(blocked, blocker);
+                }
+            }
+        }
+        // running >= base everywhere.
+        for i in 0..n {
+            prop_assert!(pm.running(inst(i as u32)) >= pm.base(inst(i as u32)));
+        }
+        // Fixpoint equation.
+        for i in 0..n {
+            let me = inst(i as u32);
+            let inherited = applied
+                .iter()
+                .filter(|&(_, &blocker)| blocker == i)
+                .map(|(&blocked, _)| pm.running(inst(blocked as u32)))
+                .max();
+            let expected = match inherited {
+                Some(p) => std::cmp::max(pm.base(me), p),
+                None => pm.base(me),
+            };
+            prop_assert_eq!(pm.running(me), expected);
+        }
+        // Clearing all edges restores bases.
+        for &blocked in applied.keys() {
+            pm.clear_blocked(inst(blocked as u32));
+        }
+        for i in 0..n {
+            prop_assert_eq!(pm.running(inst(i as u32)), pm.base(inst(i as u32)));
+        }
+    }
+
+    /// Wait-for graphs: a graph whose edges all point from higher indices
+    /// to strictly lower ones is acyclic; adding a back edge on any path
+    /// creates a detectable cycle.
+    #[test]
+    fn waitfor_cycle_detection(
+        edges in prop::collection::vec((1usize..10, 0usize..10), 1..15),
+    ) {
+        let mut g = WaitForGraph::default();
+        let mut down_edges = vec![];
+        for &(a, b) in &edges {
+            if b < a {
+                g.add_edge(inst(a as u32), inst(b as u32));
+                down_edges.push((a, b));
+            }
+        }
+        prop_assert!(g.is_deadlock_free());
+
+        if let Some(&(a, b)) = down_edges.first() {
+            // Close the loop: b -> a.
+            g.add_edge(inst(b as u32), inst(a as u32));
+            let cycle = g.find_cycle();
+            prop_assert!(cycle.is_some());
+            let cycle = cycle.unwrap();
+            prop_assert!(cycle.len() >= 2);
+        }
+    }
+
+    /// Ceiling computations agree with brute force on random lock states.
+    #[test]
+    fn sysceil_matches_bruteforce(
+        ops in prop::collection::vec(
+            prop::collection::vec((0u32..5, any::<bool>()), 1..4),
+            2..6,
+        ),
+        locks_taken in prop::collection::vec((0usize..6, 0u32..5, any::<bool>()), 0..8),
+    ) {
+        // Build a set whose templates perform the given ops.
+        let mut b = SetBuilder::new();
+        for (i, txn_ops) in ops.iter().enumerate() {
+            let steps: Vec<Step> = txn_ops
+                .iter()
+                .map(|&(item, w)| if w { Step::write(ItemId(item), 1) } else { Step::read(ItemId(item), 1) })
+                .collect();
+            b.add(TransactionTemplate::new(format!("t{i}"), (steps.len() as u64 + 1) * 10, steps));
+        }
+        let set = b.build().unwrap();
+        let ceilings = CeilingTable::new(&set);
+        let n = set.len();
+
+        let mut lt = LockTable::new();
+        for &(who, item, write) in &locks_taken {
+            if who < n {
+                let mode = if write { LockMode::Write } else { LockMode::Read };
+                lt.grant(inst(who as u32), ItemId(item), mode);
+            }
+        }
+
+        for me in 0..n {
+            let me = inst(me as u32);
+            // Brute-force PCP-DA Sysceil: max Wceil over items read-locked
+            // by others.
+            let mut expected = Ceiling::Dummy;
+            for item in (0..5).map(ItemId) {
+                if lt.readers(item).any(|r| r != me) {
+                    expected = expected.max(set.wceil(item));
+                }
+            }
+            prop_assert_eq!(ceilings.pcpda_sysceil(&lt, me).ceiling, expected);
+
+            // Brute-force RW-PCP Sysceil.
+            let mut expected = Ceiling::Dummy;
+            for item in (0..5).map(ItemId) {
+                if lt.writers(item).any(|w| w != me) {
+                    expected = expected.max(set.aceil(item));
+                }
+                if lt.readers(item).any(|r| r != me) {
+                    expected = expected.max(set.wceil(item));
+                }
+            }
+            prop_assert_eq!(ceilings.rwpcp_sysceil(&lt, me).ceiling, expected);
+        }
+    }
+}

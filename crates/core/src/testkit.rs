@@ -1,0 +1,137 @@
+//! A minimal, self-contained [`EngineView`] for protocol unit tests.
+//!
+//! The real engine lives in `rtdb-sim`; this view lets the locking
+//! conditions be exercised in isolation: tests grant locks and record reads
+//! by hand and ask the protocol to decide requests. Base and running
+//! priorities coincide here (no scheduling, hence no inheritance).
+
+use rtdb_cc::{CeilingTable, EngineView, LockTable};
+use rtdb_types::{InstanceId, ItemId, LockMode, Priority, TransactionSet};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A static protocol-testing view over a [`TransactionSet`].
+pub struct StaticView<'a> {
+    set: &'a TransactionSet,
+    ceilings: CeilingTable,
+    locks: LockTable,
+    data_read: BTreeMap<InstanceId, BTreeSet<ItemId>>,
+    staged: BTreeMap<InstanceId, BTreeSet<ItemId>>,
+    pending: BTreeMap<InstanceId, rtdb_cc::LockRequest>,
+    empty: BTreeSet<ItemId>,
+}
+
+impl<'a> StaticView<'a> {
+    /// View over `set` with no locks held.
+    pub fn new(set: &'a TransactionSet) -> Self {
+        StaticView {
+            set,
+            ceilings: CeilingTable::new(set),
+            locks: LockTable::new(),
+            data_read: BTreeMap::new(),
+            staged: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            empty: BTreeSet::new(),
+        }
+    }
+
+    /// Record that `who` has staged a write of `item` (for optimistic
+    /// validation tests).
+    pub fn record_staged_write(&mut self, who: InstanceId, item: ItemId) {
+        self.staged.entry(who).or_default().insert(item);
+    }
+
+    /// Record that `who` is blocked waiting on `req` (maintains the
+    /// pending-request view the commit-order guard consults).
+    pub fn set_pending(&mut self, who: InstanceId, req: rtdb_cc::LockRequest) {
+        self.pending.insert(who, req);
+    }
+
+    /// Record a granted lock.
+    pub fn grant(&mut self, who: InstanceId, item: ItemId, mode: LockMode) {
+        self.locks.grant(who, item, mode);
+    }
+
+    /// Release every lock of `who`.
+    pub fn release_all(&mut self, who: InstanceId) {
+        self.locks.release_all(who);
+        self.data_read.remove(&who);
+    }
+
+    /// Record that `who` has read `item` (maintains `DataRead`).
+    pub fn record_read(&mut self, who: InstanceId, item: ItemId) {
+        self.data_read.entry(who).or_default().insert(item);
+    }
+
+    /// Mutable access to the lock table (for intricate test setups).
+    pub fn locks_mut(&mut self) -> &mut LockTable {
+        &mut self.locks
+    }
+}
+
+impl EngineView for StaticView<'_> {
+    fn set(&self) -> &TransactionSet {
+        self.set
+    }
+
+    fn locks(&self) -> &LockTable {
+        &self.locks
+    }
+
+    fn ceilings(&self) -> &CeilingTable {
+        &self.ceilings
+    }
+
+    fn base_priority(&self, who: InstanceId) -> Priority {
+        self.set.priority_of(who.txn)
+    }
+
+    fn running_priority(&self, who: InstanceId) -> Priority {
+        self.set.priority_of(who.txn)
+    }
+
+    fn data_read(&self, who: InstanceId) -> &BTreeSet<ItemId> {
+        self.data_read.get(&who).unwrap_or(&self.empty)
+    }
+
+    fn pending_request(&self, who: InstanceId) -> Option<rtdb_cc::LockRequest> {
+        self.pending.get(&who).copied()
+    }
+
+    fn active_instances(&self) -> Vec<InstanceId> {
+        // Everything that has locked or read something is "active" in the
+        // static view; tests needing more fidelity use the real engine.
+        let mut out: std::collections::BTreeSet<InstanceId> =
+            self.locks.holders().collect();
+        out.extend(self.data_read.keys().copied());
+        out.into_iter().collect()
+    }
+
+    fn staged_write_items(&self, who: InstanceId) -> BTreeSet<ItemId> {
+        self.staged.get(&who).cloned().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdb_types::{SetBuilder, Step, TransactionTemplate, TxnId};
+
+    #[test]
+    fn static_view_reports_priorities_and_reads() {
+        let set = SetBuilder::new()
+            .with(TransactionTemplate::new("A", 10, vec![Step::read(ItemId(0), 1)]))
+            .with(TransactionTemplate::new("B", 10, vec![Step::read(ItemId(0), 1)]))
+            .build()
+            .unwrap();
+        let mut v = StaticView::new(&set);
+        let a = InstanceId::first(TxnId(0));
+        assert!(v.base_priority(a) > v.base_priority(InstanceId::first(TxnId(1))));
+        assert!(v.data_read(a).is_empty());
+        v.record_read(a, ItemId(0));
+        assert!(v.data_read(a).contains(&ItemId(0)));
+        v.grant(a, ItemId(0), LockMode::Read);
+        assert!(v.locks().holds(a, ItemId(0), LockMode::Read));
+        v.release_all(a);
+        assert!(!v.locks().holds(a, ItemId(0), LockMode::Read));
+    }
+}

@@ -1,0 +1,234 @@
+//! A packaged verification battery for simulation runs.
+//!
+//! Downstream users (and this repository's own tests) can verify any
+//! [`RunResult`] against the guarantees its protocol is supposed to
+//! provide — Theorems 1–3 of the paper plus the engine's bookkeeping
+//! invariants — with one call:
+//!
+//! ```
+//! use rtdb_sim::{checks, Engine, SimConfig};
+//! use rtdb_types::{ItemId, SetBuilder, Step, TransactionTemplate};
+//!
+//! let set = SetBuilder::new()
+//!     .with(TransactionTemplate::new("a", 10, vec![Step::read(ItemId(0), 1)]))
+//!     .with(TransactionTemplate::new("b", 20, vec![Step::write(ItemId(0), 2)]))
+//!     .build().unwrap();
+//! let run = Engine::new(&set, SimConfig::with_horizon(100))
+//!     .run(&mut pcpda::PcpDa::new()).unwrap();
+//!
+//! let violations = checks::verify_run(&set, &run, checks::Expectations::pcp_da());
+//! assert!(violations.is_empty(), "{violations:?}");
+//! ```
+
+use crate::engine::{RunOutcome, RunResult};
+use rtdb_types::TransactionSet;
+
+/// What a protocol promises; [`verify_run`] checks a run against it.
+#[derive(Clone, Copy, Debug)]
+pub struct Expectations {
+    /// The run must complete (no unresolved deadlock).
+    pub deadlock_free: bool,
+    /// No transaction may ever be aborted/restarted.
+    pub no_restarts: bool,
+    /// Every instance is blocked by at most one distinct lower-priority
+    /// transaction (Theorem 1).
+    pub single_blocking: bool,
+    /// Serial replay **in commit order** must reproduce every read and
+    /// the final state (Theorem 3's serialization order). Protocols whose
+    /// serialization order may deviate from commit order (CCP) use the
+    /// topological check instead.
+    pub commit_order_serialization: bool,
+}
+
+impl Expectations {
+    /// PCP-DA (and RW-PCP / original PCP): every guarantee of the paper.
+    pub fn pcp_da() -> Self {
+        Expectations {
+            deadlock_free: true,
+            no_restarts: true,
+            single_blocking: true,
+            commit_order_serialization: true,
+        }
+    }
+
+    /// CCP: deadlock-free, restart-free, single blocking, serializable —
+    /// but the serialization order is decoupled from commit order.
+    pub fn ccp() -> Self {
+        Expectations {
+            commit_order_serialization: false,
+            ..Self::pcp_da()
+        }
+    }
+
+    /// Abort-based protocols (2PL-HP, OCC-BC) and 2PL-PI with deadlock
+    /// resolution: serializability only.
+    pub fn abort_based() -> Self {
+        Expectations {
+            deadlock_free: true,
+            no_restarts: false,
+            single_blocking: false,
+            commit_order_serialization: true,
+        }
+    }
+}
+
+/// One failed guarantee.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// The run ended in a deadlock.
+    Deadlock(Vec<rtdb_types::InstanceId>),
+    /// Restarts happened although the protocol promises none.
+    UnexpectedRestarts(u32),
+    /// Some instance was blocked by more than one distinct
+    /// lower-priority transaction.
+    MultipleLowerBlockers {
+        /// The offending instance.
+        instance: rtdb_types::InstanceId,
+        /// Its distinct lower-priority blockers.
+        blockers: Vec<rtdb_types::TxnId>,
+    },
+    /// The serialization graph has a cycle.
+    ConflictCycle(Vec<rtdb_types::InstanceId>),
+    /// Serial replay diverged (value-level anomaly); carries the number
+    /// of divergences.
+    ReplayDivergence(usize),
+}
+
+/// Verify `run` against `expect`; returns every violation found (empty =
+/// all guarantees held).
+pub fn verify_run(
+    set: &TransactionSet,
+    run: &RunResult,
+    expect: Expectations,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    if expect.deadlock_free {
+        if let RunOutcome::Deadlock(cycle) = &run.outcome {
+            out.push(Violation::Deadlock(cycle.clone()));
+        }
+    }
+
+    if expect.no_restarts && run.history.aborts() > 0 {
+        out.push(Violation::UnexpectedRestarts(run.history.aborts() as u32));
+    }
+
+    if expect.single_blocking {
+        for m in run.metrics.instances() {
+            if m.distinct_lower_blockers.len() > 1 {
+                out.push(Violation::MultipleLowerBlockers {
+                    instance: m.id,
+                    blockers: m.distinct_lower_blockers.clone(),
+                });
+            }
+        }
+    }
+
+    // Serializability — always checked: conflict graph first, then the
+    // value-level replay in the appropriate order.
+    let graph = run.serialization_graph();
+    if let Some(cycle) = graph.find_cycle() {
+        out.push(Violation::ConflictCycle(cycle));
+    } else {
+        let replay = if expect.commit_order_serialization {
+            Some(run.replay_check(set))
+        } else {
+            run.replay_check_topological(set)
+        };
+        match replay {
+            Some(r) if !r.is_serializable() => {
+                out.push(Violation::ReplayDivergence(r.violations.len()));
+            }
+            _ => {}
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, SimConfig};
+    use rtdb_types::{ItemId, SetBuilder, Step, TransactionTemplate};
+
+    fn contended_set() -> TransactionSet {
+        SetBuilder::new()
+            .with(TransactionTemplate::new(
+                "A",
+                20,
+                vec![Step::read(ItemId(0), 1), Step::write(ItemId(1), 1)],
+            ))
+            .with(TransactionTemplate::new(
+                "B",
+                40,
+                vec![Step::write(ItemId(0), 2), Step::read(ItemId(1), 1)],
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pcpda_run_passes_full_battery() {
+        let set = contended_set();
+        let run = Engine::new(&set, SimConfig::with_horizon(200))
+            .run(&mut pcpda::PcpDa::new())
+            .unwrap();
+        assert_eq!(verify_run(&set, &run, Expectations::pcp_da()), vec![]);
+    }
+
+    #[test]
+    fn ccp_run_passes_its_battery() {
+        let set = contended_set();
+        let run = Engine::new(&set, SimConfig::with_horizon(200))
+            .run(&mut rtdb_baselines::Ccp::new())
+            .unwrap();
+        assert_eq!(verify_run(&set, &run, Expectations::ccp()), vec![]);
+    }
+
+    #[test]
+    fn abort_based_run_tolerates_restarts() {
+        let set = contended_set();
+        let run = Engine::new(&set, SimConfig::with_horizon(400))
+            .run(&mut rtdb_baselines::TwoPlHp::new())
+            .unwrap();
+        assert_eq!(verify_run(&set, &run, Expectations::abort_based()), vec![]);
+        // But the strict battery flags the restarts (if any happened).
+        if run.history.aborts() > 0 {
+            let v = verify_run(&set, &run, Expectations::pcp_da());
+            assert!(v
+                .iter()
+                .any(|x| matches!(x, Violation::UnexpectedRestarts(_))));
+        }
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        // Example 5 under Naive-DA.
+        let set = SetBuilder::new()
+            .with(
+                TransactionTemplate::new(
+                    "TH",
+                    10,
+                    vec![Step::read(ItemId(1), 1), Step::write(ItemId(0), 1)],
+                )
+                .with_offset(1)
+                .with_instances(1),
+            )
+            .with(
+                TransactionTemplate::new(
+                    "TL",
+                    10,
+                    vec![Step::read(ItemId(0), 1), Step::write(ItemId(1), 1)],
+                )
+                .with_instances(1),
+            )
+            .build()
+            .unwrap();
+        let run = Engine::new(&set, SimConfig::default())
+            .run(&mut rtdb_baselines::NaiveDa::new())
+            .unwrap();
+        let v = verify_run(&set, &run, Expectations::pcp_da());
+        assert!(v.iter().any(|x| matches!(x, Violation::Deadlock(_))));
+    }
+}

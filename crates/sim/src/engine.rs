@@ -1,0 +1,970 @@
+//! The simulation engine.
+//!
+//! A run is a deterministic function of `(transaction set, protocol,
+//! config)`. The engine owns the clock, the arrival queue, the lock table,
+//! the priority manager (inheritance), the workspaces and the database; a
+//! [`Protocol`] is consulted for every lock request and the engine applies
+//! its decision.
+//!
+//! ## Semantics (matching the paper's examples tick-for-tick)
+//!
+//! * The ready instance with the highest **running** priority executes
+//!   (ties: higher base priority, then earlier instance of the same
+//!   template).
+//! * A step's lock is requested the instant the step becomes current; the
+//!   read/staged write is performed at grant time; the step then consumes
+//!   its CPU duration, during which the instance may be preempted but
+//!   keeps its locks.
+//! * Denied requests block the instance; the blockers inherit its priority
+//!   transitively; blocked requests are re-evaluated (in descending
+//!   priority) whenever locks are released.
+//! * Commit is instantaneous at the end of the last step: staged writes
+//!   install, all locks release, the instance leaves the system.
+//! * Deadlocks (possible under 2PL-PI and Naive-DA only) are detected on
+//!   the wait-for graph at block time; depending on
+//!   [`SimConfig::resolve_deadlocks`] the run either stops with
+//!   [`RunOutcome::Deadlock`] or aborts the lowest-priority instance on
+//!   the cycle and continues.
+
+use crate::metrics::{InstanceMetrics, MetricsReport};
+use crate::trace::{SegKind, Trace, TraceEvent};
+use rtdb_cc::{
+    CeilingTable, Decision, EngineView, LockRequest, LockTable, PriorityManager, Protocol,
+    UpdateModel, WaitForGraph,
+};
+use rtdb_storage::{Database, EventKind, History, ReplayOutcome, SerializationGraph, Workspace};
+use rtdb_types::{
+    Duration, Error, InstanceId, ItemId, LockMode, Priority, Result, Tick,
+    TransactionSet, TxnId,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Release arrivals strictly before this tick. `None`: simulate two
+    /// hyperperiods (or just the explicitly bounded instances).
+    pub horizon: Option<u64>,
+    /// On deadlock: abort the lowest-priority instance on the cycle and
+    /// continue (`true`), or stop with [`RunOutcome::Deadlock`] (`false`).
+    pub resolve_deadlocks: bool,
+    /// Safety budget on scheduler iterations.
+    pub max_steps: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            horizon: None,
+            resolve_deadlocks: false,
+            max_steps: 10_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Config with an explicit horizon.
+    pub fn with_horizon(horizon: u64) -> Self {
+        SimConfig {
+            horizon: Some(horizon),
+            ..Default::default()
+        }
+    }
+
+    /// Enable deadlock resolution by victim abort.
+    pub fn resolving_deadlocks(mut self) -> Self {
+        self.resolve_deadlocks = true;
+        self
+    }
+}
+
+/// How a run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// All released instances committed (or the horizon was reached with
+    /// every remaining instance still making progress).
+    Completed,
+    /// An unresolved deadlock stopped the run; the cycle is attached.
+    Deadlock(Vec<InstanceId>),
+}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Full event history (reads, writes, commits, aborts, installs).
+    pub history: History,
+    /// Final database state.
+    pub db: Database,
+    /// Per-instance / per-template statistics.
+    pub metrics: MetricsReport,
+    /// Segments, events and ceiling samples for timeline rendering.
+    pub trace: Trace,
+    /// Completion or deadlock.
+    pub outcome: RunOutcome,
+}
+
+impl RunResult {
+    /// Serial-replay oracle in **commit order** (Theorem 3's serialization
+    /// order — valid for every protocol here except CCP, whose early
+    /// unlock lets the serialization order deviate from commit order; use
+    /// [`RunResult::replay_check_topological`] for CCP).
+    pub fn replay_check(&self, set: &TransactionSet) -> ReplayOutcome {
+        rtdb_storage::replay_serial(set, &self.history, &self.db)
+    }
+
+    /// Serialization graph of the history.
+    pub fn serialization_graph(&self) -> SerializationGraph {
+        SerializationGraph::build(&self.history)
+    }
+
+    /// `true` if the serialization graph is acyclic (conflict-serializable
+    /// history). This is the correctness oracle valid for *all* protocols.
+    pub fn is_conflict_serializable(&self) -> bool {
+        self.serialization_graph().find_cycle().is_none()
+    }
+
+    /// Serial-replay oracle in a topological order of the serialization
+    /// graph (view check valid for CCP). Returns `None` if the graph is
+    /// cyclic.
+    pub fn replay_check_topological(&self, set: &TransactionSet) -> Option<ReplayOutcome> {
+        // Reorder the commit order into a topological order and replay by
+        // temporarily rebuilding a history stub? Simpler: the value-replay
+        // needs only the order; reuse replay_serial by checking the graph
+        // first and replaying in topological order via a reordered commit
+        // list.
+        let graph = self.serialization_graph();
+        let topo = graph.topological_order()?;
+        let mut h = History::new();
+        // Reconstruct a history with the same events but commit order =
+        // topological order. Only commit_order and committed_reads matter
+        // to the replayer; committed_reads is commit-order independent.
+        for e in self.history.events() {
+            if !matches!(e.kind, EventKind::Commit) {
+                h.push(e.at, e.instance, e.kind);
+            }
+        }
+        for who in topo {
+            h.push(Tick::ZERO, who, EventKind::Commit);
+        }
+        Some(rtdb_storage::replay_serial(set, &h, &self.db))
+    }
+}
+
+/// The engine. Create with [`Engine::new`], execute with [`Engine::run`].
+pub struct Engine<'a> {
+    set: &'a TransactionSet,
+    config: SimConfig,
+}
+
+impl<'a> Engine<'a> {
+    /// Engine over a transaction set.
+    pub fn new(set: &'a TransactionSet, config: SimConfig) -> Self {
+        Engine { set, config }
+    }
+
+    /// Execute one full run under `protocol`.
+    pub fn run(&self, protocol: &mut dyn Protocol) -> Result<RunResult> {
+        let mut sim = Sim::new(self.set, &self.config)?;
+        sim.run(protocol)?;
+        let mut result = sim.finish(protocol);
+        result.protocol = protocol.name();
+        Ok(result)
+    }
+}
+
+/// The [`EngineView`] protocols consult: the shared, read-mostly state.
+struct ViewState<'a> {
+    set: &'a TransactionSet,
+    ceilings: CeilingTable,
+    locks: LockTable,
+    pm: PriorityManager,
+    workspaces: BTreeMap<InstanceId, Workspace>,
+    /// The denied request each blocked instance is waiting on.
+    pending: BTreeMap<InstanceId, LockRequest>,
+    empty: BTreeSet<ItemId>,
+}
+
+impl EngineView for ViewState<'_> {
+    fn set(&self) -> &TransactionSet {
+        self.set
+    }
+    fn locks(&self) -> &LockTable {
+        &self.locks
+    }
+    fn ceilings(&self) -> &CeilingTable {
+        &self.ceilings
+    }
+    fn base_priority(&self, who: InstanceId) -> Priority {
+        self.set.priority_of(who.txn)
+    }
+    fn running_priority(&self, who: InstanceId) -> Priority {
+        self.pm.running(who)
+    }
+    fn data_read(&self, who: InstanceId) -> &BTreeSet<ItemId> {
+        self.workspaces
+            .get(&who)
+            .map(|w| w.data_read())
+            .unwrap_or(&self.empty)
+    }
+    fn pending_request(&self, who: InstanceId) -> Option<LockRequest> {
+        self.pending.get(&who).copied()
+    }
+    fn active_instances(&self) -> Vec<InstanceId> {
+        self.workspaces.keys().copied().collect()
+    }
+    fn staged_write_items(&self, who: InstanceId) -> BTreeSet<ItemId> {
+        self.workspaces
+            .get(&who)
+            .map(|w| w.staged_writes().keys().copied().collect())
+            .unwrap_or_default()
+    }
+}
+
+/// Runtime state of one live instance.
+struct Live {
+    release: Tick,
+    deadline: Tick,
+    step: usize,
+    consumed: u64,
+    acquired: bool,
+    blocked_since: Option<Tick>,
+    /// This step's lock request was denied before — the eventual grant is
+    /// traced as `Resumed` rather than `Granted`.
+    was_denied: bool,
+    blocking: Duration,
+    lower_exec: Duration,
+    lower_blockers: BTreeSet<TxnId>,
+    restarts: u32,
+}
+
+struct Sim<'a> {
+    vs: ViewState<'a>,
+    config: &'a SimConfig,
+    clock: Tick,
+    /// Pending arrivals, sorted descending by time (pop from the back).
+    arrivals: Vec<(Tick, TxnId, u32)>,
+    live: BTreeMap<InstanceId, Live>,
+    db: Database,
+    history: History,
+    trace: Trace,
+    metrics: MetricsReport,
+    installed_early: BTreeMap<InstanceId, BTreeSet<ItemId>>,
+    miss_logged: BTreeSet<InstanceId>,
+    outcome: RunOutcome,
+}
+
+impl<'a> Sim<'a> {
+    fn new(set: &'a TransactionSet, config: &'a SimConfig) -> Result<Self> {
+        let horizon = match config.horizon {
+            Some(h) => Tick(h),
+            None => {
+                let max_offset = set
+                    .templates()
+                    .iter()
+                    .map(|t| t.offset)
+                    .max()
+                    .unwrap_or(Tick::ZERO);
+                max_offset + set.hyperperiod() + set.hyperperiod()
+            }
+        };
+        let mut arrivals: Vec<(Tick, TxnId, u32)> = Vec::new();
+        for t in set.templates() {
+            let mut seq = 0u32;
+            loop {
+                if let Some(n) = t.instances {
+                    if seq >= n {
+                        break;
+                    }
+                } else if t.release_of(seq) >= horizon {
+                    break;
+                }
+                arrivals.push((t.release_of(seq), t.id, seq));
+                seq += 1;
+                if arrivals.len() > 2_000_000 {
+                    return Err(Error::Config(format!(
+                        "arrival count exceeds 2,000,000 before horizon {horizon:?}"
+                    )));
+                }
+            }
+        }
+        // Sort descending so the next arrival is at the back; tie-break by
+        // template order for determinism.
+        arrivals.sort_by(|a, b| b.cmp(a));
+
+        Ok(Sim {
+            vs: ViewState {
+                set,
+                ceilings: CeilingTable::new(set),
+                locks: LockTable::new(),
+                pm: PriorityManager::new(),
+                workspaces: BTreeMap::new(),
+                pending: BTreeMap::new(),
+                empty: BTreeSet::new(),
+            },
+            config,
+            clock: Tick::ZERO,
+            arrivals,
+            live: BTreeMap::new(),
+            db: Database::new(),
+            history: History::new(),
+            trace: Trace::new(),
+            metrics: MetricsReport::new(),
+            installed_early: BTreeMap::new(),
+            miss_logged: BTreeSet::new(),
+            outcome: RunOutcome::Completed,
+        })
+    }
+
+    fn run(&mut self, protocol: &mut dyn Protocol) -> Result<()> {
+        self.trace
+            .push_ceiling(Tick::ZERO, protocol.system_ceiling(&self.vs));
+        let mut budget = self.config.max_steps;
+        loop {
+            budget = budget
+                .checked_sub(1)
+                .ok_or(Error::EventBudgetExhausted)?;
+
+            self.release_arrivals();
+            self.log_deadline_misses();
+
+            let Some(runner) = self.dispatch(protocol) else {
+                if matches!(self.outcome, RunOutcome::Deadlock(_)) {
+                    break;
+                }
+                if let Some(&(t, _, _)) = self.arrivals.last() {
+                    // Idle (or everyone blocked) until the next arrival.
+                    self.clock = t;
+                    continue;
+                }
+                if self.live.is_empty() {
+                    break; // all done
+                }
+                // No runner, no arrivals, live instances remain: every
+                // live instance is blocked — a circular wait by
+                // construction (blockers never commit unnoticed).
+                let wf = WaitForGraph::from_edges(self.vs.pm.edges());
+                let cycle = wf
+                    .find_cycle()
+                    .unwrap_or_else(|| self.live.keys().copied().collect());
+                self.trace.push_event(TraceEvent::DeadlockDetected {
+                    at: self.clock,
+                    cycle: cycle.clone(),
+                });
+                self.outcome = RunOutcome::Deadlock(cycle);
+                break;
+            };
+            if matches!(self.outcome, RunOutcome::Deadlock(_)) {
+                break;
+            }
+
+            // Run `runner` until its step completes or the next arrival.
+            let template = self.vs.set.template(runner.txn);
+            let step = template.steps[self.live[&runner].step];
+            let remaining = step.duration.raw() - self.live[&runner].consumed;
+            debug_assert!(remaining > 0);
+            let step_end = self.clock + Duration(remaining);
+            let slice_end = match self.arrivals.last() {
+                Some(&(t, _, _)) if t < step_end => t,
+                _ => step_end,
+            };
+            debug_assert!(slice_end > self.clock, "time must advance");
+            self.trace
+                .push_segment(runner, self.clock, slice_end, SegKind::Running);
+            let ran = slice_end.since(self.clock).raw();
+            self.clock = slice_end;
+            {
+                let live = self.live.get_mut(&runner).unwrap();
+                live.consumed += ran;
+            }
+            // Attribute this slice as lower-priority execution to every
+            // other live instance the runner's base priority undercuts
+            // (the measurable analogue of the analytic blocking B_i).
+            let runner_base = self.vs.set.priority_of(runner.txn);
+            for (&other, live) in self.live.iter_mut() {
+                if other != runner && self.vs.set.priority_of(other.txn) > runner_base {
+                    live.lower_exec += Duration(ran);
+                }
+            }
+
+            if self.live[&runner].consumed == step.duration.raw() {
+                self.complete_step(runner, protocol);
+            }
+        }
+        Ok(())
+    }
+
+    /// Pick the ready instance with the highest running priority and make
+    /// sure it holds its current step's lock, blocking/aborting as the
+    /// protocol dictates. Returns the instance to run, or `None` if no
+    /// instance is ready.
+    fn dispatch(&mut self, protocol: &mut dyn Protocol) -> Option<InstanceId> {
+        loop {
+            let who = self.pick_ready()?;
+            let live = &self.live[&who];
+            let template = self.vs.set.template(who.txn);
+            let step = template.steps[live.step];
+
+            if live.acquired {
+                return Some(who);
+            }
+            let Some((item, mode)) = step.op.access() else {
+                // Compute step: nothing to acquire.
+                return Some(who);
+            };
+
+            // A lock already held in a sufficient mode needs no request:
+            // a write lock covers reads of the own staged value; an exact
+            // re-grant is idempotent.
+            let holds_sufficient = match mode {
+                LockMode::Read => {
+                    self.vs.locks.holds(who, item, LockMode::Read)
+                        || self.vs.locks.holds(who, item, LockMode::Write)
+                }
+                LockMode::Write => self.vs.locks.holds(who, item, LockMode::Write),
+            };
+            if holds_sufficient {
+                self.perform_data_op(who, live_step(&self.live, who), item, mode);
+                self.live.get_mut(&who).unwrap().acquired = true;
+                return Some(who);
+            }
+
+            let req = LockRequest { who, item, mode };
+            let resumed = self.live[&who].was_denied;
+            match protocol.request(&self.vs, req) {
+                Decision::Grant => {
+                    self.apply_grant(req, protocol, resumed);
+                    return Some(who);
+                }
+                Decision::Block { blockers } => {
+                    self.block(who, req, blockers, protocol);
+                    if matches!(self.outcome, RunOutcome::Deadlock(_)) {
+                        return None;
+                    }
+                    // Pick someone else.
+                }
+                Decision::AbortHolders { victims } => {
+                    debug_assert!(protocol.may_abort());
+                    for v in victims {
+                        self.abort(v, protocol);
+                    }
+                    self.reevaluate(protocol);
+                    // Loop: the request is retried (holders are gone).
+                }
+            }
+        }
+    }
+
+    /// Highest-running-priority ready (live, unblocked) instance.
+    fn pick_ready(&self) -> Option<InstanceId> {
+        self.live
+            .iter()
+            .filter(|(_, l)| l.blocked_since.is_none())
+            .map(|(&id, _)| id)
+            .max_by_key(|&id| {
+                (
+                    self.vs.pm.running(id),
+                    self.vs.set.priority_of(id.txn),
+                    std::cmp::Reverse(id.seq),
+                    std::cmp::Reverse(id.txn.0),
+                )
+            })
+    }
+
+    fn release_arrivals(&mut self) {
+        while let Some(&(t, txn, seq)) = self.arrivals.last() {
+            if t > self.clock {
+                break;
+            }
+            self.arrivals.pop();
+            let id = InstanceId::new(txn, seq);
+            let template = self.vs.set.template(txn);
+            let live = Live {
+                release: t,
+                deadline: template.deadline_of(seq),
+                step: 0,
+                consumed: 0,
+                acquired: false,
+                blocked_since: None,
+                was_denied: false,
+                blocking: Duration::ZERO,
+                lower_exec: Duration::ZERO,
+                lower_blockers: BTreeSet::new(),
+                restarts: 0,
+            };
+            self.live.insert(id, live);
+            self.vs.pm.register(id, self.vs.set.priority_of(txn));
+            self.vs.workspaces.insert(id, Workspace::new(id));
+            self.history.push(t, id, EventKind::Begin);
+            self.trace.push_event(TraceEvent::Arrive { at: t, who: id });
+        }
+    }
+
+    fn log_deadline_misses(&mut self) {
+        let missed: Vec<(InstanceId, Tick)> = self
+            .live
+            .iter()
+            .filter(|(id, l)| l.deadline <= self.clock && !self.miss_logged.contains(id))
+            .map(|(&id, l)| (id, l.deadline))
+            .collect();
+        for (id, deadline) in missed {
+            self.miss_logged.insert(id);
+            self.trace
+                .push_event(TraceEvent::DeadlineMiss { at: deadline, who: id });
+        }
+    }
+
+    fn perform_data_op(&mut self, who: InstanceId, step_index: usize, item: ItemId, mode: LockMode) {
+        let ws = self.vs.workspaces.get_mut(&who).expect("live workspace");
+        match mode {
+            LockMode::Read => {
+                let rec = ws.read(&self.db, item);
+                self.history.push(
+                    self.clock,
+                    who,
+                    EventKind::Read {
+                        item,
+                        value: rec.value,
+                        version: rec.version,
+                        own: rec.own,
+                    },
+                );
+            }
+            LockMode::Write => {
+                let value = ws.write(step_index, item);
+                self.history
+                    .push(self.clock, who, EventKind::StageWrite { item, value });
+            }
+        }
+    }
+
+    fn apply_grant(&mut self, req: LockRequest, protocol: &mut dyn Protocol, resumed: bool) {
+        self.vs.locks.grant(req.who, req.item, req.mode);
+        protocol.on_grant(&self.vs, req);
+        let step_index = self.live[&req.who].step;
+        self.perform_data_op(req.who, step_index, req.item, req.mode);
+        self.live.get_mut(&req.who).unwrap().acquired = true;
+        let ev = if resumed {
+            TraceEvent::Resumed {
+                at: self.clock,
+                who: req.who,
+                item: req.item,
+                mode: req.mode,
+            }
+        } else {
+            TraceEvent::Granted {
+                at: self.clock,
+                who: req.who,
+                item: req.item,
+                mode: req.mode,
+            }
+        };
+        self.trace.push_event(ev);
+        self.trace
+            .push_ceiling(self.clock, protocol.system_ceiling(&self.vs));
+    }
+
+    fn block(
+        &mut self,
+        who: InstanceId,
+        req: LockRequest,
+        blockers: Vec<InstanceId>,
+        protocol: &mut dyn Protocol,
+    ) {
+        debug_assert!(blockers.iter().all(|b| self.live.contains_key(b)));
+        let my_base = self.vs.set.priority_of(who.txn);
+        {
+            let live = self.live.get_mut(&who).unwrap();
+            live.blocked_since = Some(self.clock);
+            live.was_denied = true;
+            for b in &blockers {
+                if self.vs.set.priority_of(b.txn) < my_base {
+                    live.lower_blockers.insert(b.txn);
+                }
+            }
+        }
+        self.vs.pm.set_blocked(who, blockers.clone());
+        self.vs.pending.insert(who, req);
+        self.trace.push_event(TraceEvent::Denied {
+            at: self.clock,
+            who,
+            item: req.item,
+            mode: req.mode,
+            blockers,
+        });
+
+        // A new blocking edge can itself unblock others: PCP-DA's
+        // commit-order guard admits a read over a higher-priority write
+        // holder once that holder is hard-blocked on the requester. Give
+        // every blocked request a wake-up pass before testing for a
+        // deadlock, so only irreducible cycles are reported.
+        self.reevaluate(protocol);
+        if self.live.get(&who).is_none_or(|l| l.blocked_since.is_none()) {
+            // The requester itself was woken again; nothing to detect.
+            return;
+        }
+
+        // Deadlock check on the wait-for graph.
+        let wf = WaitForGraph::from_edges(self.vs.pm.edges());
+        if let Some(cycle) = wf.find_cycle() {
+            self.trace.push_event(TraceEvent::DeadlockDetected {
+                at: self.clock,
+                cycle: cycle.clone(),
+            });
+            if self.config.resolve_deadlocks {
+                // Abort the lowest-base-priority instance on the cycle.
+                let victim = cycle
+                    .iter()
+                    .copied()
+                    .min_by_key(|v| self.vs.set.priority_of(v.txn))
+                    .expect("cycle is non-empty");
+                self.abort(victim, protocol);
+                self.reevaluate(protocol);
+            } else {
+                self.outcome = RunOutcome::Deadlock(cycle);
+            }
+        }
+    }
+
+    fn unblock(&mut self, who: InstanceId) {
+        let live = self.live.get_mut(&who).unwrap();
+        if let Some(since) = live.blocked_since.take() {
+            live.blocking += self.clock.since(since);
+            self.trace
+                .push_segment(who, since, self.clock, SegKind::Blocked);
+        }
+        self.vs.pm.clear_blocked(who);
+        self.vs.pending.remove(&who);
+    }
+
+    /// Re-evaluate blocked requests after a lock release: an instance
+    /// whose request would now be granted is *woken* (made ready) — the
+    /// lock itself is acquired only when the instance is next dispatched,
+    /// exactly as on a real single-CPU system, where a blocked transaction
+    /// re-issues its request when it runs again. Granting at release time
+    /// instead would let a low-priority waiter grab a ceiling-raising
+    /// lock while a higher-priority *ready* transaction exists, breaking
+    /// the single-blocking property (this repository's property tests
+    /// caught exactly that).
+    ///
+    /// Instances whose requests are still denied keep (refreshed)
+    /// blocking edges so priority inheritance stays precise.
+    fn reevaluate(&mut self, protocol: &mut dyn Protocol) {
+        let mut blocked: Vec<InstanceId> = self
+            .live
+            .iter()
+            .filter(|(_, l)| l.blocked_since.is_some())
+            .map(|(&id, _)| id)
+            .collect();
+        blocked.sort_by_key(|&id| {
+            std::cmp::Reverse((
+                self.vs.pm.running(id),
+                self.vs.set.priority_of(id.txn),
+                std::cmp::Reverse(id.seq),
+            ))
+        });
+        for who in blocked {
+            let live = &self.live[&who];
+            let template = self.vs.set.template(who.txn);
+            let (item, mode) = template.steps[live.step]
+                .op
+                .access()
+                .expect("blocked on a data step");
+            let req = LockRequest { who, item, mode };
+            match protocol.request(&self.vs, req) {
+                Decision::Grant | Decision::AbortHolders { .. } => {
+                    // Would be granted now: wake up; the actual request
+                    // (including any AbortHolders side effect) happens at
+                    // dispatch time.
+                    self.unblock(who);
+                }
+                Decision::Block { blockers } => {
+                    debug_assert!(!blockers.is_empty());
+                    let my_base = self.vs.set.priority_of(who.txn);
+                    let live = self.live.get_mut(&who).unwrap();
+                    for b in &blockers {
+                        if self.vs.set.priority_of(b.txn) < my_base {
+                            live.lower_blockers.insert(b.txn);
+                        }
+                    }
+                    self.vs.pm.set_blocked(who, blockers);
+                }
+            }
+        }
+    }
+
+    fn complete_step(&mut self, who: InstanceId, protocol: &mut dyn Protocol) {
+        let completed_step;
+        let total_steps = self.vs.set.template(who.txn).steps.len();
+        {
+            let live = self.live.get_mut(&who).unwrap();
+            completed_step = live.step;
+            live.step += 1;
+            live.consumed = 0;
+            live.acquired = false;
+            live.was_denied = false;
+        }
+
+        if self.live[&who].step == total_steps {
+            self.commit(who, protocol);
+            return;
+        }
+
+        // Early releases (CCP).
+        let releases = protocol.early_releases(&self.vs, who, completed_step);
+        if !releases.is_empty() {
+            let install_early =
+                protocol.update_model() == UpdateModel::InstallOnEarlyRelease;
+            for (item, mode) in releases {
+                debug_assert!(self.vs.locks.holds(who, item, mode));
+                self.vs.locks.release(who, item, mode);
+                self.trace.push_event(TraceEvent::EarlyRelease {
+                    at: self.clock,
+                    who,
+                    item,
+                    mode,
+                });
+                if install_early && mode == LockMode::Write {
+                    let staged = self
+                        .vs
+                        .workspaces
+                        .get(&who)
+                        .and_then(|w| w.staged_writes().get(&item).copied());
+                    if let Some(value) = staged {
+                        let fresh = self
+                            .installed_early
+                            .entry(who)
+                            .or_default()
+                            .insert(item);
+                        if fresh {
+                            let version = self.db.install(who, item, value, self.clock);
+                            self.history.push(
+                                self.clock,
+                                who,
+                                EventKind::Install {
+                                    item,
+                                    value,
+                                    version,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            self.trace
+                .push_ceiling(self.clock, protocol.system_ceiling(&self.vs));
+            self.reevaluate(protocol);
+        }
+    }
+
+    fn commit(&mut self, who: InstanceId, protocol: &mut dyn Protocol) {
+        // Optimistic protocols validate at commit: abort every active
+        // instance this commit invalidates, before the writes install.
+        let victims = protocol.commit_victims(&self.vs, who);
+        if !victims.is_empty() {
+            debug_assert!(protocol.may_abort());
+            for v in victims {
+                if v != who && self.live.contains_key(&v) {
+                    self.abort(v, protocol);
+                }
+            }
+        }
+
+        self.history.push(self.clock, who, EventKind::Commit);
+        let early = self.installed_early.remove(&who).unwrap_or_default();
+        let ws = self.vs.workspaces.get(&who).expect("live workspace");
+        let installs: Vec<(ItemId, rtdb_types::Value)> = ws
+            .staged_writes()
+            .iter()
+            .filter(|(item, _)| !early.contains(item))
+            .map(|(&i, &v)| (i, v))
+            .collect();
+        for (item, value) in installs {
+            let version = self.db.install(who, item, value, self.clock);
+            self.history.push(
+                self.clock,
+                who,
+                EventKind::Install {
+                    item,
+                    value,
+                    version,
+                },
+            );
+        }
+
+        self.vs.locks.release_all(who);
+        self.vs.pm.remove(who);
+        protocol.on_commit(&self.vs, who);
+        self.trace.push_event(TraceEvent::Commit {
+            at: self.clock,
+            who,
+        });
+        self.trace
+            .push_ceiling(self.clock, protocol.system_ceiling(&self.vs));
+
+        let live = self.live.remove(&who).expect("committing instance");
+        self.vs.workspaces.remove(&who);
+        self.metrics.record(InstanceMetrics {
+            id: who,
+            release: live.release,
+            deadline: live.deadline,
+            completion: Some(self.clock),
+            blocking: live.blocking,
+            lower_exec: live.lower_exec,
+            distinct_lower_blockers: live.lower_blockers.into_iter().collect(),
+            restarts: live.restarts,
+        });
+
+        self.reevaluate(protocol);
+    }
+
+    fn abort(&mut self, victim: InstanceId, protocol: &mut dyn Protocol) {
+        debug_assert_eq!(
+            protocol.update_model(),
+            UpdateModel::Workspace,
+            "aborts require the workspace model (no undo implemented)"
+        );
+        self.history.push(self.clock, victim, EventKind::Abort);
+        self.trace.push_event(TraceEvent::Abort {
+            at: self.clock,
+            who: victim,
+        });
+        self.vs.locks.release_all(victim);
+        // If the victim was itself blocked, flush its blocked segment.
+        if self.live[&victim].blocked_since.is_some() {
+            self.unblock(victim);
+        } else {
+            self.vs.pm.clear_blocked(victim);
+            self.vs.pending.remove(&victim);
+        }
+        // Reset execution state; the instance restarts from scratch.
+        {
+            let live = self.live.get_mut(&victim).unwrap();
+            live.step = 0;
+            live.consumed = 0;
+            live.acquired = false;
+            live.was_denied = false;
+            live.restarts += 1;
+        }
+        self.vs
+            .workspaces
+            .insert(victim, Workspace::new(victim));
+        self.installed_early.remove(&victim);
+        protocol.on_abort(&self.vs, victim);
+        self.history.push(self.clock, victim, EventKind::Begin);
+        self.trace
+            .push_ceiling(self.clock, protocol.system_ceiling(&self.vs));
+    }
+
+    fn finish(mut self, _protocol: &mut dyn Protocol) -> RunResult {
+        // Flush unfinished instances into the metrics.
+        let leftovers: Vec<InstanceId> = self.live.keys().copied().collect();
+        for who in leftovers {
+            let live = self.live.remove(&who).unwrap();
+            if let Some(since) = live.blocked_since {
+                self.trace
+                    .push_segment(who, since, self.clock, SegKind::Blocked);
+            }
+            let mut blocking = live.blocking;
+            if let Some(since) = live.blocked_since {
+                blocking += self.clock.since(since);
+            }
+            self.metrics.record(InstanceMetrics {
+                id: who,
+                release: live.release,
+                deadline: live.deadline,
+                completion: None,
+                blocking,
+                lower_exec: live.lower_exec,
+                distinct_lower_blockers: live.lower_blockers.into_iter().collect(),
+                restarts: live.restarts,
+            });
+        }
+        self.metrics.max_sysceil = self.trace.max_system_ceiling();
+        RunResult {
+            protocol: "", // patched by the caller below
+            history: self.history,
+            db: self.db,
+            metrics: self.metrics,
+            trace: self.trace,
+            outcome: self.outcome,
+        }
+    }
+}
+
+fn live_step(live: &BTreeMap<InstanceId, Live>, who: InstanceId) -> usize {
+    live[&who].step
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcpda::PcpDa;
+    use rtdb_baselines::RwPcp;
+    use rtdb_types::{SetBuilder, Step, TransactionTemplate};
+
+    fn example3_set() -> TransactionSet {
+        SetBuilder::new()
+            .with(
+                TransactionTemplate::new(
+                    "T1",
+                    5,
+                    vec![Step::read(ItemId(0), 1), Step::read(ItemId(1), 1)],
+                )
+                .with_offset(1)
+                .with_instances(2),
+            )
+            .with(
+                TransactionTemplate::new(
+                    "T2",
+                    10,
+                    vec![
+                        Step::write(ItemId(0), 1),
+                        Step::compute(2),
+                        Step::write(ItemId(1), 1),
+                        Step::compute(1),
+                    ],
+                )
+                .with_instances(1),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn example3_pcpda_timeline_matches_figure2() {
+        let set = example3_set();
+        let mut p = PcpDa::new();
+        let r = Engine::new(&set, SimConfig::default()).run(&mut p).unwrap();
+        assert_eq!(r.outcome, RunOutcome::Completed);
+        // T1 never blocks; commits at 3 and 8; T2 commits at 9.
+        let t1a = InstanceId::new(TxnId(0), 0);
+        let t1b = InstanceId::new(TxnId(0), 1);
+        let t2 = InstanceId::new(TxnId(1), 0);
+        let m = |id| r.metrics.instance(id).unwrap().clone();
+        assert_eq!(m(t1a).completion, Some(Tick(3)));
+        assert_eq!(m(t1b).completion, Some(Tick(8)));
+        assert_eq!(m(t2).completion, Some(Tick(9)));
+        assert_eq!(m(t1a).blocking, Duration::ZERO);
+        assert_eq!(m(t1b).blocking, Duration::ZERO);
+        assert_eq!(r.metrics.deadline_misses(), 0);
+        assert!(r.replay_check(&set).is_serializable());
+        assert!(r.is_conflict_serializable());
+    }
+
+    #[test]
+    fn example3_rwpcp_timeline_matches_figure3() {
+        let set = example3_set();
+        let mut p = RwPcp::new();
+        let r = Engine::new(&set, SimConfig::default()).run(&mut p).unwrap();
+        let t1a = InstanceId::new(TxnId(0), 0);
+        let m = r.metrics.instance(t1a).unwrap();
+        // Blocked from 1 to 5 (4 ticks), completes at 7, misses deadline 6.
+        assert_eq!(m.blocking, Duration(4));
+        assert_eq!(m.completion, Some(Tick(7)));
+        assert!(!m.met_deadline());
+        assert_eq!(r.metrics.deadline_misses(), 1);
+        assert!(r.replay_check(&set).is_serializable());
+    }
+}

@@ -1,0 +1,296 @@
+//! Seeded random workload generation for the extension experiments.
+//!
+//! Workloads are periodic transaction sets in the paper's model: each
+//! template is a sequence of read/write/compute steps over a shared item
+//! pool, with rate-monotonic priorities and a target total CPU
+//! utilization. Generation is fully determined by
+//! [`WorkloadParams::seed`], so every experiment is reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtdb_types::{
+    Error, ItemId, Operation, Result, SetBuilder, Step, TransactionSet, TransactionTemplate,
+};
+
+/// Parameters of a random workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadParams {
+    /// Number of transaction templates.
+    pub templates: usize,
+    /// Size of the shared item pool.
+    pub items: usize,
+    /// Target total CPU utilization `Σ C_i / Pd_i` (0, 1].
+    pub target_utilization: f64,
+    /// Period range `[min, max]`, sampled log-uniformly.
+    pub min_period: u64,
+    /// See [`WorkloadParams::min_period`].
+    pub max_period: u64,
+    /// Data steps per template, sampled uniformly from this range.
+    pub min_data_steps: usize,
+    /// See [`WorkloadParams::min_data_steps`].
+    pub max_data_steps: usize,
+    /// Probability that a data step writes (vs reads).
+    pub write_fraction: f64,
+    /// Number of "hot" items (the first `hotspot_items` ids).
+    pub hotspot_items: usize,
+    /// Probability that a data step touches a hot item — the data
+    /// contention knob.
+    pub hotspot_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            templates: 6,
+            items: 20,
+            target_utilization: 0.6,
+            min_period: 40,
+            max_period: 400,
+            min_data_steps: 2,
+            max_data_steps: 5,
+            write_fraction: 0.4,
+            hotspot_items: 4,
+            hotspot_prob: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated workload: the parameters plus the resulting set.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Generation parameters.
+    pub params: WorkloadParams,
+    /// The generated transaction set (rate-monotonic priorities).
+    pub set: TransactionSet,
+}
+
+impl WorkloadParams {
+    /// Generate the workload.
+    pub fn generate(&self) -> Result<WorkloadSpec> {
+        self.validate()?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut builder = SetBuilder::new();
+        let share = self.target_utilization / self.templates as f64;
+
+        for idx in 0..self.templates {
+            // Log-uniform period.
+            let (lo, hi) = (self.min_period as f64, self.max_period as f64);
+            let period = (lo * (hi / lo).powf(rng.gen::<f64>())).round() as u64;
+
+            let n_data = rng.gen_range(self.min_data_steps..=self.max_data_steps);
+            let mut ops: Vec<Operation> = Vec::with_capacity(n_data + 1);
+            for _ in 0..n_data {
+                let item = self.pick_item(&mut rng);
+                if rng.gen::<f64>() < self.write_fraction {
+                    ops.push(Operation::Write(item));
+                } else {
+                    ops.push(Operation::Read(item));
+                }
+            }
+            // One trailing compute step mimics post-processing and gives
+            // the duration budget somewhere to go even for tiny locksets.
+            ops.push(Operation::Compute);
+
+            // Distribute the WCET budget over the steps, >= 1 tick each.
+            let budget = ((share * period as f64).round() as u64).max(ops.len() as u64);
+            let budget = budget.min(period); // keep feasible
+            let n = ops.len() as u64;
+            let base = budget / n;
+            let extra = (budget % n) as usize;
+            let steps: Vec<Step> = ops
+                .into_iter()
+                .enumerate()
+                .map(|(i, op)| Step {
+                    op,
+                    duration: rtdb_types::Duration(base + u64::from(i < extra)),
+                })
+                .collect();
+
+            builder.add(TransactionTemplate::new(
+                format!("W{idx}"),
+                period,
+                steps,
+            ));
+        }
+        let set = builder.build_rate_monotonic()?;
+        Ok(WorkloadSpec {
+            params: self.clone(),
+            set,
+        })
+    }
+
+    /// Generate a workload that the given admission test accepts, by
+    /// rejection sampling over seeds derived from [`WorkloadParams::seed`]
+    /// (`admit` is typically one of the `rtdb-analysis` schedulability
+    /// predicates). Returns the first admitted spec, or `None` after
+    /// `max_tries` rejections.
+    pub fn generate_admitted(
+        &self,
+        max_tries: u32,
+        mut admit: impl FnMut(&TransactionSet) -> bool,
+    ) -> Option<WorkloadSpec> {
+        for attempt in 0..max_tries {
+            let params = WorkloadParams {
+                seed: self.seed.wrapping_add(attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ..self.clone()
+            };
+            if let Ok(spec) = params.generate() {
+                if admit(&spec.set) {
+                    return Some(spec);
+                }
+            }
+        }
+        None
+    }
+
+    fn pick_item(&self, rng: &mut StdRng) -> ItemId {
+        let hot = self.hotspot_items.min(self.items);
+        if hot > 0 && rng.gen::<f64>() < self.hotspot_prob {
+            ItemId(rng.gen_range(0..hot) as u32)
+        } else {
+            ItemId(rng.gen_range(0..self.items) as u32)
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.templates == 0 || self.items == 0 {
+            return Err(Error::Config("templates and items must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.target_utilization) || self.target_utilization == 0.0 {
+            return Err(Error::Config(
+                "target_utilization must be in (0, 1]".into(),
+            ));
+        }
+        if self.min_period == 0 || self.min_period > self.max_period {
+            return Err(Error::Config("invalid period range".into()));
+        }
+        if self.min_data_steps == 0 || self.min_data_steps > self.max_data_steps {
+            return Err(Error::Config("invalid data step range".into()));
+        }
+        // A template needs at least steps+1 ticks of period to fit.
+        if self.min_period < (self.max_data_steps as u64 + 1) * 2 {
+            return Err(Error::Config(
+                "min_period too small for the requested step counts".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = WorkloadParams::default();
+        let a = p.generate().unwrap();
+        let b = p.generate().unwrap();
+        assert_eq!(a.set.templates().len(), b.set.templates().len());
+        for (ta, tb) in a.set.templates().iter().zip(b.set.templates()) {
+            assert_eq!(ta.period, tb.period);
+            assert_eq!(ta.steps, tb.steps);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WorkloadParams::default().generate().unwrap();
+        let b = WorkloadParams {
+            seed: 43,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        let same = a
+            .set
+            .templates()
+            .iter()
+            .zip(b.set.templates())
+            .all(|(x, y)| x.period == y.period && x.steps == y.steps);
+        assert!(!same);
+    }
+
+    #[test]
+    fn utilization_close_to_target() {
+        let p = WorkloadParams {
+            target_utilization: 0.5,
+            ..Default::default()
+        };
+        let w = p.generate().unwrap();
+        let u = w.set.total_utilization();
+        assert!(u > 0.3 && u < 0.8, "utilization {u} far from target 0.5");
+    }
+
+    #[test]
+    fn templates_are_valid_and_feasible() {
+        let w = WorkloadParams {
+            templates: 10,
+            seed: 7,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        for t in w.set.templates() {
+            assert!(t.validate().is_ok());
+            assert!(t.wcet() <= t.period);
+        }
+    }
+
+    #[test]
+    fn hotspot_prob_one_touches_only_hot_items() {
+        let w = WorkloadParams {
+            hotspot_prob: 1.0,
+            hotspot_items: 2,
+            seed: 1,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        for t in w.set.templates() {
+            for x in t.access_set() {
+                assert!(x.0 < 2, "non-hot item {x} accessed");
+            }
+        }
+    }
+
+    #[test]
+    fn generate_admitted_respects_the_predicate() {
+        let params = WorkloadParams {
+            target_utilization: 0.5,
+            seed: 3,
+            ..Default::default()
+        };
+        // Admit only sets whose total utilization is below 0.55.
+        let spec = params
+            .generate_admitted(64, |set| set.total_utilization() < 0.55)
+            .expect("an admitted workload exists");
+        assert!(spec.set.total_utilization() < 0.55);
+
+        // An unsatisfiable predicate yields None.
+        assert!(params.generate_admitted(8, |_| false).is_none());
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let bad = WorkloadParams {
+            templates: 0,
+            ..Default::default()
+        };
+        assert!(bad.generate().is_err());
+        let bad = WorkloadParams {
+            target_utilization: 0.0,
+            ..Default::default()
+        };
+        assert!(bad.generate().is_err());
+        let bad = WorkloadParams {
+            min_period: 100,
+            max_period: 10,
+            ..Default::default()
+        };
+        assert!(bad.generate().is_err());
+    }
+}

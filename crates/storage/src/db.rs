@@ -1,0 +1,144 @@
+//! The committed store.
+
+use rtdb_types::{InstanceId, ItemId, Tick, Value};
+use std::collections::BTreeMap;
+
+/// Monotonically increasing per-item version number. Version 0 is the
+/// initial (unwritten) state of every item.
+pub type Version = u64;
+
+/// A committed value together with its provenance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VersionedValue {
+    /// The committed value.
+    pub value: Value,
+    /// Per-item version, incremented by each committing writer.
+    pub version: Version,
+    /// The instance whose commit installed this version (`None` for the
+    /// initial version 0).
+    pub writer: Option<InstanceId>,
+    /// When the version was installed.
+    pub installed_at: Tick,
+}
+
+impl VersionedValue {
+    fn initial() -> Self {
+        VersionedValue {
+            value: Value::INITIAL,
+            version: 0,
+            writer: None,
+            installed_at: Tick::ZERO,
+        }
+    }
+}
+
+/// The memory-resident committed store.
+///
+/// Items spring into existence at their initial value on first touch, so a
+/// database needs no schema. Reads never block here — visibility is decided
+/// by the concurrency-control protocol before the storage layer is reached.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    items: BTreeMap<ItemId, VersionedValue>,
+}
+
+impl Database {
+    /// An empty database; every item reads as [`Value::INITIAL`] at
+    /// version 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Latest committed version of `item`.
+    pub fn read(&self, item: ItemId) -> VersionedValue {
+        self.items
+            .get(&item)
+            .copied()
+            .unwrap_or_else(VersionedValue::initial)
+    }
+
+    /// Install a committed write, returning the new version number.
+    pub fn install(
+        &mut self,
+        writer: InstanceId,
+        item: ItemId,
+        value: Value,
+        at: Tick,
+    ) -> Version {
+        let entry = self
+            .items
+            .entry(item)
+            .or_insert_with(VersionedValue::initial);
+        entry.version += 1;
+        entry.value = value;
+        entry.writer = Some(writer);
+        entry.installed_at = at;
+        entry.version
+    }
+
+    /// Snapshot of all item states (for final-state comparison).
+    pub fn snapshot(&self) -> BTreeMap<ItemId, Value> {
+        self.items.iter().map(|(k, v)| (*k, v.value)).collect()
+    }
+
+    /// Number of items ever written.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no item was ever written.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdb_types::TxnId;
+
+    #[test]
+    fn unwritten_items_read_initial_version_zero() {
+        let db = Database::new();
+        let v = db.read(ItemId(7));
+        assert_eq!(v.value, Value::INITIAL);
+        assert_eq!(v.version, 0);
+        assert_eq!(v.writer, None);
+    }
+
+    #[test]
+    fn install_bumps_version_and_records_writer() {
+        let mut db = Database::new();
+        let w1 = InstanceId::first(TxnId(0));
+        let w2 = InstanceId::first(TxnId(1));
+        assert_eq!(db.install(w1, ItemId(0), Value(10), Tick(5)), 1);
+        assert_eq!(db.install(w2, ItemId(0), Value(20), Tick(9)), 2);
+        let v = db.read(ItemId(0));
+        assert_eq!(v.value, Value(20));
+        assert_eq!(v.version, 2);
+        assert_eq!(v.writer, Some(w2));
+        assert_eq!(v.installed_at, Tick(9));
+    }
+
+    #[test]
+    fn versions_are_per_item() {
+        let mut db = Database::new();
+        let w = InstanceId::first(TxnId(0));
+        db.install(w, ItemId(0), Value(1), Tick(1));
+        assert_eq!(db.read(ItemId(1)).version, 0);
+        assert_eq!(db.install(w, ItemId(1), Value(2), Tick(2)), 1);
+    }
+
+    #[test]
+    fn snapshot_reflects_current_values() {
+        let mut db = Database::new();
+        let w = InstanceId::first(TxnId(0));
+        db.install(w, ItemId(0), Value(1), Tick(1));
+        db.install(w, ItemId(1), Value(2), Tick(1));
+        db.install(w, ItemId(0), Value(3), Tick(2));
+        let snap = db.snapshot();
+        assert_eq!(snap[&ItemId(0)], Value(3));
+        assert_eq!(snap[&ItemId(1)], Value(2));
+        assert_eq!(db.len(), 2);
+    }
+}

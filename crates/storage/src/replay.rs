@@ -1,0 +1,300 @@
+//! The serial-replay correctness oracle.
+//!
+//! Theorem 3 of the paper states that every history produced by PCP-DA is
+//! serializable, and its proof shows that the **commit order** is a valid
+//! serialization order. This module turns that claim into an executable
+//! check: re-run the committed instances *serially, in commit order*,
+//! re-executing their templates' programs against a fresh database. Because
+//! every write value is a pure function of the writer's identity and of
+//! everything it has read (see [`rtdb_types::derive_write`]), the serial
+//! re-execution must reproduce
+//!
+//! 1. the exact value observed by every read of the concurrent history, and
+//! 2. the exact final database state.
+//!
+//! Any divergence is a concrete serialization anomaly, reported as a
+//! [`ReplayViolation`].
+
+use crate::db::Database;
+use crate::history::History;
+use crate::workspace::Workspace;
+use rtdb_types::{InstanceId, ItemId, Operation, TransactionSet, Value};
+
+/// One divergence between the concurrent history and its serial replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayViolation {
+    /// A read in the concurrent history observed a different value than the
+    /// serial replay produces.
+    ReadMismatch {
+        /// Who read.
+        instance: InstanceId,
+        /// Which of the instance's reads diverged (0-based, program order).
+        read_index: usize,
+        /// Item read.
+        item: ItemId,
+        /// Value in the concurrent history.
+        observed: Value,
+        /// Value under serial execution in commit order.
+        serial: Value,
+    },
+    /// The committed instance performed a different number of reads than
+    /// its template prescribes — an engine bug, not a protocol anomaly.
+    ReadCountMismatch {
+        /// Offending instance.
+        instance: InstanceId,
+        /// Reads in the history.
+        observed: usize,
+        /// Reads the template performs.
+        expected: usize,
+    },
+    /// Final database states differ on an item.
+    FinalStateMismatch {
+        /// Item that differs.
+        item: ItemId,
+        /// Value after the concurrent run.
+        observed: Option<Value>,
+        /// Value after serial replay.
+        serial: Option<Value>,
+    },
+}
+
+/// Result of a replay check.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayOutcome {
+    /// All violations found (empty = the history is view-equivalent to the
+    /// serial execution in commit order).
+    pub violations: Vec<ReplayViolation>,
+}
+
+impl ReplayOutcome {
+    /// True when the history passed the oracle.
+    pub fn is_serializable(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Replay `history` serially in commit order against the programs in `set`
+/// and compare with the concurrent observations and `final_db`.
+pub fn replay_serial(
+    set: &TransactionSet,
+    history: &History,
+    final_db: &Database,
+) -> ReplayOutcome {
+    let mut out = ReplayOutcome::default();
+    let mut db = Database::new();
+    let committed_reads = history.committed_reads();
+
+    for &who in history.commit_order() {
+        let template = set.template(who.txn);
+        let mut ws = Workspace::new(who);
+        let mut serial_reads: Vec<(ItemId, Value)> = Vec::new();
+        for (step_index, step) in template.steps.iter().enumerate() {
+            match step.op {
+                Operation::Read(item) => {
+                    let rec = ws.read(&db, item);
+                    serial_reads.push((item, rec.value));
+                }
+                Operation::Write(item) => {
+                    ws.write(step_index, item);
+                }
+                Operation::Compute => {}
+            }
+        }
+        // Compare against the concurrent history's reads for this instance.
+        let observed = committed_reads
+            .get(&who)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[]);
+        if observed.len() != serial_reads.len() {
+            out.violations.push(ReplayViolation::ReadCountMismatch {
+                instance: who,
+                observed: observed.len(),
+                expected: serial_reads.len(),
+            });
+        }
+        for (i, ((s_item, s_value), &(o_item, o_value, _, _))) in
+            serial_reads.iter().zip(observed.iter()).enumerate()
+        {
+            debug_assert_eq!(*s_item, o_item, "programs are deterministic");
+            if *s_value != o_value {
+                out.violations.push(ReplayViolation::ReadMismatch {
+                    instance: who,
+                    read_index: i,
+                    item: *s_item,
+                    observed: o_value,
+                    serial: *s_value,
+                });
+            }
+        }
+        // Install this instance's writes before the next one replays.
+        ws.commit_into(&mut db, rtdb_types::Tick::ZERO);
+    }
+
+    // Final-state comparison.
+    let serial_snapshot = db.snapshot();
+    let observed_snapshot = final_db.snapshot();
+    let items: std::collections::BTreeSet<ItemId> = serial_snapshot
+        .keys()
+        .chain(observed_snapshot.keys())
+        .copied()
+        .collect();
+    for item in items {
+        let s = serial_snapshot.get(&item).copied();
+        let o = observed_snapshot.get(&item).copied();
+        if s != o {
+            out.violations.push(ReplayViolation::FinalStateMismatch {
+                item,
+                observed: o,
+                serial: s,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::EventKind;
+    use rtdb_types::{SetBuilder, Step, Tick, TransactionTemplate, TxnId};
+
+    /// Two transactions: T1 reads x then writes y; T2 reads y then writes x.
+    fn set() -> TransactionSet {
+        SetBuilder::new()
+            .with(TransactionTemplate::new(
+                "T1",
+                10,
+                vec![Step::read(ItemId(0), 1), Step::write(ItemId(1), 1)],
+            ))
+            .with(TransactionTemplate::new(
+                "T2",
+                10,
+                vec![Step::read(ItemId(1), 1), Step::write(ItemId(0), 1)],
+            ))
+            .build()
+            .unwrap()
+    }
+
+    /// Execute the set serially for real and log a faithful history; the
+    /// oracle must accept it.
+    #[test]
+    fn faithful_serial_run_passes() {
+        let set = set();
+        let mut db = Database::new();
+        let mut h = History::new();
+        for id in [TxnId(0), TxnId(1)] {
+            let who = InstanceId::first(id);
+            h.push(Tick(0), who, EventKind::Begin);
+            let mut ws = Workspace::new(who);
+            for (i, step) in set.template(id).steps.iter().enumerate() {
+                match step.op {
+                    Operation::Read(item) => {
+                        let rec = ws.read(&db, item);
+                        h.push(
+                            Tick(1),
+                            who,
+                            EventKind::Read {
+                                item,
+                                value: rec.value,
+                                version: rec.version,
+                                own: rec.own,
+                            },
+                        );
+                    }
+                    Operation::Write(item) => {
+                        let v = ws.write(i, item);
+                        h.push(Tick(1), who, EventKind::StageWrite { item, value: v });
+                    }
+                    Operation::Compute => {}
+                }
+            }
+            h.push(Tick(2), who, EventKind::Commit);
+            for (item, value, version) in ws.commit_into(&mut db, Tick(2)) {
+                h.push(
+                    Tick(2),
+                    who,
+                    EventKind::Install {
+                        item,
+                        value,
+                        version,
+                    },
+                );
+            }
+        }
+        let outcome = replay_serial(&set, &h, &db);
+        assert!(outcome.is_serializable(), "{:?}", outcome.violations);
+    }
+
+    /// Forge a non-serializable interleaving (both read the initial values,
+    /// then both commit) and check that the oracle rejects it.
+    #[test]
+    fn forged_nonserializable_run_fails() {
+        let set = set();
+        let mut db = Database::new();
+        let mut h = History::new();
+        let t1 = InstanceId::first(TxnId(0));
+        let t2 = InstanceId::first(TxnId(1));
+
+        let mut ws1 = Workspace::new(t1);
+        let mut ws2 = Workspace::new(t2);
+        h.push(Tick(0), t1, EventKind::Begin);
+        h.push(Tick(0), t2, EventKind::Begin);
+
+        // Both read the initial versions concurrently.
+        for (who, ws, item) in [(t1, &mut ws1, ItemId(0)), (t2, &mut ws2, ItemId(1))] {
+            let rec = ws.read(&db, item);
+            h.push(
+                Tick(1),
+                who,
+                EventKind::Read {
+                    item,
+                    value: rec.value,
+                    version: rec.version,
+                    own: rec.own,
+                },
+            );
+        }
+        ws1.write(1, ItemId(1));
+        ws2.write(1, ItemId(0));
+
+        for (who, ws) in [(t1, ws1), (t2, ws2)] {
+            h.push(Tick(2), who, EventKind::Commit);
+            for (item, value, version) in ws.commit_into(&mut db, Tick(2)) {
+                h.push(
+                    Tick(2),
+                    who,
+                    EventKind::Install {
+                        item,
+                        value,
+                        version,
+                    },
+                );
+            }
+        }
+
+        let outcome = replay_serial(&set, &h, &db);
+        assert!(!outcome.is_serializable());
+        // T2 read y's initial value concurrently, but serial replay in
+        // commit order (T1 first) would give it T1's write.
+        assert!(outcome
+            .violations
+            .iter()
+            .any(|v| matches!(v, ReplayViolation::ReadMismatch { instance, .. } if *instance == t2)));
+    }
+
+    #[test]
+    fn read_count_mismatch_is_flagged() {
+        let set = set();
+        let db = Database::new();
+        let mut h = History::new();
+        let t1 = InstanceId::first(TxnId(0));
+        h.push(Tick(0), t1, EventKind::Begin);
+        // No reads logged at all, then a commit: template expects one read.
+        h.push(Tick(1), t1, EventKind::Commit);
+        let outcome = replay_serial(&set, &h, &db);
+        assert!(outcome
+            .violations
+            .iter()
+            .any(|v| matches!(v, ReplayViolation::ReadCountMismatch { .. })));
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for the storage substrate and its oracles.
+
+use proptest::prelude::*;
+use rtdb_storage::*;
+use rtdb_types::*;
+
+/// A tiny program: a list of (is_write, item) ops per transaction.
+type Program = Vec<(bool, u32)>;
+
+fn arb_programs() -> impl Strategy<Value = Vec<Program>> {
+    prop::collection::vec(
+        prop::collection::vec((any::<bool>(), 0u32..5), 1..5),
+        1..5,
+    )
+}
+
+/// Build a transaction set from programs (unit durations).
+fn set_of(programs: &[Program]) -> TransactionSet {
+    let mut b = SetBuilder::new();
+    for (i, prog) in programs.iter().enumerate() {
+        let steps: Vec<Step> = prog
+            .iter()
+            .map(|&(w, item)| {
+                if w {
+                    Step::write(ItemId(item), 1)
+                } else {
+                    Step::read(ItemId(item), 1)
+                }
+            })
+            .collect();
+        let period = (steps.len() as u64 + 1) * 10;
+        b.add(TransactionTemplate::new(format!("t{i}"), period, steps));
+    }
+    b.build().unwrap()
+}
+
+/// Execute the programs strictly serially (in the given order), recording
+/// a faithful history.
+fn run_serial(set: &TransactionSet, order: &[usize]) -> (History, Database) {
+    let mut db = Database::new();
+    let mut h = History::new();
+    for &idx in order {
+        let who = InstanceId::first(TxnId(idx as u32));
+        let template = set.template(who.txn);
+        h.push(Tick(0), who, EventKind::Begin);
+        let mut ws = Workspace::new(who);
+        for (i, step) in template.steps.iter().enumerate() {
+            match step.op {
+                Operation::Read(item) => {
+                    let rec = ws.read(&db, item);
+                    h.push(
+                        Tick(1),
+                        who,
+                        EventKind::Read {
+                            item,
+                            value: rec.value,
+                            version: rec.version,
+                            own: rec.own,
+                        },
+                    );
+                }
+                Operation::Write(item) => {
+                    let v = ws.write(i, item);
+                    h.push(Tick(1), who, EventKind::StageWrite { item, value: v });
+                }
+                Operation::Compute => {}
+            }
+        }
+        h.push(Tick(2), who, EventKind::Commit);
+        for (item, value, version) in ws.commit_into(&mut db, Tick(2)) {
+            h.push(
+                Tick(2),
+                who,
+                EventKind::Install {
+                    item,
+                    value,
+                    version,
+                },
+            );
+        }
+    }
+    (h, db)
+}
+
+proptest! {
+    /// Any strictly serial execution passes both oracles.
+    #[test]
+    fn serial_histories_pass_both_oracles(programs in arb_programs()) {
+        let set = set_of(&programs);
+        let order: Vec<usize> = (0..programs.len()).collect();
+        let (h, db) = run_serial(&set, &order);
+
+        let graph = SerializationGraph::build(&h);
+        prop_assert!(graph.find_cycle().is_none());
+
+        let replay = replay_serial(&set, &h, &db);
+        prop_assert!(replay.is_serializable(), "{:?}", replay.violations);
+    }
+
+    /// Serial execution in *any* order passes (commit order is the serial
+    /// order by construction).
+    #[test]
+    fn serial_in_reverse_order_passes(programs in arb_programs()) {
+        let set = set_of(&programs);
+        let order: Vec<usize> = (0..programs.len()).rev().collect();
+        let (h, db) = run_serial(&set, &order);
+        prop_assert!(replay_serial(&set, &h, &db).is_serializable());
+        prop_assert!(SerializationGraph::build(&h).find_cycle().is_none());
+    }
+
+    /// The serialization graph's topological order always replays clean
+    /// on serial histories, and equals a valid serialization order.
+    #[test]
+    fn topological_order_exists_for_serial(programs in arb_programs()) {
+        let set = set_of(&programs);
+        let order: Vec<usize> = (0..programs.len()).collect();
+        let (h, _db) = run_serial(&set, &order);
+        let graph = SerializationGraph::build(&h);
+        let topo = graph.topological_order();
+        prop_assert!(topo.is_some());
+        prop_assert_eq!(topo.unwrap().len(), programs.len());
+    }
+
+    /// Workspace invariants: reads of own staged writes return the staged
+    /// value; commit installs exactly the staged items; versions bump by
+    /// one per install.
+    #[test]
+    fn workspace_roundtrip(writes in prop::collection::vec(0u32..6, 1..8)) {
+        let mut db = Database::new();
+        let who = InstanceId::first(TxnId(0));
+        let mut ws = Workspace::new(who);
+        for (i, &item) in writes.iter().enumerate() {
+            let staged = ws.write(i, ItemId(item));
+            let r = ws.read(&db, ItemId(item));
+            prop_assert!(r.own);
+            prop_assert_eq!(r.value, staged);
+        }
+        let distinct: std::collections::BTreeSet<u32> = writes.iter().copied().collect();
+        let installed = ws.commit_into(&mut db, Tick(1));
+        prop_assert_eq!(installed.len(), distinct.len());
+        for (item, value, version) in installed {
+            prop_assert_eq!(db.read(item).value, value);
+            prop_assert_eq!(db.read(item).version, version);
+            prop_assert_eq!(version, 1); // first writer of each item
+        }
+    }
+
+    /// Database version counters are per-item and monotonically increase
+    /// by one per install.
+    #[test]
+    fn version_monotonicity(ops in prop::collection::vec((0u32..4, any::<u64>()), 1..20)) {
+        let mut db = Database::new();
+        let who = InstanceId::first(TxnId(0));
+        let mut expected: std::collections::BTreeMap<u32, u64> = Default::default();
+        for (i, &(item, val)) in ops.iter().enumerate() {
+            let v = db.install(who, ItemId(item), Value(val), Tick(i as u64));
+            let e = expected.entry(item).or_insert(0);
+            *e += 1;
+            prop_assert_eq!(v, *e);
+            prop_assert_eq!(db.read(ItemId(item)).value, Value(val));
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Error types shared across the workspace.
+
+use crate::{InstanceId, ItemId, Priority};
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors produced while building transaction sets or executing
+/// simulations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A transaction set must contain at least one template.
+    EmptySet,
+    /// Two templates were assigned the same priority — the paper requires
+    /// a total priority order.
+    DuplicatePriority(Priority),
+    /// A template failed validation.
+    InvalidTemplate {
+        /// Template name.
+        name: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A transaction accessed an item without holding the required lock —
+    /// always a protocol/engine bug, surfaced instead of silently
+    /// corrupting the history.
+    LockNotHeld {
+        /// Offending instance.
+        instance: InstanceId,
+        /// Item accessed.
+        item: ItemId,
+    },
+    /// A deadlock was detected (a cycle in the wait-for graph). Carries the
+    /// instances on the cycle. Only the deliberately broken Naive-DA
+    /// baseline and unrestricted 2PL can produce this.
+    Deadlock(Vec<InstanceId>),
+    /// The simulation exceeded its event budget without reaching the
+    /// horizon — almost always a stuck schedule (a bug or a deadlock that
+    /// went undetected).
+    EventBudgetExhausted,
+    /// A simulation configuration problem.
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptySet => write!(f, "transaction set is empty"),
+            Error::DuplicatePriority(p) => {
+                write!(f, "duplicate priority {p}: priorities must form a total order")
+            }
+            Error::InvalidTemplate { name, reason } => {
+                write!(f, "invalid template `{name}`: {reason}")
+            }
+            Error::LockNotHeld { instance, item } => {
+                write!(f, "{instance} accessed {item} without holding the required lock")
+            }
+            Error::Deadlock(cycle) => {
+                write!(f, "deadlock detected among ")?;
+                for (i, t) in cycle.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                Ok(())
+            }
+            Error::EventBudgetExhausted => {
+                write!(f, "simulation event budget exhausted before the horizon")
+            }
+            Error::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TxnId;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::Deadlock(vec![
+            InstanceId::first(TxnId(0)),
+            InstanceId::first(TxnId(1)),
+        ]);
+        let msg = e.to_string();
+        assert!(msg.contains("deadlock"));
+        assert!(msg.contains("T1#0"));
+        assert!(msg.contains("T2#0"));
+
+        let e = Error::InvalidTemplate {
+            name: "nav".into(),
+            reason: "period must be positive".into(),
+        };
+        assert!(e.to_string().contains("nav"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&Error::EmptySet);
+    }
+}

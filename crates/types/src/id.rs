@@ -1,0 +1,140 @@
+//! Identifiers for data items, transaction templates and periodic instances.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a data item in the memory-resident database.
+///
+/// Items are the unit of locking in every protocol in this workspace; the
+/// paper calls them `x`, `y`, `z`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// Numeric index of the item.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render the first few items with the paper's letters for readable
+        // traces, falling back to x<N>.
+        match self.0 {
+            0 => write!(f, "x"),
+            1 => write!(f, "y"),
+            2 => write!(f, "z"),
+            n => write!(f, "x{n}"),
+        }
+    }
+}
+
+/// Identifier of a transaction *template* (a periodic transaction type).
+///
+/// The paper writes `T_1 .. T_n`, listed in descending order of priority.
+/// `TxnId(0)` conventionally corresponds to `T_1` (highest priority) when a
+/// [`crate::TransactionSet`] is built with explicit priorities.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxnId(pub u32);
+
+impl TxnId {
+    /// Numeric index of the template.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0 + 1)
+    }
+}
+
+/// Identifier of one periodic *instance* (job) of a transaction template.
+///
+/// The `k`-th arrival of template `T_i` is `InstanceId { txn: i, seq: k }`
+/// (`seq` starts at 0). All runtime state — locks, workspaces, blocking —
+/// is tracked per instance.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InstanceId {
+    /// The template this instance belongs to.
+    pub txn: TxnId,
+    /// Zero-based arrival sequence number within the template.
+    pub seq: u32,
+}
+
+impl InstanceId {
+    /// Instance `seq` of template `txn`.
+    #[inline]
+    pub fn new(txn: TxnId, seq: u32) -> Self {
+        Self { txn, seq }
+    }
+
+    /// The first instance of a template.
+    #[inline]
+    pub fn first(txn: TxnId) -> Self {
+        Self { txn, seq: 0 }
+    }
+}
+
+impl fmt::Debug for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}#{}", self.txn, self.seq)
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.txn, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_display_uses_paper_letters() {
+        assert_eq!(ItemId(0).to_string(), "x");
+        assert_eq!(ItemId(1).to_string(), "y");
+        assert_eq!(ItemId(2).to_string(), "z");
+        assert_eq!(ItemId(7).to_string(), "x7");
+    }
+
+    #[test]
+    fn txn_display_is_one_based() {
+        assert_eq!(TxnId(0).to_string(), "T1");
+        assert_eq!(TxnId(3).to_string(), "T4");
+    }
+
+    #[test]
+    fn instance_ordering_is_by_template_then_seq() {
+        let a = InstanceId::new(TxnId(0), 5);
+        let b = InstanceId::new(TxnId(1), 0);
+        assert!(a < b);
+        assert!(InstanceId::first(TxnId(0)) < a);
+    }
+
+    #[test]
+    fn ids_are_copy_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(InstanceId::first(TxnId(2)));
+        assert!(s.contains(&InstanceId::new(TxnId(2), 0)));
+    }
+}

@@ -1,0 +1,35 @@
+//! Common vocabulary for the PCP-DA reproduction.
+//!
+//! This crate defines the fundamental types shared by every other crate in
+//! the workspace: identifiers, discrete simulation time, priorities and
+//! ceilings, lock modes, transaction templates (periodic real-time
+//! transactions as sequences of read/write/compute steps) and transaction
+//! sets with rate-monotonic priority assignment.
+//!
+//! The model follows the paper exactly (Lam, Son, Hung, ICDE 1997, §5):
+//!
+//! * a single processor with a memory-resident database;
+//! * periodic transactions with rate-monotonic priority assignment — a
+//!   transaction with a shorter period gets a higher priority, the deadline
+//!   of an instance is the end of its period;
+//! * priorities form a *total order* (ties are broken deterministically);
+//! * transactions acquire read/write locks before accessing data items and
+//!   hold all locks until commit.
+
+pub mod error;
+pub mod id;
+pub mod ops;
+pub mod priority;
+pub mod set;
+pub mod time;
+pub mod txn;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use id::{InstanceId, ItemId, TxnId};
+pub use ops::{LockMode, Operation, Step};
+pub use priority::{Ceiling, Priority};
+pub use set::{SetBuilder, TransactionSet};
+pub use time::{Duration, Tick};
+pub use txn::TransactionTemplate;
+pub use value::{derive_write, Value};

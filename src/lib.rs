@@ -1,0 +1,76 @@
+//! # rtdb — a hard real-time database kit around PCP-DA
+//!
+//! This crate is the façade of the workspace reproducing
+//! *"A Priority Ceiling Protocol with Dynamic Adjustment of Serialization
+//! Order"* (Lam, Son, Hung; ICDE 1997). It re-exports:
+//!
+//! * [`pcpda`] — the paper's protocol (locking conditions LC1–LC4);
+//! * [`baselines`] — RW-PCP, original PCP, CCP, 2PL-PI, 2PL-HP and the
+//!   deliberately deadlock-prone Naive-DA of Example 5;
+//! * [`sim`] — the deterministic discrete-event simulator (single CPU,
+//!   priority inheritance, periodic transactions) that reproduces the
+//!   paper's Figures 1–5 tick-for-tick;
+//! * [`analysis`] — the §9 worst-case schedulability analysis (`BTS_i`,
+//!   `B_i`, Liu–Layland with blocking, response-time analysis, breakdown
+//!   utilization);
+//! * [`storage`] — the memory-resident store with private workspaces,
+//!   plus the serializability oracles (serialization graph + serial
+//!   replay);
+//! * [`cc`] — the shared concurrency-control framework (lock table,
+//!   ceilings, priority inheritance, wait-for graph);
+//! * [`types`] — ids, discrete time, priorities, transaction templates.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rtdb::prelude::*;
+//!
+//! // Two periodic transactions: a fast reader and a slow writer
+//! // (the paper's Example 3).
+//! let set = SetBuilder::new()
+//!     .with(TransactionTemplate::new("reader", 5, vec![
+//!         Step::read(ItemId(0), 1), Step::read(ItemId(1), 1),
+//!     ]).with_offset(1).with_instances(2))
+//!     .with(TransactionTemplate::new("writer", 10, vec![
+//!         Step::write(ItemId(0), 1), Step::compute(2),
+//!         Step::write(ItemId(1), 1), Step::compute(1),
+//!     ]).with_instances(1))
+//!     .build().unwrap();
+//!
+//! // Simulate under PCP-DA: the reader is never blocked.
+//! let mut protocol = PcpDa::new();
+//! let run = Engine::new(&set, SimConfig::default()).run(&mut protocol).unwrap();
+//! assert_eq!(run.metrics.deadline_misses(), 0);
+//! assert!(run.replay_check(&set).is_serializable());
+//!
+//! // And the analysis agrees before running anything:
+//! let report = rtdb::analysis::schedulable(&set, AnalysisProtocol::PcpDa);
+//! assert!(report.rta_schedulable());
+//! ```
+
+pub mod paper;
+
+pub use pcpda;
+pub use rtdb_analysis as analysis;
+pub use rtdb_baselines as baselines;
+pub use rtdb_cc as cc;
+pub use rtdb_sim as sim;
+pub use rtdb_storage as storage;
+pub use rtdb_types as types;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use pcpda::{GrantRule, PcpDa};
+    pub use rtdb_analysis::{breakdown_utilization, schedulable, AnalysisProtocol};
+    pub use rtdb_baselines::{Ccp, NaiveDa, OccBc, Pcp, RwPcp, TwoPlHp, TwoPlPi};
+    pub use rtdb_cc::{Decision, EngineView, LockRequest, Protocol};
+    pub use rtdb_sim::{
+        compare_protocols, Engine, MetricsReport, RunOutcome, RunResult, SimConfig,
+        WorkloadParams,
+    };
+    pub use rtdb_storage::{replay_serial, Database, History, SerializationGraph};
+    pub use rtdb_types::{
+        Ceiling, Duration, InstanceId, ItemId, LockMode, Priority, SetBuilder, Step, Tick,
+        TransactionSet, TransactionTemplate, TxnId,
+    };
+}

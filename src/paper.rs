@@ -1,0 +1,139 @@
+//! The transaction sets of the paper's worked examples, with the exact
+//! arrival offsets and step durations their narratives use — shared by the
+//! integration tests, the `figures` binary and the examples.
+//!
+//! Item naming: `x = ItemId(0)`, `y = ItemId(1)`, `z = ItemId(2)`.
+
+use rtdb_types::{ItemId, SetBuilder, Step, TransactionSet, TransactionTemplate};
+
+/// Item `x`.
+pub const X: ItemId = ItemId(0);
+/// Item `y`.
+pub const Y: ItemId = ItemId(1);
+/// Item `z`.
+pub const Z: ItemId = ItemId(2);
+
+/// **Example 1 / Figure 1** (run under RW-PCP): `T1: Read(x)`,
+/// `T2: Read(y)`, `T3: Write(x)`; `T3` arrives at 0, `T2` at 1, `T1` at 2.
+/// `T3` executes for 3 ticks, the readers for 1 each.
+pub fn example1() -> TransactionSet {
+    SetBuilder::new()
+        .with(
+            TransactionTemplate::new("T1", 20, vec![Step::read(X, 1)])
+                .with_offset(2)
+                .with_instances(1),
+        )
+        .with(
+            TransactionTemplate::new("T2", 20, vec![Step::read(Y, 1)])
+                .with_offset(1)
+                .with_instances(1),
+        )
+        .with(
+            TransactionTemplate::new("T3", 20, vec![Step::write(X, 3)]).with_instances(1),
+        )
+        .build()
+        .expect("example 1 is valid")
+}
+
+/// **Example 3 / Figures 2–3**: `T1: Read(x), Read(y)` (period 5, arrives
+/// at 1, two instances), `T2: Write(x), ..., Write(y), ...` (period 10,
+/// arrives at 0, 5 ticks of work).
+pub fn example3() -> TransactionSet {
+    SetBuilder::new()
+        .with(
+            TransactionTemplate::new("T1", 5, vec![Step::read(X, 1), Step::read(Y, 1)])
+                .with_offset(1)
+                .with_instances(2),
+        )
+        .with(
+            TransactionTemplate::new(
+                "T2",
+                10,
+                vec![
+                    Step::write(X, 1),
+                    Step::compute(2),
+                    Step::write(Y, 1),
+                    Step::compute(1),
+                ],
+            )
+            .with_instances(1),
+        )
+        .build()
+        .expect("example 3 is valid")
+}
+
+/// **Example 4 / Figures 4–5**: `T1: Read(x)` (arrives 4),
+/// `T2: Write(y)` (arrives 9), `T3: Read(z), Write(z)` (arrives 1),
+/// `T4: Read(y), Write(x), compute` (arrives 0).
+pub fn example4() -> TransactionSet {
+    SetBuilder::new()
+        .with(
+            TransactionTemplate::new("T1", 30, vec![Step::read(X, 2)])
+                .with_offset(4)
+                .with_instances(1),
+        )
+        .with(
+            TransactionTemplate::new("T2", 30, vec![Step::write(Y, 2)])
+                .with_offset(9)
+                .with_instances(1),
+        )
+        .with(
+            TransactionTemplate::new("T3", 30, vec![Step::read(Z, 1), Step::write(Z, 1)])
+                .with_offset(1)
+                .with_instances(1),
+        )
+        .with(
+            TransactionTemplate::new(
+                "T4",
+                30,
+                vec![Step::read(Y, 1), Step::write(X, 1), Step::compute(3)],
+            )
+            .with_instances(1),
+        )
+        .build()
+        .expect("example 4 is valid")
+}
+
+/// **Example 5** (the deadlock of the naive condition-(2) protocol):
+/// `T_H: Read(y), Write(x)` (arrives 1), `T_L: Read(x), Write(y)`
+/// (arrives 0).
+pub fn example5() -> TransactionSet {
+    SetBuilder::new()
+        .with(
+            TransactionTemplate::new("TH", 10, vec![Step::read(Y, 1), Step::write(X, 1)])
+                .with_offset(1)
+                .with_instances(1),
+        )
+        .with(
+            TransactionTemplate::new("TL", 10, vec![Step::read(X, 1), Step::write(Y, 1)])
+                .with_instances(1),
+        )
+        .build()
+        .expect("example 5 is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdb_types::TxnId;
+
+    #[test]
+    fn sets_build_with_descending_priorities() {
+        for set in [example1(), example3(), example4(), example5()] {
+            let prios: Vec<_> = (0..set.len())
+                .map(|i| set.priority_of(TxnId(i as u32)))
+                .collect();
+            assert!(prios.windows(2).all(|w| w[0] > w[1]), "{prios:?}");
+        }
+    }
+
+    #[test]
+    fn example4_ceilings_match_definitions() {
+        let set = example4();
+        // Wceil per the paper's definition: highest-priority WRITER.
+        assert_eq!(set.wceil(Y), set.priority_of(TxnId(1)).as_ceiling());
+        assert_eq!(set.wceil(Z), set.priority_of(TxnId(2)).as_ceiling());
+        assert_eq!(set.wceil(X), set.priority_of(TxnId(3)).as_ceiling());
+        assert_eq!(set.aceil(X), set.priority_of(TxnId(0)).as_ceiling());
+    }
+}
