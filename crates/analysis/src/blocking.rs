@@ -43,15 +43,10 @@ pub fn bts(set: &TransactionSet, protocol: AnalysisProtocol, txn: TxnId) -> Vec<
         .iter()
         .filter(|t| set.priority_of(t.id) < p_i)
         .filter(|t| match protocol {
-            AnalysisProtocol::PcpDa => t
-                .read_set()
-                .iter()
-                .any(|&x| !set.wceil(x).cleared_by(p_i)),
+            AnalysisProtocol::PcpDa => t.read_set().iter().any(|&x| !set.wceil(x).cleared_by(p_i)),
             AnalysisProtocol::RwPcp => {
                 t.read_set().iter().any(|&x| !set.wceil(x).cleared_by(p_i))
-                    || t.write_set()
-                        .iter()
-                        .any(|&x| !set.aceil(x).cleared_by(p_i))
+                    || t.write_set().iter().any(|&x| !set.aceil(x).cleared_by(p_i))
             }
             AnalysisProtocol::Pcp => t
                 .access_set()
@@ -220,13 +215,10 @@ pub fn ccp_blocking_of(set: &TransactionSet, blocker: TxnId, txn: TxnId) -> Dura
                 .map(|x| set.aceil(x))
                 .max()
                 .unwrap_or(rtdb_types::Ceiling::Dummy);
-            let no_future_data = remaining
-                .iter()
-                .all(|s| matches!(s.op, Operation::Compute));
+            let no_future_data = remaining.iter().all(|s| matches!(s.op, Operation::Compute));
             held.retain(|&x| {
                 let needed = remaining.iter().any(|s| s.op.item() == Some(x));
-                let releasable =
-                    !needed && (set.aceil(x) > future_ceiling || no_future_data);
+                let releasable = !needed && (set.aceil(x) > future_ceiling || no_future_data);
                 !releasable
             });
         }
@@ -276,10 +268,7 @@ pub fn blocking_modes(
     let t = set.template(blocker);
     let mut modes = Vec::new();
     let reads_block = t.read_set().iter().any(|&x| !set.wceil(x).cleared_by(p_i));
-    let writes_block = t
-        .write_set()
-        .iter()
-        .any(|&x| !set.aceil(x).cleared_by(p_i));
+    let writes_block = t.write_set().iter().any(|&x| !set.aceil(x).cleared_by(p_i));
     match protocol {
         AnalysisProtocol::PcpDa => {
             if reads_block {
@@ -295,7 +284,10 @@ pub fn blocking_modes(
             }
         }
         AnalysisProtocol::Pcp => {
-            let any = t.access_set().iter().any(|&x| !set.aceil(x).cleared_by(p_i));
+            let any = t
+                .access_set()
+                .iter()
+                .any(|&x| !set.aceil(x).cleared_by(p_i));
             if any {
                 modes.push(LockMode::Read);
                 modes.push(LockMode::Write);
@@ -355,8 +347,16 @@ mod tests {
         // L reads x which H writes: Wceil(x) = P_H >= P_H, so L ∈ BTS_H
         // under both protocols.
         let set = SetBuilder::new()
-            .with(TransactionTemplate::new("H", 10, vec![Step::write(ItemId(0), 2)]))
-            .with(TransactionTemplate::new("L", 20, vec![Step::read(ItemId(0), 3)]))
+            .with(TransactionTemplate::new(
+                "H",
+                10,
+                vec![Step::write(ItemId(0), 2)],
+            ))
+            .with(TransactionTemplate::new(
+                "L",
+                20,
+                vec![Step::read(ItemId(0), 3)],
+            ))
             .build()
             .unwrap();
         let h = TxnId(0);
@@ -397,10 +397,12 @@ mod tests {
             .build()
             .unwrap();
         for t in set.templates() {
-            let da: std::collections::BTreeSet<TxnId> =
-                bts(&set, AnalysisProtocol::PcpDa, t.id).into_iter().collect();
-            let rw: std::collections::BTreeSet<TxnId> =
-                bts(&set, AnalysisProtocol::RwPcp, t.id).into_iter().collect();
+            let da: std::collections::BTreeSet<TxnId> = bts(&set, AnalysisProtocol::PcpDa, t.id)
+                .into_iter()
+                .collect();
+            let rw: std::collections::BTreeSet<TxnId> = bts(&set, AnalysisProtocol::RwPcp, t.id)
+                .into_iter()
+                .collect();
             assert!(da.is_subset(&rw), "BTS_{:?} not a subset", t.id);
             assert!(
                 worst_blocking(&set, AnalysisProtocol::PcpDa, t.id)
@@ -415,7 +417,11 @@ mod tests {
         // writes an item T5 reads -> T5 can D-wait on T2 -> T2 joins the
         // chain although it never blocks T1 directly under PCP-DA.
         let set = SetBuilder::new()
-            .with(TransactionTemplate::new("T1", 40, vec![Step::write(ItemId(2), 2)]))
+            .with(TransactionTemplate::new(
+                "T1",
+                40,
+                vec![Step::write(ItemId(2), 2)],
+            ))
             .with(TransactionTemplate::new(
                 "T2",
                 80,
@@ -434,10 +440,12 @@ mod tests {
         assert!(bts.contains(&TxnId(2)), "T5 reads z with Wceil(z)=P1");
         assert!(!bts.contains(&TxnId(1)), "T2 only writes -> not in BTS");
 
-        let chain: std::collections::BTreeSet<TxnId> =
-            chain_set(&set, t1).into_iter().collect();
+        let chain: std::collections::BTreeSet<TxnId> = chain_set(&set, t1).into_iter().collect();
         assert!(chain.contains(&TxnId(2)));
-        assert!(chain.contains(&TxnId(1)), "T2 reachable through T5's read of x");
+        assert!(
+            chain.contains(&TxnId(1)),
+            "T2 reachable through T5's read of x"
+        );
 
         // The repaired bound sums the chain.
         assert_eq!(
@@ -484,7 +492,11 @@ mod tests {
         // Aceil(hot) = P_H; under PCP, L blocks H for its whole WCET; under
         // CCP, hot is released right after the (single-step lock point).
         let set = SetBuilder::new()
-            .with(TransactionTemplate::new("H", 50, vec![Step::read(ItemId(0), 1)]))
+            .with(TransactionTemplate::new(
+                "H",
+                50,
+                vec![Step::read(ItemId(0), 1)],
+            ))
             .with(TransactionTemplate::new(
                 "L",
                 100,
@@ -502,7 +514,11 @@ mod tests {
         // L acquires the hot item late: blocking spans only the hold
         // (from acquisition to commit), not L's whole WCET.
         let set = SetBuilder::new()
-            .with(TransactionTemplate::new("H", 50, vec![Step::read(ItemId(0), 1)]))
+            .with(TransactionTemplate::new(
+                "H",
+                50,
+                vec![Step::read(ItemId(0), 1)],
+            ))
             .with(TransactionTemplate::new(
                 "L",
                 100,
@@ -522,11 +538,20 @@ mod tests {
         // point (the write lock is still to come), so no early release
         // until after the write step.
         let set = SetBuilder::new()
-            .with(TransactionTemplate::new("H", 50, vec![Step::read(ItemId(0), 1)]))
+            .with(TransactionTemplate::new(
+                "H",
+                50,
+                vec![Step::read(ItemId(0), 1)],
+            ))
             .with(TransactionTemplate::new(
                 "L",
                 100,
-                vec![Step::read(ItemId(0), 2), Step::compute(5), Step::write(ItemId(0), 1), Step::compute(2)],
+                vec![
+                    Step::read(ItemId(0), 2),
+                    Step::compute(5),
+                    Step::write(ItemId(0), 1),
+                    Step::compute(2),
+                ],
             ))
             .build()
             .unwrap();

@@ -44,11 +44,7 @@ pub fn breakdown_utilization(set: &TransactionSet, protocol: AnalysisProtocol) -
             .collect();
         let blocking: Vec<f64> = bts_all
             .iter()
-            .map(|b| {
-                b.iter()
-                    .map(|&j| scaled[j].c)
-                    .fold(0.0f64, f64::max)
-            })
+            .map(|b| b.iter().map(|&j| scaled[j].c).fold(0.0f64, f64::max))
             .collect();
         response_times_f64(&scaled, &blocking)
             .iter()
@@ -107,7 +103,12 @@ mod tests {
             .with(TransactionTemplate::new(
                 "T2",
                 10,
-                vec![Step::write(ItemId(0), 1), Step::compute(2), Step::write(ItemId(1), 1), Step::compute(1)],
+                vec![
+                    Step::write(ItemId(0), 1),
+                    Step::compute(2),
+                    Step::write(ItemId(1), 1),
+                    Step::compute(1),
+                ],
             ))
             .build()
             .unwrap();

@@ -216,7 +216,7 @@ mod tests {
 
         let rw = schedulable(&set, AnalysisProtocol::RwPcp);
         assert_eq!(rw.blocking[0], Duration(5)); // B_1 = C_2 = 5
-        // T1: R = 2 + 5 = 7 > 5 -> unschedulable.
+                                                 // T1: R = 2 + 5 = 7 > 5 -> unschedulable.
         assert_eq!(rw.response_of(TxnId(0)), None);
         assert!(!rw.rta_schedulable());
         assert!(!rw.liu_layland_schedulable());

@@ -71,7 +71,6 @@ impl Protocol for Ccp {
             .ceiling
     }
 
-
     fn early_releases(
         &mut self,
         view: &dyn EngineView,
@@ -153,7 +152,11 @@ mod tests {
         // computation tail (the convex-profile benefit), and b goes at
         // the end of its own last access.
         let set = SetBuilder::new()
-            .with(TransactionTemplate::new("T1", 10, vec![Step::read(ItemId(0), 1)])) // raises Aceil(a)
+            .with(TransactionTemplate::new(
+                "T1",
+                10,
+                vec![Step::read(ItemId(0), 1)],
+            )) // raises Aceil(a)
             .with(TransactionTemplate::new(
                 "T2",
                 10,
@@ -185,11 +188,19 @@ mod tests {
         // releases (lock point); after step 1 both held, b's ceiling is
         // *lower* than nothing remaining -> both release.
         let set = SetBuilder::new()
-            .with(TransactionTemplate::new("T1", 10, vec![Step::read(ItemId(0), 1)]))
+            .with(TransactionTemplate::new(
+                "T1",
+                10,
+                vec![Step::read(ItemId(0), 1)],
+            ))
             .with(TransactionTemplate::new(
                 "T2",
                 10,
-                vec![Step::read(ItemId(1), 1), Step::read(ItemId(0), 1), Step::compute(1)],
+                vec![
+                    Step::read(ItemId(1), 1),
+                    Step::read(ItemId(0), 1),
+                    Step::compute(1),
+                ],
             ))
             .build()
             .unwrap();
@@ -218,7 +229,11 @@ mod tests {
             .with(TransactionTemplate::new(
                 "T",
                 10,
-                vec![Step::read(ItemId(0), 1), Step::read(ItemId(2), 1), Step::compute(1)],
+                vec![
+                    Step::read(ItemId(0), 1),
+                    Step::read(ItemId(2), 1),
+                    Step::compute(1),
+                ],
             ))
             .build()
             .unwrap();
@@ -237,7 +252,11 @@ mod tests {
             .with(TransactionTemplate::new(
                 "T1",
                 10,
-                vec![Step::read(ItemId(0), 1), Step::compute(1), Step::write(ItemId(0), 1)],
+                vec![
+                    Step::read(ItemId(0), 1),
+                    Step::compute(1),
+                    Step::write(ItemId(0), 1),
+                ],
             ))
             .build()
             .unwrap();
@@ -249,7 +268,10 @@ mod tests {
 
     #[test]
     fn uses_install_on_early_release_model() {
-        assert_eq!(Ccp::new().update_model(), UpdateModel::InstallOnEarlyRelease);
+        assert_eq!(
+            Ccp::new().update_model(),
+            UpdateModel::InstallOnEarlyRelease
+        );
         assert_eq!(Ccp::new().name(), "CCP");
     }
 }

@@ -115,31 +115,33 @@ mod tests {
         let (th, tl) = (i(0), i(1));
 
         // T_L read-locks x (condition (1): nothing locked).
-        assert_eq!(p.request(&view, req(tl, 0, LockMode::Read)), Decision::Grant);
+        assert_eq!(
+            p.request(&view, req(tl, 0, LockMode::Read)),
+            Decision::Grant
+        );
         view.grant(tl, ItemId(0), LockMode::Read);
         view.record_read(tl, ItemId(0));
 
         // T_H read-locks y: condition (1) fails (Sysceil = Wceil(x) = P_H),
         // condition (2) P_H >= HPW(y) = P_L grants -- the unsafe grant
         // PCP-DA's LC3/LC4 forbid.
-        assert_eq!(p.request(&view, req(th, 1, LockMode::Read)), Decision::Grant);
+        assert_eq!(
+            p.request(&view, req(th, 1, LockMode::Read)),
+            Decision::Grant
+        );
         view.grant(th, ItemId(1), LockMode::Read);
         view.record_read(th, ItemId(1));
 
         // T_H requests write x: blocked by T_L's read lock.
         assert_eq!(
             p.request(&view, req(th, 0, LockMode::Write)),
-            Decision::Block {
-                blockers: vec![tl]
-            }
+            Decision::Block { blockers: vec![tl] }
         );
 
         // T_L (inheriting P_H) requests write y: blocked by T_H -> cycle.
         assert_eq!(
             p.request(&view, req(tl, 1, LockMode::Write)),
-            Decision::Block {
-                blockers: vec![th]
-            }
+            Decision::Block { blockers: vec![th] }
         );
     }
 
@@ -151,7 +153,10 @@ mod tests {
         let mut p = PcpDa::new();
         let (th, tl) = (i(0), i(1));
 
-        assert_eq!(p.request(&view, req(tl, 0, LockMode::Read)), Decision::Grant);
+        assert_eq!(
+            p.request(&view, req(tl, 0, LockMode::Read)),
+            Decision::Grant
+        );
         view.grant(tl, ItemId(0), LockMode::Read);
         view.record_read(tl, ItemId(0));
 
@@ -160,9 +165,7 @@ mod tests {
         // deadlock never forms.
         assert_eq!(
             p.request(&view, req(th, 1, LockMode::Read)),
-            Decision::Block {
-                blockers: vec![tl]
-            }
+            Decision::Block { blockers: vec![tl] }
         );
     }
 }

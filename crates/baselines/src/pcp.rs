@@ -41,16 +41,13 @@ impl Protocol for Pcp {
             .pcp_sysceil(view.locks(), rtdb_cc::protocol::ceiling_observer())
             .ceiling
     }
-
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pcpda::testkit::StaticView;
-    use rtdb_types::{
-        InstanceId, ItemId, LockMode, SetBuilder, Step, TransactionTemplate, TxnId,
-    };
+    use rtdb_types::{InstanceId, ItemId, LockMode, SetBuilder, Step, TransactionTemplate, TxnId};
 
     fn i(t: u32) -> InstanceId {
         InstanceId::first(TxnId(t))
@@ -69,8 +66,16 @@ mod tests {
         // Both templates only READ x; under RW-PCP they could share, under
         // PCP the second is blocked by the absolute ceiling.
         let set = SetBuilder::new()
-            .with(TransactionTemplate::new("A", 10, vec![Step::read(ItemId(0), 1)]))
-            .with(TransactionTemplate::new("B", 10, vec![Step::read(ItemId(0), 1)]))
+            .with(TransactionTemplate::new(
+                "A",
+                10,
+                vec![Step::read(ItemId(0), 1)],
+            ))
+            .with(TransactionTemplate::new(
+                "B",
+                10,
+                vec![Step::read(ItemId(0), 1)],
+            ))
             .build()
             .unwrap();
         let mut view = StaticView::new(&set);
@@ -92,9 +97,21 @@ mod tests {
     fn unrelated_items_below_ceiling_are_blocked_too() {
         // Ceiling blocking: T2's item y is free but Aceil(x)=P1 >= P2.
         let set = SetBuilder::new()
-            .with(TransactionTemplate::new("T1", 10, vec![Step::read(ItemId(0), 1)]))
-            .with(TransactionTemplate::new("T2", 10, vec![Step::read(ItemId(1), 1)]))
-            .with(TransactionTemplate::new("T3", 10, vec![Step::write(ItemId(0), 1)]))
+            .with(TransactionTemplate::new(
+                "T1",
+                10,
+                vec![Step::read(ItemId(0), 1)],
+            ))
+            .with(TransactionTemplate::new(
+                "T2",
+                10,
+                vec![Step::read(ItemId(1), 1)],
+            ))
+            .with(TransactionTemplate::new(
+                "T3",
+                10,
+                vec![Step::write(ItemId(0), 1)],
+            ))
             .build()
             .unwrap();
         let mut view = StaticView::new(&set);
@@ -111,9 +128,21 @@ mod tests {
     #[test]
     fn higher_priority_than_ceiling_proceeds() {
         let set = SetBuilder::new()
-            .with(TransactionTemplate::new("T1", 10, vec![Step::read(ItemId(1), 1)]))
-            .with(TransactionTemplate::new("T2", 10, vec![Step::read(ItemId(0), 1)]))
-            .with(TransactionTemplate::new("T3", 10, vec![Step::write(ItemId(0), 1)]))
+            .with(TransactionTemplate::new(
+                "T1",
+                10,
+                vec![Step::read(ItemId(1), 1)],
+            ))
+            .with(TransactionTemplate::new(
+                "T2",
+                10,
+                vec![Step::read(ItemId(0), 1)],
+            ))
+            .with(TransactionTemplate::new(
+                "T3",
+                10,
+                vec![Step::write(ItemId(0), 1)],
+            ))
             .build()
             .unwrap();
         let mut view = StaticView::new(&set);

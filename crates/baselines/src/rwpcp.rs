@@ -49,7 +49,6 @@ impl Protocol for RwPcp {
             .rwpcp_sysceil(view.locks(), rtdb_cc::protocol::ceiling_observer())
             .ceiling
     }
-
 }
 
 #[cfg(test)]
@@ -75,9 +74,21 @@ mod tests {
     /// Example 1 set: T1: R(x); T2: R(y); T3: W(x).
     fn example1() -> TransactionSet {
         SetBuilder::new()
-            .with(TransactionTemplate::new("T1", 10, vec![Step::read(ItemId(0), 1)]))
-            .with(TransactionTemplate::new("T2", 10, vec![Step::read(ItemId(1), 1)]))
-            .with(TransactionTemplate::new("T3", 10, vec![Step::write(ItemId(0), 3)]))
+            .with(TransactionTemplate::new(
+                "T1",
+                10,
+                vec![Step::read(ItemId(0), 1)],
+            ))
+            .with(TransactionTemplate::new(
+                "T2",
+                10,
+                vec![Step::read(ItemId(1), 1)],
+            ))
+            .with(TransactionTemplate::new(
+                "T3",
+                10,
+                vec![Step::write(ItemId(0), 3)],
+            ))
             .build()
             .unwrap()
     }
@@ -124,13 +135,21 @@ mod tests {
     fn read_locks_admit_higher_priority_readers_only() {
         // x read by T1 and T3(writes nothing else); Wceil governs.
         let set = SetBuilder::new()
-            .with(TransactionTemplate::new("T1", 10, vec![Step::read(ItemId(0), 1)]))
+            .with(TransactionTemplate::new(
+                "T1",
+                10,
+                vec![Step::read(ItemId(0), 1)],
+            ))
             .with(TransactionTemplate::new(
                 "T2",
                 10,
                 vec![Step::write(ItemId(0), 1)],
             ))
-            .with(TransactionTemplate::new("T3", 10, vec![Step::read(ItemId(0), 1)]))
+            .with(TransactionTemplate::new(
+                "T3",
+                10,
+                vec![Step::read(ItemId(0), 1)],
+            ))
             .build()
             .unwrap();
         let mut view = StaticView::new(&set);
@@ -171,8 +190,16 @@ mod tests {
     #[test]
     fn write_write_exclusion_via_aceil() {
         let set = SetBuilder::new()
-            .with(TransactionTemplate::new("A", 10, vec![Step::write(ItemId(0), 1)]))
-            .with(TransactionTemplate::new("B", 10, vec![Step::write(ItemId(0), 1)]))
+            .with(TransactionTemplate::new(
+                "A",
+                10,
+                vec![Step::write(ItemId(0), 1)],
+            ))
+            .with(TransactionTemplate::new(
+                "B",
+                10,
+                vec![Step::write(ItemId(0), 1)],
+            ))
             .build()
             .unwrap();
         let mut view = StaticView::new(&set);

@@ -82,10 +82,7 @@ impl Protocol for TwoPlHp {
             return Decision::Grant;
         }
         let p_req = view.base_priority(req.who);
-        if conflicts
-            .iter()
-            .all(|&h| view.base_priority(h) < p_req)
-        {
+        if conflicts.iter().all(|&h| view.base_priority(h) < p_req) {
             Decision::AbortHolders {
                 victims: conflicts.into_iter().collect(),
             }
@@ -203,9 +200,21 @@ mod tests {
         // One holder higher, one lower than the requester: must block
         // (an abort of only the lower one would not clear the conflict).
         let set = SetBuilder::new()
-            .with(TransactionTemplate::new("A", 10, vec![Step::read(ItemId(0), 1)]))
-            .with(TransactionTemplate::new("B", 10, vec![Step::write(ItemId(0), 1)]))
-            .with(TransactionTemplate::new("C", 10, vec![Step::read(ItemId(0), 1)]))
+            .with(TransactionTemplate::new(
+                "A",
+                10,
+                vec![Step::read(ItemId(0), 1)],
+            ))
+            .with(TransactionTemplate::new(
+                "B",
+                10,
+                vec![Step::write(ItemId(0), 1)],
+            ))
+            .with(TransactionTemplate::new(
+                "C",
+                10,
+                vec![Step::read(ItemId(0), 1)],
+            ))
             .build()
             .unwrap();
         let mut view = StaticView::new(&set);

@@ -2,8 +2,9 @@
 //! analysis and the breakdown-utilization search (a few thousand RTA
 //! invocations per call).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtdb::prelude::*;
+use rtdb_bench::harness::{BenchmarkId, Criterion};
+use rtdb_bench::{criterion_group, criterion_main};
 
 fn bench_analysis(c: &mut Criterion) {
     let small = rtdb_bench::standard_workload(11);
@@ -22,10 +23,7 @@ fn bench_analysis(c: &mut Criterion) {
     for (name, set) in [("6txn", &small), ("24txn", &large)] {
         group.bench_with_input(BenchmarkId::new("blocking_terms", name), set, |b, set| {
             b.iter(|| {
-                std::hint::black_box(rtdb::analysis::blocking_terms(
-                    set,
-                    AnalysisProtocol::RwPcp,
-                ))
+                std::hint::black_box(rtdb::analysis::blocking_terms(set, AnalysisProtocol::RwPcp))
             })
         });
         group.bench_with_input(BenchmarkId::new("rta", name), set, |b, set| {

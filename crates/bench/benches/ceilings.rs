@@ -1,0 +1,101 @@
+//! Sysceil maintenance cost under high read-lock fan-out.
+//!
+//! Isolates the quantity the incremental [`rtdb::cc::CeilingIndex`]
+//! exists for: with `F` concurrent read holders spread over the item
+//! space, how long does one `Sysceil` query take (a) through the index
+//! and (b) through the from-scratch scan — and what does index
+//! maintenance add to a grant/release transition. The scan grows with
+//! the fan-out; the indexed query should not.
+
+use rtdb::cc::{CeilingTable, LockTable};
+use rtdb::prelude::*;
+use rtdb_bench::harness::{BenchmarkId, Criterion};
+use rtdb_bench::{criterion_group, criterion_main};
+
+/// `templates` readers, each reading `items_per` items out of a pool of
+/// `2 * templates`, plus one write step so every item carries a
+/// non-dummy write ceiling. Distinct periods give distinct priorities,
+/// hence many distinct ceiling levels in the index.
+fn fanout_set(templates: u32, items_per: u32) -> TransactionSet {
+    let pool = 2 * templates;
+    let mut b = SetBuilder::new();
+    for t in 0..templates {
+        let mut steps = Vec::new();
+        for k in 0..items_per {
+            steps.push(Step::read(ItemId((t * items_per + k) % pool), 1));
+        }
+        steps.push(Step::write(ItemId(t % pool), 1));
+        b = b.with(TransactionTemplate::new(
+            format!("T{t}"),
+            10 + t as u64,
+            steps,
+        ));
+    }
+    b.build().expect("fan-out set is valid")
+}
+
+/// Grant every template's read locks in both tables.
+fn populate(set: &TransactionSet, tables: &mut [&mut LockTable]) {
+    for t in 0..set.len() as u32 {
+        let who = InstanceId::first(TxnId(t));
+        for item in set.template(TxnId(t)).read_set() {
+            for lt in tables.iter_mut() {
+                lt.grant(who, item, LockMode::Read);
+            }
+        }
+    }
+}
+
+fn bench_sysceil_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sysceil_query");
+    for &fanout in &[4u32, 16, 64] {
+        let set = fanout_set(fanout, 4);
+        let ceilings = CeilingTable::new(&set);
+        let mut indexed = LockTable::with_index(&ceilings);
+        let mut plain = LockTable::new();
+        populate(&set, &mut [&mut indexed, &mut plain]);
+        // The lowest-priority instance: its query must exclude only its
+        // own locks, the common case on the LC2 path.
+        let who = InstanceId::first(TxnId(fanout - 1));
+        group.bench_with_input(BenchmarkId::new("indexed", fanout), &(), |b, _| {
+            b.iter(|| std::hint::black_box(ceilings.pcpda_sysceil(&indexed, who)))
+        });
+        group.bench_with_input(BenchmarkId::new("scan", fanout), &(), |b, _| {
+            b.iter(|| std::hint::black_box(ceilings.pcpda_sysceil_scan(&plain, who)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lock_churn(c: &mut Criterion) {
+    // Cost of lock-state transitions themselves: everyone else's read
+    // locks stand while one instance repeatedly acquires its read set
+    // and releases it wholesale. "indexed" pays the incremental
+    // multiset updates; "plain" is the bare lock table.
+    let mut group = c.benchmark_group("lock_churn");
+    let set = fanout_set(32, 4);
+    let ceilings = CeilingTable::new(&set);
+    let churner = InstanceId::first(TxnId(0));
+    let churn_items: Vec<ItemId> = set.template(TxnId(0)).read_set().iter().copied().collect();
+
+    let mut indexed = LockTable::with_index(&ceilings);
+    let mut plain = LockTable::new();
+    populate(&set, &mut [&mut indexed, &mut plain]);
+    indexed.release_all(churner);
+    plain.release_all(churner);
+
+    for (label, lt) in [("indexed", &mut indexed), ("plain", &mut plain)] {
+        group.bench_with_input(BenchmarkId::new("grant_release_all", label), &(), |b, _| {
+            b.iter(|| {
+                for &item in &churn_items {
+                    lt.grant(churner, item, LockMode::Read);
+                }
+                std::hint::black_box(lt.release_all(churner).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sysceil_query, bench_lock_churn);
+criterion_main!(benches);

@@ -2,8 +2,9 @@
 //! a contended workload per protocol. These are the numbers behind every
 //! E9/E10 sweep, so regressions here make the experiments slow.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtdb::prelude::*;
+use rtdb_bench::harness::{BenchmarkId, Criterion};
+use rtdb_bench::{criterion_group, criterion_main};
 
 fn bench_engine(c: &mut Criterion) {
     let standard = rtdb_bench::standard_workload(5);

@@ -2,8 +2,9 @@
 //! detection and the serial-replay check over a long history. The oracles
 //! run after every property-test case, so their cost bounds test time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rtdb::prelude::*;
+use rtdb_bench::harness::Criterion;
+use rtdb_bench::{criterion_group, criterion_main};
 
 fn long_run() -> (TransactionSet, RunResult) {
     let set = rtdb_bench::standard_workload(21);

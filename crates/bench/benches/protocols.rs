@@ -2,9 +2,10 @@
 //! against a representative lock-table state. This is the hot path of any
 //! lock-based RTDBS scheduler.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pcpda::testkit::StaticView;
 use rtdb::prelude::*;
+use rtdb_bench::harness::{BenchmarkId, Criterion};
+use rtdb_bench::{criterion_group, criterion_main};
 
 /// A view with a populated lock table: half the low-priority templates
 /// hold read locks, one holds a write lock.

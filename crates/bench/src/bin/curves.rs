@@ -52,31 +52,37 @@ fn sweep_axis(
     label: &str,
     xs: &[f64],
     seeds: u64,
-    make: impl Fn(f64, u64) -> WorkloadParams,
+    make: impl Fn(f64, u64) -> WorkloadParams + Sync,
 ) -> String {
-    let mut csv = String::from("x,protocol,mean_miss_ratio,mean_blocking_per_1k,max_blocking,mean_restarts_per_1k\n");
+    let mut csv = String::from(
+        "x,protocol,mean_miss_ratio,mean_blocking_per_1k,max_blocking,mean_restarts_per_1k\n",
+    );
     println!("== {label} sweep ({seeds} seeds per point) ==");
     println!(
         "{:>6} {:<8} {:>12} {:>16} {:>13} {:>16}",
         label, "protocol", "miss-ratio", "blocking/1k", "max-blocking", "restarts/1k"
     );
-    for &x in xs {
-        let names: Vec<&'static str> = sweep::standard_protocols()
-            .iter()
-            .map(|p| p.name())
-            .collect();
+    // The whole (x, seed) grid runs on a thread pool; results come back
+    // in grid order, so the aggregation below (and thus the CSV and the
+    // printed table) is identical to the former sequential nested loop.
+    let grid: Vec<(f64, u64)> = xs
+        .iter()
+        .flat_map(|&x| (0..seeds).map(move |seed| (x, seed)))
+        .collect();
+    let results = sweep::compare_protocols_parallel(&grid, |&(x, seed)| {
+        let set = make(x, seed).generate()?.set;
+        Ok((set, SimConfig::with_horizon(10_000)))
+    })
+    .expect("sweep runs");
+
+    let names: Vec<&'static str> = sweep::standard_protocols()
+        .iter()
+        .map(|p| p.name())
+        .collect();
+    for (xi, &x) in xs.iter().enumerate() {
         let mut accs: Vec<Acc> = names.iter().map(|_| Acc::new()).collect();
-        for seed in 0..seeds {
-            let params = make(x, seed);
-            let set = params.generate().expect("valid workload").set;
-            let mut protocols = sweep::standard_protocols();
-            let rows = sweep::compare_protocols(
-                &set,
-                &SimConfig::with_horizon(10_000),
-                &mut protocols,
-            )
-            .expect("sweep runs");
-            for (acc, row) in accs.iter_mut().zip(&rows) {
+        for rows in &results[xi * seeds as usize..(xi + 1) * seeds as usize] {
+            for (acc, row) in accs.iter_mut().zip(rows) {
                 acc.add(row);
             }
         }

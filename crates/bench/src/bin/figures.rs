@@ -13,15 +13,14 @@
 use rtdb::paper;
 use rtdb::prelude::*;
 use rtdb::sim::{gantt, sweep, TraceEvent};
-use serde::Serialize;
+use rtdb_util::Json;
 use std::collections::BTreeMap;
 
-#[derive(Serialize)]
 struct Record {
     experiment: String,
     artifact: String,
-    expected: serde_json::Value,
-    measured: serde_json::Value,
+    expected: Json,
+    measured: Json,
     matches: bool,
 }
 
@@ -31,13 +30,7 @@ struct Report {
 }
 
 impl Report {
-    fn check(
-        &mut self,
-        experiment: &str,
-        artifact: &str,
-        expected: serde_json::Value,
-        measured: serde_json::Value,
-    ) {
+    fn check(&mut self, experiment: &str, artifact: &str, expected: Json, measured: Json) {
         let matches = expected == measured;
         println!(
             "  [{}] {artifact}: expected {expected} / measured {measured}",
@@ -54,7 +47,19 @@ impl Report {
 
     fn write(&self) {
         std::fs::create_dir_all("results").ok();
-        let json = serde_json::to_string_pretty(&self.records).expect("serializable records");
+        let records: Vec<Json> = self
+            .records
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .set("experiment", r.experiment.as_str())
+                    .set("artifact", r.artifact.as_str())
+                    .set("expected", r.expected.clone())
+                    .set("measured", r.measured.clone())
+                    .set("matches", r.matches)
+            })
+            .collect();
+        let json = Json::Arr(records).pretty();
         std::fs::write("results/experiments.json", json).expect("results are writable");
         let failed = self.records.iter().filter(|r| !r.matches).count();
         println!(
@@ -94,8 +99,18 @@ fn fig1(rep: &mut Report) {
     rep.check("E1", "T3 completes", 3.into(), completion(&r, 2, 0).into());
     rep.check("E1", "T1 completes", 4.into(), completion(&r, 0, 0).into());
     rep.check("E1", "T2 completes", 5.into(), completion(&r, 1, 0).into());
-    rep.check("E1", "T2 ceiling-blocked (ticks)", 2.into(), blocking(&r, 1, 0).into());
-    rep.check("E1", "T1 conflict-blocked (ticks)", 1.into(), blocking(&r, 0, 0).into());
+    rep.check(
+        "E1",
+        "T2 ceiling-blocked (ticks)",
+        2.into(),
+        blocking(&r, 1, 0).into(),
+    );
+    rep.check(
+        "E1",
+        "T1 conflict-blocked (ticks)",
+        1.into(),
+        blocking(&r, 0, 0).into(),
+    );
 }
 
 fn fig2(rep: &mut Report) {
@@ -104,8 +119,18 @@ fn fig2(rep: &mut Report) {
     let mut p = PcpDa::new();
     let r = run(&set, &mut p);
     println!("{}", gantt::render(&set, &r.trace));
-    rep.check("E2", "T1#0 completes", 3.into(), completion(&r, 0, 0).into());
-    rep.check("E2", "T1#1 completes", 8.into(), completion(&r, 0, 1).into());
+    rep.check(
+        "E2",
+        "T1#0 completes",
+        3.into(),
+        completion(&r, 0, 0).into(),
+    );
+    rep.check(
+        "E2",
+        "T1#1 completes",
+        8.into(),
+        completion(&r, 0, 1).into(),
+    );
     rep.check("E2", "T2 completes", 9.into(), completion(&r, 1, 0).into());
     rep.check("E2", "T1 blocking", 0.into(), blocking(&r, 0, 0).into());
     rep.check(
@@ -127,9 +152,19 @@ fn fig3(rep: &mut Report) {
     let set = paper::example3();
     let r = run(&set, &mut RwPcp::new());
     println!("{}", gantt::render(&set, &r.trace));
-    rep.check("E3", "T1#0 blocked (worst case 4)", 4.into(), blocking(&r, 0, 0).into());
+    rep.check(
+        "E3",
+        "T1#0 blocked (worst case 4)",
+        4.into(),
+        blocking(&r, 0, 0).into(),
+    );
     rep.check("E3", "T2 completes", 5.into(), completion(&r, 1, 0).into());
-    rep.check("E3", "T1#0 completes (late)", 7.into(), completion(&r, 0, 0).into());
+    rep.check(
+        "E3",
+        "T1#0 completes (late)",
+        7.into(),
+        completion(&r, 0, 0).into(),
+    );
     rep.check(
         "E3",
         "T1#0 misses deadline at 6",
@@ -137,8 +172,10 @@ fn fig3(rep: &mut Report) {
         r.trace
             .events()
             .iter()
-            .any(|e| matches!(e, TraceEvent::DeadlineMiss { at, who }
-                if who.txn == TxnId(0) && who.seq == 0 && at.raw() == 6))
+            .any(|e| {
+                matches!(e, TraceEvent::DeadlineMiss { at, who }
+                if who.txn == TxnId(0) && who.seq == 0 && at.raw() == 6)
+            })
             .into(),
     );
 }
@@ -173,7 +210,9 @@ fn fig4(rep: &mut Report) {
     let t3_rule = p
         .grant_log()
         .iter()
-        .find(|(req, _)| req.who.txn == TxnId(2) && req.item == paper::Z && req.mode == LockMode::Read)
+        .find(|(req, _)| {
+            req.who.txn == TxnId(2) && req.item == paper::Z && req.mode == LockMode::Read
+        })
         .map(|(_, rule)| format!("{rule:?}"))
         .unwrap_or_default();
     rep.check("E4", "T3 read z granted via", "Lc4".into(), t3_rule.into());
@@ -188,8 +227,18 @@ fn fig5(rep: &mut Report) {
     rep.check("E5", "T1 completes", 7.into(), completion(&r, 0, 0).into());
     rep.check("E5", "T3 completes", 9.into(), completion(&r, 2, 0).into());
     rep.check("E5", "T2 completes", 11.into(), completion(&r, 1, 0).into());
-    rep.check("E5", "T1 conflict-blocked", 1.into(), blocking(&r, 0, 0).into());
-    rep.check("E5", "T3 ceiling-blocked", 4.into(), blocking(&r, 2, 0).into());
+    rep.check(
+        "E5",
+        "T1 conflict-blocked",
+        1.into(),
+        blocking(&r, 0, 0).into(),
+    );
+    rep.check(
+        "E5",
+        "T3 ceiling-blocked",
+        4.into(),
+        blocking(&r, 2, 0).into(),
+    );
     rep.check(
         "E5",
         "Max_Sysceil = P1",
@@ -214,11 +263,36 @@ fn table1(rep: &mut Report) {
             holder_reads_disjoint_from_requester_writes: disjoint,
         })
     };
-    rep.check("E6", "R/R", true.into(), cell(LockMode::Read, LockMode::Read, true).into());
-    rep.check("E6", "R/W", false.into(), cell(LockMode::Read, LockMode::Write, true).into());
-    rep.check("E6", "W/R clean", true.into(), cell(LockMode::Write, LockMode::Read, true).into());
-    rep.check("E6", "W/R dirty", false.into(), cell(LockMode::Write, LockMode::Read, false).into());
-    rep.check("E6", "W/W", true.into(), cell(LockMode::Write, LockMode::Write, false).into());
+    rep.check(
+        "E6",
+        "R/R",
+        true.into(),
+        cell(LockMode::Read, LockMode::Read, true).into(),
+    );
+    rep.check(
+        "E6",
+        "R/W",
+        false.into(),
+        cell(LockMode::Read, LockMode::Write, true).into(),
+    );
+    rep.check(
+        "E6",
+        "W/R clean",
+        true.into(),
+        cell(LockMode::Write, LockMode::Read, true).into(),
+    );
+    rep.check(
+        "E6",
+        "W/R dirty",
+        false.into(),
+        cell(LockMode::Write, LockMode::Read, false).into(),
+    );
+    rep.check(
+        "E6",
+        "W/W",
+        true.into(),
+        cell(LockMode::Write, LockMode::Write, false).into(),
+    );
 }
 
 fn example5(rep: &mut Report) {
@@ -239,7 +313,12 @@ fn example5(rep: &mut Report) {
         true.into(),
         matches!(da.outcome, RunOutcome::Completed).into(),
     );
-    rep.check("E7", "PCP-DA commits both", 2.into(), da.history.committed().into());
+    rep.check(
+        "E7",
+        "PCP-DA commits both",
+        2.into(),
+        da.history.committed().into(),
+    );
 }
 
 fn analysis(rep: &mut Report) {
@@ -254,8 +333,18 @@ fn analysis(rep: &mut Report) {
     );
     rep.check("E8", "B_1 PCP-DA", 0.into(), da.blocking[0].raw().into());
     rep.check("E8", "B_1 RW-PCP", 5.into(), rw.blocking[0].raw().into());
-    rep.check("E8", "PCP-DA schedulable", true.into(), da.rta_schedulable().into());
-    rep.check("E8", "RW-PCP schedulable", false.into(), rw.rta_schedulable().into());
+    rep.check(
+        "E8",
+        "PCP-DA schedulable",
+        true.into(),
+        da.rta_schedulable().into(),
+    );
+    rep.check(
+        "E8",
+        "RW-PCP schedulable",
+        false.into(),
+        rw.rta_schedulable().into(),
+    );
     // The repaired protocol's chain-closure bound agrees on Example 3
     // (BTS_1 is empty, so the chain is empty too).
     let repaired = rtdb::analysis::schedulable_repaired_pcpda(&set);
@@ -299,7 +388,12 @@ fn analysis(rep: &mut Report) {
     println!(
         "  random sets: BTS(PCP-DA) ⊆ BTS(RW-PCP) in all cases; strictly smaller {strictly_smaller} times"
     );
-    rep.check("E8", "BTS subset over 50 random sets", true.into(), subset.into());
+    rep.check(
+        "E8",
+        "BTS subset over 50 random sets",
+        true.into(),
+        subset.into(),
+    );
     rep.check(
         "E8",
         "BTS strictly smaller somewhere",
@@ -327,9 +421,8 @@ fn sweep_experiment(rep: &mut Report) {
         .set;
         println!("\n  U={util} contention={hot}:");
         let mut protocols = sweep::standard_protocols();
-        let rows =
-            sweep::compare_protocols(&set, &SimConfig::with_horizon(30_000), &mut protocols)
-                .expect("sweep succeeds");
+        let rows = sweep::compare_protocols(&set, &SimConfig::with_horizon(30_000), &mut protocols)
+            .expect("sweep succeeds");
         print!("{}", indent(&sweep::format_table(&rows)));
         let da = rows.iter().find(|r| r.name == "PCP-DA").unwrap();
         let rw = rows.iter().find(|r| r.name == "RW-PCP").unwrap();
@@ -454,16 +547,13 @@ fn erratum(rep: &mut Report) {
         "ERRATUM",
         "fixed LC3 completes with no misses",
         true.into(),
-        (matches!(fixed.outcome, RunOutcome::Completed)
-            && fixed.metrics.deadline_misses() == 0)
+        (matches!(fixed.outcome, RunOutcome::Completed) && fixed.metrics.deadline_misses() == 0)
             .into(),
     );
 }
 
 fn indent(s: &str) -> String {
-    s.lines()
-        .map(|l| format!("  {l}\n"))
-        .collect()
+    s.lines().map(|l| format!("  {l}\n")).collect()
 }
 
 fn main() {
@@ -488,8 +578,18 @@ fn main() {
     ]);
 
     let order = [
-        "fig1", "fig2", "fig3", "fig4", "fig5", "table1", "example5", "analysis", "sweep",
-        "ceilings", "breakdown", "erratum",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "table1",
+        "example5",
+        "analysis",
+        "sweep",
+        "ceilings",
+        "breakdown",
+        "erratum",
     ];
     for name in order {
         if want(name) {

@@ -1,0 +1,139 @@
+//! Emit `BENCH_protocols.json`: engine throughput (ticks/sec) and engine
+//! time per lock request (ns/lock-request) for every protocol of the
+//! line-up on the standard workload — the numbers the repository tracks
+//! across PRs to watch the perf trajectory.
+//!
+//! ```sh
+//! cargo run --release -p rtdb-bench --bin perf              # writes ./BENCH_protocols.json
+//! cargo run --release -p rtdb-bench --bin perf -- out.json  # custom path
+//! ```
+//!
+//! `ns_per_lock_request` divides *whole-engine* wall time by the number
+//! of `Protocol::request` calls, so it includes scheduling and storage —
+//! it is an end-to-end cost per decision, not the isolated decision
+//! latency (`benches/protocols.rs` measures that).
+
+use rtdb::cc::UpdateModel;
+use rtdb::prelude::*;
+use rtdb_util::Json;
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Instant;
+
+const HORIZON: u64 = 10_000;
+
+/// Delegating wrapper that counts `request` calls.
+struct Counting {
+    inner: Box<dyn Protocol>,
+    requests: Rc<Cell<u64>>,
+}
+
+impl Protocol for Counting {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn request(&mut self, view: &dyn EngineView, req: LockRequest) -> Decision {
+        self.requests.set(self.requests.get() + 1);
+        self.inner.request(view, req)
+    }
+
+    fn on_grant(&mut self, view: &dyn EngineView, req: LockRequest) {
+        self.inner.on_grant(view, req)
+    }
+
+    fn on_commit(&mut self, view: &dyn EngineView, who: InstanceId) {
+        self.inner.on_commit(view, who)
+    }
+
+    fn on_abort(&mut self, view: &dyn EngineView, who: InstanceId) {
+        self.inner.on_abort(view, who)
+    }
+
+    fn early_releases(
+        &mut self,
+        view: &dyn EngineView,
+        who: InstanceId,
+        completed_step: usize,
+    ) -> Vec<(ItemId, LockMode)> {
+        self.inner.early_releases(view, who, completed_step)
+    }
+
+    fn update_model(&self) -> UpdateModel {
+        self.inner.update_model()
+    }
+
+    fn system_ceiling(&self, view: &dyn EngineView) -> Ceiling {
+        self.inner.system_ceiling(view)
+    }
+
+    fn may_abort(&self) -> bool {
+        self.inner.may_abort()
+    }
+
+    fn commit_victims(&mut self, view: &dyn EngineView, who: InstanceId) -> Vec<InstanceId> {
+        self.inner.commit_victims(view, who)
+    }
+}
+
+/// One engine run of protocol `i` of the line-up, counting requests.
+fn run_once(set: &TransactionSet, i: usize, requests: &Rc<Cell<u64>>) {
+    let mut lineup = rtdb_bench::lineup();
+    let mut p = Counting {
+        inner: lineup.swap_remove(i),
+        requests: Rc::clone(requests),
+    };
+    let mut cfg = SimConfig::with_horizon(HORIZON);
+    if p.name() == "2PL-PI" {
+        cfg.resolve_deadlocks = true;
+    }
+    Engine::new(set, cfg)
+        .run(&mut p)
+        .expect("perf run succeeds");
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_protocols.json".into());
+    let set = rtdb_bench::standard_workload(7);
+    let names: Vec<&'static str> = rtdb_bench::lineup().iter().map(|p| p.name()).collect();
+
+    println!(
+        "{:<8} {:>12} {:>17} {:>14}",
+        "protocol", "ticks/sec", "ns/lock-request", "requests/run"
+    );
+    let mut records = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let requests = Rc::new(Cell::new(0u64));
+        run_once(&set, i, &requests); // warm-up
+        requests.set(0);
+
+        let mut runs = 0u64;
+        let t0 = Instant::now();
+        while runs < 3 || t0.elapsed().as_millis() < 300 {
+            run_once(&set, i, &requests);
+            runs += 1;
+        }
+        let elapsed = t0.elapsed();
+
+        let ticks_per_sec = (HORIZON * runs) as f64 / elapsed.as_secs_f64();
+        let ns_per_request = elapsed.as_nanos() as f64 / requests.get() as f64;
+        let requests_per_run = requests.get() / runs;
+        println!(
+            "{:<8} {:>12.0} {:>17.1} {:>14}",
+            name, ticks_per_sec, ns_per_request, requests_per_run
+        );
+        records.push(
+            Json::obj()
+                .set("protocol", *name)
+                .set("ticks_per_sec", ticks_per_sec)
+                .set("ns_per_lock_request", ns_per_request)
+                .set("lock_requests_per_run", requests_per_run)
+                .set("runs", runs),
+        );
+    }
+
+    std::fs::write(&out, Json::Arr(records).pretty()).expect("output path writable");
+    println!("written to {out}");
+}

@@ -32,69 +32,77 @@
 
 use rtdb::prelude::*;
 use rtdb::sim::{gantt, sweep};
-use serde::Deserialize;
+use rtdb_util::Json;
 use std::process::ExitCode;
 
-#[derive(Deserialize)]
-struct WorkloadFile {
-    #[serde(default)]
-    priority: PriorityRule,
-    templates: Vec<TemplateSpec>,
+fn field_u64(obj: &Json, key: &str, what: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_i64)
+        .and_then(|n| u64::try_from(n).ok())
+        .ok_or_else(|| format!("{what}: `{key}` must be a non-negative integer"))
 }
 
-#[derive(Deserialize, Default, Clone, Copy, PartialEq)]
-#[serde(rename_all = "snake_case")]
-enum PriorityRule {
-    /// Shorter period = higher priority.
-    RateMonotonic,
-    /// First template listed = highest priority (the paper's convention).
-    #[default]
-    AsListed,
-}
-
-#[derive(Deserialize)]
-struct TemplateSpec {
-    name: String,
-    period: u64,
-    #[serde(default)]
-    offset: u64,
-    #[serde(default)]
-    instances: Option<u32>,
-    steps: Vec<StepSpec>,
-}
-
-#[derive(Deserialize)]
-#[serde(tag = "op", rename_all = "lowercase")]
-enum StepSpec {
-    Read { item: u32, duration: u64 },
-    Write { item: u32, duration: u64 },
-    Compute { duration: u64 },
+fn parse_step(step: &Json) -> Result<Step, String> {
+    let duration = field_u64(step, "duration", "step")?;
+    match step.get("op").and_then(Json::as_str) {
+        Some("read") => Ok(Step::read(
+            ItemId(field_u64(step, "item", "read step")? as u32),
+            duration,
+        )),
+        Some("write") => Ok(Step::write(
+            ItemId(field_u64(step, "item", "write step")? as u32),
+            duration,
+        )),
+        Some("compute") => Ok(Step::compute(duration)),
+        _ => Err("step: `op` must be \"read\", \"write\" or \"compute\"".to_string()),
+    }
 }
 
 fn parse_workload(text: &str) -> Result<TransactionSet, String> {
-    let file: WorkloadFile =
-        serde_json::from_str(text).map_err(|e| format!("workload parse error: {e}"))?;
+    let file = Json::parse(text).map_err(|e| format!("workload parse error: {e}"))?;
+    let templates = file
+        .get("templates")
+        .and_then(Json::as_array)
+        .ok_or("workload: `templates` array is required")?;
     let mut builder = SetBuilder::new();
-    for spec in &file.templates {
+    for spec in templates {
+        let name = spec
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("template: `name` string is required")?;
+        let period = field_u64(spec, "period", "template")?;
+        let offset = match spec.get("offset") {
+            Some(_) => field_u64(spec, "offset", "template")?,
+            None => 0,
+        };
         let steps: Vec<Step> = spec
-            .steps
+            .get("steps")
+            .and_then(Json::as_array)
+            .ok_or("template: `steps` array is required")?
             .iter()
-            .map(|s| match *s {
-                StepSpec::Read { item, duration } => Step::read(ItemId(item), duration),
-                StepSpec::Write { item, duration } => Step::write(ItemId(item), duration),
-                StepSpec::Compute { duration } => Step::compute(duration),
-            })
-            .collect();
-        let mut t = TransactionTemplate::new(spec.name.clone(), spec.period, steps)
-            .with_offset(spec.offset);
-        if let Some(n) = spec.instances {
-            t = t.with_instances(n);
+            .map(parse_step)
+            .collect::<Result<_, _>>()?;
+        let mut t = TransactionTemplate::new(name.to_string(), period, steps).with_offset(offset);
+        match spec.get("instances") {
+            None | Some(Json::Null) => {}
+            Some(n) => {
+                let n = n
+                    .as_i64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or("template: `instances` must be null or a non-negative integer")?;
+                t = t.with_instances(n);
+            }
         }
         builder.add(t);
     }
-    match file.priority {
-        PriorityRule::RateMonotonic => builder.build_rate_monotonic(),
-        PriorityRule::AsListed => builder.build(),
+    match file.get("priority").and_then(Json::as_str) {
+        Some("rate_monotonic") => builder.build_rate_monotonic(),
+        Some("as_listed") | None => builder.build(),
+        Some(other) => {
+            let msg =
+                "workload: unknown priority rule `{r}` (use \"rate_monotonic\" or \"as_listed\")";
+            return Err(msg.replace("{r}", other));
+        }
     }
     .map_err(|e| format!("invalid workload: {e}"))
 }
@@ -204,7 +212,15 @@ fn print_summary(set: &TransactionSet, run: &RunResult) {
     println!("\nper-template:");
     println!(
         "  {:<14} {:>8} {:>6} {:>7} {:>9} {:>9} {:>9} {:>10} {:>9}",
-        "name", "released", "done", "misses", "p50-resp", "p99-resp", "max-resp", "max-block", "restarts"
+        "name",
+        "released",
+        "done",
+        "misses",
+        "p50-resp",
+        "p99-resp",
+        "max-resp",
+        "max-block",
+        "restarts"
     );
     for (txn, m) in run.metrics.by_template() {
         let t = set.template(txn);
@@ -228,59 +244,40 @@ fn print_summary(set: &TransactionSet, run: &RunResult) {
         );
     }
     let replay_ok = run.is_conflict_serializable();
-    println!("\nserializability (conflict graph): {}", if replay_ok { "OK" } else { "VIOLATED" });
+    println!(
+        "\nserializability (conflict graph): {}",
+        if replay_ok { "OK" } else { "VIOLATED" }
+    );
 }
 
 fn print_json(run: &RunResult) {
-    #[derive(serde::Serialize)]
-    struct TemplateOut {
-        template: String,
-        released: u32,
-        completed: u32,
-        deadline_misses: u32,
-        max_response: u64,
-        mean_response: f64,
-        max_blocking: u64,
-        restarts: u32,
-    }
-    #[derive(serde::Serialize)]
-    struct Out {
-        protocol: String,
-        committed: usize,
-        aborts: usize,
-        deadline_misses: u32,
-        miss_ratio: f64,
-        total_blocking: u64,
-        max_sysceil: String,
-        serializable: bool,
-        templates: Vec<TemplateOut>,
-    }
-    let out = Out {
-        protocol: run.protocol.to_string(),
-        committed: run.history.committed(),
-        aborts: run.history.aborts(),
-        deadline_misses: run.metrics.deadline_misses(),
-        miss_ratio: run.metrics.miss_ratio(),
-        total_blocking: run.metrics.total_blocking().raw(),
-        max_sysceil: run.metrics.max_sysceil.to_string(),
-        serializable: run.is_conflict_serializable(),
-        templates: run
-            .metrics
-            .by_template()
-            .iter()
-            .map(|(txn, m)| TemplateOut {
-                template: format!("{txn}"),
-                released: m.released,
-                completed: m.completed,
-                deadline_misses: m.deadline_misses,
-                max_response: m.max_response.raw(),
-                mean_response: m.mean_response,
-                max_blocking: m.max_blocking.raw(),
-                restarts: m.restarts,
-            })
-            .collect(),
-    };
-    println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+    let templates: Vec<Json> = run
+        .metrics
+        .by_template()
+        .iter()
+        .map(|(txn, m)| {
+            Json::obj()
+                .set("template", format!("{txn}"))
+                .set("released", m.released)
+                .set("completed", m.completed)
+                .set("deadline_misses", m.deadline_misses)
+                .set("max_response", m.max_response.raw())
+                .set("mean_response", m.mean_response)
+                .set("max_blocking", m.max_blocking.raw())
+                .set("restarts", m.restarts)
+        })
+        .collect();
+    let out = Json::obj()
+        .set("protocol", run.protocol.to_string())
+        .set("committed", run.history.committed())
+        .set("aborts", run.history.aborts())
+        .set("deadline_misses", run.metrics.deadline_misses())
+        .set("miss_ratio", run.metrics.miss_ratio())
+        .set("total_blocking", run.metrics.total_blocking().raw())
+        .set("max_sysceil", run.metrics.max_sysceil.to_string())
+        .set("serializable", run.is_conflict_serializable())
+        .set("templates", Json::Arr(templates));
+    println!("{}", out.pretty());
 }
 
 fn print_analysis(set: &TransactionSet) {
@@ -450,7 +447,14 @@ mod tests {
     #[test]
     fn all_protocol_names_resolve() {
         for name in [
-            "pcp-da", "pcp-da-literal", "rw-pcp", "pcp", "ccp", "2pl-pi", "2pl-hp", "occ-bc",
+            "pcp-da",
+            "pcp-da-literal",
+            "rw-pcp",
+            "pcp",
+            "ccp",
+            "2pl-pi",
+            "2pl-hp",
+            "occ-bc",
             "naive-da",
         ] {
             assert!(protocol_by_name(name).is_some(), "{name}");

@@ -1,0 +1,259 @@
+//! A Criterion-shaped micro-benchmark harness over `std::time`.
+//!
+//! The offline build environment has no crates.io access, so the
+//! `benches/` targets (declared with `harness = false`) run on this
+//! drop-in instead of Criterion. The API mirrors the subset of Criterion
+//! the benches use — `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `criterion_group!`/`criterion_main!`
+//! — so they read identically.
+//!
+//! Measurement model: each benchmark warms up for [`WARMUP`] and then
+//! takes [`Criterion::sample_size`] samples, each running a calibrated
+//! batch of iterations; the reported statistic is the mean ns/iteration of
+//! the fastest half of the samples (robust against scheduler noise).
+//! Set `BENCH_JSON=<path>` to also write the results as a JSON array of
+//! `{id, mean_ns, iters}` records.
+
+use rtdb_util::Json;
+use std::time::{Duration, Instant};
+
+/// Warm-up time per benchmark.
+pub const WARMUP: Duration = Duration::from_millis(60);
+
+/// Target measurement time per benchmark (split across samples).
+pub const MEASURE: Duration = Duration::from_millis(240);
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark id, e.g. `lock_decision/read_request/PCP-DA`.
+    pub id: String,
+    /// Mean nanoseconds per iteration (fastest half of samples).
+    pub mean_ns: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+/// The harness entry point (drop-in for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+/// Names one benchmark within a group (drop-in for
+/// `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs the timed loops (drop-in for `criterion::Bencher`).
+pub struct Bencher {
+    sample_size: usize,
+    result_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up, calibrate a batch size, then sample.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up, also yielding a first latency estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Batch size so one sample costs MEASURE / sample_size.
+        let sample_budget_ns = MEASURE.as_nanos() as f64 / self.sample_size as f64;
+        let batch = ((sample_budget_ns / est_ns).round() as u64).max(1);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples_ns.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+            total_iters += batch;
+        }
+        // Mean of the fastest half: the slow half is scheduler noise.
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let half = samples_ns.len().div_ceil(2);
+        self.result_ns = samples_ns[..half].iter().sum::<f64>() / half as f64;
+        self.iters = total_iters;
+    }
+}
+
+/// A named group of benchmarks (drop-in for Criterion's group).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 24,
+        }
+    }
+
+    /// Measure one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) {
+        self.run_one(id.to_string(), 24, f);
+    }
+
+    fn run_one(&mut self, id: String, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            sample_size,
+            result_ns: f64::NAN,
+            iters: 0,
+        };
+        f(&mut b);
+        let result = BenchResult {
+            id,
+            mean_ns: b.result_ns,
+            iters: b.iters,
+        };
+        println!(
+            "{:<56} {:>14} {:>10}",
+            result.id,
+            format_ns(result.mean_ns),
+            format!("({} iters)", result.iters)
+        );
+        self.results.push(result);
+    }
+
+    /// All measurements taken so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Print the footer and honour `BENCH_JSON=<path>`.
+    pub fn finalize(&self) {
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            let records: Vec<Json> = self
+                .results
+                .iter()
+                .map(|r| {
+                    Json::obj()
+                        .set("id", r.id.as_str())
+                        .set("mean_ns", r.mean_ns)
+                        .set("iters", r.iters)
+                })
+                .collect();
+            std::fs::write(&path, Json::Arr(records).pretty())
+                .unwrap_or_else(|e| eprintln!("cannot write {path}: {e}"));
+            eprintln!("bench results written to {path}");
+        }
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Measure one benchmark of this group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(full, self.sample_size, f);
+    }
+
+    /// Measure one parameterized benchmark of this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let full = format!("{}/{}/{}", self.name, id.function, id.parameter);
+        self.criterion
+            .run_one(full, self.sample_size, |b| f(b, input));
+    }
+
+    /// End the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1.0e9 {
+        format!("{:.3} s", ns / 1.0e9)
+    } else if ns >= 1.0e6 {
+        format!("{:.3} ms", ns / 1.0e6)
+    } else if ns >= 1.0e3 {
+        format!("{:.3} µs", ns / 1.0e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Drop-in for `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::harness::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Drop-in for `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::default();
+            $($group(&mut c);)+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(4);
+        group.bench_with_input(BenchmarkId::new("f", "p"), &3u64, |b, &x| {
+            b.iter(|| std::hint::black_box(x * 2))
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].id, "g/f/p");
+        assert!(c.results()[0].mean_ns > 0.0);
+        assert!(c.results()[1].iters > 0);
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(5.0).ends_with("ns"));
+        assert!(format_ns(5.0e3).ends_with("µs"));
+        assert!(format_ns(5.0e6).ends_with("ms"));
+        assert!(format_ns(5.0e9).ends_with(" s"));
+    }
+}

@@ -9,6 +9,8 @@
 //!
 //! Shared helpers live here.
 
+pub mod harness;
+
 use rtdb::prelude::*;
 
 /// The protocols compared throughout the harness, in presentation order.

@@ -1,0 +1,366 @@
+//! Incremental system-ceiling index.
+//!
+//! The scan-based `Sysceil` computations in [`crate::ceilings`] walk the
+//! whole lock table on every query — O(items × holders) work that sits on
+//! the hottest path of every protocol decision. This module maintains the
+//! same quantities *incrementally*: one [`FlavorIndex`] per protocol
+//! flavor (PCP-DA read ceilings, RW-PCP mode-dependent ceilings, PCP
+//! any-mode ceilings), each a multiset of active per-lock ceiling
+//! contributions, updated in O(log n) on lock acquire / release / upgrade
+//! and queried in O(1) for `Sysceil` *with respect to `who`*.
+//!
+//! # Contribution model
+//!
+//! Every held lock contributes `(level, holder)` pairs:
+//!
+//! * **PCP-DA** — a read lock on `x` contributes `Wceil(x)`; write locks
+//!   contribute nothing (paper §4.2);
+//! * **RW-PCP** — a read lock contributes `Wceil(x)`, a write lock
+//!   contributes `Aceil(x)` (the run-time `RWceil`);
+//! * **PCP** — each *distinct* holder of `x` contributes `Aceil(x)` once,
+//!   regardless of mode (an upgrade does not double-count).
+//!
+//! Dummy-ceiling levels are never inserted, mirroring the scans.
+//!
+//! `Sysceil_who` is then the maximum level over contributions whose
+//! holder differs from `who`, together with every distinct holder at that
+//! level other than `who` (the paper's `T*` candidates).
+//!
+//! # O(1) exclusion without rescans
+//!
+//! The subtle case is a query by the very instance that holds the top of
+//! the multiset. Each flavor therefore caches **two ceilings with
+//! provably different holder sets**: the top level, and — only when the
+//! top level has a *single* distinct holder `a` — the highest level that
+//! contains some holder other than `a`. A query by `who ≠ a` answers with
+//! the top; a query by `a` answers with the second entry, whose holder
+//! set contains a non-`a` instance by construction. Excluding `who`'s own
+//! contribution therefore never forces a walk down the level map.
+//!
+//! The cache is refreshed on update; the refresh walks past consecutive
+//! top levels held solely by one instance, a prefix bounded by the number
+//! of distinct ceiling values among that instance's own locks (in
+//! protocol-reachable states: a handful), giving the O(log n) update.
+//!
+//! # Equivalence oracles
+//!
+//! The scan-based functions remain in [`crate::ceilings`] as from-scratch
+//! oracles; [`crate::CeilingTable::pcpda_sysceil`] and friends
+//! `assert_eq!` index against scan on every query in debug builds (and in
+//! release builds under the `oracle-checks` feature).
+
+use crate::ceilings::{CeilingTable, SysCeil};
+use rtdb_types::{Ceiling, InstanceId, ItemId, LockMode};
+use std::collections::BTreeMap;
+
+/// Distinct holders (with contribution counts) at one ceiling level.
+#[derive(Clone, Debug, Default)]
+struct LevelHolders {
+    counts: BTreeMap<InstanceId, u32>,
+}
+
+impl LevelHolders {
+    /// True iff the only distinct holder is `a`.
+    fn solely(&self, a: InstanceId) -> bool {
+        self.counts.len() == 1 && self.counts.keys().next() == Some(&a)
+    }
+}
+
+/// The cached top-2 ceilings with disjoint holder sets (see module docs).
+#[derive(Clone, Copy, Debug)]
+struct TopCache {
+    /// Highest occupied level.
+    top: Ceiling,
+    /// `Some(a)` iff `a` is the *single* distinct holder at `top`.
+    top_sole: Option<InstanceId>,
+    /// Highest level holding someone other than `a` (tracked only when
+    /// `top_sole` is set; `None` = no such level).
+    second: Option<Ceiling>,
+}
+
+/// One protocol flavor's multiset of `(level, holder)` contributions.
+#[derive(Clone, Debug, Default)]
+struct FlavorIndex {
+    levels: BTreeMap<Ceiling, LevelHolders>,
+    cache: Option<TopCache>,
+}
+
+impl FlavorIndex {
+    fn add(&mut self, level: Ceiling, holder: InstanceId) {
+        if level.is_dummy() {
+            return;
+        }
+        *self
+            .levels
+            .entry(level)
+            .or_default()
+            .counts
+            .entry(holder)
+            .or_insert(0) += 1;
+        self.refresh_cache();
+    }
+
+    fn remove(&mut self, level: Ceiling, holder: InstanceId) {
+        if level.is_dummy() {
+            return;
+        }
+        let lh = self
+            .levels
+            .get_mut(&level)
+            .expect("removing a contribution that was never added");
+        let count = lh
+            .counts
+            .get_mut(&holder)
+            .expect("removing a holder that contributed nothing");
+        *count -= 1;
+        if *count == 0 {
+            lh.counts.remove(&holder);
+            if lh.counts.is_empty() {
+                self.levels.remove(&level);
+            }
+        }
+        self.refresh_cache();
+    }
+
+    fn refresh_cache(&mut self) {
+        let Some((&top, lh)) = self.levels.last_key_value() else {
+            self.cache = None;
+            return;
+        };
+        if lh.counts.len() >= 2 {
+            self.cache = Some(TopCache {
+                top,
+                top_sole: None,
+                second: None,
+            });
+            return;
+        }
+        let a = *lh.counts.keys().next().expect("non-empty level");
+        let second = self
+            .levels
+            .range(..top)
+            .rev()
+            .find(|(_, lh)| !lh.solely(a))
+            .map(|(&level, _)| level);
+        self.cache = Some(TopCache {
+            top,
+            top_sole: Some(a),
+            second,
+        });
+    }
+
+    fn query(&self, who: InstanceId) -> SysCeil {
+        let Some(cache) = self.cache else {
+            return SysCeil::dummy();
+        };
+        let level = match cache.top_sole {
+            Some(a) if a == who => match cache.second {
+                Some(level) => level,
+                None => return SysCeil::dummy(),
+            },
+            _ => cache.top,
+        };
+        let holders = self.levels[&level]
+            .counts
+            .keys()
+            .copied()
+            .filter(|&h| h != who)
+            .collect();
+        SysCeil {
+            ceiling: level,
+            holders,
+        }
+    }
+}
+
+/// The incremental ceiling index: three [`FlavorIndex`]es plus the dense
+/// static ceilings they are levelled by. Owned by [`crate::LockTable`]
+/// (see [`crate::LockTable::with_index`]), which notifies it of every
+/// lock-state transition so the two can never drift apart.
+#[derive(Clone, Debug)]
+pub struct CeilingIndex {
+    /// `Wceil(x)` by item index (dummy past the end).
+    wceil: Vec<Ceiling>,
+    /// `Aceil(x)` by item index.
+    aceil: Vec<Ceiling>,
+    pcpda: FlavorIndex,
+    rwpcp: FlavorIndex,
+    pcp: FlavorIndex,
+}
+
+impl CeilingIndex {
+    /// Index over the static ceilings of `ceilings`.
+    pub fn new(ceilings: &CeilingTable) -> Self {
+        let max = ceilings.items().map(|i| i.index() + 1).max().unwrap_or(0);
+        let mut wceil = vec![Ceiling::Dummy; max];
+        let mut aceil = vec![Ceiling::Dummy; max];
+        for item in ceilings.items() {
+            wceil[item.index()] = ceilings.wceil(item);
+            aceil[item.index()] = ceilings.aceil(item);
+        }
+        CeilingIndex {
+            wceil,
+            aceil,
+            pcpda: FlavorIndex::default(),
+            rwpcp: FlavorIndex::default(),
+            pcp: FlavorIndex::default(),
+        }
+    }
+
+    fn wceil(&self, item: ItemId) -> Ceiling {
+        self.wceil
+            .get(item.index())
+            .copied()
+            .unwrap_or(Ceiling::Dummy)
+    }
+
+    fn aceil(&self, item: ItemId) -> Ceiling {
+        self.aceil
+            .get(item.index())
+            .copied()
+            .unwrap_or(Ceiling::Dummy)
+    }
+
+    /// A lock was *newly* granted (not an idempotent re-grant).
+    /// `first_on_item` is true iff `who` held no lock on `item` in the
+    /// other mode before this grant.
+    pub(crate) fn on_lock_added(
+        &mut self,
+        who: InstanceId,
+        item: ItemId,
+        mode: LockMode,
+        first_on_item: bool,
+    ) {
+        match mode {
+            LockMode::Read => {
+                self.pcpda.add(self.wceil(item), who);
+                self.rwpcp.add(self.wceil(item), who);
+            }
+            LockMode::Write => {
+                self.rwpcp.add(self.aceil(item), who);
+            }
+        }
+        if first_on_item {
+            self.pcp.add(self.aceil(item), who);
+        }
+    }
+
+    /// A held lock was released. `last_on_item` is true iff `who` holds no
+    /// lock on `item` in the other mode after this release.
+    pub(crate) fn on_lock_removed(
+        &mut self,
+        who: InstanceId,
+        item: ItemId,
+        mode: LockMode,
+        last_on_item: bool,
+    ) {
+        match mode {
+            LockMode::Read => {
+                self.pcpda.remove(self.wceil(item), who);
+                self.rwpcp.remove(self.wceil(item), who);
+            }
+            LockMode::Write => {
+                self.rwpcp.remove(self.aceil(item), who);
+            }
+        }
+        if last_on_item {
+            self.pcp.remove(self.aceil(item), who);
+        }
+    }
+
+    /// PCP-DA `Sysceil` with respect to `who`, O(1) plus the holder-set
+    /// clone.
+    pub fn pcpda_sysceil(&self, who: InstanceId) -> SysCeil {
+        self.pcpda.query(who)
+    }
+
+    /// RW-PCP `Sysceil` with respect to `who`.
+    pub fn rwpcp_sysceil(&self, who: InstanceId) -> SysCeil {
+        self.rwpcp.query(who)
+    }
+
+    /// Original-PCP `Sysceil` with respect to `who`.
+    pub fn pcp_sysceil(&self, who: InstanceId) -> SysCeil {
+        self.pcp.query(who)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdb_types::Priority;
+
+    fn i(t: u32) -> InstanceId {
+        InstanceId::first(rtdb_types::TxnId(t))
+    }
+
+    fn at(p: u32) -> Ceiling {
+        Ceiling::At(Priority(p))
+    }
+
+    #[test]
+    fn flavor_index_tracks_max_and_holders() {
+        let mut f = FlavorIndex::default();
+        assert_eq!(f.query(i(0)), SysCeil::dummy());
+
+        f.add(at(5), i(1));
+        f.add(at(3), i(2));
+        let q = f.query(i(0));
+        assert_eq!(q.ceiling, at(5));
+        assert_eq!(q.holders, [i(1)].into_iter().collect());
+
+        // The sole top holder sees the second level instead.
+        let q = f.query(i(1));
+        assert_eq!(q.ceiling, at(3));
+        assert_eq!(q.holders, [i(2)].into_iter().collect());
+
+        f.remove(at(5), i(1));
+        assert_eq!(f.query(i(0)).ceiling, at(3));
+        f.remove(at(3), i(2));
+        assert_eq!(f.query(i(0)), SysCeil::dummy());
+    }
+
+    #[test]
+    fn sole_holder_of_many_top_levels_never_rescans_wrong() {
+        let mut f = FlavorIndex::default();
+        // i(1) solely holds the top three levels; i(2) sits below.
+        f.add(at(9), i(1));
+        f.add(at(8), i(1));
+        f.add(at(7), i(1));
+        f.add(at(2), i(2));
+        let q = f.query(i(1));
+        assert_eq!(q.ceiling, at(2));
+        assert_eq!(q.holders, [i(2)].into_iter().collect());
+        // Everyone else still sees the top.
+        assert_eq!(f.query(i(2)).ceiling, at(9));
+    }
+
+    #[test]
+    fn shared_level_excludes_only_self() {
+        let mut f = FlavorIndex::default();
+        f.add(at(4), i(1));
+        f.add(at(4), i(2));
+        let q = f.query(i(1));
+        assert_eq!(q.ceiling, at(4));
+        assert_eq!(q.holders, [i(2)].into_iter().collect());
+    }
+
+    #[test]
+    fn multiplicity_is_counted() {
+        let mut f = FlavorIndex::default();
+        f.add(at(4), i(1));
+        f.add(at(4), i(1)); // second contribution, same level+holder
+        f.remove(at(4), i(1));
+        // One contribution remains.
+        assert_eq!(f.query(i(0)).ceiling, at(4));
+        f.remove(at(4), i(1));
+        assert_eq!(f.query(i(0)), SysCeil::dummy());
+    }
+
+    #[test]
+    fn dummy_levels_are_ignored() {
+        let mut f = FlavorIndex::default();
+        f.add(Ceiling::Dummy, i(1));
+        assert_eq!(f.query(i(0)), SysCeil::dummy());
+    }
+}

@@ -13,9 +13,15 @@
 //! * PCP-DA: `Sysceil_i` = max `Wceil(x)` over items **read-locked** by
 //!   transactions other than `T_i` (write locks raise no ceiling);
 //! * RW-PCP: `Sysceil_i` = max `RWceil(x)` over items locked by others,
-//!   where `RWceil(x) = Aceil(x)` while `x` is write-locked and
-//!   `RWceil(x) = Wceil(x)` while `x` is (only) read-locked;
+//!   where a write lock contributes `Aceil(x)` and a read lock contributes
+//!   `Wceil(x)` (the run-time `RWceil`);
 //! * PCP: `Sysceil_i` = max `Aceil(x)` over items locked by others.
+//!
+//! When the lock table carries a [`crate::CeilingIndex`]
+//! ([`crate::LockTable::with_index`]), the `*_sysceil` queries are O(1)
+//! incremental lookups; the from-scratch scans below remain as their
+//! equivalence oracles, `assert_eq!`-checked on every query in debug
+//! builds and, under the `oracle-checks` feature, in release builds too.
 
 use crate::locks::LockTable;
 use rtdb_types::{Ceiling, InstanceId, ItemId, TransactionSet, TxnId};
@@ -42,12 +48,20 @@ pub struct SysCeil {
 }
 
 impl SysCeil {
-    fn dummy() -> Self {
+    /// The bottom ceiling: nothing relevant is locked.
+    pub fn dummy() -> Self {
         SysCeil {
             ceiling: Ceiling::Dummy,
             holders: BTreeSet::new(),
         }
     }
+}
+
+/// True when the equivalence oracles should run (debug builds, or any
+/// build with the `oracle-checks` feature).
+#[inline]
+fn oracle_checks_enabled() -> bool {
+    cfg!(debug_assertions) || cfg!(feature = "oracle-checks")
 }
 
 impl CeilingTable {
@@ -77,6 +91,11 @@ impl CeilingTable {
         self.aceil.get(&item).copied().unwrap_or(Ceiling::Dummy)
     }
 
+    /// Every item with a precomputed ceiling.
+    pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.wceil.keys().copied()
+    }
+
     /// Static `WriteSet(T)` of a template.
     pub fn write_set(&self, txn: TxnId) -> &BTreeSet<ItemId> {
         &self.write_sets[txn.index()]
@@ -91,6 +110,61 @@ impl CeilingTable {
     /// all items read-locked by other transactions, with the holders of
     /// the ceiling item(s) (`T*`).
     pub fn pcpda_sysceil(&self, locks: &LockTable, who: InstanceId) -> SysCeil {
+        if let Some(ix) = locks.index() {
+            let fast = ix.pcpda_sysceil(who);
+            if oracle_checks_enabled() {
+                let slow = self.pcpda_sysceil_scan(locks, who);
+                assert_eq!(
+                    fast, slow,
+                    "CeilingIndex diverged from the PCP-DA Sysceil scan (who={who})"
+                );
+            }
+            return fast;
+        }
+        self.pcpda_sysceil_scan(locks, who)
+    }
+
+    /// RW-PCP `Sysceil` with respect to `who`: the highest `RWceil(x)` over
+    /// all items locked by other transactions.
+    ///
+    /// `RWceil` is determined at run time by the lock modes present: a
+    /// write lock contributes `Aceil(x)`; a read lock contributes
+    /// `Wceil(x)`. If both modes are present (an upgrade in progress) the
+    /// write-mode ceiling dominates, since `Aceil ≥ Wceil`.
+    pub fn rwpcp_sysceil(&self, locks: &LockTable, who: InstanceId) -> SysCeil {
+        if let Some(ix) = locks.index() {
+            let fast = ix.rwpcp_sysceil(who);
+            if oracle_checks_enabled() {
+                let slow = self.rwpcp_sysceil_scan(locks, who);
+                assert_eq!(
+                    fast, slow,
+                    "CeilingIndex diverged from the RW-PCP Sysceil scan (who={who})"
+                );
+            }
+            return fast;
+        }
+        self.rwpcp_sysceil_scan(locks, who)
+    }
+
+    /// Original-PCP `Sysceil` with respect to `who`: the highest `Aceil(x)`
+    /// over all items locked (in any mode) by other transactions.
+    pub fn pcp_sysceil(&self, locks: &LockTable, who: InstanceId) -> SysCeil {
+        if let Some(ix) = locks.index() {
+            let fast = ix.pcp_sysceil(who);
+            if oracle_checks_enabled() {
+                let slow = self.pcp_sysceil_scan(locks, who);
+                assert_eq!(
+                    fast, slow,
+                    "CeilingIndex diverged from the PCP Sysceil scan (who={who})"
+                );
+            }
+            return fast;
+        }
+        self.pcp_sysceil_scan(locks, who)
+    }
+
+    /// From-scratch PCP-DA `Sysceil` — the [`Self::pcpda_sysceil`] oracle.
+    pub fn pcpda_sysceil_scan(&self, locks: &LockTable, who: InstanceId) -> SysCeil {
         let mut best = SysCeil::dummy();
         for (item, holders) in locks.read_locked_by_others(who) {
             let c = self.wceil(item);
@@ -109,57 +183,56 @@ impl CeilingTable {
         best
     }
 
-    /// RW-PCP `Sysceil` with respect to `who`: the highest `RWceil(x)` over
-    /// all items locked by other transactions.
-    ///
-    /// `RWceil` is determined at run time by the lock modes present: a
-    /// write lock sets it to `Aceil(x)`; a read lock sets it to `Wceil(x)`.
-    /// If both modes are present (an upgrade in progress elsewhere) the
-    /// write-mode ceiling dominates.
-    pub fn rwpcp_sysceil(&self, locks: &LockTable, who: InstanceId) -> SysCeil {
+    /// From-scratch RW-PCP `Sysceil` — the [`Self::rwpcp_sysceil`] oracle.
+    pub fn rwpcp_sysceil_scan(&self, locks: &LockTable, who: InstanceId) -> SysCeil {
         let mut best = SysCeil::dummy();
-        for (item, read_by_other, written_by_other, holders) in locks.locked_by_others(who) {
-            let mut c = Ceiling::Dummy;
-            if written_by_other {
-                c = c.max(self.aceil(item));
-            }
-            if read_by_other {
-                c = c.max(self.wceil(item));
-            }
-            if c.is_dummy() {
-                continue;
-            }
-            match c.cmp(&best.ceiling) {
-                std::cmp::Ordering::Greater => {
-                    best.ceiling = c;
-                    best.holders = holders.into_iter().collect();
-                }
-                std::cmp::Ordering::Equal => best.holders.extend(holders),
-                std::cmp::Ordering::Less => {}
-            }
+        for item in locks.locked_item_ids() {
+            self.consider(
+                &mut best,
+                self.wceil(item),
+                locks.readers_other_than(item, who),
+            );
+            self.consider(
+                &mut best,
+                self.aceil(item),
+                locks.writers_other_than(item, who),
+            );
         }
         best
     }
 
-    /// Original-PCP `Sysceil` with respect to `who`: the highest `Aceil(x)`
-    /// over all items locked (in any mode) by other transactions.
-    pub fn pcp_sysceil(&self, locks: &LockTable, who: InstanceId) -> SysCeil {
+    /// From-scratch original-PCP `Sysceil` — the [`Self::pcp_sysceil`]
+    /// oracle.
+    pub fn pcp_sysceil_scan(&self, locks: &LockTable, who: InstanceId) -> SysCeil {
         let mut best = SysCeil::dummy();
-        for (item, _, _, holders) in locks.locked_by_others(who) {
+        for item in locks.locked_item_ids() {
             let c = self.aceil(item);
-            if c.is_dummy() {
-                continue;
-            }
-            match c.cmp(&best.ceiling) {
-                std::cmp::Ordering::Greater => {
-                    best.ceiling = c;
-                    best.holders = holders.into_iter().collect();
-                }
-                std::cmp::Ordering::Equal => best.holders.extend(holders),
-                std::cmp::Ordering::Less => {}
-            }
+            self.consider(
+                &mut best,
+                c,
+                locks
+                    .readers_other_than(item, who)
+                    .chain(locks.writers_other_than(item, who)),
+            );
         }
         best
+    }
+
+    /// Fold one (ceiling, holders) candidate into the running maximum.
+    /// Ignores empty holder sets and dummy ceilings.
+    fn consider(&self, best: &mut SysCeil, c: Ceiling, holders: impl Iterator<Item = InstanceId>) {
+        if c.is_dummy() || c < best.ceiling {
+            return;
+        }
+        let mut holders = holders.peekable();
+        if holders.peek().is_none() {
+            return;
+        }
+        if c > best.ceiling {
+            best.ceiling = c;
+            best.holders.clear();
+        }
+        best.holders.extend(holders);
     }
 }
 
@@ -175,8 +248,16 @@ mod tests {
     /// Paper Example 4 set: T1: R(x); T2: W(y); T3: R(z),W(z); T4: R(y),W(x).
     fn set() -> TransactionSet {
         SetBuilder::new()
-            .with(TransactionTemplate::new("T1", 30, vec![Step::read(ItemId(0), 2)]))
-            .with(TransactionTemplate::new("T2", 30, vec![Step::write(ItemId(1), 2)]))
+            .with(TransactionTemplate::new(
+                "T1",
+                30,
+                vec![Step::read(ItemId(0), 2)],
+            ))
+            .with(TransactionTemplate::new(
+                "T2",
+                30,
+                vec![Step::write(ItemId(1), 2)],
+            ))
             .with(TransactionTemplate::new(
                 "T3",
                 30,
@@ -185,10 +266,26 @@ mod tests {
             .with(TransactionTemplate::new(
                 "T4",
                 30,
-                vec![Step::read(ItemId(1), 1), Step::write(ItemId(0), 1), Step::compute(3)],
+                vec![
+                    Step::read(ItemId(1), 1),
+                    Step::write(ItemId(0), 1),
+                    Step::compute(3),
+                ],
             ))
             .build()
             .unwrap()
+    }
+
+    /// Every ceiling test runs twice: on a plain table (scan path) and on
+    /// an indexed table (incremental path + oracle assertion).
+    fn tables(set: &TransactionSet) -> [(&'static str, CeilingTable, LockTable); 2] {
+        let plain = CeilingTable::new(set);
+        let indexed = CeilingTable::new(set);
+        let lt_indexed = LockTable::with_index(&indexed);
+        [
+            ("scan", plain, LockTable::new()),
+            ("index", indexed, lt_indexed),
+        ]
     }
 
     #[test]
@@ -201,72 +298,111 @@ mod tests {
         assert_eq!(c.aceil(ItemId(0)), s.priority_of(TxnId(0)).as_ceiling()); // Aceil(x)=P1
         assert!(c.may_write(TxnId(3), ItemId(0)));
         assert!(!c.may_write(TxnId(0), ItemId(0)));
+        assert_eq!(c.items().count(), 3);
     }
 
     #[test]
     fn pcpda_sysceil_counts_only_read_locks() {
         let s = set();
-        let c = CeilingTable::new(&s);
-        let mut lt = LockTable::new();
+        for (path, c, mut lt) in tables(&s) {
+            // T4 write-locks x: raises nothing under PCP-DA.
+            lt.grant(i(3), ItemId(0), LockMode::Write);
+            assert_eq!(c.pcpda_sysceil(&lt, i(0)).ceiling, Ceiling::Dummy, "{path}");
 
-        // T4 write-locks x: raises nothing under PCP-DA.
-        lt.grant(i(3), ItemId(0), LockMode::Write);
-        assert_eq!(c.pcpda_sysceil(&lt, i(0)).ceiling, Ceiling::Dummy);
+            // T4 read-locks y: Sysceil = Wceil(y) = P2 for everyone else.
+            lt.grant(i(3), ItemId(1), LockMode::Read);
+            let sc = c.pcpda_sysceil(&lt, i(2));
+            assert_eq!(sc.ceiling, s.priority_of(TxnId(1)).as_ceiling(), "{path}");
+            assert_eq!(sc.holders, [i(3)].into_iter().collect(), "{path}");
 
-        // T4 read-locks y: Sysceil = Wceil(y) = P2 for everyone else.
-        lt.grant(i(3), ItemId(1), LockMode::Read);
-        let sc = c.pcpda_sysceil(&lt, i(2));
-        assert_eq!(sc.ceiling, s.priority_of(TxnId(1)).as_ceiling());
-        assert_eq!(sc.holders, [i(3)].into_iter().collect());
-
-        // From T4's own perspective the ceiling is still dummy.
-        assert_eq!(c.pcpda_sysceil(&lt, i(3)).ceiling, Ceiling::Dummy);
+            // From T4's own perspective the ceiling is still dummy.
+            assert_eq!(c.pcpda_sysceil(&lt, i(3)).ceiling, Ceiling::Dummy, "{path}");
+        }
     }
 
     #[test]
     fn rwpcp_sysceil_uses_rwceil() {
         let s = set();
-        let c = CeilingTable::new(&s);
-        let mut lt = LockTable::new();
+        for (path, c, mut lt) in tables(&s) {
+            // T4 read-locks y: RWceil(y) = Wceil(y) = P2.
+            lt.grant(i(3), ItemId(1), LockMode::Read);
+            assert_eq!(
+                c.rwpcp_sysceil(&lt, i(2)).ceiling,
+                s.priority_of(TxnId(1)).as_ceiling(),
+                "{path}"
+            );
 
-        // T4 read-locks y: RWceil(y) = Wceil(y) = P2.
-        lt.grant(i(3), ItemId(1), LockMode::Read);
-        assert_eq!(
-            c.rwpcp_sysceil(&lt, i(2)).ceiling,
-            s.priority_of(TxnId(1)).as_ceiling()
-        );
-
-        // T4 additionally write-locks x: RWceil(x) = Aceil(x) = P1 dominates.
-        lt.grant(i(3), ItemId(0), LockMode::Write);
-        let sc = c.rwpcp_sysceil(&lt, i(0));
-        assert_eq!(sc.ceiling, s.priority_of(TxnId(0)).as_ceiling());
-        assert_eq!(sc.holders, [i(3)].into_iter().collect());
+            // T4 additionally write-locks x: RWceil(x) = Aceil(x) = P1 dominates.
+            lt.grant(i(3), ItemId(0), LockMode::Write);
+            let sc = c.rwpcp_sysceil(&lt, i(0));
+            assert_eq!(sc.ceiling, s.priority_of(TxnId(0)).as_ceiling(), "{path}");
+            assert_eq!(sc.holders, [i(3)].into_iter().collect(), "{path}");
+        }
     }
 
     #[test]
     fn pcp_sysceil_uses_aceil_for_reads_too() {
         let s = set();
-        let c = CeilingTable::new(&s);
-        let mut lt = LockTable::new();
-        lt.grant(i(3), ItemId(1), LockMode::Read); // y: Aceil(y)=P2
-        assert_eq!(
-            c.pcp_sysceil(&lt, i(0)).ceiling,
-            s.priority_of(TxnId(1)).as_ceiling()
-        );
+        for (path, c, mut lt) in tables(&s) {
+            lt.grant(i(3), ItemId(1), LockMode::Read); // y: Aceil(y)=P2
+            assert_eq!(
+                c.pcp_sysceil(&lt, i(0)).ceiling,
+                s.priority_of(TxnId(1)).as_ceiling(),
+                "{path}"
+            );
+        }
     }
 
     #[test]
     fn ties_collect_all_holders() {
         let s = set();
-        let c = CeilingTable::new(&s);
-        let mut lt = LockTable::new();
-        // Two different transactions read-lock items with equal Wceil:
-        // construct via z (Wceil=P3) read-locked by T1 and T2.
-        lt.grant(i(0), ItemId(2), LockMode::Read);
-        lt.grant(i(1), ItemId(2), LockMode::Read);
-        let sc = c.pcpda_sysceil(&lt, i(3));
-        assert_eq!(sc.ceiling, s.priority_of(TxnId(2)).as_ceiling());
-        assert_eq!(sc.holders.len(), 2);
+        for (path, c, mut lt) in tables(&s) {
+            // Two different transactions read-lock items with equal Wceil:
+            // construct via z (Wceil=P3) read-locked by T1 and T2.
+            lt.grant(i(0), ItemId(2), LockMode::Read);
+            lt.grant(i(1), ItemId(2), LockMode::Read);
+            let sc = c.pcpda_sysceil(&lt, i(3));
+            assert_eq!(sc.ceiling, s.priority_of(TxnId(2)).as_ceiling(), "{path}");
+            assert_eq!(sc.holders.len(), 2, "{path}");
+        }
+    }
+
+    #[test]
+    fn upgrade_counts_once_under_pcp() {
+        let s = set();
+        for (path, c, mut lt) in tables(&s) {
+            lt.grant(i(2), ItemId(2), LockMode::Read);
+            lt.grant(i(2), ItemId(2), LockMode::Write); // upgrade
+            let sc = c.pcp_sysceil(&lt, i(0));
+            assert_eq!(sc.ceiling, c.aceil(ItemId(2)), "{path}");
+            assert_eq!(sc.holders, [i(2)].into_iter().collect(), "{path}");
+            // Releasing one mode keeps the holder's contribution alive.
+            lt.release(i(2), ItemId(2), LockMode::Write);
+            assert_eq!(
+                c.pcp_sysceil(&lt, i(0)).ceiling,
+                c.aceil(ItemId(2)),
+                "{path}"
+            );
+            lt.release(i(2), ItemId(2), LockMode::Read);
+            assert_eq!(c.pcp_sysceil(&lt, i(0)), SysCeil::dummy(), "{path}");
+        }
+    }
+
+    #[test]
+    fn release_all_unwinds_the_index() {
+        let s = set();
+        for (path, c, mut lt) in tables(&s) {
+            lt.grant(i(3), ItemId(1), LockMode::Read);
+            lt.grant(i(3), ItemId(0), LockMode::Write);
+            lt.grant(i(2), ItemId(2), LockMode::Read);
+            assert_ne!(c.rwpcp_sysceil(&lt, i(0)), SysCeil::dummy(), "{path}");
+            lt.release_all(i(3));
+            // Only T3's read of z remains.
+            let sc = c.pcpda_sysceil(&lt, i(0));
+            assert_eq!(sc.holders, [i(2)].into_iter().collect(), "{path}");
+            lt.release_all(i(2));
+            assert_eq!(c.rwpcp_sysceil(&lt, i(0)), SysCeil::dummy(), "{path}");
+        }
     }
 
     #[test]

@@ -20,13 +20,15 @@
 //!   inheritance over the current blocking edges;
 //! * [`waitfor`] — the wait-for graph and deadlock detection.
 
+pub mod ceiling_index;
 pub mod ceilings;
 pub mod inherit;
 pub mod locks;
 pub mod protocol;
 pub mod waitfor;
 
-pub use ceilings::CeilingTable;
+pub use ceiling_index::CeilingIndex;
+pub use ceilings::{CeilingTable, SysCeil};
 pub use inherit::PriorityManager;
 pub use locks::{HeldLock, LockTable};
 pub use protocol::{Decision, EngineView, LockRequest, Protocol, UpdateModel};

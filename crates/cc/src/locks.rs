@@ -9,9 +9,26 @@
 //!
 //! The table is pure bookkeeping: *who may lock what* is decided by a
 //! [`crate::Protocol`]; the engine records grants and releases here.
+//!
+//! # Layout
+//!
+//! Per-item state lives in a dense `Vec` indexed by `ItemId` (items are
+//! small consecutive integers), with sorted small-vector holder sets —
+//! no tree nodes on the hot path, and every accessor hands back an
+//! iterator over the stored slices instead of allocating. The per-call
+//! `Vec` that `release_all` used to build is replaced by an internal
+//! scratch buffer returned as a slice.
+//!
+//! A table built with [`LockTable::with_index`] additionally carries a
+//! [`CeilingIndex`] that it notifies of every state *transition* (grants
+//! and releases are idempotent, so no-ops never reach the index), keeping
+//! the incremental `Sysceil` multisets exactly in sync with the holder
+//! sets by construction.
 
+use crate::ceiling_index::CeilingIndex;
+use crate::ceilings::CeilingTable;
 use rtdb_types::{InstanceId, ItemId, LockMode};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// One lock held by an instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -24,89 +41,190 @@ pub struct HeldLock {
 
 #[derive(Clone, Debug, Default)]
 struct ItemLocks {
-    readers: BTreeSet<InstanceId>,
-    writers: BTreeSet<InstanceId>,
+    /// Sorted.
+    readers: Vec<InstanceId>,
+    /// Sorted.
+    writers: Vec<InstanceId>,
 }
 
 impl ItemLocks {
     fn is_empty(&self) -> bool {
         self.readers.is_empty() && self.writers.is_empty()
     }
+
+    fn set(&mut self, mode: LockMode) -> &mut Vec<InstanceId> {
+        match mode {
+            LockMode::Read => &mut self.readers,
+            LockMode::Write => &mut self.writers,
+        }
+    }
+
+    /// Insert into the sorted holder vec; false if already present.
+    fn insert(&mut self, mode: LockMode, who: InstanceId) -> bool {
+        let set = self.set(mode);
+        match set.binary_search(&who) {
+            Ok(_) => false,
+            Err(pos) => {
+                set.insert(pos, who);
+                true
+            }
+        }
+    }
+
+    /// Remove from the sorted holder vec; false if absent.
+    fn remove(&mut self, mode: LockMode, who: InstanceId) -> bool {
+        let set = self.set(mode);
+        match set.binary_search(&who) {
+            Ok(pos) => {
+                set.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn holds(&self, mode: LockMode, who: InstanceId) -> bool {
+        match mode {
+            LockMode::Read => self.readers.binary_search(&who).is_ok(),
+            LockMode::Write => self.writers.binary_search(&who).is_ok(),
+        }
+    }
 }
 
 /// The lock table of one simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct LockTable {
-    items: BTreeMap<ItemId, ItemLocks>,
-    // Reverse index: instance -> its held locks.
-    held: BTreeMap<InstanceId, BTreeSet<HeldLock>>,
+    /// Dense per-item state, indexed by `ItemId::index()`; grown on demand.
+    items: Vec<ItemLocks>,
+    /// Number of items with at least one holder.
+    locked_count: usize,
+    // Reverse index: instance -> its held locks (sorted).
+    held: BTreeMap<InstanceId, Vec<HeldLock>>,
+    /// Reused by [`LockTable::release_all`].
+    scratch: Vec<HeldLock>,
+    /// Monotone state-transition counter (idempotent no-ops don't bump).
+    version: u64,
+    /// Incremental `Sysceil` index, when enabled.
+    index: Option<CeilingIndex>,
 }
 
 impl LockTable {
-    /// Empty table.
+    /// Empty table without an incremental ceiling index (`Sysceil` queries
+    /// fall back to the from-scratch scans).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty table carrying a [`CeilingIndex`] over `ceilings`: `Sysceil`
+    /// queries become O(1) lookups kept in sync with every grant/release.
+    pub fn with_index(ceilings: &CeilingTable) -> Self {
+        LockTable {
+            index: Some(CeilingIndex::new(ceilings)),
+            ..Self::default()
+        }
+    }
+
+    /// The incremental ceiling index, if this table carries one.
+    pub fn index(&self) -> Option<&CeilingIndex> {
+        self.index.as_ref()
+    }
+
+    /// Monotone state-transition counter: two equal versions guarantee an
+    /// unchanged lock state, so `Sysceil`-derived values can be memoized
+    /// against it (see `rtdb-core`'s per-round `hard_blocked_on` memo).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    fn item_locks_mut(&mut self, item: ItemId) -> &mut ItemLocks {
+        let idx = item.index();
+        if idx >= self.items.len() {
+            self.items.resize_with(idx + 1, ItemLocks::default);
+        }
+        &mut self.items[idx]
+    }
+
+    fn item_locks(&self, item: ItemId) -> Option<&ItemLocks> {
+        self.items.get(item.index())
     }
 
     /// Record a granted lock. Granting a mode already held is a no-op
     /// (idempotent), so upgrades just add the second mode.
     pub fn grant(&mut self, who: InstanceId, item: ItemId, mode: LockMode) {
-        let locks = self.items.entry(item).or_default();
-        match mode {
-            LockMode::Read => locks.readers.insert(who),
-            LockMode::Write => locks.writers.insert(who),
-        };
-        self.held
-            .entry(who)
-            .or_default()
-            .insert(HeldLock { item, mode });
+        let locks = self.item_locks_mut(item);
+        let was_empty = locks.is_empty();
+        let other_mode_held = locks.holds(mode.other(), who);
+        if !locks.insert(mode, who) {
+            return; // idempotent re-grant
+        }
+        self.version += 1;
+        if was_empty {
+            self.locked_count += 1;
+        }
+        let held = self.held.entry(who).or_default();
+        let lock = HeldLock { item, mode };
+        if let Err(pos) = held.binary_search(&lock) {
+            held.insert(pos, lock);
+        }
+        if let Some(ix) = self.index.as_mut() {
+            ix.on_lock_added(who, item, mode, !other_mode_held);
+        }
     }
 
     /// Release one lock (CCP's early unlock). No-op if not held.
     pub fn release(&mut self, who: InstanceId, item: ItemId, mode: LockMode) {
-        if let Some(locks) = self.items.get_mut(&item) {
-            match mode {
-                LockMode::Read => locks.readers.remove(&who),
-                LockMode::Write => locks.writers.remove(&who),
-            };
-            if locks.is_empty() {
-                self.items.remove(&item);
-            }
+        let Some(locks) = self.items.get_mut(item.index()) else {
+            return;
+        };
+        if !locks.remove(mode, who) {
+            return; // not held
         }
+        self.version += 1;
+        if locks.is_empty() {
+            self.locked_count -= 1;
+        }
+        let other_mode_held = locks.holds(mode.other(), who);
         if let Some(held) = self.held.get_mut(&who) {
-            held.remove(&HeldLock { item, mode });
+            let lock = HeldLock { item, mode };
+            if let Ok(pos) = held.binary_search(&lock) {
+                held.remove(pos);
+            }
             if held.is_empty() {
                 self.held.remove(&who);
             }
         }
+        if let Some(ix) = self.index.as_mut() {
+            ix.on_lock_removed(who, item, mode, !other_mode_held);
+        }
     }
 
-    /// Release every lock held by `who` (commit or abort); returns them.
-    pub fn release_all(&mut self, who: InstanceId) -> Vec<HeldLock> {
-        let held: Vec<HeldLock> = self
-            .held
-            .remove(&who)
-            .map(|s| s.into_iter().collect())
-            .unwrap_or_default();
-        for lock in &held {
-            if let Some(locks) = self.items.get_mut(&lock.item) {
-                match lock.mode {
-                    LockMode::Read => locks.readers.remove(&who),
-                    LockMode::Write => locks.writers.remove(&who),
-                };
-                if locks.is_empty() {
-                    self.items.remove(&lock.item);
-                }
+    /// Release every lock held by `who` (commit or abort); returns them as
+    /// a slice of an internal scratch buffer (valid until the next call).
+    pub fn release_all(&mut self, who: InstanceId) -> &[HeldLock] {
+        self.scratch.clear();
+        let Some(held) = self.held.remove(&who) else {
+            return &self.scratch;
+        };
+        self.scratch.extend_from_slice(&held);
+        for &HeldLock { item, mode } in &held {
+            let locks = &mut self.items[item.index()];
+            locks.remove(mode, who);
+            self.version += 1;
+            if locks.is_empty() {
+                self.locked_count -= 1;
+            }
+            let other_mode_held = locks.holds(mode.other(), who);
+            if let Some(ix) = self.index.as_mut() {
+                ix.on_lock_removed(who, item, mode, !other_mode_held);
             }
         }
-        held
+        &self.scratch
     }
 
     /// True if `who` holds `item` in `mode`.
     pub fn holds(&self, who: InstanceId, item: ItemId, mode: LockMode) -> bool {
-        self.held
-            .get(&who)
-            .is_some_and(|s| s.contains(&HeldLock { item, mode }))
+        self.item_locks(item)
+            .is_some_and(|locks| locks.holds(mode, who))
     }
 
     /// All locks held by `who`.
@@ -116,16 +234,14 @@ impl LockTable {
 
     /// Read holders of `item`.
     pub fn readers(&self, item: ItemId) -> impl Iterator<Item = InstanceId> + '_ {
-        self.items
-            .get(&item)
+        self.item_locks(item)
             .into_iter()
             .flat_map(|l| l.readers.iter().copied())
     }
 
     /// Write holders of `item`.
     pub fn writers(&self, item: ItemId) -> impl Iterator<Item = InstanceId> + '_ {
-        self.items
-            .get(&item)
+        self.item_locks(item)
             .into_iter()
             .flat_map(|l| l.writers.iter().copied())
     }
@@ -154,40 +270,31 @@ impl LockTable {
         self.writers(item).filter(move |&w| w != who)
     }
 
+    /// Every item currently holding at least one lock (ascending).
+    pub fn locked_item_ids(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.items
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.is_empty())
+            .map(|(i, _)| ItemId(i as u32))
+    }
+
     /// Items read-locked by transactions other than `who`, with those
-    /// holders. Drives PCP-DA's `Sysceil`.
+    /// holders. Drives PCP-DA's `Sysceil`. Allocation-free: both levels
+    /// iterate the stored holder slices directly.
     pub fn read_locked_by_others(
         &self,
         who: InstanceId,
     ) -> impl Iterator<Item = (ItemId, impl Iterator<Item = InstanceId> + '_)> + '_ {
-        self.items.iter().filter_map(move |(&item, locks)| {
-            let mut holders = locks.readers.iter().copied().filter(move |&r| r != who).peekable();
-            holders.peek()?;
-            Some((item, holders))
-        })
-    }
-
-    /// Items locked (in any mode) by transactions other than `who`, with
-    /// the per-item reader/writer split. Drives RW-PCP's and PCP's
-    /// `Sysceil`.
-    pub fn locked_by_others(
-        &self,
-        who: InstanceId,
-    ) -> impl Iterator<Item = (ItemId, bool, bool, Vec<InstanceId>)> + '_ {
-        self.items.iter().filter_map(move |(&item, locks)| {
-            let holders: Vec<InstanceId> = locks
+        self.items.iter().enumerate().filter_map(move |(i, locks)| {
+            let mut holders = locks
                 .readers
                 .iter()
-                .chain(locks.writers.iter())
                 .copied()
-                .filter(|&h| h != who)
-                .collect();
-            if holders.is_empty() {
-                return None;
-            }
-            let read_by_other = locks.readers.iter().any(|&r| r != who);
-            let written_by_other = locks.writers.iter().any(|&w| w != who);
-            Some((item, read_by_other, written_by_other, holders))
+                .filter(move |&r| r != who)
+                .peekable();
+            holders.peek()?;
+            Some((ItemId(i as u32), holders))
         })
     }
 
@@ -198,7 +305,7 @@ impl LockTable {
 
     /// Number of locked items.
     pub fn locked_items(&self) -> usize {
-        self.items.len()
+        self.locked_count
     }
 }
 
@@ -220,7 +327,7 @@ mod tests {
         assert!(!lt.holds(i(0), ItemId(0), LockMode::Write));
         assert_eq!(lt.held_by(i(0)).count(), 2);
 
-        let released = lt.release_all(i(0));
+        let released: Vec<HeldLock> = lt.release_all(i(0)).to_vec();
         assert_eq!(released.len(), 2);
         assert_eq!(lt.held_by(i(0)).count(), 0);
         assert_eq!(lt.locked_items(), 0);
@@ -267,21 +374,15 @@ mod tests {
     }
 
     #[test]
-    fn locked_by_others_reports_modes() {
+    fn locked_item_ids_tracks_live_items() {
         let mut lt = LockTable::new();
-        lt.grant(i(1), ItemId(0), LockMode::Read);
+        lt.grant(i(1), ItemId(3), LockMode::Read);
         lt.grant(i(2), ItemId(0), LockMode::Write);
-        let rows: Vec<_> = lt.locked_by_others(i(0)).collect();
-        assert_eq!(rows.len(), 1);
-        let (item, read, written, holders) = &rows[0];
-        assert_eq!(*item, ItemId(0));
-        assert!(*read && *written);
-        assert_eq!(holders.len(), 2);
-
-        // From i(1)'s perspective the item is only write-locked by others.
-        let rows: Vec<_> = lt.locked_by_others(i(1)).collect();
-        let (_, read, written, _) = &rows[0];
-        assert!(!*read && *written);
+        let ids: Vec<ItemId> = lt.locked_item_ids().collect();
+        assert_eq!(ids, vec![ItemId(0), ItemId(3)]);
+        lt.release(i(2), ItemId(0), LockMode::Write);
+        let ids: Vec<ItemId> = lt.locked_item_ids().collect();
+        assert_eq!(ids, vec![ItemId(3)]);
     }
 
     #[test]
@@ -292,5 +393,29 @@ mod tests {
         lt.release(i(0), ItemId(0), LockMode::Read);
         assert_eq!(lt.locked_items(), 0);
         assert!(lt.release_all(i(0)).is_empty());
+    }
+
+    #[test]
+    fn grant_is_idempotent() {
+        let mut lt = LockTable::new();
+        lt.grant(i(0), ItemId(0), LockMode::Read);
+        lt.grant(i(0), ItemId(0), LockMode::Read);
+        assert_eq!(lt.held_by(i(0)).count(), 1);
+        assert_eq!(lt.readers(ItemId(0)).count(), 1);
+        lt.release(i(0), ItemId(0), LockMode::Read);
+        assert_eq!(lt.locked_items(), 0);
+    }
+
+    #[test]
+    fn version_counts_transitions_only() {
+        let mut lt = LockTable::new();
+        assert_eq!(lt.version(), 0);
+        lt.grant(i(0), ItemId(0), LockMode::Read);
+        let v1 = lt.version();
+        assert!(v1 > 0);
+        lt.grant(i(0), ItemId(0), LockMode::Read); // idempotent: no bump
+        assert_eq!(lt.version(), v1);
+        lt.release(i(0), ItemId(0), LockMode::Read);
+        assert!(lt.version() > v1);
     }
 }

@@ -1,22 +1,30 @@
 //! Property tests for the concurrency-control framework.
 
-use proptest::prelude::*;
 use rtdb_cc::*;
 use rtdb_types::*;
+use rtdb_util::prop::{forall, vec_of, CASES};
+use rtdb_util::Rng;
 
 fn inst(t: u32) -> InstanceId {
     InstanceId::first(TxnId(t))
 }
 
-proptest! {
-    /// Lock table: grants and releases are exact inverses; `release_all`
-    /// returns exactly what was granted (deduplicated by (item, mode)).
-    #[test]
-    fn lock_table_roundtrip(grants in prop::collection::vec((0u32..4, 0u32..6, any::<bool>()), 0..20)) {
+/// Lock table: grants and releases are exact inverses; `release_all`
+/// returns exactly what was granted (deduplicated by (item, mode)).
+#[test]
+fn lock_table_roundtrip() {
+    forall(CASES, |rng| {
+        let grants = vec_of(rng, 0..20, |rng| {
+            (rng.range_u32(0..4), rng.range_u32(0..6), rng.bool())
+        });
         let mut lt = LockTable::new();
         let mut expect: std::collections::BTreeSet<(u32, u32, bool)> = Default::default();
         for &(who, item, write) in &grants {
-            let mode = if write { LockMode::Write } else { LockMode::Read };
+            let mode = if write {
+                LockMode::Write
+            } else {
+                LockMode::Read
+            };
             lt.grant(inst(who), ItemId(item), mode);
             expect.insert((who, item, write));
         }
@@ -30,21 +38,24 @@ proptest! {
                 .held_by(inst(who))
                 .map(|l| (who, l.item.0, l.mode == LockMode::Write))
                 .collect();
-            prop_assert_eq!(&mine, &held);
-            let released = lt.release_all(inst(who));
-            prop_assert_eq!(released.len(), mine.len());
+            assert_eq!(&mine, &held);
+            let released = lt.release_all(inst(who)).to_vec();
+            assert_eq!(released.len(), mine.len());
         }
-        prop_assert_eq!(lt.locked_items(), 0);
-    }
+        assert_eq!(lt.locked_items(), 0);
+    });
+}
 
-    /// Priority inheritance: running priority is always >= base, equals
-    /// base with no edges, and equals the max over base + blocked
-    /// requesters' running priorities (fixpoint property).
-    #[test]
-    fn inheritance_fixpoint(
-        bases in prop::collection::vec(0u32..20, 2..8),
-        edges in prop::collection::vec((0usize..8, 0usize..8), 0..8),
-    ) {
+/// Priority inheritance: running priority is always >= base, equals
+/// base with no edges, and equals the max over base + blocked
+/// requesters' running priorities (fixpoint property).
+#[test]
+fn inheritance_fixpoint() {
+    forall(CASES, |rng| {
+        let bases = vec_of(rng, 2..8, |rng| rng.range_u32(0..20));
+        let edges = vec_of(rng, 0..8, |rng| {
+            (rng.range_usize(0..8), rng.range_usize(0..8))
+        });
         let n = bases.len();
         let mut pm = PriorityManager::new();
         for (i, &b) in bases.iter().enumerate() {
@@ -65,7 +76,7 @@ proptest! {
         }
         // running >= base everywhere.
         for i in 0..n {
-            prop_assert!(pm.running(inst(i as u32)) >= pm.base(inst(i as u32)));
+            assert!(pm.running(inst(i as u32)) >= pm.base(inst(i as u32)));
         }
         // Fixpoint equation.
         for i in 0..n {
@@ -79,24 +90,27 @@ proptest! {
                 Some(p) => std::cmp::max(pm.base(me), p),
                 None => pm.base(me),
             };
-            prop_assert_eq!(pm.running(me), expected);
+            assert_eq!(pm.running(me), expected);
         }
         // Clearing all edges restores bases.
         for &blocked in applied.keys() {
             pm.clear_blocked(inst(blocked as u32));
         }
         for i in 0..n {
-            prop_assert_eq!(pm.running(inst(i as u32)), pm.base(inst(i as u32)));
+            assert_eq!(pm.running(inst(i as u32)), pm.base(inst(i as u32)));
         }
-    }
+    });
+}
 
-    /// Wait-for graphs: a graph whose edges all point from higher indices
-    /// to strictly lower ones is acyclic; adding a back edge on any path
-    /// creates a detectable cycle.
-    #[test]
-    fn waitfor_cycle_detection(
-        edges in prop::collection::vec((1usize..10, 0usize..10), 1..15),
-    ) {
+/// Wait-for graphs: a graph whose edges all point from higher indices
+/// to strictly lower ones is acyclic; adding a back edge on any path
+/// creates a detectable cycle.
+#[test]
+fn waitfor_cycle_detection() {
+    forall(CASES, |rng| {
+        let edges = vec_of(rng, 1..15, |rng| {
+            (rng.range_usize(1..10), rng.range_usize(0..10))
+        });
         let mut g = WaitForGraph::default();
         let mut down_edges = vec![];
         for &(a, b) in &edges {
@@ -105,47 +119,73 @@ proptest! {
                 down_edges.push((a, b));
             }
         }
-        prop_assert!(g.is_deadlock_free());
+        assert!(g.is_deadlock_free());
 
         if let Some(&(a, b)) = down_edges.first() {
             // Close the loop: b -> a.
             g.add_edge(inst(b as u32), inst(a as u32));
             let cycle = g.find_cycle();
-            prop_assert!(cycle.is_some());
+            assert!(cycle.is_some());
             let cycle = cycle.unwrap();
-            prop_assert!(cycle.len() >= 2);
+            assert!(cycle.len() >= 2);
+        }
+    });
+}
+
+/// Generate a random transaction set over a 5-item space.
+fn random_set(rng: &mut Rng) -> TransactionSet {
+    let ops = vec_of(rng, 2..6, |rng| {
+        vec_of(rng, 1..4, |rng| (ItemId(rng.range_u32(0..5)), rng.bool()))
+    });
+    let mut b = SetBuilder::new();
+    for (i, txn_ops) in ops.iter().enumerate() {
+        let steps: Vec<Step> = txn_ops
+            .iter()
+            .map(|&(item, w)| {
+                if w {
+                    Step::write(item, 1)
+                } else {
+                    Step::read(item, 1)
+                }
+            })
+            .collect();
+        b.add(TransactionTemplate::new(
+            format!("t{i}"),
+            (steps.len() as u64 + 1) * 10,
+            steps,
+        ));
+    }
+    b.build().unwrap()
+}
+
+/// Generate a random transaction set plus a legal-ish random lock state
+/// over its instances (the ceiling computations don't require lock
+/// compatibility, only membership).
+fn random_set_and_locks(rng: &mut Rng) -> (TransactionSet, LockTable) {
+    let set = random_set(rng);
+    let n = set.len();
+    let mut lt = LockTable::new();
+    for _ in 0..rng.range_usize(0..8) {
+        let who = rng.range_usize(0..6);
+        if who < n {
+            let mode = if rng.bool() {
+                LockMode::Write
+            } else {
+                LockMode::Read
+            };
+            lt.grant(inst(who as u32), ItemId(rng.range_u32(0..5)), mode);
         }
     }
+    (set, lt)
+}
 
-    /// Ceiling computations agree with brute force on random lock states.
-    #[test]
-    fn sysceil_matches_bruteforce(
-        ops in prop::collection::vec(
-            prop::collection::vec((0u32..5, any::<bool>()), 1..4),
-            2..6,
-        ),
-        locks_taken in prop::collection::vec((0usize..6, 0u32..5, any::<bool>()), 0..8),
-    ) {
-        // Build a set whose templates perform the given ops.
-        let mut b = SetBuilder::new();
-        for (i, txn_ops) in ops.iter().enumerate() {
-            let steps: Vec<Step> = txn_ops
-                .iter()
-                .map(|&(item, w)| if w { Step::write(ItemId(item), 1) } else { Step::read(ItemId(item), 1) })
-                .collect();
-            b.add(TransactionTemplate::new(format!("t{i}"), (steps.len() as u64 + 1) * 10, steps));
-        }
-        let set = b.build().unwrap();
+/// Ceiling computations agree with brute force on random lock states.
+#[test]
+fn sysceil_matches_bruteforce() {
+    forall(CASES, |rng| {
+        let (set, lt) = random_set_and_locks(rng);
         let ceilings = CeilingTable::new(&set);
         let n = set.len();
-
-        let mut lt = LockTable::new();
-        for &(who, item, write) in &locks_taken {
-            if who < n {
-                let mode = if write { LockMode::Write } else { LockMode::Read };
-                lt.grant(inst(who as u32), ItemId(item), mode);
-            }
-        }
 
         for me in 0..n {
             let me = inst(me as u32);
@@ -157,7 +197,7 @@ proptest! {
                     expected = expected.max(set.wceil(item));
                 }
             }
-            prop_assert_eq!(ceilings.pcpda_sysceil(&lt, me).ceiling, expected);
+            assert_eq!(ceilings.pcpda_sysceil(&lt, me).ceiling, expected);
 
             // Brute-force RW-PCP Sysceil.
             let mut expected = Ceiling::Dummy;
@@ -169,7 +209,78 @@ proptest! {
                     expected = expected.max(set.wceil(item));
                 }
             }
-            prop_assert_eq!(ceilings.rwpcp_sysceil(&lt, me).ceiling, expected);
+            assert_eq!(ceilings.rwpcp_sysceil(&lt, me).ceiling, expected);
         }
-    }
+    });
+}
+
+/// Differential oracle for the incremental [`CeilingIndex`]: random
+/// grant / release / upgrade / release-all sequences, applied in
+/// lock-step to an indexed table and a plain one, must yield identical
+/// `SysCeil` values — ceiling **and** holder set — from the index's O(1)
+/// queries and the retained from-scratch scans, for all three protocol
+/// flavors, after every single transition.
+#[test]
+fn ceiling_index_matches_scans_differentially() {
+    forall(CASES, |rng| {
+        let set = random_set(rng);
+        let ceilings = CeilingTable::new(&set);
+        let mut indexed = LockTable::with_index(&ceilings);
+        let mut plain = LockTable::new();
+        let n = set.len() as u32;
+
+        let check = |indexed: &LockTable, plain: &LockTable| {
+            let ix = indexed.index().expect("indexed table");
+            // Every instance, plus one id past the set (a pure outsider
+            // whose query excludes nothing).
+            for who in (0..=n).map(inst) {
+                assert_eq!(
+                    ix.pcpda_sysceil(who),
+                    ceilings.pcpda_sysceil_scan(plain, who)
+                );
+                assert_eq!(
+                    ix.rwpcp_sysceil(who),
+                    ceilings.rwpcp_sysceil_scan(plain, who)
+                );
+                assert_eq!(ix.pcp_sysceil(who), ceilings.pcp_sysceil_scan(plain, who));
+            }
+        };
+
+        check(&indexed, &plain);
+        for _ in 0..rng.range_usize(4..24) {
+            let who = inst(rng.range_u32(0..n));
+            let item = ItemId(rng.range_u32(0..5));
+            let mode = if rng.bool() {
+                LockMode::Write
+            } else {
+                LockMode::Read
+            };
+            match rng.range_u32(0..10) {
+                // Grants dominate so upgrades (read then write on the
+                // same item, or vice versa) actually occur.
+                0..=5 => {
+                    indexed.grant(who, item, mode);
+                    plain.grant(who, item, mode);
+                }
+                6..=8 => {
+                    indexed.release(who, item, mode);
+                    plain.release(who, item, mode);
+                }
+                _ => {
+                    let a: Vec<HeldLock> = indexed.release_all(who).to_vec();
+                    let b: Vec<HeldLock> = plain.release_all(who).to_vec();
+                    assert_eq!(a, b);
+                }
+            }
+            check(&indexed, &plain);
+        }
+
+        // Drain everything: the index must unwind back to empty.
+        for t in (0..n).map(inst) {
+            indexed.release_all(t);
+            plain.release_all(t);
+            check(&indexed, &plain);
+        }
+        assert_eq!(indexed.locked_items(), 0);
+    });
 }

@@ -42,9 +42,7 @@ pub fn compatible(input: CompatInput) -> bool {
         (LockMode::Read, LockMode::Write) => false,
         // Write held, read requested: preemptable under the side condition
         // (§4.1, Case 1).
-        (LockMode::Write, LockMode::Read) => {
-            input.holder_reads_disjoint_from_requester_writes
-        }
+        (LockMode::Write, LockMode::Read) => input.holder_reads_disjoint_from_requester_writes,
         // Write/Write: blind writes are non-conflicting (§4.1, Case 3).
         (LockMode::Write, LockMode::Write) => true,
     }

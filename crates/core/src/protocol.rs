@@ -1,60 +1,16 @@
 //! The PCP-DA locking conditions.
 
-use rtdb_cc::{Decision, EngineView, LockRequest, Protocol};
+use rtdb_cc::{Decision, EngineView, LockRequest, Protocol, SysCeil};
 use rtdb_types::{Ceiling, InstanceId, LockMode};
-use std::collections::BTreeSet;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
 
-/// True if `holder`'s pending lock request is guaranteed to stay denied
-/// until `me` commits — so `holder`, despite its higher priority, commits
-/// after `me`. Two shapes qualify (locks are held to commit, so a denial
-/// caused by a lock `me` holds cannot clear earlier):
-///
-/// * a pending **write** of an item `me` read-holds (LC1 denies it
-///   outright while any foreign read lock exists);
-/// * a pending **read** of an item `v` with `P_holder < HPW(v)` — LC3 and
-///   LC4 are then *statically* impossible for the holder — while `me`
-///   read-holds some item `m` with `Wceil(m) ≥ P_holder`, pinning the
-///   holder's LC2 false (`Sysceil_holder ≥ Wceil(m)` until `me` commits).
-fn hard_blocked_on(view: &dyn EngineView, holder: InstanceId, me: InstanceId) -> bool {
-    let Some(pending) = view.pending_request(holder) else {
-        return false;
-    };
-    match pending.mode {
-        LockMode::Write => view.locks().holds(me, pending.item, LockMode::Read),
-        LockMode::Read => {
-            let p_holder = view.base_priority(holder);
-            // LC2 must be pinned false by a read lock `me` holds.
-            let lc2_pinned = view.locks().held_by(me).any(|l| {
-                l.mode == LockMode::Read
-                    && !view.ceilings().wceil(l.item).cleared_by(p_holder)
-            });
-            if !lc2_pinned {
-                return false;
-            }
-            // LC3/LC4 must be pinned false too. Two recognised pins:
-            // (i) statically impossible: `P_holder < HPW(v)`;
-            // (ii) clause (A) pins it through `me`: `me` attains the
-            //     holder's Sysceil, has read something the holder may
-            //     write, and the pending item's ceiling reaches `me`'s
-            //     priority (so the refined clause (A) actually bites) —
-            //     all facts that persist until `me` commits.
-            let lc34_impossible = match view.ceilings().wceil(pending.item) {
-                Ceiling::At(h) => p_holder < h,
-                Ceiling::Dummy => false,
-            };
-            if lc34_impossible {
-                return true;
-            }
-            let sys = view.ceilings().pcpda_sysceil(view.locks(), holder);
-            let me_is_tstar = sys.holders.contains(&me);
-            let a_pins = me_is_tstar
-                && !view.ceilings().wceil(pending.item).cleared_by(view.base_priority(me))
-                && !view
-                    .data_read(me)
-                    .is_disjoint(view.ceilings().write_set(holder.txn));
-            a_pins
-        }
-    }
+/// Per-version `Sysceil` memo (see [`PcpDa::cached_sysceil`]).
+#[derive(Debug, Default)]
+struct SysceilMemo {
+    /// Lock-table version the cached entries were computed at.
+    version: u64,
+    by_holder: BTreeMap<InstanceId, SysCeil>,
 }
 
 /// Which locking condition granted a request — exposed for tracing and for
@@ -130,6 +86,13 @@ pub struct PcpDa {
     grant_log: Vec<(LockRequest, GrantRule)>,
     /// Skip the LC3 side condition (the paper's literal text).
     literal_lc3: bool,
+    /// `Sysceil` values memoized against the lock-table version: one
+    /// scheduler round decides many requests (and probes
+    /// `hard_blocked_on` once per offending writer) against an unchanged
+    /// table, so repeated queries for the same instance hit the cache.
+    /// Assumes one protocol instance per run, i.e. a fixed lock table —
+    /// which is how the engine (and every test) uses protocols.
+    sysceil_memo: RefCell<SysceilMemo>,
 }
 
 impl PcpDa {
@@ -145,14 +108,91 @@ impl PcpDa {
     /// demonstrating the errata.
     pub fn paper_literal() -> Self {
         PcpDa {
-            grant_log: Vec::new(),
             literal_lc3: true,
+            ..Self::default()
         }
     }
 
     /// The grant log `(request, rule)` accumulated so far.
     pub fn grant_log(&self) -> &[(LockRequest, GrantRule)] {
         &self.grant_log
+    }
+
+    /// `Sysceil_who`, memoized against [`rtdb_cc::LockTable::version`].
+    /// The version bumps on every grant/release transition, so a stale
+    /// entry can never be served; within one scheduler round (version
+    /// unchanged) each instance's `Sysceil` is computed at most once no
+    /// matter how many `hard_blocked_on` probes ask for it.
+    fn cached_sysceil(&self, view: &dyn EngineView, who: InstanceId) -> SysCeil {
+        let version = view.locks().version();
+        let mut memo = self.sysceil_memo.borrow_mut();
+        if memo.version != version {
+            memo.version = version;
+            memo.by_holder.clear();
+        }
+        if let Some(hit) = memo.by_holder.get(&who) {
+            return hit.clone();
+        }
+        let sys = view.ceilings().pcpda_sysceil(view.locks(), who);
+        memo.by_holder.insert(who, sys.clone());
+        sys
+    }
+
+    /// True if `holder`'s pending lock request is guaranteed to stay
+    /// denied until `me` commits — so `holder`, despite its higher
+    /// priority, commits after `me`. Two shapes qualify (locks are held to
+    /// commit, so a denial caused by a lock `me` holds cannot clear
+    /// earlier):
+    ///
+    /// * a pending **write** of an item `me` read-holds (LC1 denies it
+    ///   outright while any foreign read lock exists);
+    /// * a pending **read** of an item `v` with `P_holder < HPW(v)` — LC3
+    ///   and LC4 are then *statically* impossible for the holder — while
+    ///   `me` read-holds some item `m` with `Wceil(m) ≥ P_holder`, pinning
+    ///   the holder's LC2 false (`Sysceil_holder ≥ Wceil(m)` until `me`
+    ///   commits).
+    fn hard_blocked_on(&self, view: &dyn EngineView, holder: InstanceId, me: InstanceId) -> bool {
+        let Some(pending) = view.pending_request(holder) else {
+            return false;
+        };
+        match pending.mode {
+            LockMode::Write => view.locks().holds(me, pending.item, LockMode::Read),
+            LockMode::Read => {
+                let p_holder = view.base_priority(holder);
+                // LC2 must be pinned false by a read lock `me` holds.
+                let lc2_pinned = view.locks().held_by(me).any(|l| {
+                    l.mode == LockMode::Read && !view.ceilings().wceil(l.item).cleared_by(p_holder)
+                });
+                if !lc2_pinned {
+                    return false;
+                }
+                // LC3/LC4 must be pinned false too. Two recognised pins:
+                // (i) statically impossible: `P_holder < HPW(v)`;
+                // (ii) clause (A) pins it through `me`: `me` attains the
+                //     holder's Sysceil, has read something the holder may
+                //     write, and the pending item's ceiling reaches `me`'s
+                //     priority (so the refined clause (A) actually bites) —
+                //     all facts that persist until `me` commits.
+                let lc34_impossible = match view.ceilings().wceil(pending.item) {
+                    Ceiling::At(h) => p_holder < h,
+                    Ceiling::Dummy => false,
+                };
+                if lc34_impossible {
+                    return true;
+                }
+                let sys = self.cached_sysceil(view, holder);
+                let me_is_tstar = sys.holders.contains(&me);
+                let a_pins = me_is_tstar
+                    && !view
+                        .ceilings()
+                        .wceil(pending.item)
+                        .cleared_by(view.base_priority(me))
+                    && !view
+                        .data_read(me)
+                        .is_disjoint(view.ceilings().write_set(holder.txn));
+                a_pins
+            }
+        }
     }
 
     /// Decide a request and also report which rule granted it.
@@ -234,7 +274,7 @@ impl PcpDa {
                 Ok(GrantRule::Lc1)
             }
             LockMode::Read => {
-                let sys = ceilings.pcpda_sysceil(locks, req.who);
+                let sys = self.cached_sysceil(view, req.who);
 
                 // Commit-order guard (second erratum, see the type-level
                 // docs): a read of `x` serializes the reader *before*
@@ -254,7 +294,7 @@ impl PcpDa {
                     locks
                         .writers_other_than(req.item, req.who)
                         .filter(|&w| view.base_priority(w) > p_i)
-                        .filter(|&w| !hard_blocked_on(view, w, req.who))
+                        .filter(|&w| !self.hard_blocked_on(view, w, req.who))
                         .collect()
                 };
 
@@ -271,9 +311,7 @@ impl PcpDa {
                 // Lemma 6 proves the *lower-priority* holder is unique;
                 // we treat the whole set conservatively.
                 let tstar = &sys.holders;
-                let tstar_may_write_x = tstar
-                    .iter()
-                    .any(|t| ceilings.may_write(t.txn, req.item));
+                let tstar_may_write_x = tstar.iter().any(|t| ceilings.may_write(t.txn, req.item));
 
                 let hpw = ceilings.wceil(req.item);
                 let my_writes = ceilings.write_set(req.who.txn);
@@ -391,7 +429,6 @@ impl Protocol for PcpDa {
             .pcpda_sysceil(view.locks(), rtdb_cc::protocol::ceiling_observer())
             .ceiling
     }
-
 }
 
 #[cfg(test)]
@@ -437,8 +474,16 @@ mod tests {
     /// Example 4 set: T1: R(x); T2: W(y); T3: R(z),W(z); T4: R(y),W(x).
     fn example4() -> rtdb_types::TransactionSet {
         SetBuilder::new()
-            .with(TransactionTemplate::new("T1", 30, vec![Step::read(ItemId(0), 2)]))
-            .with(TransactionTemplate::new("T2", 30, vec![Step::write(ItemId(1), 2)]))
+            .with(TransactionTemplate::new(
+                "T1",
+                30,
+                vec![Step::read(ItemId(0), 2)],
+            ))
+            .with(TransactionTemplate::new(
+                "T2",
+                30,
+                vec![Step::write(ItemId(1), 2)],
+            ))
             .with(TransactionTemplate::new(
                 "T3",
                 30,
@@ -447,7 +492,11 @@ mod tests {
             .with(TransactionTemplate::new(
                 "T4",
                 30,
-                vec![Step::read(ItemId(1), 1), Step::write(ItemId(0), 1), Step::compute(3)],
+                vec![
+                    Step::read(ItemId(1), 1),
+                    Step::write(ItemId(0), 1),
+                    Step::compute(3),
+                ],
             ))
             .build()
             .unwrap()
@@ -467,8 +516,16 @@ mod tests {
     #[test]
     fn lc1_allows_concurrent_blind_writes() {
         let set = SetBuilder::new()
-            .with(TransactionTemplate::new("A", 10, vec![Step::write(ItemId(0), 1)]))
-            .with(TransactionTemplate::new("B", 10, vec![Step::write(ItemId(0), 1)]))
+            .with(TransactionTemplate::new(
+                "A",
+                10,
+                vec![Step::write(ItemId(0), 1)],
+            ))
+            .with(TransactionTemplate::new(
+                "B",
+                10,
+                vec![Step::write(ItemId(0), 1)],
+            ))
             .build()
             .unwrap();
         let mut view = StaticView::new(&set);
@@ -549,7 +606,11 @@ mod tests {
         // Use a bespoke set: A: R(a); B: R(b); C: W(a),R(b)... simpler:
         // requester priority above HPW(x) but not above Sysceil.
         let set = SetBuilder::new()
-            .with(TransactionTemplate::new("H", 10, vec![Step::write(ItemId(9), 1)])) // highest, writes w
+            .with(TransactionTemplate::new(
+                "H",
+                10,
+                vec![Step::write(ItemId(9), 1)],
+            )) // highest, writes w
             .with(TransactionTemplate::new(
                 "M",
                 10,
@@ -579,8 +640,16 @@ mod tests {
 
         // Variant: T* does not write x -> LC3 grants.
         let set2 = SetBuilder::new()
-            .with(TransactionTemplate::new("H", 10, vec![Step::write(ItemId(9), 1)]))
-            .with(TransactionTemplate::new("M", 10, vec![Step::read(ItemId(0), 1)]))
+            .with(TransactionTemplate::new(
+                "H",
+                10,
+                vec![Step::write(ItemId(9), 1)],
+            ))
+            .with(TransactionTemplate::new(
+                "M",
+                10,
+                vec![Step::read(ItemId(0), 1)],
+            ))
             .with(TransactionTemplate::new(
                 "L",
                 10,
@@ -669,14 +738,26 @@ mod tests {
         // only writer of m (HPW(m) = P_W < P_M); L read-holds big, making
         // it the standing ceiling holder.
         let set2 = SetBuilder::new()
-            .with(TransactionTemplate::new("H", 10, vec![Step::write(ItemId(3), 1)]))
+            .with(TransactionTemplate::new(
+                "H",
+                10,
+                vec![Step::write(ItemId(3), 1)],
+            ))
             .with(TransactionTemplate::new(
                 "M",
                 10,
                 vec![Step::read(ItemId(2), 1), Step::read(ItemId(3), 1)],
             ))
-            .with(TransactionTemplate::new("W", 10, vec![Step::write(ItemId(2), 1)]))
-            .with(TransactionTemplate::new("L", 10, vec![Step::read(ItemId(3), 1)]))
+            .with(TransactionTemplate::new(
+                "W",
+                10,
+                vec![Step::write(ItemId(2), 1)],
+            ))
+            .with(TransactionTemplate::new(
+                "L",
+                10,
+                vec![Step::read(ItemId(3), 1)],
+            ))
             .build()
             .unwrap();
         let mut view = StaticView::new(&set2);
@@ -702,14 +783,16 @@ mod tests {
         // T* (= L) read-holds `hot` (Wceil >= P_M) and will later read y.
         // M wants to write y.
         let set = SetBuilder::new()
-            .with(TransactionTemplate::new("H", 10, vec![Step::write(ItemId(0), 1)])) // Wceil(hot)=P_H
-            .with(
-                TransactionTemplate::new(
-                    "M-unsafe",
-                    10,
-                    vec![Step::write(ItemId(1), 1), Step::read(ItemId(0), 1)], // W(y), R(hot): future read unsafe
-                ),
-            )
+            .with(TransactionTemplate::new(
+                "H",
+                10,
+                vec![Step::write(ItemId(0), 1)],
+            )) // Wceil(hot)=P_H
+            .with(TransactionTemplate::new(
+                "M-unsafe",
+                10,
+                vec![Step::write(ItemId(1), 1), Step::read(ItemId(0), 1)], // W(y), R(hot): future read unsafe
+            ))
             .with(TransactionTemplate::new(
                 "M-safe",
                 10,
@@ -750,7 +833,11 @@ mod tests {
             .with(TransactionTemplate::new(
                 "L",
                 10,
-                vec![Step::read(ItemId(1), 1), Step::read(ItemId(0), 1), Step::compute(1)],
+                vec![
+                    Step::read(ItemId(1), 1),
+                    Step::read(ItemId(0), 1),
+                    Step::compute(1),
+                ],
             ))
             .build()
             .unwrap();
@@ -791,10 +878,7 @@ mod tests {
         view.grant(i(1), ItemId(0), LockMode::Write);
         let r2 = req(i(0), 0, LockMode::Read);
         assert_eq!(p.request(&view, r2), Decision::Grant);
-        assert_eq!(
-            p.grant_log(),
-            &[(r, GrantRule::Lc1), (r2, GrantRule::Lc2)]
-        );
+        assert_eq!(p.grant_log(), &[(r, GrantRule::Lc1), (r2, GrantRule::Lc2)]);
         assert_eq!(p.name(), "PCP-DA");
         assert!(!p.may_abort());
     }

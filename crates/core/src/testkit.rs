@@ -21,12 +21,16 @@ pub struct StaticView<'a> {
 }
 
 impl<'a> StaticView<'a> {
-    /// View over `set` with no locks held.
+    /// View over `set` with no locks held. The lock table carries the
+    /// incremental [`rtdb_cc::CeilingIndex`], so every protocol unit test
+    /// exercises it (and its debug-build equivalence oracle) for free.
     pub fn new(set: &'a TransactionSet) -> Self {
+        let ceilings = CeilingTable::new(set);
+        let locks = LockTable::with_index(&ceilings);
         StaticView {
             set,
-            ceilings: CeilingTable::new(set),
-            locks: LockTable::new(),
+            ceilings,
+            locks,
             data_read: BTreeMap::new(),
             staged: BTreeMap::new(),
             pending: BTreeMap::new(),
@@ -100,8 +104,7 @@ impl EngineView for StaticView<'_> {
     fn active_instances(&self) -> Vec<InstanceId> {
         // Everything that has locked or read something is "active" in the
         // static view; tests needing more fidelity use the real engine.
-        let mut out: std::collections::BTreeSet<InstanceId> =
-            self.locks.holders().collect();
+        let mut out: std::collections::BTreeSet<InstanceId> = self.locks.holders().collect();
         out.extend(self.data_read.keys().copied());
         out.into_iter().collect()
     }
@@ -119,8 +122,16 @@ mod tests {
     #[test]
     fn static_view_reports_priorities_and_reads() {
         let set = SetBuilder::new()
-            .with(TransactionTemplate::new("A", 10, vec![Step::read(ItemId(0), 1)]))
-            .with(TransactionTemplate::new("B", 10, vec![Step::read(ItemId(0), 1)]))
+            .with(TransactionTemplate::new(
+                "A",
+                10,
+                vec![Step::read(ItemId(0), 1)],
+            ))
+            .with(TransactionTemplate::new(
+                "B",
+                10,
+                vec![Step::read(ItemId(0), 1)],
+            ))
             .build()
             .unwrap();
         let mut v = StaticView::new(&set);

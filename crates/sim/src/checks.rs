@@ -96,11 +96,7 @@ pub enum Violation {
 
 /// Verify `run` against `expect`; returns every violation found (empty =
 /// all guarantees held).
-pub fn verify_run(
-    set: &TransactionSet,
-    run: &RunResult,
-    expect: Expectations,
-) -> Vec<Violation> {
+pub fn verify_run(set: &TransactionSet, run: &RunResult, expect: Expectations) -> Vec<Violation> {
     let mut out = Vec::new();
 
     if expect.deadlock_free {

@@ -34,8 +34,7 @@ use rtdb_cc::{
 };
 use rtdb_storage::{Database, EventKind, History, ReplayOutcome, SerializationGraph, Workspace};
 use rtdb_types::{
-    Duration, Error, InstanceId, ItemId, LockMode, Priority, Result, Tick,
-    TransactionSet, TxnId,
+    Duration, Error, InstanceId, ItemId, LockMode, Priority, Result, Tick, TransactionSet, TxnId,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -293,11 +292,15 @@ impl<'a> Sim<'a> {
         // template order for determinism.
         arrivals.sort_by(|a, b| b.cmp(a));
 
+        let ceilings = CeilingTable::new(set);
+        // The incremental Sysceil index rides inside the lock table, so
+        // every protocol's ceiling queries are O(1) instead of full scans.
+        let locks = LockTable::with_index(&ceilings);
         Ok(Sim {
             vs: ViewState {
                 set,
-                ceilings: CeilingTable::new(set),
-                locks: LockTable::new(),
+                ceilings,
+                locks,
                 pm: PriorityManager::new(),
                 workspaces: BTreeMap::new(),
                 pending: BTreeMap::new(),
@@ -322,9 +325,7 @@ impl<'a> Sim<'a> {
             .push_ceiling(Tick::ZERO, protocol.system_ceiling(&self.vs));
         let mut budget = self.config.max_steps;
         loop {
-            budget = budget
-                .checked_sub(1)
-                .ok_or(Error::EventBudgetExhausted)?;
+            budget = budget.checked_sub(1).ok_or(Error::EventBudgetExhausted)?;
 
             self.release_arrivals();
             self.log_deadline_misses();
@@ -510,12 +511,20 @@ impl<'a> Sim<'a> {
             .collect();
         for (id, deadline) in missed {
             self.miss_logged.insert(id);
-            self.trace
-                .push_event(TraceEvent::DeadlineMiss { at: deadline, who: id });
+            self.trace.push_event(TraceEvent::DeadlineMiss {
+                at: deadline,
+                who: id,
+            });
         }
     }
 
-    fn perform_data_op(&mut self, who: InstanceId, step_index: usize, item: ItemId, mode: LockMode) {
+    fn perform_data_op(
+        &mut self,
+        who: InstanceId,
+        step_index: usize,
+        item: ItemId,
+        mode: LockMode,
+    ) {
         let ws = self.vs.workspaces.get_mut(&who).expect("live workspace");
         match mode {
             LockMode::Read => {
@@ -600,7 +609,11 @@ impl<'a> Sim<'a> {
         // every blocked request a wake-up pass before testing for a
         // deadlock, so only irreducible cycles are reported.
         self.reevaluate(protocol);
-        if self.live.get(&who).is_none_or(|l| l.blocked_since.is_none()) {
+        if self
+            .live
+            .get(&who)
+            .is_none_or(|l| l.blocked_since.is_none())
+        {
             // The requester itself was woken again; nothing to detect.
             return;
         }
@@ -714,8 +727,7 @@ impl<'a> Sim<'a> {
         // Early releases (CCP).
         let releases = protocol.early_releases(&self.vs, who, completed_step);
         if !releases.is_empty() {
-            let install_early =
-                protocol.update_model() == UpdateModel::InstallOnEarlyRelease;
+            let install_early = protocol.update_model() == UpdateModel::InstallOnEarlyRelease;
             for (item, mode) in releases {
                 debug_assert!(self.vs.locks.holds(who, item, mode));
                 self.vs.locks.release(who, item, mode);
@@ -732,11 +744,7 @@ impl<'a> Sim<'a> {
                         .get(&who)
                         .and_then(|w| w.staged_writes().get(&item).copied());
                     if let Some(value) = staged {
-                        let fresh = self
-                            .installed_early
-                            .entry(who)
-                            .or_default()
-                            .insert(item);
+                        let fresh = self.installed_early.entry(who).or_default().insert(item);
                         if fresh {
                             let version = self.db.install(who, item, value, self.clock);
                             self.history.push(
@@ -847,9 +855,7 @@ impl<'a> Sim<'a> {
             live.was_denied = false;
             live.restarts += 1;
         }
-        self.vs
-            .workspaces
-            .insert(victim, Workspace::new(victim));
+        self.vs.workspaces.insert(victim, Workspace::new(victim));
         self.installed_early.remove(&victim);
         protocol.on_abort(&self.vs, victim);
         self.history.push(self.clock, victim, EventKind::Begin);

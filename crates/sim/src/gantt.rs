@@ -140,19 +140,12 @@ mod tests {
     #[test]
     fn renders_segments_and_markers() {
         let set = SetBuilder::new()
-            .with(TransactionTemplate::new(
-                "A",
-                10,
-                vec![Step::compute(2)],
-            ))
+            .with(TransactionTemplate::new("A", 10, vec![Step::compute(2)]))
             .build()
             .unwrap();
         let who = InstanceId::first(TxnId(0));
         let mut tr = Trace::new();
-        tr.push_event(TraceEvent::Arrive {
-            at: Tick(0),
-            who,
-        });
+        tr.push_event(TraceEvent::Arrive { at: Tick(0), who });
         tr.push_segment(who, Tick(0), Tick(2), SegKind::Running);
         tr.push_segment(who, Tick(2), Tick(4), SegKind::Blocked);
         tr.push_event(TraceEvent::Commit { at: Tick(4), who });

@@ -7,7 +7,7 @@ use rtdb_cc::Protocol;
 use rtdb_types::{Ceiling, Result, TransactionSet};
 
 /// One protocol's aggregate results on one workload.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ProtocolRow {
     /// Protocol name.
     pub name: &'static str,
@@ -31,11 +31,7 @@ pub struct ProtocolRow {
 }
 
 impl ProtocolRow {
-    fn from_report(
-        name: &'static str,
-        metrics: &MetricsReport,
-        outcome: &RunOutcome,
-    ) -> Self {
+    fn from_report(name: &'static str, metrics: &MetricsReport, outcome: &RunOutcome) -> Self {
         ProtocolRow {
             name,
             released: metrics.instances().count(),
@@ -91,6 +87,28 @@ pub fn compare_protocols(
         ));
     }
     Ok(rows)
+}
+
+/// Run one [`compare_protocols`] per sweep point on a thread pool.
+///
+/// `make` maps a point to its workload and config; each point then runs
+/// the full [`standard_protocols`] line-up in its own simulation (runs
+/// are independent — a fresh protocol instance and engine per run — so
+/// parallelism cannot perturb them). Results come back **in input
+/// order** via [`rtdb_util::par_map`], so tables and CSV files built
+/// from them are byte-identical to the sequential loop's.
+pub fn compare_protocols_parallel<T, F>(points: &[T], make: F) -> Result<Vec<Vec<ProtocolRow>>>
+where
+    T: Sync,
+    F: Fn(&T) -> Result<(TransactionSet, SimConfig)> + Sync,
+{
+    rtdb_util::par_map(points, |point| {
+        let (set, config) = make(point)?;
+        let mut protocols = standard_protocols();
+        compare_protocols(&set, &config, &mut protocols)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Format rows as an aligned text table.
@@ -158,6 +176,31 @@ mod tests {
         let table = format_table(&rows);
         assert!(table.contains("PCP-DA"));
         assert!(table.contains("2PL-HP"));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let points: Vec<u64> = (0..6).collect();
+        let make = |&seed: &u64| {
+            let w = WorkloadParams {
+                templates: 3,
+                items: 6,
+                target_utilization: 0.5,
+                seed,
+                ..Default::default()
+            }
+            .generate()?;
+            Ok((w.set, SimConfig::with_horizon(1_500)))
+        };
+        let par = compare_protocols_parallel(&points, make).unwrap();
+        let seq: Vec<Vec<ProtocolRow>> = points
+            .iter()
+            .map(|p| {
+                let (set, cfg) = make(p).unwrap();
+                compare_protocols(&set, &cfg, &mut standard_protocols()).unwrap()
+            })
+            .collect();
+        assert_eq!(par, seq);
     }
 
     #[test]

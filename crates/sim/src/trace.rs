@@ -5,11 +5,11 @@
 //! statements about exactly these segments and events.
 
 use rtdb_types::{Ceiling, InstanceId, ItemId, LockMode, Tick};
-use serde::Serialize;
+use rtdb_util::Json;
 use std::collections::BTreeMap;
 
 /// What an instance was doing during a segment.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SegKind {
     /// Executing on the CPU.
     Running,
@@ -19,7 +19,7 @@ pub enum SegKind {
 }
 
 /// A contiguous activity segment of one instance.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Segment {
     /// Instance concerned.
     pub who: InstanceId,
@@ -32,8 +32,7 @@ pub struct Segment {
 }
 
 /// A scheduling-relevant event.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
     /// Instance released (arrived).
     Arrive { at: Tick, who: InstanceId },
@@ -93,8 +92,94 @@ impl TraceEvent {
     }
 }
 
+fn inst_json(who: InstanceId) -> Json {
+    Json::obj().set("txn", who.txn.0).set("seq", who.seq)
+}
+
+fn mode_json(mode: LockMode) -> Json {
+    match mode {
+        LockMode::Read => Json::from("read"),
+        LockMode::Write => Json::from("write"),
+    }
+}
+
+fn ceiling_json(c: Ceiling) -> Json {
+    match c {
+        Ceiling::Dummy => Json::Null,
+        Ceiling::At(p) => Json::from(p.level()),
+    }
+}
+
+impl TraceEvent {
+    /// The event as a tagged JSON object (`{"kind": "arrive", ...}`).
+    pub fn json(&self) -> Json {
+        let (kind, at) = (self.kind_name(), self.at());
+        let mut obj = Json::obj().set("kind", kind).set("at", at.raw());
+        match self {
+            TraceEvent::Arrive { who, .. }
+            | TraceEvent::Commit { who, .. }
+            | TraceEvent::Abort { who, .. }
+            | TraceEvent::DeadlineMiss { who, .. } => {
+                obj = obj.set("who", inst_json(*who));
+            }
+            TraceEvent::Granted {
+                who, item, mode, ..
+            }
+            | TraceEvent::Resumed {
+                who, item, mode, ..
+            }
+            | TraceEvent::EarlyRelease {
+                who, item, mode, ..
+            } => {
+                obj = obj
+                    .set("who", inst_json(*who))
+                    .set("item", item.0)
+                    .set("mode", mode_json(*mode));
+            }
+            TraceEvent::Denied {
+                who,
+                item,
+                mode,
+                blockers,
+                ..
+            } => {
+                obj = obj
+                    .set("who", inst_json(*who))
+                    .set("item", item.0)
+                    .set("mode", mode_json(*mode))
+                    .set(
+                        "blockers",
+                        Json::Arr(blockers.iter().map(|&b| inst_json(b)).collect()),
+                    );
+            }
+            TraceEvent::DeadlockDetected { cycle, .. } => {
+                obj = obj.set(
+                    "cycle",
+                    Json::Arr(cycle.iter().map(|&b| inst_json(b)).collect()),
+                );
+            }
+        }
+        obj
+    }
+
+    /// The snake_case tag used in the JSON encoding.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TraceEvent::Arrive { .. } => "arrive",
+            TraceEvent::Granted { .. } => "granted",
+            TraceEvent::Denied { .. } => "denied",
+            TraceEvent::Resumed { .. } => "resumed",
+            TraceEvent::EarlyRelease { .. } => "early_release",
+            TraceEvent::Commit { .. } => "commit",
+            TraceEvent::Abort { .. } => "abort",
+            TraceEvent::DeadlineMiss { .. } => "deadline_miss",
+            TraceEvent::DeadlockDetected { .. } => "deadlock_detected",
+        }
+    }
+}
+
 /// The complete trace of one run.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Trace {
     segments: Vec<Segment>,
     events: Vec<TraceEvent>,
@@ -122,7 +207,12 @@ impl Trace {
                 return;
             }
         }
-        self.segments.push(Segment { who, from, to, kind });
+        self.segments.push(Segment {
+            who,
+            from,
+            to,
+            kind,
+        });
     }
 
     /// Record an event.
@@ -192,14 +282,49 @@ impl Trace {
     /// Serialize the whole trace (segments, events, ceiling samples) to
     /// pretty JSON — for external timeline viewers and post-processing.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("trace is serializable")
+        self.json().pretty()
+    }
+
+    /// The trace as a JSON value (segments, events, ceiling samples).
+    pub fn json(&self) -> Json {
+        let segments: Vec<Json> = self
+            .segments
+            .iter()
+            .map(|s| {
+                Json::obj()
+                    .set("who", inst_json(s.who))
+                    .set("from", s.from.raw())
+                    .set("to", s.to.raw())
+                    .set(
+                        "kind",
+                        match s.kind {
+                            SegKind::Running => "running",
+                            SegKind::Blocked => "blocked",
+                        },
+                    )
+            })
+            .collect();
+        let events: Vec<Json> = self.events.iter().map(TraceEvent::json).collect();
+        let samples: Vec<Json> = self
+            .ceiling_samples
+            .iter()
+            .map(|&(at, c)| Json::Arr(vec![Json::from(at.raw()), ceiling_json(c)]))
+            .collect();
+        Json::obj()
+            .set("segments", Json::Arr(segments))
+            .set("events", Json::Arr(events))
+            .set("ceiling_samples", Json::Arr(samples))
     }
 
     /// End of the last segment / event (the makespan).
     pub fn end(&self) -> Tick {
         let seg_end = self.segments.iter().map(|s| s.to).max();
         let ev_end = self.events.iter().map(|e| e.at()).max();
-        seg_end.into_iter().chain(ev_end).max().unwrap_or(Tick::ZERO)
+        seg_end
+            .into_iter()
+            .chain(ev_end)
+            .max()
+            .unwrap_or(Tick::ZERO)
     }
 }
 
@@ -263,8 +388,15 @@ mod tests {
         assert!(json.contains("segments"));
         assert!(json.contains("ceiling_samples"));
         // Round-trippable enough to be consumed by jq etc.
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert!(v["events"].is_array());
+        let v = Json::parse(&json).unwrap();
+        assert!(v.get("events").unwrap().is_array());
+        assert_eq!(
+            v.get("ceiling_samples").unwrap().as_array().unwrap()[0]
+                .as_array()
+                .unwrap()[1]
+                .as_i64(),
+            Some(3)
+        );
     }
 
     #[test]

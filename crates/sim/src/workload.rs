@@ -6,11 +6,10 @@
 //! utilization. Generation is fully determined by
 //! [`WorkloadParams::seed`], so every experiment is reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rtdb_types::{
     Error, ItemId, Operation, Result, SetBuilder, Step, TransactionSet, TransactionTemplate,
 };
+use rtdb_util::Rng;
 
 /// Parameters of a random workload.
 #[derive(Clone, Debug)]
@@ -71,20 +70,20 @@ impl WorkloadParams {
     /// Generate the workload.
     pub fn generate(&self) -> Result<WorkloadSpec> {
         self.validate()?;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed(self.seed);
         let mut builder = SetBuilder::new();
         let share = self.target_utilization / self.templates as f64;
 
         for idx in 0..self.templates {
             // Log-uniform period.
             let (lo, hi) = (self.min_period as f64, self.max_period as f64);
-            let period = (lo * (hi / lo).powf(rng.gen::<f64>())).round() as u64;
+            let period = (lo * (hi / lo).powf(rng.f64())).round() as u64;
 
-            let n_data = rng.gen_range(self.min_data_steps..=self.max_data_steps);
+            let n_data = rng.range_inclusive_usize(self.min_data_steps, self.max_data_steps);
             let mut ops: Vec<Operation> = Vec::with_capacity(n_data + 1);
             for _ in 0..n_data {
                 let item = self.pick_item(&mut rng);
-                if rng.gen::<f64>() < self.write_fraction {
+                if rng.f64() < self.write_fraction {
                     ops.push(Operation::Write(item));
                 } else {
                     ops.push(Operation::Read(item));
@@ -109,11 +108,7 @@ impl WorkloadParams {
                 })
                 .collect();
 
-            builder.add(TransactionTemplate::new(
-                format!("W{idx}"),
-                period,
-                steps,
-            ));
+            builder.add(TransactionTemplate::new(format!("W{idx}"), period, steps));
         }
         let set = builder.build_rate_monotonic()?;
         Ok(WorkloadSpec {
@@ -134,7 +129,10 @@ impl WorkloadParams {
     ) -> Option<WorkloadSpec> {
         for attempt in 0..max_tries {
             let params = WorkloadParams {
-                seed: self.seed.wrapping_add(attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                seed: self
+                    .seed
+                    .wrapping_add(attempt as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 ..self.clone()
             };
             if let Ok(spec) = params.generate() {
@@ -146,12 +144,12 @@ impl WorkloadParams {
         None
     }
 
-    fn pick_item(&self, rng: &mut StdRng) -> ItemId {
+    fn pick_item(&self, rng: &mut Rng) -> ItemId {
         let hot = self.hotspot_items.min(self.items);
-        if hot > 0 && rng.gen::<f64>() < self.hotspot_prob {
-            ItemId(rng.gen_range(0..hot) as u32)
+        if hot > 0 && rng.f64() < self.hotspot_prob {
+            ItemId(rng.range_usize(0..hot) as u32)
         } else {
-            ItemId(rng.gen_range(0..self.items) as u32)
+            ItemId(rng.range_usize(0..self.items) as u32)
         }
     }
 
@@ -160,9 +158,7 @@ impl WorkloadParams {
             return Err(Error::Config("templates and items must be positive".into()));
         }
         if !(0.0..=1.0).contains(&self.target_utilization) || self.target_utilization == 0.0 {
-            return Err(Error::Config(
-                "target_utilization must be in (0, 1]".into(),
-            ));
+            return Err(Error::Config("target_utilization must be in (0, 1]".into()));
         }
         if self.min_period == 0 || self.min_period > self.max_period {
             return Err(Error::Config("invalid period range".into()));

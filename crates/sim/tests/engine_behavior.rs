@@ -54,7 +54,11 @@ fn example4() -> TransactionSet {
             TransactionTemplate::new(
                 "T4",
                 30,
-                vec![Step::read(ItemId(1), 1), Step::write(ItemId(0), 1), Step::compute(3)],
+                vec![
+                    Step::read(ItemId(1), 1),
+                    Step::write(ItemId(0), 1),
+                    Step::compute(3),
+                ],
             )
             .with_instances(1),
         )
@@ -65,13 +69,21 @@ fn example4() -> TransactionSet {
 fn example5() -> TransactionSet {
     SetBuilder::new()
         .with(
-            TransactionTemplate::new("TH", 10, vec![Step::read(ItemId(1), 1), Step::write(ItemId(0), 1)])
-                .with_offset(1)
-                .with_instances(1),
+            TransactionTemplate::new(
+                "TH",
+                10,
+                vec![Step::read(ItemId(1), 1), Step::write(ItemId(0), 1)],
+            )
+            .with_offset(1)
+            .with_instances(1),
         )
         .with(
-            TransactionTemplate::new("TL", 10, vec![Step::read(ItemId(0), 1), Step::write(ItemId(1), 1)])
-                .with_instances(1),
+            TransactionTemplate::new(
+                "TL",
+                10,
+                vec![Step::read(ItemId(0), 1), Step::write(ItemId(1), 1)],
+            )
+            .with_instances(1),
         )
         .build()
         .unwrap()

@@ -58,13 +58,7 @@ impl Database {
     }
 
     /// Install a committed write, returning the new version number.
-    pub fn install(
-        &mut self,
-        writer: InstanceId,
-        item: ItemId,
-        value: Value,
-        at: Tick,
-    ) -> Version {
+    pub fn install(&mut self, writer: InstanceId, item: ItemId, value: Value, at: Tick) -> Version {
         let entry = self
             .items
             .entry(item)

@@ -154,7 +154,9 @@ impl History {
                 version,
             } = e.kind
             {
-                out.entry(item).or_default().push((version, e.instance, value));
+                out.entry(item)
+                    .or_default()
+                    .push((version, e.instance, value));
             }
         }
         // Keep versions sorted (they are logged in commit order, which is

@@ -276,10 +276,9 @@ mod tests {
         assert!(!outcome.is_serializable());
         // T2 read y's initial value concurrently, but serial replay in
         // commit order (T1 first) would give it T1's write.
-        assert!(outcome
-            .violations
-            .iter()
-            .any(|v| matches!(v, ReplayViolation::ReadMismatch { instance, .. } if *instance == t2)));
+        assert!(outcome.violations.iter().any(
+            |v| matches!(v, ReplayViolation::ReadMismatch { instance, .. } if *instance == t2)
+        ));
     }
 
     #[test]

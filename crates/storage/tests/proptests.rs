@@ -1,17 +1,17 @@
 //! Property tests for the storage substrate and its oracles.
 
-use proptest::prelude::*;
 use rtdb_storage::*;
 use rtdb_types::*;
+use rtdb_util::prop::{forall, vec_of, CASES};
+use rtdb_util::Rng;
 
 /// A tiny program: a list of (is_write, item) ops per transaction.
 type Program = Vec<(bool, u32)>;
 
-fn arb_programs() -> impl Strategy<Value = Vec<Program>> {
-    prop::collection::vec(
-        prop::collection::vec((any::<bool>(), 0u32..5), 1..5),
-        1..5,
-    )
+fn arb_programs(rng: &mut Rng) -> Vec<Program> {
+    vec_of(rng, 1..5, |rng| {
+        vec_of(rng, 1..5, |rng| (rng.bool(), rng.range_u32(0..5)))
+    })
 }
 
 /// Build a transaction set from programs (unit durations).
@@ -82,73 +82,86 @@ fn run_serial(set: &TransactionSet, order: &[usize]) -> (History, Database) {
     (h, db)
 }
 
-proptest! {
-    /// Any strictly serial execution passes both oracles.
-    #[test]
-    fn serial_histories_pass_both_oracles(programs in arb_programs()) {
+/// Any strictly serial execution passes both oracles.
+#[test]
+fn serial_histories_pass_both_oracles() {
+    forall(CASES, |rng| {
+        let programs = arb_programs(rng);
         let set = set_of(&programs);
         let order: Vec<usize> = (0..programs.len()).collect();
         let (h, db) = run_serial(&set, &order);
 
         let graph = SerializationGraph::build(&h);
-        prop_assert!(graph.find_cycle().is_none());
+        assert!(graph.find_cycle().is_none());
 
         let replay = replay_serial(&set, &h, &db);
-        prop_assert!(replay.is_serializable(), "{:?}", replay.violations);
-    }
+        assert!(replay.is_serializable(), "{:?}", replay.violations);
+    });
+}
 
-    /// Serial execution in *any* order passes (commit order is the serial
-    /// order by construction).
-    #[test]
-    fn serial_in_reverse_order_passes(programs in arb_programs()) {
+/// Serial execution in *any* order passes (commit order is the serial
+/// order by construction).
+#[test]
+fn serial_in_reverse_order_passes() {
+    forall(CASES, |rng| {
+        let programs = arb_programs(rng);
         let set = set_of(&programs);
         let order: Vec<usize> = (0..programs.len()).rev().collect();
         let (h, db) = run_serial(&set, &order);
-        prop_assert!(replay_serial(&set, &h, &db).is_serializable());
-        prop_assert!(SerializationGraph::build(&h).find_cycle().is_none());
-    }
+        assert!(replay_serial(&set, &h, &db).is_serializable());
+        assert!(SerializationGraph::build(&h).find_cycle().is_none());
+    });
+}
 
-    /// The serialization graph's topological order always replays clean
-    /// on serial histories, and equals a valid serialization order.
-    #[test]
-    fn topological_order_exists_for_serial(programs in arb_programs()) {
+/// The serialization graph's topological order always replays clean
+/// on serial histories, and equals a valid serialization order.
+#[test]
+fn topological_order_exists_for_serial() {
+    forall(CASES, |rng| {
+        let programs = arb_programs(rng);
         let set = set_of(&programs);
         let order: Vec<usize> = (0..programs.len()).collect();
         let (h, _db) = run_serial(&set, &order);
         let graph = SerializationGraph::build(&h);
         let topo = graph.topological_order();
-        prop_assert!(topo.is_some());
-        prop_assert_eq!(topo.unwrap().len(), programs.len());
-    }
+        assert!(topo.is_some());
+        assert_eq!(topo.unwrap().len(), programs.len());
+    });
+}
 
-    /// Workspace invariants: reads of own staged writes return the staged
-    /// value; commit installs exactly the staged items; versions bump by
-    /// one per install.
-    #[test]
-    fn workspace_roundtrip(writes in prop::collection::vec(0u32..6, 1..8)) {
+/// Workspace invariants: reads of own staged writes return the staged
+/// value; commit installs exactly the staged items; versions bump by
+/// one per install.
+#[test]
+fn workspace_roundtrip() {
+    forall(CASES, |rng| {
+        let writes = vec_of(rng, 1..8, |rng| rng.range_u32(0..6));
         let mut db = Database::new();
         let who = InstanceId::first(TxnId(0));
         let mut ws = Workspace::new(who);
         for (i, &item) in writes.iter().enumerate() {
             let staged = ws.write(i, ItemId(item));
             let r = ws.read(&db, ItemId(item));
-            prop_assert!(r.own);
-            prop_assert_eq!(r.value, staged);
+            assert!(r.own);
+            assert_eq!(r.value, staged);
         }
         let distinct: std::collections::BTreeSet<u32> = writes.iter().copied().collect();
         let installed = ws.commit_into(&mut db, Tick(1));
-        prop_assert_eq!(installed.len(), distinct.len());
+        assert_eq!(installed.len(), distinct.len());
         for (item, value, version) in installed {
-            prop_assert_eq!(db.read(item).value, value);
-            prop_assert_eq!(db.read(item).version, version);
-            prop_assert_eq!(version, 1); // first writer of each item
+            assert_eq!(db.read(item).value, value);
+            assert_eq!(db.read(item).version, version);
+            assert_eq!(version, 1); // first writer of each item
         }
-    }
+    });
+}
 
-    /// Database version counters are per-item and monotonically increase
-    /// by one per install.
-    #[test]
-    fn version_monotonicity(ops in prop::collection::vec((0u32..4, any::<u64>()), 1..20)) {
+/// Database version counters are per-item and monotonically increase
+/// by one per install.
+#[test]
+fn version_monotonicity() {
+    forall(CASES, |rng| {
+        let ops = vec_of(rng, 1..20, |rng| (rng.range_u32(0..4), rng.next_u64()));
         let mut db = Database::new();
         let who = InstanceId::first(TxnId(0));
         let mut expected: std::collections::BTreeMap<u32, u64> = Default::default();
@@ -156,8 +169,8 @@ proptest! {
             let v = db.install(who, ItemId(item), Value(val), Tick(i as u64));
             let e = expected.entry(item).or_insert(0);
             *e += 1;
-            prop_assert_eq!(v, *e);
-            prop_assert_eq!(db.read(ItemId(item)).value, Value(val));
+            assert_eq!(v, *e);
+            assert_eq!(db.read(ItemId(item)).value, Value(val));
         }
-    }
+    });
 }

@@ -48,13 +48,19 @@ impl fmt::Display for Error {
         match self {
             Error::EmptySet => write!(f, "transaction set is empty"),
             Error::DuplicatePriority(p) => {
-                write!(f, "duplicate priority {p}: priorities must form a total order")
+                write!(
+                    f,
+                    "duplicate priority {p}: priorities must form a total order"
+                )
             }
             Error::InvalidTemplate { name, reason } => {
                 write!(f, "invalid template `{name}`: {reason}")
             }
             Error::LockNotHeld { instance, item } => {
-                write!(f, "{instance} accessed {item} without holding the required lock")
+                write!(
+                    f,
+                    "{instance} accessed {item} without holding the required lock"
+                )
             }
             Error::Deadlock(cycle) => {
                 write!(f, "deadlock detected among ")?;

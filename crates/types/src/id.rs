@@ -1,13 +1,12 @@
 //! Identifiers for data items, transaction templates and periodic instances.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a data item in the memory-resident database.
 ///
 /// Items are the unit of locking in every protocol in this workspace; the
 /// paper calls them `x`, `y`, `z`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ItemId(pub u32);
 
 impl ItemId {
@@ -42,7 +41,7 @@ impl fmt::Display for ItemId {
 /// The paper writes `T_1 .. T_n`, listed in descending order of priority.
 /// `TxnId(0)` conventionally corresponds to `T_1` (highest priority) when a
 /// [`crate::TransactionSet`] is built with explicit priorities.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxnId(pub u32);
 
 impl TxnId {
@@ -70,7 +69,7 @@ impl fmt::Display for TxnId {
 /// The `k`-th arrival of template `T_i` is `InstanceId { txn: i, seq: k }`
 /// (`seq` starts at 0). All runtime state — locks, workspaces, blocking —
 /// is tracked per instance.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InstanceId {
     /// The template this instance belongs to.
     pub txn: TxnId,

@@ -1,11 +1,10 @@
 //! Transaction operations and steps.
 
 use crate::{Duration, ItemId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Lock mode of a data access.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LockMode {
     /// Shared read lock (`Rlock` in the paper).
     Read,
@@ -24,6 +23,15 @@ impl LockMode {
     #[inline]
     pub fn is_write(self) -> bool {
         matches!(self, LockMode::Write)
+    }
+
+    /// The opposite mode (upgrades hold both).
+    #[inline]
+    pub fn other(self) -> LockMode {
+        match self {
+            LockMode::Read => LockMode::Write,
+            LockMode::Write => LockMode::Read,
+        }
     }
 }
 
@@ -46,7 +54,7 @@ impl fmt::Display for LockMode {
 }
 
 /// One logical operation of a transaction.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operation {
     /// Read data item — acquires a read lock at step start.
     Read(ItemId),
@@ -106,7 +114,7 @@ impl fmt::Debug for Operation {
 /// once granted, the step consumes `duration` ticks of CPU, during which the
 /// transaction may be preempted (but keeps its locks — all locks are held
 /// until commit).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Step {
     /// What the step does.
     pub op: Operation,

@@ -9,7 +9,6 @@
 //! the priorities of all transactions in the system" (paper §3, Example 1).
 //! The dummy is the value of `Sysceil` when no relevant item is locked.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A transaction priority. Larger numeric value = higher priority.
@@ -17,7 +16,7 @@ use std::fmt;
 /// Priorities in a [`crate::TransactionSet`] form a total order: no two
 /// templates share a priority (the paper assumes a total order; rate
 /// monotonic ties are broken by template index).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Priority(pub u32);
 
 impl Priority {
@@ -66,7 +65,7 @@ impl fmt::Display for Priority {
 /// let p = Priority(3);
 /// assert!(p.as_ceiling() > sysceil); // "P_i > Sysceil"
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Ceiling {
     /// No ceiling in effect — lower than all transaction priorities.
     #[default]

@@ -3,7 +3,6 @@
 use crate::{
     Ceiling, Duration, Error, ItemId, LockMode, Priority, Result, TransactionTemplate, TxnId,
 };
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A fixed set of periodic transaction templates with a total priority
@@ -21,7 +20,7 @@ use std::collections::BTreeSet;
 ///   may **write** `x` ([`TransactionSet::wceil`]);
 /// * `Aceil(x)` — priority of the highest-priority template that may read
 ///   **or** write `x` ([`TransactionSet::aceil`]), used by RW-PCP.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TransactionSet {
     templates: Vec<TransactionTemplate>,
     /// `priorities[i]` is the priority of template `TxnId(i)`.
@@ -71,10 +70,7 @@ impl TransactionSet {
 
     /// All items accessed by any template.
     pub fn items(&self) -> BTreeSet<ItemId> {
-        self.templates
-            .iter()
-            .flat_map(|t| t.access_set())
-            .collect()
+        self.templates.iter().flat_map(|t| t.access_set()).collect()
     }
 
     /// `HPW(x)` / static `Wceil(x)`: the priority of the highest-priority
@@ -218,8 +214,16 @@ mod tests {
         // Paper Example 4: T1: Read(x); T2: Write(y); T3: Read(z),Write(z);
         // T4: Read(y),Write(x). Descending priority by insertion order.
         SetBuilder::new()
-            .with(TransactionTemplate::new("T1", 20, vec![Step::read(ItemId(0), 2)]))
-            .with(TransactionTemplate::new("T2", 20, vec![Step::write(ItemId(1), 2)]))
+            .with(TransactionTemplate::new(
+                "T1",
+                20,
+                vec![Step::read(ItemId(0), 2)],
+            ))
+            .with(TransactionTemplate::new(
+                "T2",
+                20,
+                vec![Step::write(ItemId(1), 2)],
+            ))
             .with(TransactionTemplate::new(
                 "T3",
                 20,
@@ -228,7 +232,11 @@ mod tests {
             .with(TransactionTemplate::new(
                 "T4",
                 20,
-                vec![Step::read(ItemId(1), 1), Step::write(ItemId(0), 1), Step::compute(3)],
+                vec![
+                    Step::read(ItemId(1), 1),
+                    Step::write(ItemId(0), 1),
+                    Step::compute(3),
+                ],
             ))
             .build()
             .unwrap()
@@ -239,7 +247,10 @@ mod tests {
         let s = example4_set();
         let p: Vec<u32> = (0..4).map(|i| s.priority_of(TxnId(i)).level()).collect();
         assert_eq!(p, vec![3, 2, 1, 0]);
-        assert_eq!(s.by_descending_priority(), vec![TxnId(0), TxnId(1), TxnId(2), TxnId(3)]);
+        assert_eq!(
+            s.by_descending_priority(),
+            vec![TxnId(0), TxnId(1), TxnId(2), TxnId(3)]
+        );
     }
 
     #[test]
@@ -268,7 +279,11 @@ mod tests {
     #[test]
     fn rate_monotonic_orders_by_period() {
         let s = SetBuilder::new()
-            .with(TransactionTemplate::new("slow", 100, vec![Step::compute(1)]))
+            .with(TransactionTemplate::new(
+                "slow",
+                100,
+                vec![Step::compute(1)],
+            ))
             .with(TransactionTemplate::new("fast", 10, vec![Step::compute(1)]))
             .with(TransactionTemplate::new("mid", 50, vec![Step::compute(1)]))
             .build_rate_monotonic()

@@ -1,7 +1,6 @@
 //! Periodic transaction templates.
 
 use crate::{Duration, ItemId, LockMode, Operation, Step, Tick, TxnId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A periodic transaction template.
@@ -10,7 +9,7 @@ use std::collections::BTreeSet;
 /// under rate-monotonic assignment also determines its priority and, as in
 /// the paper, its relative deadline), its release offset, and the ordered
 /// sequence of read/write/compute [`Step`]s each instance executes.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct TransactionTemplate {
     /// Template identifier (index into the owning [`crate::TransactionSet`]).
     pub id: TxnId,
@@ -134,11 +133,7 @@ impl TransactionTemplate {
         if self.wcet() > self.period {
             return Err(crate::Error::InvalidTemplate {
                 name: self.name.clone(),
-                reason: format!(
-                    "WCET {} exceeds period {}",
-                    self.wcet(),
-                    self.period
-                ),
+                reason: format!("WCET {} exceeds period {}", self.wcet(), self.period),
             });
         }
         Ok(())
@@ -165,7 +160,11 @@ mod tests {
         TransactionTemplate::new(
             "T",
             10,
-            vec![Step::read(ItemId(0), 1), Step::write(ItemId(1), 2), Step::compute(1)],
+            vec![
+                Step::read(ItemId(0), 1),
+                Step::write(ItemId(1), 2),
+                Step::compute(1),
+            ],
         )
         .with_offset(3)
     }

@@ -7,11 +7,10 @@
 //! anomalies by value, not just by conflict graph.
 
 use crate::{InstanceId, ItemId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The value of a data item.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Value(pub u64);
 
 impl Value {
@@ -97,8 +96,14 @@ mod tests {
         assert_ne!(base, derive_write(w, 1, ItemId(3), Value(42)));
         assert_ne!(base, derive_write(w, 0, ItemId(4), Value(42)));
         assert_ne!(base, derive_write(w, 0, ItemId(3), Value(43)));
-        assert_ne!(base, derive_write(InstanceId::new(TxnId(1), 3), 0, ItemId(3), Value(42)));
-        assert_ne!(base, derive_write(InstanceId::new(TxnId(2), 2), 0, ItemId(3), Value(42)));
+        assert_ne!(
+            base,
+            derive_write(InstanceId::new(TxnId(1), 3), 0, ItemId(3), Value(42))
+        );
+        assert_ne!(
+            base,
+            derive_write(InstanceId::new(TxnId(2), 2), 0, ItemId(3), Value(42))
+        );
     }
 
     #[test]

@@ -1,112 +1,131 @@
 //! Property tests for the foundational types.
 
-use proptest::prelude::*;
 use rtdb_types::*;
+use rtdb_util::prop::{forall, vec_of, CASES};
+use rtdb_util::Rng;
 
-fn arb_ceiling() -> impl Strategy<Value = Ceiling> {
-    prop_oneof![
-        Just(Ceiling::Dummy),
-        (0u32..100).prop_map(|p| Ceiling::At(Priority(p))),
-    ]
+fn arb_ceiling(rng: &mut Rng) -> Ceiling {
+    if rng.chance(0.2) {
+        Ceiling::Dummy
+    } else {
+        Ceiling::At(Priority(rng.range_u32(0..100)))
+    }
 }
 
-proptest! {
-    /// Ceiling ordering is a total order with Dummy as bottom.
-    #[test]
-    fn ceiling_order_laws(a in arb_ceiling(), b in arb_ceiling(), c in arb_ceiling()) {
+/// Ceiling ordering is a total order with Dummy as bottom.
+#[test]
+fn ceiling_order_laws() {
+    forall(CASES, |rng| {
+        let a = arb_ceiling(rng);
+        let b = arb_ceiling(rng);
+        let c = arb_ceiling(rng);
         // Totality + antisymmetry via Ord.
-        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
         // Transitivity.
         if a <= b && b <= c {
-            prop_assert!(a <= c);
+            assert!(a <= c);
         }
         // Dummy is bottom.
-        prop_assert!(Ceiling::Dummy <= a);
+        assert!(Ceiling::Dummy <= a);
         // max agrees with Ord.
-        prop_assert_eq!(a.max(b), std::cmp::max(a, b));
-    }
+        assert_eq!(a.max(b), std::cmp::max(a, b));
+    });
+}
 
-    /// `cleared_by` is exactly "strictly above the ceiling".
-    #[test]
-    fn cleared_by_matches_order(p in 0u32..100, c in arb_ceiling()) {
-        let pr = Priority(p);
-        prop_assert_eq!(c.cleared_by(pr), Ceiling::At(pr) > c);
-    }
+/// `cleared_by` is exactly "strictly above the ceiling".
+#[test]
+fn cleared_by_matches_order() {
+    forall(CASES, |rng| {
+        let pr = Priority(rng.range_u32(0..100));
+        let c = arb_ceiling(rng);
+        assert_eq!(c.cleared_by(pr), Ceiling::At(pr) > c);
+    });
+}
 
-    /// Tick/Duration arithmetic is consistent.
-    #[test]
-    fn tick_duration_arithmetic(base in 0u64..1_000_000, d1 in 0u64..10_000, d2 in 0u64..10_000) {
-        let t = Tick(base);
-        let a = t + Duration(d1) + Duration(d2);
-        let b = t + (Duration(d1) + Duration(d2));
-        prop_assert_eq!(a, b);
-        prop_assert_eq!(a.since(t), Duration(d1 + d2));
-        prop_assert_eq!(a - Duration(d2), t + Duration(d1));
-    }
+/// Tick/Duration arithmetic is consistent.
+#[test]
+fn tick_duration_arithmetic() {
+    forall(CASES, |rng| {
+        let t = Tick(rng.range_u64(0..1_000_000));
+        let d1 = Duration(rng.range_u64(0..10_000));
+        let d2 = Duration(rng.range_u64(0..10_000));
+        let a = t + d1 + d2;
+        let b = t + (d1 + d2);
+        assert_eq!(a, b);
+        assert_eq!(a.since(t), d1 + d2);
+        assert_eq!(a - d2, t + d1);
+    });
+}
 
-    /// derive_write is a pure function and injective-ish across inputs
-    /// (no collisions observed across distinct step indices and items
-    /// within one instance — a smoke check, not a cryptographic claim).
-    #[test]
-    fn derive_write_purity(
-        txn in 0u32..64, seq in 0u32..64, step in 0usize..16,
-        item in 0u32..64, digest in any::<u64>(),
-    ) {
-        let who = InstanceId::new(TxnId(txn), seq);
-        let a = derive_write(who, step, ItemId(item), Value(digest));
-        let b = derive_write(who, step, ItemId(item), Value(digest));
-        prop_assert_eq!(a, b);
+/// derive_write is a pure function and injective-ish across inputs
+/// (no collisions observed across distinct step indices and items
+/// within one instance — a smoke check, not a cryptographic claim).
+#[test]
+fn derive_write_purity() {
+    forall(CASES, |rng| {
+        let who = InstanceId::new(TxnId(rng.range_u32(0..64)), rng.range_u32(0..64));
+        let step = rng.range_usize(0..16);
+        let item = ItemId(rng.range_u32(0..64));
+        let digest = Value(rng.next_u64());
+        let a = derive_write(who, step, item, digest);
+        let b = derive_write(who, step, item, digest);
+        assert_eq!(a, b);
         // Different step index changes the value.
-        let c = derive_write(who, step + 1, ItemId(item), Value(digest));
-        prop_assert_ne!(a, c);
-    }
+        let c = derive_write(who, step + 1, item, digest);
+        assert_ne!(a, c);
+    });
+}
 
-    /// Rate-monotonic priority assignment: shorter period never gets a
-    /// lower priority, and priorities are a permutation of 0..n.
-    #[test]
-    fn rate_monotonic_is_monotone(periods in prop::collection::vec(2u64..500, 1..10)) {
+/// Rate-monotonic priority assignment: shorter period never gets a
+/// lower priority, and priorities are a permutation of 0..n.
+#[test]
+fn rate_monotonic_is_monotone() {
+    forall(CASES, |rng| {
+        let periods = vec_of(rng, 1..10, |rng| rng.range_u64(2..500));
         let mut b = SetBuilder::new();
         for (i, &p) in periods.iter().enumerate() {
-            b.add(TransactionTemplate::new(format!("t{i}"), p, vec![Step::compute(1)]));
+            b.add(TransactionTemplate::new(
+                format!("t{i}"),
+                p,
+                vec![Step::compute(1)],
+            ));
         }
         let set = b.build_rate_monotonic().unwrap();
         let n = set.len();
         let mut seen = vec![false; n];
         for t in set.templates() {
             let lvl = set.priority_of(t.id).level() as usize;
-            prop_assert!(lvl < n);
-            prop_assert!(!seen[lvl], "duplicate priority");
+            assert!(lvl < n);
+            assert!(!seen[lvl], "duplicate priority");
             seen[lvl] = true;
         }
         for a in set.templates() {
             for b in set.templates() {
-                if a.period < b.period {
-                    prop_assert!(
-                        set.priority_of(a.id) > set.priority_of(b.id),
-                        "shorter period must get higher priority"
-                    );
-                }
+                assert!(
+                    a.period >= b.period || set.priority_of(a.id) > set.priority_of(b.id),
+                    "shorter period must get higher priority"
+                );
             }
         }
-    }
+    });
+}
 
-    /// Ceiling definitions: Wceil(x) <= Aceil(x) for every item.
-    #[test]
-    fn wceil_bounded_by_aceil(
-        ops in prop::collection::vec(
-            prop::collection::vec((0u32..6, any::<bool>()), 1..4),
-            2..6,
-        ),
-    ) {
+/// Ceiling definitions: Wceil(x) <= Aceil(x) for every item.
+#[test]
+fn wceil_bounded_by_aceil() {
+    forall(CASES, |rng| {
+        let ops = vec_of(rng, 2..6, |rng| {
+            vec_of(rng, 1..4, |rng| (ItemId(rng.range_u32(0..6)), rng.bool()))
+        });
         let mut b = SetBuilder::new();
         for (i, txn_ops) in ops.iter().enumerate() {
             let steps: Vec<Step> = txn_ops
                 .iter()
                 .map(|&(item, write)| {
                     if write {
-                        Step::write(ItemId(item), 1)
+                        Step::write(item, 1)
                     } else {
-                        Step::read(ItemId(item), 1)
+                        Step::read(item, 1)
                     }
                 })
                 .collect();
@@ -115,21 +134,28 @@ proptest! {
         }
         let set = b.build().unwrap();
         for item in set.items() {
-            prop_assert!(set.wceil(item) <= set.aceil(item));
+            assert!(set.wceil(item) <= set.aceil(item));
         }
-    }
+    });
+}
 
-    /// Hyperperiod is divisible by every period.
-    #[test]
-    fn hyperperiod_divisible(periods in prop::collection::vec(1u64..50, 1..6)) {
+/// Hyperperiod is divisible by every period.
+#[test]
+fn hyperperiod_divisible() {
+    forall(CASES, |rng| {
+        let periods = vec_of(rng, 1..6, |rng| rng.range_u64(1..50));
         let mut b = SetBuilder::new();
         for (i, &p) in periods.iter().enumerate() {
-            b.add(TransactionTemplate::new(format!("t{i}"), p, vec![Step::compute(1)]));
+            b.add(TransactionTemplate::new(
+                format!("t{i}"),
+                p,
+                vec![Step::compute(1)],
+            ));
         }
         let set = b.build().unwrap();
         let h = set.hyperperiod().raw();
         for t in set.templates() {
-            prop_assert_eq!(h % t.period.raw(), 0);
+            assert_eq!(h % t.period.raw(), 0);
         }
-    }
+    });
 }

@@ -1,0 +1,23 @@
+//! Zero-dependency support utilities for the PCP-DA workspace.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace is pure-std; this crate supplies the small slices of the
+//! usual ecosystem crates the repository needs:
+//!
+//! * [`rng`] — a seeded, splittable PRNG (xoshiro256++) for reproducible
+//!   workload generation and randomized tests (in place of `rand`);
+//! * [`json`] — a JSON value type with a parser and pretty printer (in
+//!   place of `serde`/`serde_json`);
+//! * [`par`] — an ordered parallel map over a thread pool built on
+//!   `std::thread::scope` (in place of `rayon`);
+//! * [`prop`] — a tiny property-testing harness with deterministic
+//!   per-iteration seeds (in place of `proptest`).
+
+pub mod json;
+pub mod par;
+pub mod prop;
+pub mod rng;
+
+pub use json::Json;
+pub use par::par_map;
+pub use rng::Rng;

@@ -21,17 +21,18 @@ fn workload(writers: usize, writer_len: u64) -> TransactionSet {
     b.add(TransactionTemplate::new(
         "reader",
         20,
-        vec![Step::read(ItemId(0), 1), Step::read(ItemId(1), 1), Step::compute(1)],
+        vec![
+            Step::read(ItemId(0), 1),
+            Step::read(ItemId(1), 1),
+            Step::compute(1),
+        ],
     ));
     for w in 0..writers {
         let item = ItemId((w % 2) as u32);
         b.add(TransactionTemplate::new(
             format!("writer-{w}"),
             120 + 40 * w as u64,
-            vec![
-                Step::write(item, writer_len),
-                Step::compute(writer_len),
-            ],
+            vec![Step::write(item, writer_len), Step::compute(writer_len)],
         ));
     }
     b.build_rate_monotonic().expect("valid workload")
@@ -48,7 +49,14 @@ fn verdict(ok: bool) -> &'static str {
 fn main() {
     println!(
         "{:>7} {:>10} | {:>12} {:>12} | {:>12} {:>12} | {:>9} {:>9}",
-        "writers", "writer-len", "PCP-DA (LL)", "PCP-DA (RTA)", "RW-PCP (LL)", "RW-PCP (RTA)", "bu(DA)", "bu(RW)"
+        "writers",
+        "writer-len",
+        "PCP-DA (LL)",
+        "PCP-DA (RTA)",
+        "RW-PCP (LL)",
+        "RW-PCP (RTA)",
+        "bu(DA)",
+        "bu(RW)"
     );
     for writers in [1usize, 2, 3] {
         for writer_len in [2u64, 4, 6, 8] {

@@ -91,7 +91,10 @@ fn main() {
 
     // Analytic comparison: who can block the control loop?
     println!("== worst-case blocking B_i (analysis, paper §9) ==");
-    println!("  {:13} {:>8} {:>8} {:>8}", "transaction", "PCP-DA", "RW-PCP", "PCP");
+    println!(
+        "  {:13} {:>8} {:>8} {:>8}",
+        "transaction", "PCP-DA", "RW-PCP", "PCP"
+    );
     for t in set.templates() {
         let b = |p| rtdb::analysis::worst_blocking(&set, p, t.id).raw();
         println!(

@@ -65,8 +65,7 @@ pub mod prelude {
     pub use rtdb_baselines::{Ccp, NaiveDa, OccBc, Pcp, RwPcp, TwoPlHp, TwoPlPi};
     pub use rtdb_cc::{Decision, EngineView, LockRequest, Protocol};
     pub use rtdb_sim::{
-        compare_protocols, Engine, MetricsReport, RunOutcome, RunResult, SimConfig,
-        WorkloadParams,
+        compare_protocols, Engine, MetricsReport, RunOutcome, RunResult, SimConfig, WorkloadParams,
     };
     pub use rtdb_storage::{replay_serial, Database, History, SerializationGraph};
     pub use rtdb_types::{

@@ -28,9 +28,7 @@ pub fn example1() -> TransactionSet {
                 .with_offset(1)
                 .with_instances(1),
         )
-        .with(
-            TransactionTemplate::new("T3", 20, vec![Step::write(X, 3)]).with_instances(1),
-        )
+        .with(TransactionTemplate::new("T3", 20, vec![Step::write(X, 3)]).with_instances(1))
         .build()
         .expect("example 1 is valid")
 }

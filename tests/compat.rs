@@ -63,20 +63,17 @@ mod behavioural {
     }
 
     fn h_was_blocked(r: &RunResult) -> bool {
-        r.trace.events().iter().any(|e| {
-            matches!(e, TraceEvent::Denied { who, .. } if who.txn == TxnId(0))
-        })
+        r.trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Denied { who, .. } if who.txn == TxnId(0)))
     }
 
     /// Read held / read requested: shared — H proceeds.
     #[test]
     fn read_read_shares() {
         let x = ItemId(0);
-        let (_, r) = duel(
-            vec![Step::read(x, 1)],
-            vec![Step::read(x, 3)],
-            1,
-        );
+        let (_, r) = duel(vec![Step::read(x, 1)], vec![Step::read(x, 3)], 1);
         assert!(!h_was_blocked(&r));
         assert_eq!(r.outcome, RunOutcome::Completed);
     }

@@ -94,7 +94,10 @@ fn example5_twopl_pi_deadlocks_and_resolves() {
         .unwrap();
     assert_eq!(resolved.outcome, RunOutcome::Completed);
     assert_eq!(resolved.history.committed(), 2);
-    assert!(resolved.history.aborts() >= 1, "a victim must have restarted");
+    assert!(
+        resolved.history.aborts() >= 1,
+        "a victim must have restarted"
+    );
     assert!(resolved.replay_check(&set).is_serializable());
 }
 

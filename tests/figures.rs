@@ -55,7 +55,10 @@ fn figure1_example1_under_rwpcp() {
         matches!(e, TraceEvent::Denied { at, who, item, .. }
             if *who == t2 && *item == paper::Y && at.raw() == 1)
     });
-    assert!(denied_t2, "T2 must be denied read-lock on free item y at t=1");
+    assert!(
+        denied_t2,
+        "T2 must be denied read-lock on free item y at t=1"
+    );
 
     // Single blocking: each blocked transaction was blocked only by T3.
     for who in [t1, t2] {

@@ -18,35 +18,27 @@
 //!    in aggregate over many workloads (§5);
 //! 6. **Determinism** — identical seeds give identical runs.
 
-use proptest::prelude::*;
 use rtdb::prelude::*;
+use rtdb_util::prop::forall;
+use rtdb_util::Rng;
 
-fn arb_params() -> impl Strategy<Value = WorkloadParams> {
-    (
-        2usize..=6,     // templates
-        4usize..=12,    // items
-        1u32..=7,       // utilization in tenths
-        0.0f64..=0.8,   // write fraction
-        0.0f64..=0.9,   // hotspot probability
-        any::<u64>(),   // seed
-    )
-        .prop_map(
-            |(templates, items, util_tenths, write_fraction, hotspot_prob, seed)| {
-                WorkloadParams {
-                    templates,
-                    items,
-                    target_utilization: util_tenths as f64 / 10.0,
-                    min_period: 30,
-                    max_period: 300,
-                    min_data_steps: 1,
-                    max_data_steps: 4,
-                    write_fraction,
-                    hotspot_items: 3,
-                    hotspot_prob,
-                    seed,
-                }
-            },
-        )
+/// Engine runs are expensive; fewer cases than the unit-level suites.
+const ENGINE_CASES: usize = 48;
+
+fn arb_params(rng: &mut Rng) -> WorkloadParams {
+    WorkloadParams {
+        templates: rng.range_inclusive_usize(2, 6),
+        items: rng.range_inclusive_usize(4, 12),
+        target_utilization: rng.range_inclusive_u64(1, 7) as f64 / 10.0,
+        min_period: 30,
+        max_period: 300,
+        min_data_steps: 1,
+        max_data_steps: 4,
+        write_fraction: rng.f64() * 0.8,
+        hotspot_items: 3,
+        hotspot_prob: rng.f64() * 0.9,
+        seed: rng.next_u64(),
+    }
 }
 
 fn run(set: &TransactionSet, protocol: &mut dyn Protocol, resolve: bool) -> RunResult {
@@ -57,138 +49,147 @@ fn run(set: &TransactionSet, protocol: &mut dyn Protocol, resolve: bool) -> RunR
     Engine::new(set, cfg).run(protocol).expect("run succeeds")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48, ..ProptestConfig::default()
-    })]
-
-    /// Theorems 1–3 for PCP-DA on arbitrary workloads.
-    #[test]
-    fn pcpda_theorems_hold(params in arb_params()) {
-        let set = params.generate().unwrap().set;
+/// Theorems 1–3 for PCP-DA on arbitrary workloads.
+#[test]
+fn pcpda_theorems_hold() {
+    forall(ENGINE_CASES, |rng| {
+        let set = arb_params(rng).generate().unwrap().set;
         let r = run(&set, &mut PcpDa::new(), false);
 
         // Theorem 2: no deadlock, ever.
-        prop_assert_eq!(&r.outcome, &RunOutcome::Completed);
+        assert_eq!(&r.outcome, &RunOutcome::Completed);
         // No restarts, ever.
-        prop_assert_eq!(r.history.aborts(), 0);
+        assert_eq!(r.history.aborts(), 0);
         // Theorem 3: serializable, commit order is a serialization order.
         let replay = r.replay_check(&set);
-        prop_assert!(replay.is_serializable(), "replay: {:?}", replay.violations);
-        prop_assert!(r.is_conflict_serializable());
+        assert!(replay.is_serializable(), "replay: {:?}", replay.violations);
+        assert!(r.is_conflict_serializable());
         // Theorem 1: single blocking.
-        prop_assert!(
+        assert!(
             r.metrics.max_distinct_lower_blockers() <= 1,
             "an instance was blocked by {} distinct lower-priority transactions",
             r.metrics.max_distinct_lower_blockers()
         );
-    }
+    });
+}
 
-    /// The same invariants for RW-PCP (the baseline's published
-    /// guarantees), plus blocking dominance of PCP-DA over RW-PCP.
-    #[test]
-    fn rwpcp_guarantees_and_dominance(params in arb_params()) {
-        let set = params.generate().unwrap().set;
+/// The same invariants for RW-PCP (the baseline's published
+/// guarantees), plus blocking dominance of PCP-DA over RW-PCP.
+#[test]
+fn rwpcp_guarantees_and_dominance() {
+    forall(ENGINE_CASES, |rng| {
+        let set = arb_params(rng).generate().unwrap().set;
         let rw = run(&set, &mut RwPcp::new(), false);
 
-        prop_assert_eq!(&rw.outcome, &RunOutcome::Completed);
-        prop_assert_eq!(rw.history.aborts(), 0);
-        prop_assert!(rw.replay_check(&set).is_serializable());
-        prop_assert!(rw.metrics.max_distinct_lower_blockers() <= 1);
+        assert_eq!(&rw.outcome, &RunOutcome::Completed);
+        assert_eq!(rw.history.aborts(), 0);
+        assert!(rw.replay_check(&set).is_serializable());
+        assert!(rw.metrics.max_distinct_lower_blockers() <= 1);
 
         let da = run(&set, &mut PcpDa::new(), false);
         // §6: ceiling push-down.
-        prop_assert!(da.metrics.max_sysceil <= rw.metrics.max_sysceil);
+        assert!(da.metrics.max_sysceil <= rw.metrics.max_sysceil);
         // (No pointwise blocking/deadline-miss comparison here: once the
         // two schedules diverge, periodic phase shifts can move a few
         // ticks of blocking either way on one particular run. The
         // dominance claims are covered by `blocking_dominance_in_
         // aggregate` below, the BTS-subset analysis tests, and E9.)
         let _ = da;
-    }
+    });
+}
 
-    /// Original PCP and CCP: deadlock-free and serializable; CCP verified
-    /// through the topological-order replay (early unlock decouples
-    /// serialization order from commit order).
-    #[test]
-    fn pcp_and_ccp_serializable(params in arb_params()) {
-        let set = params.generate().unwrap().set;
+/// Original PCP and CCP: deadlock-free and serializable; CCP verified
+/// through the topological-order replay (early unlock decouples
+/// serialization order from commit order).
+#[test]
+fn pcp_and_ccp_serializable() {
+    forall(ENGINE_CASES, |rng| {
+        let set = arb_params(rng).generate().unwrap().set;
 
         let pcp = run(&set, &mut Pcp::new(), false);
-        prop_assert_eq!(&pcp.outcome, &RunOutcome::Completed);
-        prop_assert!(pcp.replay_check(&set).is_serializable());
-        prop_assert!(pcp.metrics.max_distinct_lower_blockers() <= 1);
+        assert_eq!(&pcp.outcome, &RunOutcome::Completed);
+        assert!(pcp.replay_check(&set).is_serializable());
+        assert!(pcp.metrics.max_distinct_lower_blockers() <= 1);
 
         let ccp = run(&set, &mut Ccp::new(), false);
-        prop_assert_eq!(&ccp.outcome, &RunOutcome::Completed);
-        prop_assert!(ccp.is_conflict_serializable());
+        assert_eq!(&ccp.outcome, &RunOutcome::Completed);
+        assert!(ccp.is_conflict_serializable());
         let replay = ccp
             .replay_check_topological(&set)
             .expect("acyclic graph has a topological order");
-        prop_assert!(replay.is_serializable(), "CCP replay: {:?}", replay.violations);
+        assert!(
+            replay.is_serializable(),
+            "CCP replay: {:?}",
+            replay.violations
+        );
         // (No pointwise blocking comparison with PCP: CCP's early unlock
         // improves the worst-case analysis, but a changed schedule can
         // shift individual runs either way.)
-        prop_assert_eq!(ccp.history.aborts(), 0);
-    }
+        assert_eq!(ccp.history.aborts(), 0);
+    });
+}
 
-    /// Abort-based baselines (2PL-HP, OCC-BC) and 2PL-PI with deadlock
-    /// resolution: always serializable, never blocked forever.
-    #[test]
-    fn twopl_baselines_serializable(params in arb_params()) {
-        let set = params.generate().unwrap().set;
+/// Abort-based baselines (2PL-HP, OCC-BC) and 2PL-PI with deadlock
+/// resolution: always serializable, never blocked forever.
+#[test]
+fn twopl_baselines_serializable() {
+    forall(ENGINE_CASES, |rng| {
+        let set = arb_params(rng).generate().unwrap().set;
 
         let pi = run(&set, &mut TwoPlPi::new(), true);
-        prop_assert_eq!(&pi.outcome, &RunOutcome::Completed);
-        prop_assert!(pi.replay_check(&set).is_serializable());
+        assert_eq!(&pi.outcome, &RunOutcome::Completed);
+        assert!(pi.replay_check(&set).is_serializable());
 
         let hp = run(&set, &mut TwoPlHp::new(), false);
-        prop_assert_eq!(&hp.outcome, &RunOutcome::Completed);
-        prop_assert!(hp.replay_check(&set).is_serializable());
+        assert_eq!(&hp.outcome, &RunOutcome::Completed);
+        assert!(hp.replay_check(&set).is_serializable());
 
         let occ = run(&set, &mut OccBc::new(), false);
-        prop_assert_eq!(&occ.outcome, &RunOutcome::Completed);
-        prop_assert!(occ.replay_check(&set).is_serializable());
-        prop_assert!(occ.is_conflict_serializable());
+        assert_eq!(&occ.outcome, &RunOutcome::Completed);
+        assert!(occ.replay_check(&set).is_serializable());
+        assert!(occ.is_conflict_serializable());
         // OCC never blocks: zero blocking time everywhere.
-        prop_assert_eq!(occ.metrics.total_blocking().raw(), 0);
-    }
+        assert_eq!(occ.metrics.total_blocking().raw(), 0);
+    });
+}
 
-    /// Identical inputs give identical runs (the whole stack is
-    /// deterministic).
-    #[test]
-    fn runs_are_deterministic(params in arb_params()) {
-        let set = params.generate().unwrap().set;
+/// Identical inputs give identical runs (the whole stack is
+/// deterministic).
+#[test]
+fn runs_are_deterministic() {
+    forall(ENGINE_CASES, |rng| {
+        let set = arb_params(rng).generate().unwrap().set;
         let a = run(&set, &mut PcpDa::new(), false);
         let b = run(&set, &mut PcpDa::new(), false);
-        prop_assert_eq!(a.history.events(), b.history.events());
-        prop_assert_eq!(a.trace.events(), b.trace.events());
-        prop_assert_eq!(
-            a.metrics.total_blocking(),
-            b.metrics.total_blocking()
-        );
-    }
+        assert_eq!(a.history.events(), b.history.events());
+        assert_eq!(a.trace.events(), b.trace.events());
+        assert_eq!(a.metrics.total_blocking(), b.metrics.total_blocking());
+    });
+}
 
-    /// Analytic blocking terms bound the measured lower-priority execution
-    /// whenever the analysis admits the workload (§9 soundness). RW-PCP
-    /// uses the paper's single-`C_L` bound; the repaired PCP-DA uses the
-    /// chain-closure bound (its erratum clauses admit chained waits below
-    /// `P_i`, so the paper's bound does not transfer — see
-    /// `rtdb::analysis::chain_set`).
-    #[test]
-    fn analytic_blocking_bound_sound(params in arb_params()) {
-        let set = params.generate().unwrap().set;
+/// Analytic blocking terms bound the measured lower-priority execution
+/// whenever the analysis admits the workload (§9 soundness). RW-PCP
+/// uses the paper's single-`C_L` bound; the repaired PCP-DA uses the
+/// chain-closure bound (its erratum clauses admit chained waits below
+/// `P_i`, so the paper's bound does not transfer — see
+/// `rtdb::analysis::chain_set`).
+#[test]
+fn analytic_blocking_bound_sound() {
+    forall(ENGINE_CASES, |rng| {
+        let set = arb_params(rng).generate().unwrap().set;
 
         // RW-PCP: the paper's bound, sound as published.
         if schedulable(&set, AnalysisProtocol::RwPcp).rta_schedulable() {
             let b = rtdb::analysis::blocking_terms(&set, AnalysisProtocol::RwPcp);
             let r = run(&set, &mut RwPcp::new(), false);
-            prop_assert_eq!(r.metrics.deadline_misses(), 0);
+            assert_eq!(r.metrics.deadline_misses(), 0);
             for m in r.metrics.instances() {
-                prop_assert!(
+                assert!(
                     m.lower_exec <= b[m.id.txn.index()],
                     "RW-PCP: {} lower-exec {} > B_i {}",
-                    m.id, m.lower_exec, b[m.id.txn.index()]
+                    m.id,
+                    m.lower_exec,
+                    b[m.id.txn.index()]
                 );
             }
         }
@@ -197,16 +198,18 @@ proptest! {
         if rtdb::analysis::schedulable_repaired_pcpda(&set).rta_schedulable() {
             let b = rtdb::analysis::repaired_blocking_terms(&set);
             let r = run(&set, &mut PcpDa::new(), false);
-            prop_assert_eq!(r.metrics.deadline_misses(), 0);
+            assert_eq!(r.metrics.deadline_misses(), 0);
             for m in r.metrics.instances() {
-                prop_assert!(
+                assert!(
                     m.lower_exec <= b[m.id.txn.index()],
                     "PCP-DA: {} lower-exec {} > B_i' {}",
-                    m.id, m.lower_exec, b[m.id.txn.index()]
+                    m.id,
+                    m.lower_exec,
+                    b[m.id.txn.index()]
                 );
             }
         }
-    }
+    });
 }
 
 /// §5's dominance claim ("transaction blocking that happens under PCP-DA

