@@ -18,7 +18,7 @@
 //! abortions that a lower priority transaction may experience".
 //! The E9 sweep makes that trade-off measurable.
 
-use rtdb_cc::{Decision, EngineView, LockRequest, Protocol};
+use rtdb_cc::{sorted_disjoint, Decision, EngineView, LockRequest, Protocol};
 use rtdb_types::InstanceId;
 
 /// Optimistic concurrency control with broadcast commit.
@@ -49,9 +49,10 @@ impl Protocol for OccBc {
             return Vec::new();
         }
         view.active_instances()
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|&other| other != who)
-            .filter(|&other| !view.data_read(other).is_disjoint(&writes))
+            .filter(|&other| !sorted_disjoint(view.data_read(other), &writes))
             .collect()
     }
 

@@ -521,10 +521,12 @@ fn breakdown_experiment(rep: &mut Report) {
 
 fn erratum(rep: &mut Report) {
     println!("== ERRATUM: Theorem 2 counterexample under literal LC3 ==");
+    // Seed chosen so the literal protocol deadlocks under the in-tree
+    // PRNG (the original seed 4 predates the rand -> rtdb-util swap).
     let set = WorkloadParams {
-        seed: 4,
+        seed: 29,
         templates: 4,
-        items: 8,
+        items: 4,
         target_utilization: 0.45,
         ..Default::default()
     }
@@ -539,7 +541,7 @@ fn erratum(rep: &mut Report) {
         .unwrap();
     rep.check(
         "ERRATUM",
-        "literal LC3 deadlocks on seed-4 workload",
+        "literal LC3 deadlocks on seed-29 workload",
         true.into(),
         matches!(literal.outcome, RunOutcome::Deadlock(_)).into(),
     );

@@ -6,7 +6,25 @@
 //! ```sh
 //! cargo run --release -p rtdb-bench --bin perf              # writes ./BENCH_protocols.json
 //! cargo run --release -p rtdb-bench --bin perf -- out.json  # custom path
+//! cargo run --release -p rtdb-bench --bin perf -- --check   # regression gate
 //! ```
+//!
+//! Methodology: per protocol, two warm-up runs, then `SAMPLES` timed
+//! batches of `RUNS_PER_SAMPLE` engine runs each. The reported
+//! `ticks_per_sec` is the **median** of the per-batch throughputs; the
+//! interquartile range is reported alongside so noisy hosts are visible
+//! in the data rather than hidden in it. When a committed
+//! `BENCH_protocols.json` is present, the % delta of every protocol
+//! against it is printed to stderr.
+//!
+//! `--check [baseline.json]` measures without writing and exits nonzero
+//! if any protocol's median throughput regressed more than 25% against
+//! the baseline (default baseline: `BENCH_protocols.json`). `--horizon N`
+//! changes the simulated horizon. Throughput depends on the horizon
+//! (short runs never reach the workload's steady state), so the file
+//! records the horizon it was measured at and `--check` only *enforces*
+//! against baseline entries measured at the same horizon — mismatched
+//! entries still print their delta, marked advisory.
 //!
 //! `ns_per_lock_request` divides *whole-engine* wall time by the number
 //! of `Protocol::request` calls, so it includes scheduling and storage —
@@ -20,7 +38,13 @@ use std::cell::Cell;
 use std::rc::Rc;
 use std::time::Instant;
 
-const HORIZON: u64 = 10_000;
+const DEFAULT_HORIZON: u64 = 10_000;
+const WARMUPS: u32 = 2;
+const SAMPLES: usize = 9;
+const RUNS_PER_SAMPLE: u64 = 10;
+/// A protocol fails `--check` if its median throughput drops by more
+/// than this fraction of the baseline.
+const REGRESSION_TOLERANCE: f64 = 0.25;
 
 /// Delegating wrapper that counts `request` calls.
 struct Counting {
@@ -77,13 +101,13 @@ impl Protocol for Counting {
 }
 
 /// One engine run of protocol `i` of the line-up, counting requests.
-fn run_once(set: &TransactionSet, i: usize, requests: &Rc<Cell<u64>>) {
+fn run_once(set: &TransactionSet, i: usize, horizon: u64, requests: &Rc<Cell<u64>>) {
     let mut lineup = rtdb_bench::lineup();
     let mut p = Counting {
         inner: lineup.swap_remove(i),
         requests: Rc::clone(requests),
     };
-    let mut cfg = SimConfig::with_horizon(HORIZON);
+    let mut cfg = SimConfig::with_horizon(horizon);
     if p.name() == "2PL-PI" {
         cfg.resolve_deadlocks = true;
     }
@@ -92,48 +116,204 @@ fn run_once(set: &TransactionSet, i: usize, requests: &Rc<Cell<u64>>) {
         .expect("perf run succeeds");
 }
 
-fn main() {
-    let out = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_protocols.json".into());
-    let set = rtdb_bench::standard_workload(7);
-    let names: Vec<&'static str> = rtdb_bench::lineup().iter().map(|p| p.name()).collect();
+/// `p`-th quantile (0..=1) of an ascending-sorted slice, by linear
+/// interpolation.
+fn quantile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let pos = p * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
 
-    println!(
-        "{:<8} {:>12} {:>17} {:>14}",
-        "protocol", "ticks/sec", "ns/lock-request", "requests/run"
-    );
-    let mut records = Vec::new();
-    for (i, name) in names.iter().enumerate() {
-        let requests = Rc::new(Cell::new(0u64));
-        run_once(&set, i, &requests); // warm-up
-        requests.set(0);
+struct Measurement {
+    name: &'static str,
+    median: f64,
+    q1: f64,
+    q3: f64,
+    ns_per_request: f64,
+    requests_per_run: u64,
+    runs: u64,
+}
 
-        let mut runs = 0u64;
+fn measure(set: &TransactionSet, i: usize, name: &'static str, horizon: u64) -> Measurement {
+    let requests = Rc::new(Cell::new(0u64));
+    for _ in 0..WARMUPS {
+        run_once(set, i, horizon, &requests);
+    }
+    requests.set(0);
+
+    let mut throughputs = Vec::with_capacity(SAMPLES);
+    let mut total_elapsed_ns = 0u128;
+    for _ in 0..SAMPLES {
         let t0 = Instant::now();
-        while runs < 3 || t0.elapsed().as_millis() < 300 {
-            run_once(&set, i, &requests);
-            runs += 1;
+        for _ in 0..RUNS_PER_SAMPLE {
+            run_once(set, i, horizon, &requests);
         }
         let elapsed = t0.elapsed();
+        total_elapsed_ns += elapsed.as_nanos();
+        throughputs.push((horizon * RUNS_PER_SAMPLE) as f64 / elapsed.as_secs_f64());
+    }
+    throughputs.sort_by(|a, b| a.partial_cmp(b).expect("finite throughput"));
 
-        let ticks_per_sec = (HORIZON * runs) as f64 / elapsed.as_secs_f64();
-        let ns_per_request = elapsed.as_nanos() as f64 / requests.get() as f64;
-        let requests_per_run = requests.get() / runs;
+    let runs = SAMPLES as u64 * RUNS_PER_SAMPLE;
+    Measurement {
+        name,
+        median: quantile(&throughputs, 0.5),
+        q1: quantile(&throughputs, 0.25),
+        q3: quantile(&throughputs, 0.75),
+        ns_per_request: total_elapsed_ns as f64 / requests.get() as f64,
+        requests_per_run: requests.get() / runs,
+        runs,
+    }
+}
+
+struct BaselineEntry {
+    name: String,
+    ticks_per_sec: f64,
+    /// Horizon the baseline was measured at. Older files predate the
+    /// field; their horizon is unknown.
+    horizon: Option<u64>,
+}
+
+/// Per-protocol baseline from a committed benchmark file, if it exists
+/// and parses.
+fn load_baseline(path: &str) -> Option<Vec<BaselineEntry>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let json = Json::parse(&text).ok()?;
+    let arr = json.as_array()?;
+    let mut out = Vec::new();
+    for rec in arr {
+        out.push(BaselineEntry {
+            name: rec.get("protocol")?.as_str()?.to_string(),
+            ticks_per_sec: rec.get("ticks_per_sec")?.as_f64()?,
+            horizon: rec
+                .get("horizon")
+                .and_then(|h| h.as_f64())
+                .map(|h| h as u64),
+        });
+    }
+    Some(out)
+}
+
+fn baseline_of<'a>(baseline: &'a [BaselineEntry], name: &str) -> Option<&'a BaselineEntry> {
+    baseline.iter().find(|e| e.name == name)
+}
+
+struct Args {
+    check: bool,
+    horizon: u64,
+    /// Output path (measure mode) or baseline path (`--check` mode).
+    path: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        check: false,
+        horizon: DEFAULT_HORIZON,
+        path: "BENCH_protocols.json".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => args.check = true,
+            "--horizon" => {
+                let v = it.next().expect("--horizon takes a value");
+                args.horizon = v.parse().expect("--horizon takes an integer");
+            }
+            other => args.path = other.to_string(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let set = rtdb_bench::standard_workload(7);
+    let names: Vec<&'static str> = rtdb_bench::lineup().iter().map(|p| p.name()).collect();
+    // In measure mode the committed file doubles as the comparison
+    // baseline (before it is overwritten); in check mode it IS the path.
+    let baseline = load_baseline(&args.path);
+
+    println!(
+        "{:<8} {:>12} {:>14} {:>17} {:>14}",
+        "protocol", "ticks/sec", "IQR", "ns/lock-request", "requests/run"
+    );
+    let mut records = Vec::new();
+    let mut regressions = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let m = measure(&set, i, name, args.horizon);
         println!(
-            "{:<8} {:>12.0} {:>17.1} {:>14}",
-            name, ticks_per_sec, ns_per_request, requests_per_run
+            "{:<8} {:>12.0} {:>14} {:>17.1} {:>14}",
+            m.name,
+            m.median,
+            format!("{:.0}..{:.0}", m.q1, m.q3),
+            m.ns_per_request,
+            m.requests_per_run
         );
+        if let Some(entry) = baseline.as_deref().and_then(|b| baseline_of(b, name)) {
+            let base = entry.ticks_per_sec;
+            let delta = (m.median - base) / base * 100.0;
+            // Throughput is horizon-dependent (short runs never reach the
+            // workload's steady state), so a delta against a baseline
+            // measured at a different horizon is advisory only.
+            let comparable = entry.horizon == Some(args.horizon);
+            eprintln!(
+                "{name}: {delta:+.1}% vs baseline ({base:.0} -> {:.0}){}",
+                m.median,
+                if comparable {
+                    ""
+                } else {
+                    " [advisory: baseline horizon differs]"
+                }
+            );
+            if comparable && delta < -100.0 * REGRESSION_TOLERANCE {
+                regressions.push(format!(
+                    "{name}: {delta:+.1}% (baseline {base:.0}, measured {:.0})",
+                    m.median
+                ));
+            }
+        }
         records.push(
             Json::obj()
-                .set("protocol", *name)
-                .set("ticks_per_sec", ticks_per_sec)
-                .set("ns_per_lock_request", ns_per_request)
-                .set("lock_requests_per_run", requests_per_run)
-                .set("runs", runs),
+                .set("protocol", m.name)
+                .set("horizon", args.horizon)
+                .set("ticks_per_sec", m.median)
+                .set("ticks_per_sec_q1", m.q1)
+                .set("ticks_per_sec_q3", m.q3)
+                .set("ns_per_lock_request", m.ns_per_request)
+                .set("lock_requests_per_run", m.requests_per_run)
+                .set("runs", m.runs),
         );
     }
 
-    std::fs::write(&out, Json::Arr(records).pretty()).expect("output path writable");
-    println!("written to {out}");
+    if args.check {
+        match baseline.as_deref() {
+            None => eprintln!("no baseline at {} -- nothing to check against", args.path),
+            Some(b) if !b.iter().any(|e| e.horizon == Some(args.horizon)) => eprintln!(
+                "no baseline entry was measured at horizon {} -- deltas are advisory only",
+                args.horizon
+            ),
+            _ => {}
+        }
+        if regressions.is_empty() {
+            println!(
+                "check passed: no protocol regressed more than {:.0}%",
+                100.0 * REGRESSION_TOLERANCE
+            );
+        } else {
+            eprintln!(
+                "check FAILED: throughput regression beyond {:.0}%:",
+                100.0 * REGRESSION_TOLERANCE
+            );
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+    } else {
+        std::fs::write(&args.path, Json::Arr(records).pretty()).expect("output path writable");
+        println!("written to {}", args.path);
+    }
 }

@@ -31,5 +31,5 @@ pub use ceiling_index::CeilingIndex;
 pub use ceilings::{CeilingTable, SysCeil};
 pub use inherit::PriorityManager;
 pub use locks::{HeldLock, LockTable};
-pub use protocol::{Decision, EngineView, LockRequest, Protocol, UpdateModel};
+pub use protocol::{sorted_disjoint, Decision, EngineView, LockRequest, Protocol, UpdateModel};
 pub use waitfor::WaitForGraph;

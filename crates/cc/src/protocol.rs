@@ -3,7 +3,6 @@
 use crate::ceilings::CeilingTable;
 use crate::locks::LockTable;
 use rtdb_types::{InstanceId, ItemId, LockMode, Priority, TransactionSet};
-use std::collections::BTreeSet;
 
 /// How writes reach the committed store.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,8 +72,8 @@ pub trait EngineView {
     fn base_priority(&self, who: InstanceId) -> Priority;
     /// Current running priority (base joined with inherited).
     fn running_priority(&self, who: InstanceId) -> Priority;
-    /// `DataRead(T)`: items the instance has read so far.
-    fn data_read(&self, who: InstanceId) -> &BTreeSet<ItemId>;
+    /// `DataRead(T)`: items the instance has read so far, sorted ascending.
+    fn data_read(&self, who: InstanceId) -> &[ItemId];
 
     /// The lock request `who` is currently blocked on, if any. Lets a
     /// protocol reason about *why* a holder is stalled (PCP-DA's
@@ -82,12 +81,29 @@ pub trait EngineView {
     /// holder is hard-blocked on the requester).
     fn pending_request(&self, who: InstanceId) -> Option<LockRequest>;
 
-    /// All currently live (released, uncommitted) instances.
-    fn active_instances(&self) -> Vec<InstanceId>;
+    /// All currently live (released, uncommitted) instances, sorted
+    /// ascending by id.
+    fn active_instances(&self) -> &[InstanceId];
 
     /// The items `who` has staged writes for (its actual, dynamic write
-    /// set — used by optimistic validation).
-    fn staged_write_items(&self, who: InstanceId) -> BTreeSet<ItemId>;
+    /// set — used by optimistic validation), sorted ascending. Called only
+    /// on the validation path, so an owned `Vec` is acceptable.
+    fn staged_write_items(&self, who: InstanceId) -> Vec<ItemId>;
+}
+
+/// True if two ascending-sorted slices share no element — the slice
+/// counterpart of `BTreeSet::is_disjoint`, used by protocols on the
+/// [`EngineView::data_read`] / write-set slices.
+pub fn sorted_disjoint<T: Ord>(a: &[T], b: &[T]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return false,
+        }
+    }
+    true
 }
 
 /// A concurrency-control protocol.

@@ -17,10 +17,17 @@ pub struct WaitForGraph {
 }
 
 impl WaitForGraph {
-    /// Build from the current blocking edges.
-    pub fn from_edges(edges: &BTreeMap<InstanceId, Vec<InstanceId>>) -> Self {
+    /// Build from the current blocking edges (e.g.
+    /// `PriorityManager::edges`).
+    pub fn from_edges<'a, I>(edges: I) -> Self
+    where
+        I: IntoIterator<Item = (InstanceId, &'a [InstanceId])>,
+    {
         WaitForGraph {
-            edges: edges.clone(),
+            edges: edges
+                .into_iter()
+                .map(|(blocked, blockers)| (blocked, blockers.to_vec()))
+                .collect(),
         }
     }
 

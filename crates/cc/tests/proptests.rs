@@ -69,7 +69,7 @@ fn inheritance_fixpoint() {
                 // Avoid trivial cycles for this test: only allow edges
                 // from a higher-index node to a lower one.
                 if blocked > blocker {
-                    pm.set_blocked(inst(blocked as u32), vec![inst(blocker as u32)]);
+                    pm.set_blocked(inst(blocked as u32), &[inst(blocker as u32)]);
                     applied.insert(blocked, blocker);
                 }
             }

@@ -1,16 +1,24 @@
 //! The PCP-DA locking conditions.
 
 use rtdb_cc::{Decision, EngineView, LockRequest, Protocol, SysCeil};
-use rtdb_types::{Ceiling, InstanceId, LockMode};
+use rtdb_types::{Ceiling, InstanceId, ItemId, LockMode};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
 
 /// Per-version `Sysceil` memo (see [`PcpDa::cached_sysceil`]).
 #[derive(Debug, Default)]
 struct SysceilMemo {
     /// Lock-table version the cached entries were computed at.
     version: u64,
-    by_holder: BTreeMap<InstanceId, SysCeil>,
+    by_holder: BTreeMap<InstanceId, Rc<SysCeil>>,
+}
+
+/// True if a sorted item slice (an [`EngineView::data_read`] view) shares
+/// no element with a write set.
+#[inline]
+fn disjoint(items: &[ItemId], set: &BTreeSet<ItemId>) -> bool {
+    !items.iter().any(|i| set.contains(i))
 }
 
 /// Which locking condition granted a request — exposed for tracing and for
@@ -123,7 +131,7 @@ impl PcpDa {
     /// entry can never be served; within one scheduler round (version
     /// unchanged) each instance's `Sysceil` is computed at most once no
     /// matter how many `hard_blocked_on` probes ask for it.
-    fn cached_sysceil(&self, view: &dyn EngineView, who: InstanceId) -> SysCeil {
+    fn cached_sysceil(&self, view: &dyn EngineView, who: InstanceId) -> Rc<SysCeil> {
         let version = view.locks().version();
         let mut memo = self.sysceil_memo.borrow_mut();
         if memo.version != version {
@@ -131,10 +139,10 @@ impl PcpDa {
             memo.by_holder.clear();
         }
         if let Some(hit) = memo.by_holder.get(&who) {
-            return hit.clone();
+            return Rc::clone(hit);
         }
-        let sys = view.ceilings().pcpda_sysceil(view.locks(), who);
-        memo.by_holder.insert(who, sys.clone());
+        let sys = Rc::new(view.ceilings().pcpda_sysceil(view.locks(), who));
+        memo.by_holder.insert(who, Rc::clone(&sys));
         sys
     }
 
@@ -187,9 +195,7 @@ impl PcpDa {
                         .ceilings()
                         .wceil(pending.item)
                         .cleared_by(view.base_priority(me))
-                    && !view
-                        .data_read(me)
-                        .is_disjoint(view.ceilings().write_set(holder.txn));
+                    && !disjoint(view.data_read(me), view.ceilings().write_set(holder.txn));
                 a_pins
             }
         }
@@ -326,7 +332,7 @@ impl PcpDa {
                 // ordinary hard block the commit-order guard recognises.
                 let tstar_clean = tstar.iter().all(|t| {
                     ceilings.wceil(req.item).cleared_by(view.base_priority(*t))
-                        || view.data_read(*t).is_disjoint(my_writes)
+                        || disjoint(view.data_read(*t), my_writes)
                 });
                 // LC3: P_i > HPW(x) and x ∉ WriteSet(T*)
                 // (+ the erratum clauses unless running literal).
@@ -352,7 +358,7 @@ impl PcpDa {
                 {
                     let holders_clean = locks
                         .writers_other_than(req.item, req.who)
-                        .all(|w| view.data_read(w).is_disjoint(my_writes));
+                        .all(|w| disjoint(view.data_read(w), my_writes));
                     if tstar_clean && holders_clean {
                         return Ok(GrantRule::Lc4);
                     }
@@ -372,7 +378,7 @@ impl PcpDa {
                 }
                 let my_writes = ceilings.write_set(req.who.txn);
                 for w in locks.writers_other_than(req.item, req.who) {
-                    if !view.data_read(w).is_disjoint(my_writes) {
+                    if !disjoint(view.data_read(w), my_writes) {
                         blockers.insert(w);
                     }
                 }
@@ -398,7 +404,7 @@ impl PcpDa {
             let my_writes = view.ceilings().write_set(req.who.txn);
             for w in view.locks().writers_other_than(req.item, req.who) {
                 debug_assert!(
-                    view.data_read(w).is_disjoint(my_writes),
+                    disjoint(view.data_read(w), my_writes),
                     "Lemma 5/9 violation: {} read-set intersects {} write-set on grant of {:?}",
                     w,
                     req.who,

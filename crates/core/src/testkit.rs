@@ -14,10 +14,13 @@ pub struct StaticView<'a> {
     set: &'a TransactionSet,
     ceilings: CeilingTable,
     locks: LockTable,
-    data_read: BTreeMap<InstanceId, BTreeSet<ItemId>>,
-    staged: BTreeMap<InstanceId, BTreeSet<ItemId>>,
+    /// Per-instance `DataRead`, each sorted ascending.
+    data_read: BTreeMap<InstanceId, Vec<ItemId>>,
+    staged: BTreeMap<InstanceId, Vec<ItemId>>,
     pending: BTreeMap<InstanceId, rtdb_cc::LockRequest>,
-    empty: BTreeSet<ItemId>,
+    /// Sorted list of instances that hold locks or have read something —
+    /// recomputed on mutation (this is a test fixture; simplicity wins).
+    active: Vec<InstanceId>,
 }
 
 impl<'a> StaticView<'a> {
@@ -34,14 +37,23 @@ impl<'a> StaticView<'a> {
             data_read: BTreeMap::new(),
             staged: BTreeMap::new(),
             pending: BTreeMap::new(),
-            empty: BTreeSet::new(),
+            active: Vec::new(),
         }
+    }
+
+    fn refresh_active(&mut self) {
+        let mut out: BTreeSet<InstanceId> = self.locks.holders().collect();
+        out.extend(self.data_read.keys().copied());
+        self.active = out.into_iter().collect();
     }
 
     /// Record that `who` has staged a write of `item` (for optimistic
     /// validation tests).
     pub fn record_staged_write(&mut self, who: InstanceId, item: ItemId) {
-        self.staged.entry(who).or_default().insert(item);
+        let staged = self.staged.entry(who).or_default();
+        if let Err(i) = staged.binary_search(&item) {
+            staged.insert(i, item);
+        }
     }
 
     /// Record that `who` is blocked waiting on `req` (maintains the
@@ -53,17 +65,23 @@ impl<'a> StaticView<'a> {
     /// Record a granted lock.
     pub fn grant(&mut self, who: InstanceId, item: ItemId, mode: LockMode) {
         self.locks.grant(who, item, mode);
+        self.refresh_active();
     }
 
     /// Release every lock of `who`.
     pub fn release_all(&mut self, who: InstanceId) {
         self.locks.release_all(who);
         self.data_read.remove(&who);
+        self.refresh_active();
     }
 
     /// Record that `who` has read `item` (maintains `DataRead`).
     pub fn record_read(&mut self, who: InstanceId, item: ItemId) {
-        self.data_read.entry(who).or_default().insert(item);
+        let reads = self.data_read.entry(who).or_default();
+        if let Err(i) = reads.binary_search(&item) {
+            reads.insert(i, item);
+        }
+        self.refresh_active();
     }
 
     /// Mutable access to the lock table (for intricate test setups).
@@ -93,23 +111,19 @@ impl EngineView for StaticView<'_> {
         self.set.priority_of(who.txn)
     }
 
-    fn data_read(&self, who: InstanceId) -> &BTreeSet<ItemId> {
-        self.data_read.get(&who).unwrap_or(&self.empty)
+    fn data_read(&self, who: InstanceId) -> &[ItemId] {
+        self.data_read.get(&who).map_or(&[], |v| v.as_slice())
     }
 
     fn pending_request(&self, who: InstanceId) -> Option<rtdb_cc::LockRequest> {
         self.pending.get(&who).copied()
     }
 
-    fn active_instances(&self) -> Vec<InstanceId> {
-        // Everything that has locked or read something is "active" in the
-        // static view; tests needing more fidelity use the real engine.
-        let mut out: std::collections::BTreeSet<InstanceId> = self.locks.holders().collect();
-        out.extend(self.data_read.keys().copied());
-        out.into_iter().collect()
+    fn active_instances(&self) -> &[InstanceId] {
+        &self.active
     }
 
-    fn staged_write_items(&self, who: InstanceId) -> BTreeSet<ItemId> {
+    fn staged_write_items(&self, who: InstanceId) -> Vec<ItemId> {
         self.staged.get(&who).cloned().unwrap_or_default()
     }
 }
@@ -140,9 +154,11 @@ mod tests {
         assert!(v.data_read(a).is_empty());
         v.record_read(a, ItemId(0));
         assert!(v.data_read(a).contains(&ItemId(0)));
+        assert_eq!(v.active_instances(), &[a]);
         v.grant(a, ItemId(0), LockMode::Read);
         assert!(v.locks().holds(a, ItemId(0), LockMode::Read));
         v.release_all(a);
         assert!(!v.locks().holds(a, ItemId(0), LockMode::Read));
+        assert!(v.active_instances().is_empty());
     }
 }

@@ -1,10 +1,10 @@
 //! The simulation engine.
 //!
 //! A run is a deterministic function of `(transaction set, protocol,
-//! config)`. The engine owns the clock, the arrival queue, the lock table,
-//! the priority manager (inheritance), the workspaces and the database; a
-//! [`Protocol`] is consulted for every lock request and the engine applies
-//! its decision.
+//! config)`. The engine owns the clock, the arrival calendar, the lock
+//! table, the priority manager (inheritance), the workspaces and the
+//! database; a [`Protocol`] is consulted for every lock request and the
+//! engine applies its decision.
 //!
 //! ## Semantics (matching the paper's examples tick-for-tick)
 //!
@@ -25,6 +25,19 @@
 //!   [`SimConfig::resolve_deadlocks`] the run either stops with
 //!   [`RunOutcome::Deadlock`] or aborts the lowest-priority instance on
 //!   the cycle and continues.
+//!
+//! ## Hot-path layout
+//!
+//! Per-instance runtime state lives in an [`InstanceSlot`] arena
+//! ([`SlotStore`]): slots are dense, recycled through per-template free
+//! lists when instances commit, and keep their workspace/trace capacity
+//! across instances of the same template, so the steady state of a long
+//! run allocates nothing per instance. Arrivals are not materialized up
+//! front; an [`ArrivalCalendar`] (a binary heap with one outstanding entry
+//! per template) produces them lazily in the exact order the old eager
+//! sorted vector did. A map-backed [`MapStore`] with identical semantics
+//! is kept behind `debug_assertions`/the `oracle-checks` feature as the
+//! differential-testing oracle ([`Engine::run_map_oracle`]).
 
 use crate::metrics::{InstanceMetrics, MetricsReport};
 use crate::trace::{SegKind, Trace, TraceEvent};
@@ -36,7 +49,10 @@ use rtdb_storage::{Database, EventKind, History, ReplayOutcome, SerializationGra
 use rtdb_types::{
     Duration, Error, InstanceId, ItemId, LockMode, Priority, Result, Tick, TransactionSet, TxnId,
 };
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Reverse;
+#[cfg(any(debug_assertions, feature = "oracle-checks"))]
+use std::collections::BTreeMap;
+use std::collections::BinaryHeap;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -102,6 +118,8 @@ pub struct RunResult {
     pub trace: Trace,
     /// Completion or deadlock.
     pub outcome: RunOutcome,
+    /// Value of the simulation clock when the run ended.
+    pub final_clock: Tick,
 }
 
 impl RunResult {
@@ -165,7 +183,20 @@ impl<'a> Engine<'a> {
 
     /// Execute one full run under `protocol`.
     pub fn run(&self, protocol: &mut dyn Protocol) -> Result<RunResult> {
-        let mut sim = Sim::new(self.set, &self.config)?;
+        self.run_generic::<SlotStore>(protocol)
+    }
+
+    /// Execute one full run on the map-backed instance store instead of
+    /// the slot arena. Semantics are identical by construction; the
+    /// differential property tests assert it. Available in debug builds
+    /// and under the `oracle-checks` feature.
+    #[cfg(any(debug_assertions, feature = "oracle-checks"))]
+    pub fn run_map_oracle(&self, protocol: &mut dyn Protocol) -> Result<RunResult> {
+        self.run_generic::<MapStore>(protocol)
+    }
+
+    fn run_generic<S: InstanceStore>(&self, protocol: &mut dyn Protocol) -> Result<RunResult> {
+        let mut sim: Sim<'_, S> = Sim::new(self.set, &self.config);
         sim.run(protocol)?;
         let mut result = sim.finish(protocol);
         result.protocol = protocol.name();
@@ -173,19 +204,282 @@ impl<'a> Engine<'a> {
     }
 }
 
+/// Runtime state of one live instance, arena-resident.
+///
+/// A slot consolidates everything the old engine kept in four parallel
+/// `BTreeMap`s (live record, workspace, pending request, early-install
+/// set) plus the deadline-miss flag. Sorted `Vec`s replace the per-field
+/// sets; their capacity — like the workspace's — survives recycling.
+struct InstanceSlot {
+    id: InstanceId,
+    release: Tick,
+    deadline: Tick,
+    step: usize,
+    consumed: u64,
+    acquired: bool,
+    blocked_since: Option<Tick>,
+    /// This step's lock request was denied before — the eventual grant is
+    /// traced as `Resumed` rather than `Granted`.
+    was_denied: bool,
+    /// A deadline-miss event was already emitted for this instance.
+    miss_logged: bool,
+    blocking: Duration,
+    lower_exec: Duration,
+    /// Distinct lower-priority blocker templates, sorted ascending.
+    lower_blockers: Vec<TxnId>,
+    restarts: u32,
+    workspace: Workspace,
+    /// The denied request this instance is blocked on, if any.
+    pending: Option<LockRequest>,
+    /// Items already installed by an early release (CCP), sorted.
+    installed_early: Vec<ItemId>,
+}
+
+impl InstanceSlot {
+    fn fresh(id: InstanceId, release: Tick, deadline: Tick) -> Self {
+        InstanceSlot {
+            id,
+            release,
+            deadline,
+            step: 0,
+            consumed: 0,
+            acquired: false,
+            blocked_since: None,
+            was_denied: false,
+            miss_logged: false,
+            blocking: Duration::ZERO,
+            lower_exec: Duration::ZERO,
+            lower_blockers: Vec::new(),
+            restarts: 0,
+            workspace: Workspace::new(id),
+            pending: None,
+            installed_early: Vec::new(),
+        }
+    }
+
+    /// Re-home a recycled slot to a new instance, keeping allocations.
+    fn reset(&mut self, id: InstanceId, release: Tick, deadline: Tick) {
+        self.id = id;
+        self.release = release;
+        self.deadline = deadline;
+        self.step = 0;
+        self.consumed = 0;
+        self.acquired = false;
+        self.blocked_since = None;
+        self.was_denied = false;
+        self.miss_logged = false;
+        self.blocking = Duration::ZERO;
+        self.lower_exec = Duration::ZERO;
+        self.lower_blockers.clear();
+        self.restarts = 0;
+        self.workspace.reset(id);
+        self.pending = None;
+        self.installed_early.clear();
+    }
+
+    fn note_lower_blocker(&mut self, txn: TxnId) {
+        if let Err(i) = self.lower_blockers.binary_search(&txn) {
+            self.lower_blockers.insert(i, txn);
+        }
+    }
+
+    /// Record an early install of `item`; `true` if it was not recorded
+    /// before.
+    fn mark_installed_early(&mut self, item: ItemId) -> bool {
+        match self.installed_early.binary_search(&item) {
+            Ok(_) => false,
+            Err(i) => {
+                self.installed_early.insert(i, item);
+                true
+            }
+        }
+    }
+}
+
+/// Storage backend for live-instance slots. Two implementations with
+/// identical observable behavior: the production [`SlotStore`] arena and
+/// the [`MapStore`] oracle.
+trait InstanceStore {
+    /// Empty store for a set with `n_templates` templates.
+    fn with_templates(n_templates: usize) -> Self;
+    /// Add a freshly released instance. `id` must not be present.
+    fn insert(&mut self, id: InstanceId, release: Tick, deadline: Tick);
+    fn get(&self, id: InstanceId) -> Option<&InstanceSlot>;
+    fn get_mut(&mut self, id: InstanceId) -> Option<&mut InstanceSlot>;
+    /// Drop (and possibly recycle) the slot of `id`.
+    fn remove(&mut self, id: InstanceId);
+}
+
+/// Dense slot arena with per-template free lists.
+///
+/// `by_txn[t]` maps the live sequence numbers of template `t` to slot
+/// indices (sorted by `seq`, so lookups are a short binary search —
+/// usually over one or two entries). Committed instances push their slot
+/// onto `free[t]`, and the next release of the same template reuses it —
+/// including the workspace and scratch-`Vec` capacities, which are tuned
+/// to exactly that template's footprint.
+struct SlotStore {
+    slots: Vec<InstanceSlot>,
+    by_txn: Vec<Vec<(u32, u32)>>,
+    free: Vec<Vec<u32>>,
+}
+
+impl SlotStore {
+    #[inline]
+    fn slot_of(&self, id: InstanceId) -> Option<usize> {
+        let live = self.by_txn.get(id.txn.index())?;
+        live.binary_search_by_key(&id.seq, |&(seq, _)| seq)
+            .ok()
+            .map(|i| live[i].1 as usize)
+    }
+}
+
+impl InstanceStore for SlotStore {
+    fn with_templates(n_templates: usize) -> Self {
+        SlotStore {
+            slots: Vec::new(),
+            by_txn: vec![Vec::new(); n_templates],
+            free: vec![Vec::new(); n_templates],
+        }
+    }
+
+    fn insert(&mut self, id: InstanceId, release: Tick, deadline: Tick) {
+        let t = id.txn.index();
+        let slot = match self.free[t].pop() {
+            Some(s) => {
+                self.slots[s as usize].reset(id, release, deadline);
+                s
+            }
+            None => {
+                self.slots.push(InstanceSlot::fresh(id, release, deadline));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let live = &mut self.by_txn[t];
+        match live.binary_search_by_key(&id.seq, |&(seq, _)| seq) {
+            Ok(_) => unreachable!("instance {id:?} inserted twice"),
+            Err(i) => live.insert(i, (id.seq, slot)),
+        }
+    }
+
+    #[inline]
+    fn get(&self, id: InstanceId) -> Option<&InstanceSlot> {
+        self.slot_of(id).map(|s| &self.slots[s])
+    }
+
+    #[inline]
+    fn get_mut(&mut self, id: InstanceId) -> Option<&mut InstanceSlot> {
+        self.slot_of(id).map(|s| &mut self.slots[s])
+    }
+
+    fn remove(&mut self, id: InstanceId) {
+        let t = id.txn.index();
+        let live = &mut self.by_txn[t];
+        if let Ok(i) = live.binary_search_by_key(&id.seq, |&(seq, _)| seq) {
+            let (_, slot) = live.remove(i);
+            self.free[t].push(slot);
+        }
+    }
+}
+
+/// Map-backed oracle with the pre-arena layout. Kept out of release
+/// builds unless `oracle-checks` is enabled.
+#[cfg(any(debug_assertions, feature = "oracle-checks"))]
+#[derive(Default)]
+struct MapStore {
+    map: BTreeMap<InstanceId, InstanceSlot>,
+}
+
+#[cfg(any(debug_assertions, feature = "oracle-checks"))]
+impl InstanceStore for MapStore {
+    fn with_templates(_n_templates: usize) -> Self {
+        MapStore::default()
+    }
+
+    fn insert(&mut self, id: InstanceId, release: Tick, deadline: Tick) {
+        let prev = self
+            .map
+            .insert(id, InstanceSlot::fresh(id, release, deadline));
+        debug_assert!(prev.is_none(), "instance {id:?} inserted twice");
+    }
+
+    fn get(&self, id: InstanceId) -> Option<&InstanceSlot> {
+        self.map.get(&id)
+    }
+
+    fn get_mut(&mut self, id: InstanceId) -> Option<&mut InstanceSlot> {
+        self.map.get_mut(&id)
+    }
+
+    fn remove(&mut self, id: InstanceId) {
+        self.map.remove(&id);
+    }
+}
+
+/// Lazy arrival source: one outstanding `(release, template, seq)` entry
+/// per template in a min-heap; popping an entry enqueues the template's
+/// next eligible instance. Emits exactly the ascending
+/// `(Tick, TxnId, seq)` sequence the old eagerly-materialized vector held
+/// — without the up-front O(instances) memory (and without its 2M cap).
+struct ArrivalCalendar {
+    horizon: Tick,
+    heap: BinaryHeap<Reverse<(Tick, TxnId, u32)>>,
+}
+
+impl ArrivalCalendar {
+    fn new(set: &TransactionSet, horizon: Tick) -> Self {
+        let mut cal = ArrivalCalendar {
+            horizon,
+            heap: BinaryHeap::with_capacity(set.templates().len()),
+        };
+        for t in set.templates() {
+            cal.enqueue(set, t.id, 0);
+        }
+        cal
+    }
+
+    /// Push instance `seq` of template `txn` if it is due to be released:
+    /// explicitly bounded templates release all their instances regardless
+    /// of the horizon, unbounded ones stop at it.
+    fn enqueue(&mut self, set: &TransactionSet, txn: TxnId, seq: u32) {
+        let t = set.template(txn);
+        let eligible = match t.instances {
+            Some(n) => seq < n,
+            None => t.release_of(seq) < self.horizon,
+        };
+        if eligible {
+            self.heap.push(Reverse((t.release_of(seq), txn, seq)));
+        }
+    }
+
+    /// The next arrival, if any, without consuming it.
+    #[inline]
+    fn peek(&self) -> Option<(Tick, TxnId, u32)> {
+        self.heap.peek().map(|&Reverse(e)| e)
+    }
+
+    /// Consume the next arrival and schedule its successor.
+    fn pop(&mut self, set: &TransactionSet) -> Option<(Tick, TxnId, u32)> {
+        let Reverse((t, txn, seq)) = self.heap.pop()?;
+        self.enqueue(set, txn, seq + 1);
+        Some((t, txn, seq))
+    }
+}
+
 /// The [`EngineView`] protocols consult: the shared, read-mostly state.
-struct ViewState<'a> {
+struct ViewState<'a, S> {
     set: &'a TransactionSet,
     ceilings: CeilingTable,
     locks: LockTable,
     pm: PriorityManager,
-    workspaces: BTreeMap<InstanceId, Workspace>,
-    /// The denied request each blocked instance is waiting on.
-    pending: BTreeMap<InstanceId, LockRequest>,
-    empty: BTreeSet<ItemId>,
+    store: S,
+    /// Live instances, sorted ascending — the iteration order every sweep
+    /// (dispatch, deadline misses, lower-priority attribution, finish)
+    /// shares, and the exact key order of the oracle's `BTreeMap`s.
+    active: Vec<InstanceId>,
 }
 
-impl EngineView for ViewState<'_> {
+impl<S: InstanceStore> EngineView for ViewState<'_, S> {
     fn set(&self) -> &TransactionSet {
         self.set
     }
@@ -201,61 +495,48 @@ impl EngineView for ViewState<'_> {
     fn running_priority(&self, who: InstanceId) -> Priority {
         self.pm.running(who)
     }
-    fn data_read(&self, who: InstanceId) -> &BTreeSet<ItemId> {
-        self.workspaces
-            .get(&who)
-            .map(|w| w.data_read())
-            .unwrap_or(&self.empty)
+    fn data_read(&self, who: InstanceId) -> &[ItemId] {
+        self.store.get(who).map_or(&[], |s| s.workspace.data_read())
     }
     fn pending_request(&self, who: InstanceId) -> Option<LockRequest> {
-        self.pending.get(&who).copied()
+        self.store.get(who).and_then(|s| s.pending)
     }
-    fn active_instances(&self) -> Vec<InstanceId> {
-        self.workspaces.keys().copied().collect()
+    fn active_instances(&self) -> &[InstanceId] {
+        &self.active
     }
-    fn staged_write_items(&self, who: InstanceId) -> BTreeSet<ItemId> {
-        self.workspaces
-            .get(&who)
-            .map(|w| w.staged_writes().keys().copied().collect())
-            .unwrap_or_default()
+    fn staged_write_items(&self, who: InstanceId) -> Vec<ItemId> {
+        self.store.get(who).map_or_else(Vec::new, |s| {
+            s.workspace
+                .staged_writes()
+                .iter()
+                .map(|&(item, _)| item)
+                .collect()
+        })
     }
 }
 
-/// Runtime state of one live instance.
-struct Live {
-    release: Tick,
-    deadline: Tick,
-    step: usize,
-    consumed: u64,
-    acquired: bool,
-    blocked_since: Option<Tick>,
-    /// This step's lock request was denied before — the eventual grant is
-    /// traced as `Resumed` rather than `Granted`.
-    was_denied: bool,
-    blocking: Duration,
-    lower_exec: Duration,
-    lower_blockers: BTreeSet<TxnId>,
-    restarts: u32,
-}
-
-struct Sim<'a> {
-    vs: ViewState<'a>,
+struct Sim<'a, S> {
+    vs: ViewState<'a, S>,
     config: &'a SimConfig,
     clock: Tick,
-    /// Pending arrivals, sorted descending by time (pop from the back).
-    arrivals: Vec<(Tick, TxnId, u32)>,
-    live: BTreeMap<InstanceId, Live>,
+    calendar: ArrivalCalendar,
     db: Database,
     history: History,
     trace: Trace,
     metrics: MetricsReport,
-    installed_early: BTreeMap<InstanceId, BTreeSet<ItemId>>,
-    miss_logged: BTreeSet<InstanceId>,
     outcome: RunOutcome,
+    /// Scratch for [`Sim::reevaluate`], reused across calls.
+    reeval_scratch: Vec<InstanceId>,
+    /// Number of live instances with `blocked_since` set.
+    n_blocked: usize,
+    /// Earliest deadline that may still need a miss event; the sweep in
+    /// [`Sim::log_deadline_misses`] is skipped while the clock is before
+    /// it.
+    next_miss_check: Tick,
 }
 
-impl<'a> Sim<'a> {
-    fn new(set: &'a TransactionSet, config: &'a SimConfig) -> Result<Self> {
+impl<'a, S: InstanceStore> Sim<'a, S> {
+    fn new(set: &'a TransactionSet, config: &'a SimConfig) -> Self {
         let horizon = match config.horizon {
             Some(h) => Tick(h),
             None => {
@@ -268,56 +549,81 @@ impl<'a> Sim<'a> {
                 max_offset + set.hyperperiod() + set.hyperperiod()
             }
         };
-        let mut arrivals: Vec<(Tick, TxnId, u32)> = Vec::new();
+        let calendar = ArrivalCalendar::new(set, horizon);
+
+        // Pre-size the history and trace for the run's expected volume so
+        // steady-state appends never reallocate. (Estimates only; capped.)
+        let mut est_instances: u64 = 0;
+        let mut est_ops: u64 = 0;
         for t in set.templates() {
-            let mut seq = 0u32;
-            loop {
-                if let Some(n) = t.instances {
-                    if seq >= n {
-                        break;
-                    }
-                } else if t.release_of(seq) >= horizon {
-                    break;
+            let n = match t.instances {
+                Some(n) => u64::from(n),
+                None if horizon > t.offset => {
+                    let span = horizon.since(t.offset).raw();
+                    span.div_ceil(t.period.raw().max(1))
                 }
-                arrivals.push((t.release_of(seq), t.id, seq));
-                seq += 1;
-                if arrivals.len() > 2_000_000 {
-                    return Err(Error::Config(format!(
-                        "arrival count exceeds 2,000,000 before horizon {horizon:?}"
-                    )));
-                }
-            }
+                None => 0,
+            };
+            est_instances += n;
+            est_ops += n * (t.steps.len() as u64 + 3);
         }
-        // Sort descending so the next arrival is at the back; tie-break by
-        // template order for determinism.
-        arrivals.sort_by(|a, b| b.cmp(a));
+        const RESERVE_CAP: u64 = 1 << 20;
+        let mut history = History::new();
+        history.reserve_events(est_ops.min(RESERVE_CAP) as usize);
+        let mut trace = Trace::new();
+        trace.reserve(
+            est_instances.min(RESERVE_CAP) as usize,
+            est_ops.min(RESERVE_CAP) as usize,
+        );
 
         let ceilings = CeilingTable::new(set);
         // The incremental Sysceil index rides inside the lock table, so
         // every protocol's ceiling queries are O(1) instead of full scans.
         let locks = LockTable::with_index(&ceilings);
-        Ok(Sim {
+        Sim {
             vs: ViewState {
                 set,
                 ceilings,
                 locks,
                 pm: PriorityManager::new(),
-                workspaces: BTreeMap::new(),
-                pending: BTreeMap::new(),
-                empty: BTreeSet::new(),
+                store: S::with_templates(set.templates().len()),
+                active: Vec::new(),
             },
             config,
             clock: Tick::ZERO,
-            arrivals,
-            live: BTreeMap::new(),
+            calendar,
             db: Database::new(),
-            history: History::new(),
-            trace: Trace::new(),
+            history,
+            trace,
             metrics: MetricsReport::new(),
-            installed_early: BTreeMap::new(),
-            miss_logged: BTreeSet::new(),
             outcome: RunOutcome::Completed,
-        })
+            reeval_scratch: Vec::new(),
+            n_blocked: 0,
+            next_miss_check: Tick(u64::MAX),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, who: InstanceId) -> &InstanceSlot {
+        self.vs.store.get(who).expect("instance is live")
+    }
+
+    #[inline]
+    fn slot_mut(&mut self, who: InstanceId) -> &mut InstanceSlot {
+        self.vs.store.get_mut(who).expect("instance is live")
+    }
+
+    fn activate(&mut self, id: InstanceId) {
+        match self.vs.active.binary_search(&id) {
+            Ok(_) => debug_assert!(false, "instance {id:?} already active"),
+            Err(i) => self.vs.active.insert(i, id),
+        }
+    }
+
+    fn deactivate(&mut self, id: InstanceId) {
+        if let Ok(i) = self.vs.active.binary_search(&id) {
+            self.vs.active.remove(i);
+        }
     }
 
     fn run(&mut self, protocol: &mut dyn Protocol) -> Result<()> {
@@ -334,21 +640,19 @@ impl<'a> Sim<'a> {
                 if matches!(self.outcome, RunOutcome::Deadlock(_)) {
                     break;
                 }
-                if let Some(&(t, _, _)) = self.arrivals.last() {
+                if let Some((t, _, _)) = self.calendar.peek() {
                     // Idle (or everyone blocked) until the next arrival.
                     self.clock = t;
                     continue;
                 }
-                if self.live.is_empty() {
+                if self.vs.active.is_empty() {
                     break; // all done
                 }
                 // No runner, no arrivals, live instances remain: every
                 // live instance is blocked — a circular wait by
                 // construction (blockers never commit unnoticed).
                 let wf = WaitForGraph::from_edges(self.vs.pm.edges());
-                let cycle = wf
-                    .find_cycle()
-                    .unwrap_or_else(|| self.live.keys().copied().collect());
+                let cycle = wf.find_cycle().unwrap_or_else(|| self.vs.active.clone());
                 self.trace.push_event(TraceEvent::DeadlockDetected {
                     at: self.clock,
                     cycle: cycle.clone(),
@@ -362,12 +666,16 @@ impl<'a> Sim<'a> {
 
             // Run `runner` until its step completes or the next arrival.
             let template = self.vs.set.template(runner.txn);
-            let step = template.steps[self.live[&runner].step];
-            let remaining = step.duration.raw() - self.live[&runner].consumed;
+            let (step_index, consumed) = {
+                let slot = self.slot(runner);
+                (slot.step, slot.consumed)
+            };
+            let step = template.steps[step_index];
+            let remaining = step.duration.raw() - consumed;
             debug_assert!(remaining > 0);
             let step_end = self.clock + Duration(remaining);
-            let slice_end = match self.arrivals.last() {
-                Some(&(t, _, _)) if t < step_end => t,
+            let slice_end = match self.calendar.peek() {
+                Some((t, _, _)) if t < step_end => t,
                 _ => step_end,
             };
             debug_assert!(slice_end > self.clock, "time must advance");
@@ -375,21 +683,23 @@ impl<'a> Sim<'a> {
                 .push_segment(runner, self.clock, slice_end, SegKind::Running);
             let ran = slice_end.since(self.clock).raw();
             self.clock = slice_end;
-            {
-                let live = self.live.get_mut(&runner).unwrap();
-                live.consumed += ran;
-            }
+            self.slot_mut(runner).consumed += ran;
             // Attribute this slice as lower-priority execution to every
             // other live instance the runner's base priority undercuts
             // (the measurable analogue of the analytic blocking B_i).
             let runner_base = self.vs.set.priority_of(runner.txn);
-            for (&other, live) in self.live.iter_mut() {
-                if other != runner && self.vs.set.priority_of(other.txn) > runner_base {
-                    live.lower_exec += Duration(ran);
+            {
+                let ViewState {
+                    set, store, active, ..
+                } = &mut self.vs;
+                for &other in active.iter() {
+                    if other != runner && set.priority_of(other.txn) > runner_base {
+                        store.get_mut(other).expect("active is live").lower_exec += Duration(ran);
+                    }
                 }
             }
 
-            if self.live[&runner].consumed == step.duration.raw() {
+            if self.slot(runner).consumed == step.duration.raw() {
                 self.complete_step(runner, protocol);
             }
         }
@@ -403,11 +713,12 @@ impl<'a> Sim<'a> {
     fn dispatch(&mut self, protocol: &mut dyn Protocol) -> Option<InstanceId> {
         loop {
             let who = self.pick_ready()?;
-            let live = &self.live[&who];
+            let slot = self.slot(who);
             let template = self.vs.set.template(who.txn);
-            let step = template.steps[live.step];
+            let step = template.steps[slot.step];
+            let (step_index, resumed) = (slot.step, slot.was_denied);
 
-            if live.acquired {
+            if slot.acquired {
                 return Some(who);
             }
             let Some((item, mode)) = step.op.access() else {
@@ -426,13 +737,12 @@ impl<'a> Sim<'a> {
                 LockMode::Write => self.vs.locks.holds(who, item, LockMode::Write),
             };
             if holds_sufficient {
-                self.perform_data_op(who, live_step(&self.live, who), item, mode);
-                self.live.get_mut(&who).unwrap().acquired = true;
+                self.perform_data_op(who, step_index, item, mode);
+                self.slot_mut(who).acquired = true;
                 return Some(who);
             }
 
             let req = LockRequest { who, item, mode };
-            let resumed = self.live[&who].was_denied;
             match protocol.request(&self.vs, req) {
                 Decision::Grant => {
                     self.apply_grant(req, protocol, resumed);
@@ -459,63 +769,63 @@ impl<'a> Sim<'a> {
 
     /// Highest-running-priority ready (live, unblocked) instance.
     fn pick_ready(&self) -> Option<InstanceId> {
-        self.live
+        self.vs
+            .active
             .iter()
-            .filter(|(_, l)| l.blocked_since.is_none())
-            .map(|(&id, _)| id)
+            .copied()
+            .filter(|&id| self.slot(id).blocked_since.is_none())
             .max_by_key(|&id| {
                 (
                     self.vs.pm.running(id),
                     self.vs.set.priority_of(id.txn),
-                    std::cmp::Reverse(id.seq),
-                    std::cmp::Reverse(id.txn.0),
+                    Reverse(id.seq),
+                    Reverse(id.txn.0),
                 )
             })
     }
 
     fn release_arrivals(&mut self) {
-        while let Some(&(t, txn, seq)) = self.arrivals.last() {
+        while let Some((t, txn, seq)) = self.calendar.peek() {
             if t > self.clock {
                 break;
             }
-            self.arrivals.pop();
+            self.calendar.pop(self.vs.set);
             let id = InstanceId::new(txn, seq);
             let template = self.vs.set.template(txn);
-            let live = Live {
-                release: t,
-                deadline: template.deadline_of(seq),
-                step: 0,
-                consumed: 0,
-                acquired: false,
-                blocked_since: None,
-                was_denied: false,
-                blocking: Duration::ZERO,
-                lower_exec: Duration::ZERO,
-                lower_blockers: BTreeSet::new(),
-                restarts: 0,
-            };
-            self.live.insert(id, live);
+            let deadline = template.deadline_of(seq);
+            self.vs.store.insert(id, t, deadline);
+            self.next_miss_check = self.next_miss_check.min(deadline);
+            self.activate(id);
             self.vs.pm.register(id, self.vs.set.priority_of(txn));
-            self.vs.workspaces.insert(id, Workspace::new(id));
             self.history.push(t, id, EventKind::Begin);
             self.trace.push_event(TraceEvent::Arrive { at: t, who: id });
         }
     }
 
     fn log_deadline_misses(&mut self) {
-        let missed: Vec<(InstanceId, Tick)> = self
-            .live
-            .iter()
-            .filter(|(id, l)| l.deadline <= self.clock && !self.miss_logged.contains(id))
-            .map(|(&id, l)| (id, l.deadline))
-            .collect();
-        for (id, deadline) in missed {
-            self.miss_logged.insert(id);
-            self.trace.push_event(TraceEvent::DeadlineMiss {
-                at: deadline,
-                who: id,
-            });
+        if self.clock < self.next_miss_check {
+            return;
         }
+        let mut next = Tick(u64::MAX);
+        for i in 0..self.vs.active.len() {
+            let id = self.vs.active[i];
+            let clock = self.clock;
+            let slot = self.slot_mut(id);
+            if slot.miss_logged {
+                continue;
+            }
+            if slot.deadline <= clock {
+                slot.miss_logged = true;
+                let deadline = slot.deadline;
+                self.trace.push_event(TraceEvent::DeadlineMiss {
+                    at: deadline,
+                    who: id,
+                });
+            } else {
+                next = next.min(slot.deadline);
+            }
+        }
+        self.next_miss_check = next;
     }
 
     fn perform_data_op(
@@ -525,10 +835,10 @@ impl<'a> Sim<'a> {
         item: ItemId,
         mode: LockMode,
     ) {
-        let ws = self.vs.workspaces.get_mut(&who).expect("live workspace");
+        let slot = self.vs.store.get_mut(who).expect("live workspace");
         match mode {
             LockMode::Read => {
-                let rec = ws.read(&self.db, item);
+                let rec = slot.workspace.read(&self.db, item);
                 self.history.push(
                     self.clock,
                     who,
@@ -541,7 +851,7 @@ impl<'a> Sim<'a> {
                 );
             }
             LockMode::Write => {
-                let value = ws.write(step_index, item);
+                let value = slot.workspace.write(step_index, item);
                 self.history
                     .push(self.clock, who, EventKind::StageWrite { item, value });
             }
@@ -551,9 +861,9 @@ impl<'a> Sim<'a> {
     fn apply_grant(&mut self, req: LockRequest, protocol: &mut dyn Protocol, resumed: bool) {
         self.vs.locks.grant(req.who, req.item, req.mode);
         protocol.on_grant(&self.vs, req);
-        let step_index = self.live[&req.who].step;
+        let step_index = self.slot(req.who).step;
         self.perform_data_op(req.who, step_index, req.item, req.mode);
-        self.live.get_mut(&req.who).unwrap().acquired = true;
+        self.slot_mut(req.who).acquired = true;
         let ev = if resumed {
             TraceEvent::Resumed {
                 at: self.clock,
@@ -581,20 +891,24 @@ impl<'a> Sim<'a> {
         blockers: Vec<InstanceId>,
         protocol: &mut dyn Protocol,
     ) {
-        debug_assert!(blockers.iter().all(|b| self.live.contains_key(b)));
+        debug_assert!(blockers.iter().all(|&b| self.vs.store.get(b).is_some()));
         let my_base = self.vs.set.priority_of(who.txn);
+        let clock = self.clock;
         {
-            let live = self.live.get_mut(&who).unwrap();
-            live.blocked_since = Some(self.clock);
-            live.was_denied = true;
-            for b in &blockers {
-                if self.vs.set.priority_of(b.txn) < my_base {
-                    live.lower_blockers.insert(b.txn);
+            let ViewState { set, store, .. } = &mut self.vs;
+            let slot = store.get_mut(who).expect("blocked instance is live");
+            debug_assert!(slot.blocked_since.is_none());
+            slot.blocked_since = Some(clock);
+            slot.was_denied = true;
+            slot.pending = Some(req);
+            for &b in &blockers {
+                if set.priority_of(b.txn) < my_base {
+                    slot.note_lower_blocker(b.txn);
                 }
             }
         }
-        self.vs.pm.set_blocked(who, blockers.clone());
-        self.vs.pending.insert(who, req);
+        self.n_blocked += 1;
+        self.vs.pm.set_blocked(who, &blockers);
         self.trace.push_event(TraceEvent::Denied {
             at: self.clock,
             who,
@@ -610,9 +924,10 @@ impl<'a> Sim<'a> {
         // deadlock, so only irreducible cycles are reported.
         self.reevaluate(protocol);
         if self
-            .live
-            .get(&who)
-            .is_none_or(|l| l.blocked_since.is_none())
+            .vs
+            .store
+            .get(who)
+            .is_none_or(|s| s.blocked_since.is_none())
         {
             // The requester itself was woken again; nothing to detect.
             return;
@@ -621,10 +936,6 @@ impl<'a> Sim<'a> {
         // Deadlock check on the wait-for graph.
         let wf = WaitForGraph::from_edges(self.vs.pm.edges());
         if let Some(cycle) = wf.find_cycle() {
-            self.trace.push_event(TraceEvent::DeadlockDetected {
-                at: self.clock,
-                cycle: cycle.clone(),
-            });
             if self.config.resolve_deadlocks {
                 // Abort the lowest-base-priority instance on the cycle.
                 let victim = cycle
@@ -632,23 +943,38 @@ impl<'a> Sim<'a> {
                     .copied()
                     .min_by_key(|v| self.vs.set.priority_of(v.txn))
                     .expect("cycle is non-empty");
+                self.trace.push_event(TraceEvent::DeadlockDetected {
+                    at: self.clock,
+                    cycle,
+                });
                 self.abort(victim, protocol);
                 self.reevaluate(protocol);
             } else {
+                self.trace.push_event(TraceEvent::DeadlockDetected {
+                    at: self.clock,
+                    cycle: cycle.clone(),
+                });
                 self.outcome = RunOutcome::Deadlock(cycle);
             }
         }
     }
 
     fn unblock(&mut self, who: InstanceId) {
-        let live = self.live.get_mut(&who).unwrap();
-        if let Some(since) = live.blocked_since.take() {
-            live.blocking += self.clock.since(since);
-            self.trace
-                .push_segment(who, since, self.clock, SegKind::Blocked);
+        let clock = self.clock;
+        let taken = {
+            let slot = self.slot_mut(who);
+            let since = slot.blocked_since.take();
+            if let Some(s) = since {
+                slot.blocking += clock.since(s);
+            }
+            since
+        };
+        if let Some(since) = taken {
+            self.n_blocked -= 1;
+            self.trace.push_segment(who, since, clock, SegKind::Blocked);
         }
         self.vs.pm.clear_blocked(who);
-        self.vs.pending.remove(&who);
+        self.slot_mut(who).pending = None;
     }
 
     /// Re-evaluate blocked requests after a lock release: an instance
@@ -664,23 +990,29 @@ impl<'a> Sim<'a> {
     /// Instances whose requests are still denied keep (refreshed)
     /// blocking edges so priority inheritance stays precise.
     fn reevaluate(&mut self, protocol: &mut dyn Protocol) {
-        let mut blocked: Vec<InstanceId> = self
-            .live
-            .iter()
-            .filter(|(_, l)| l.blocked_since.is_some())
-            .map(|(&id, _)| id)
-            .collect();
+        if self.n_blocked == 0 {
+            return;
+        }
+        let mut blocked = std::mem::take(&mut self.reeval_scratch);
+        blocked.clear();
+        blocked.extend(
+            self.vs
+                .active
+                .iter()
+                .copied()
+                .filter(|&id| self.slot(id).blocked_since.is_some()),
+        );
         blocked.sort_by_key(|&id| {
-            std::cmp::Reverse((
+            Reverse((
                 self.vs.pm.running(id),
                 self.vs.set.priority_of(id.txn),
-                std::cmp::Reverse(id.seq),
+                Reverse(id.seq),
             ))
         });
-        for who in blocked {
-            let live = &self.live[&who];
+        for &who in &blocked {
+            let slot = self.slot(who);
             let template = self.vs.set.template(who.txn);
-            let (item, mode) = template.steps[live.step]
+            let (item, mode) = template.steps[slot.step]
                 .op
                 .access()
                 .expect("blocked on a data step");
@@ -695,31 +1027,37 @@ impl<'a> Sim<'a> {
                 Decision::Block { blockers } => {
                     debug_assert!(!blockers.is_empty());
                     let my_base = self.vs.set.priority_of(who.txn);
-                    let live = self.live.get_mut(&who).unwrap();
-                    for b in &blockers {
-                        if self.vs.set.priority_of(b.txn) < my_base {
-                            live.lower_blockers.insert(b.txn);
+                    {
+                        let ViewState { set, store, .. } = &mut self.vs;
+                        let slot = store.get_mut(who).expect("blocked instance is live");
+                        for &b in &blockers {
+                            if set.priority_of(b.txn) < my_base {
+                                slot.note_lower_blocker(b.txn);
+                            }
                         }
                     }
-                    self.vs.pm.set_blocked(who, blockers);
+                    self.vs.pm.set_blocked(who, &blockers);
                 }
             }
         }
+        self.reeval_scratch = blocked;
     }
 
     fn complete_step(&mut self, who: InstanceId, protocol: &mut dyn Protocol) {
         let completed_step;
+        let next_step;
         let total_steps = self.vs.set.template(who.txn).steps.len();
         {
-            let live = self.live.get_mut(&who).unwrap();
-            completed_step = live.step;
-            live.step += 1;
-            live.consumed = 0;
-            live.acquired = false;
-            live.was_denied = false;
+            let slot = self.slot_mut(who);
+            completed_step = slot.step;
+            slot.step += 1;
+            slot.consumed = 0;
+            slot.acquired = false;
+            slot.was_denied = false;
+            next_step = slot.step;
         }
 
-        if self.live[&who].step == total_steps {
+        if next_step == total_steps {
             self.commit(who, protocol);
             return;
         }
@@ -740,11 +1078,11 @@ impl<'a> Sim<'a> {
                 if install_early && mode == LockMode::Write {
                     let staged = self
                         .vs
-                        .workspaces
-                        .get(&who)
-                        .and_then(|w| w.staged_writes().get(&item).copied());
+                        .store
+                        .get(who)
+                        .and_then(|s| s.workspace.staged_value(item));
                     if let Some(value) = staged {
-                        let fresh = self.installed_early.entry(who).or_default().insert(item);
+                        let fresh = self.slot_mut(who).mark_installed_early(item);
                         if fresh {
                             let version = self.db.install(who, item, value, self.clock);
                             self.history.push(
@@ -773,32 +1111,40 @@ impl<'a> Sim<'a> {
         if !victims.is_empty() {
             debug_assert!(protocol.may_abort());
             for v in victims {
-                if v != who && self.live.contains_key(&v) {
+                if v != who && self.vs.store.get(v).is_some() {
                     self.abort(v, protocol);
                 }
             }
         }
 
         self.history.push(self.clock, who, EventKind::Commit);
-        let early = self.installed_early.remove(&who).unwrap_or_default();
-        let ws = self.vs.workspaces.get(&who).expect("live workspace");
-        let installs: Vec<(ItemId, rtdb_types::Value)> = ws
-            .staged_writes()
-            .iter()
-            .filter(|(item, _)| !early.contains(item))
-            .map(|(&i, &v)| (i, v))
-            .collect();
-        for (item, value) in installs {
-            let version = self.db.install(who, item, value, self.clock);
-            self.history.push(
-                self.clock,
-                who,
-                EventKind::Install {
-                    item,
-                    value,
-                    version,
-                },
-            );
+        // Install staged writes straight out of the workspace: the slot
+        // lives in `vs` while the database and history are sibling fields,
+        // so no staging copy is needed.
+        {
+            let Sim {
+                vs,
+                db,
+                history,
+                clock,
+                ..
+            } = self;
+            let slot = vs.store.get(who).expect("live workspace");
+            for &(item, value) in slot.workspace.staged_writes() {
+                if slot.installed_early.binary_search(&item).is_ok() {
+                    continue;
+                }
+                let version = db.install(who, item, value, *clock);
+                history.push(
+                    *clock,
+                    who,
+                    EventKind::Install {
+                        item,
+                        value,
+                        version,
+                    },
+                );
+            }
         }
 
         self.vs.locks.release_all(who);
@@ -811,17 +1157,28 @@ impl<'a> Sim<'a> {
         self.trace
             .push_ceiling(self.clock, protocol.system_ceiling(&self.vs));
 
-        let live = self.live.remove(&who).expect("committing instance");
-        self.vs.workspaces.remove(&who);
+        let (release, deadline, blocking, lower_exec, restarts, lower_blockers) = {
+            let slot = self.slot_mut(who);
+            (
+                slot.release,
+                slot.deadline,
+                slot.blocking,
+                slot.lower_exec,
+                slot.restarts,
+                std::mem::take(&mut slot.lower_blockers),
+            )
+        };
+        self.vs.store.remove(who);
+        self.deactivate(who);
         self.metrics.record(InstanceMetrics {
             id: who,
-            release: live.release,
-            deadline: live.deadline,
+            release,
+            deadline,
             completion: Some(self.clock),
-            blocking: live.blocking,
-            lower_exec: live.lower_exec,
-            distinct_lower_blockers: live.lower_blockers.into_iter().collect(),
-            restarts: live.restarts,
+            blocking,
+            lower_exec,
+            distinct_lower_blockers: lower_blockers,
+            restarts,
         });
 
         self.reevaluate(protocol);
@@ -840,23 +1197,23 @@ impl<'a> Sim<'a> {
         });
         self.vs.locks.release_all(victim);
         // If the victim was itself blocked, flush its blocked segment.
-        if self.live[&victim].blocked_since.is_some() {
+        if self.slot(victim).blocked_since.is_some() {
             self.unblock(victim);
         } else {
             self.vs.pm.clear_blocked(victim);
-            self.vs.pending.remove(&victim);
+            self.slot_mut(victim).pending = None;
         }
         // Reset execution state; the instance restarts from scratch.
         {
-            let live = self.live.get_mut(&victim).unwrap();
-            live.step = 0;
-            live.consumed = 0;
-            live.acquired = false;
-            live.was_denied = false;
-            live.restarts += 1;
+            let slot = self.slot_mut(victim);
+            slot.step = 0;
+            slot.consumed = 0;
+            slot.acquired = false;
+            slot.was_denied = false;
+            slot.restarts += 1;
+            slot.workspace.reset(victim);
+            slot.installed_early.clear();
         }
-        self.vs.workspaces.insert(victim, Workspace::new(victim));
-        self.installed_early.remove(&victim);
         protocol.on_abort(&self.vs, victim);
         self.history.push(self.clock, victim, EventKind::Begin);
         self.trace
@@ -865,26 +1222,35 @@ impl<'a> Sim<'a> {
 
     fn finish(mut self, _protocol: &mut dyn Protocol) -> RunResult {
         // Flush unfinished instances into the metrics.
-        let leftovers: Vec<InstanceId> = self.live.keys().copied().collect();
+        let leftovers: Vec<InstanceId> = self.vs.active.clone();
         for who in leftovers {
-            let live = self.live.remove(&who).unwrap();
-            if let Some(since) = live.blocked_since {
+            let (release, deadline, blocked_since, mut blocking, lower_exec, restarts, lowers) = {
+                let slot = self.vs.store.get_mut(who).expect("active is live");
+                (
+                    slot.release,
+                    slot.deadline,
+                    slot.blocked_since,
+                    slot.blocking,
+                    slot.lower_exec,
+                    slot.restarts,
+                    std::mem::take(&mut slot.lower_blockers),
+                )
+            };
+            self.vs.store.remove(who);
+            if let Some(since) = blocked_since {
                 self.trace
                     .push_segment(who, since, self.clock, SegKind::Blocked);
-            }
-            let mut blocking = live.blocking;
-            if let Some(since) = live.blocked_since {
                 blocking += self.clock.since(since);
             }
             self.metrics.record(InstanceMetrics {
                 id: who,
-                release: live.release,
-                deadline: live.deadline,
+                release,
+                deadline,
                 completion: None,
                 blocking,
-                lower_exec: live.lower_exec,
-                distinct_lower_blockers: live.lower_blockers.into_iter().collect(),
-                restarts: live.restarts,
+                lower_exec,
+                distinct_lower_blockers: lowers,
+                restarts,
             });
         }
         self.metrics.max_sysceil = self.trace.max_system_ceiling();
@@ -895,12 +1261,9 @@ impl<'a> Sim<'a> {
             metrics: self.metrics,
             trace: self.trace,
             outcome: self.outcome,
+            final_clock: self.clock,
         }
     }
-}
-
-fn live_step(live: &BTreeMap<InstanceId, Live>, who: InstanceId) -> usize {
-    live[&who].step
 }
 
 #[cfg(test)]
@@ -971,6 +1334,68 @@ mod tests {
         assert_eq!(m.completion, Some(Tick(7)));
         assert!(!m.met_deadline());
         assert_eq!(r.metrics.deadline_misses(), 1);
+        assert_eq!(r.final_clock, Tick(9));
         assert!(r.replay_check(&set).is_serializable());
+    }
+
+    #[test]
+    fn slot_store_recycles_slots_per_template() {
+        let mut store = SlotStore::with_templates(2);
+        let a0 = InstanceId::new(TxnId(0), 0);
+        store.insert(a0, Tick(0), Tick(10));
+        store.get_mut(a0).unwrap().note_lower_blocker(TxnId(1));
+        store.remove(a0);
+        assert!(store.get(a0).is_none());
+        // The next instance of the same template reuses the slot (len
+        // stays 1) and sees none of the old state.
+        let a1 = InstanceId::new(TxnId(0), 1);
+        store.insert(a1, Tick(5), Tick(15));
+        assert_eq!(store.slots.len(), 1);
+        let slot = store.get(a1).unwrap();
+        assert_eq!(slot.id, a1);
+        assert_eq!(slot.release, Tick(5));
+        assert!(slot.lower_blockers.is_empty());
+        // A different template gets a fresh slot.
+        let b0 = InstanceId::new(TxnId(1), 0);
+        store.insert(b0, Tick(0), Tick(20));
+        assert_eq!(store.slots.len(), 2);
+        assert!(store.get(b0).is_some());
+    }
+
+    #[test]
+    fn arrival_calendar_matches_eager_order() {
+        let set = SetBuilder::new()
+            .with(TransactionTemplate::new("A", 3, vec![Step::compute(1)]))
+            .with(
+                TransactionTemplate::new("B", 4, vec![Step::compute(1)])
+                    .with_offset(1)
+                    .with_instances(5),
+            )
+            .build()
+            .unwrap();
+        let horizon = Tick(10);
+        // Eager reference: every arrival, ascending (tick, txn, seq).
+        let mut eager: Vec<(Tick, TxnId, u32)> = Vec::new();
+        for t in set.templates() {
+            let mut seq = 0u32;
+            loop {
+                if let Some(n) = t.instances {
+                    if seq >= n {
+                        break;
+                    }
+                } else if t.release_of(seq) >= horizon {
+                    break;
+                }
+                eager.push((t.release_of(seq), t.id, seq));
+                seq += 1;
+            }
+        }
+        eager.sort();
+        let mut cal = ArrivalCalendar::new(&set, horizon);
+        let mut lazy = Vec::new();
+        while let Some(e) = cal.pop(&set) {
+            lazy.push(e);
+        }
+        assert_eq!(lazy, eager);
     }
 }

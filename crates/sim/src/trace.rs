@@ -194,6 +194,13 @@ impl Trace {
         Self::default()
     }
 
+    /// Pre-size the segment and event logs, so steady-state runs append
+    /// without reallocating.
+    pub fn reserve(&mut self, segments: usize, events: usize) {
+        self.segments.reserve(segments);
+        self.events.reserve(events);
+    }
+
     /// Record a segment; zero-length segments are dropped, and a segment
     /// contiguous with the previous one of the same instance and kind is
     /// merged into it.

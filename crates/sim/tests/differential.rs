@@ -1,0 +1,124 @@
+//! Differential property test: the slot-arena engine against the
+//! map-backed oracle store.
+//!
+//! The dense-slot rewrite of the engine core must be **observationally
+//! identical** to the plain `BTreeMap` layout it replaced — same
+//! histories, traces, metrics, final database state and final clock, for
+//! every protocol, on arbitrary workloads. Random transaction sets are
+//! run through both [`Engine::run`] (slot arena) and
+//! [`Engine::run_map_oracle`] (map store) and every observable output is
+//! compared. The oracle is compiled only in debug builds or under the
+//! `oracle-checks` feature, so this file is gated the same way.
+
+#![cfg(any(debug_assertions, feature = "oracle-checks"))]
+
+use rtdb_sim::{Engine, RunResult, SimConfig, WorkloadParams};
+use rtdb_types::TransactionSet;
+use rtdb_util::prop::forall;
+use rtdb_util::Rng;
+
+/// Each case runs every protocol twice; keep the case count moderate.
+const CASES: usize = 24;
+
+fn arb_params(rng: &mut Rng) -> WorkloadParams {
+    WorkloadParams {
+        templates: rng.range_inclusive_usize(2, 6),
+        items: rng.range_inclusive_usize(4, 12),
+        target_utilization: rng.range_inclusive_u64(1, 7) as f64 / 10.0,
+        min_period: 30,
+        max_period: 300,
+        min_data_steps: 1,
+        max_data_steps: 4,
+        write_fraction: rng.f64() * 0.8,
+        hotspot_items: 3,
+        hotspot_prob: rng.f64() * 0.9,
+        seed: rng.next_u64(),
+    }
+}
+
+fn config(resolve: bool) -> SimConfig {
+    let mut cfg = SimConfig::with_horizon(2_000);
+    cfg.resolve_deadlocks = resolve;
+    cfg
+}
+
+/// Assert that two runs are observationally identical.
+fn assert_identical(arena: &RunResult, oracle: &RunResult, context: &str) {
+    assert_eq!(arena.outcome, oracle.outcome, "{context}: outcome");
+    assert_eq!(
+        arena.final_clock, oracle.final_clock,
+        "{context}: final clock"
+    );
+    assert_eq!(
+        arena.history.events(),
+        oracle.history.events(),
+        "{context}: history events"
+    );
+    assert_eq!(
+        arena.history.commit_order(),
+        oracle.history.commit_order(),
+        "{context}: commit order"
+    );
+    assert_eq!(
+        arena.trace.events(),
+        oracle.trace.events(),
+        "{context}: trace events"
+    );
+    assert_eq!(
+        arena.trace.segments(),
+        oracle.trace.segments(),
+        "{context}: trace segments"
+    );
+    assert_eq!(
+        arena.trace.ceiling_samples(),
+        oracle.trace.ceiling_samples(),
+        "{context}: ceiling samples"
+    );
+    assert_eq!(
+        arena.db.snapshot(),
+        oracle.db.snapshot(),
+        "{context}: final database"
+    );
+    // MetricsReport intentionally has no PartialEq; its Debug output is
+    // total over every field, which is exactly what we want to compare.
+    assert_eq!(
+        format!("{:?}", arena.metrics),
+        format!("{:?}", oracle.metrics),
+        "{context}: metrics"
+    );
+}
+
+fn check_set(set: &TransactionSet, resolve_2pl_pi: bool) {
+    let mut protocols = rtdb_sim::sweep::standard_protocols();
+    for p in protocols.iter_mut() {
+        let resolve = p.name() == "2PL-PI" && resolve_2pl_pi;
+        let engine_a = Engine::new(set, config(resolve));
+        let arena = engine_a.run(p.as_mut()).expect("arena run succeeds");
+        let engine_b = Engine::new(set, config(resolve));
+        let oracle = engine_b
+            .run_map_oracle(p.as_mut())
+            .expect("oracle run succeeds");
+        assert_identical(&arena, &oracle, p.name());
+    }
+}
+
+/// Arena and oracle agree on every observable, for every protocol, on
+/// random workloads (2PL-PI with deadlock resolution on).
+#[test]
+fn slot_arena_matches_map_oracle() {
+    forall(CASES, |rng| {
+        let set = arb_params(rng).generate().unwrap().set;
+        check_set(&set, true);
+    });
+}
+
+/// Same, with 2PL-PI's deadlocks left unresolved — exercises the
+/// `RunOutcome::Deadlock` paths (cycle detection and early stop) in both
+/// stores.
+#[test]
+fn slot_arena_matches_map_oracle_on_deadlock_paths() {
+    forall(CASES / 2, |rng| {
+        let set = arb_params(rng).generate().unwrap().set;
+        check_set(&set, false);
+    });
+}

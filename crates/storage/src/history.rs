@@ -79,6 +79,12 @@ impl History {
         Self::default()
     }
 
+    /// Pre-size the event log for roughly `n` events, so steady-state
+    /// runs append without reallocating.
+    pub fn reserve_events(&mut self, n: usize) {
+        self.events.reserve(n);
+    }
+
     /// Append an event. `Commit` events additionally extend the commit
     /// order.
     pub fn push(&mut self, at: Tick, instance: InstanceId, kind: EventKind) {

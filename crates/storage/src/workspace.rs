@@ -2,7 +2,6 @@
 
 use crate::db::{Database, Version};
 use rtdb_types::{derive_write, InstanceId, ItemId, Value};
-use std::collections::{BTreeMap, BTreeSet};
 
 /// A record of one read performed by an instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,12 +29,20 @@ pub struct ReadRecord {
 /// The workspace also maintains `DataRead(T_i)` — "the current set of data
 /// items that transaction `T_i` has already read" — which the PCP-DA
 /// locking condition LC4 consults.
+///
+/// Internally the staged writes and `DataRead` set are sorted `Vec`s rather
+/// than tree maps: transactions touch a handful of items, so binary search
+/// over a dense vector beats pointer-chasing, and [`Workspace::reset`] lets
+/// the engine recycle the allocations across instances of the same
+/// template.
 #[derive(Clone, Debug)]
 pub struct Workspace {
     owner: InstanceId,
     reads: Vec<ReadRecord>,
-    staged: BTreeMap<ItemId, Value>,
-    data_read: BTreeSet<ItemId>,
+    /// Staged writes, sorted by item.
+    staged: Vec<(ItemId, Value)>,
+    /// `DataRead`, sorted.
+    data_read: Vec<ItemId>,
     digest: Value,
     write_count: usize,
 }
@@ -46,11 +53,22 @@ impl Workspace {
         Self {
             owner,
             reads: Vec::new(),
-            staged: BTreeMap::new(),
-            data_read: BTreeSet::new(),
+            staged: Vec::new(),
+            data_read: Vec::new(),
             digest: Value::INITIAL,
             write_count: 0,
         }
+    }
+
+    /// Clear all state and re-home the workspace to a new `owner`, keeping
+    /// the buffers' capacity so recycled instances allocate nothing.
+    pub fn reset(&mut self, owner: InstanceId) {
+        self.owner = owner;
+        self.reads.clear();
+        self.staged.clear();
+        self.data_read.clear();
+        self.digest = Value::INITIAL;
+        self.write_count = 0;
     }
 
     /// The owning instance.
@@ -58,13 +76,31 @@ impl Workspace {
         self.owner
     }
 
+    /// The staged value for `item`, if this instance has written it.
+    #[inline]
+    pub fn staged_value(&self, item: ItemId) -> Option<Value> {
+        self.staged
+            .binary_search_by_key(&item, |&(i, _)| i)
+            .ok()
+            .map(|idx| self.staged[idx].1)
+    }
+
+    #[inline]
+    fn stage(&mut self, item: ItemId, value: Value) {
+        match self.staged.binary_search_by_key(&item, |&(i, _)| i) {
+            Ok(idx) => self.staged[idx].1 = value,
+            Err(idx) => self.staged.insert(idx, (item, value)),
+        }
+        self.write_count += 1;
+    }
+
     /// Perform a read: own staged write if present, otherwise the latest
     /// committed version. Records the read and folds the value into the
     /// read digest.
     pub fn read(&mut self, db: &Database, item: ItemId) -> ReadRecord {
         let committed = db.read(item);
-        let rec = match self.staged.get(&item) {
-            Some(&own_value) => ReadRecord {
+        let rec = match self.staged_value(item) {
+            Some(own_value) => ReadRecord {
                 item,
                 value: own_value,
                 version: committed.version,
@@ -85,7 +121,9 @@ impl Workspace {
         // does it take a read lock in the engine — the own write lock
         // covers it).
         if !rec.own {
-            self.data_read.insert(item);
+            if let Err(idx) = self.data_read.binary_search(&item) {
+                self.data_read.insert(idx, item);
+            }
         }
         self.digest = self.digest.mix(rec.value);
         rec
@@ -96,26 +134,24 @@ impl Workspace {
     /// (see [`rtdb_types::derive_write`]). Returns the staged value.
     pub fn write(&mut self, step_index: usize, item: ItemId) -> Value {
         let value = derive_write(self.owner, step_index, item, self.digest);
-        self.staged.insert(item, value);
-        self.write_count += 1;
+        self.stage(item, value);
         value
     }
 
     /// Stage an explicit value (used by tests and by the replay oracle).
     pub fn write_value(&mut self, item: ItemId, value: Value) {
-        self.staged.insert(item, value);
-        self.write_count += 1;
+        self.stage(item, value);
     }
 
     /// `DataRead(T_i)`: the items whose committed pre-image this instance
     /// has observed (own-workspace reads excluded — they cannot be
-    /// invalidated).
-    pub fn data_read(&self) -> &BTreeSet<ItemId> {
+    /// invalidated), sorted ascending.
+    pub fn data_read(&self) -> &[ItemId] {
         &self.data_read
     }
 
-    /// The staged (uncommitted) writes.
-    pub fn staged_writes(&self) -> &BTreeMap<ItemId, Value> {
+    /// The staged (uncommitted) writes, sorted by item.
+    pub fn staged_writes(&self) -> &[(ItemId, Value)] {
         &self.staged
     }
 
@@ -138,7 +174,7 @@ impl Workspace {
     ) -> Vec<(ItemId, Value, Version)> {
         self.staged
             .iter()
-            .map(|(&item, &value)| {
+            .map(|&(item, value)| {
                 let version = db.install(self.owner, item, value, at);
                 (item, value, version)
             })
@@ -246,7 +282,10 @@ mod tests {
         b.read(&db, ItemId(0));
         b.write(1, ItemId(5));
 
-        assert_ne!(a.staged_writes()[&ItemId(5)], b.staged_writes()[&ItemId(5)]);
+        assert_ne!(
+            a.staged_value(ItemId(5)).unwrap(),
+            b.staged_value(ItemId(5)).unwrap()
+        );
     }
 
     #[test]
@@ -257,5 +296,24 @@ mod tests {
         let second = ws.write(1, ItemId(0));
         let installed = ws.commit_into(&mut db, Tick(2));
         assert_eq!(installed, vec![(ItemId(0), second, 1)]);
+    }
+
+    #[test]
+    fn reset_clears_state_and_rehomes() {
+        let db = Database::new();
+        let mut ws = Workspace::new(owner());
+        ws.read(&db, ItemId(1));
+        ws.write(0, ItemId(2));
+        let cap = (ws.reads.capacity(), ws.staged.capacity());
+
+        let next = InstanceId::first(TxnId(1));
+        ws.reset(next);
+        assert_eq!(ws.owner(), next);
+        assert!(ws.reads().is_empty());
+        assert!(ws.staged_writes().is_empty());
+        assert!(ws.data_read().is_empty());
+        assert_eq!(ws.digest(), Value::INITIAL);
+        assert!(ws.reads.capacity() >= cap.0);
+        assert!(ws.staged.capacity() >= cap.1);
     }
 }

@@ -64,6 +64,28 @@ impl fmt::Display for TxnId {
     }
 }
 
+/// Index of a slot in a dense per-instance state arena.
+///
+/// Slots are recycled across instance completions: a `SlotId` is only
+/// meaningful while the instance it was handed out for is live, and the
+/// stable [`InstanceId`] remains the identity used in traces and metrics.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotId(pub u32);
+
+impl SlotId {
+    /// Numeric index of the slot.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
 /// Identifier of one periodic *instance* (job) of a transaction template.
 ///
 /// The `k`-th arrival of template `T_i` is `InstanceId { txn: i, seq: k }`

@@ -26,7 +26,7 @@ pub mod txn;
 pub mod value;
 
 pub use error::{Error, Result};
-pub use id::{InstanceId, ItemId, TxnId};
+pub use id::{InstanceId, ItemId, SlotId, TxnId};
 pub use ops::{LockMode, Operation, Step};
 pub use priority::{Ceiling, Priority};
 pub use set::{SetBuilder, TransactionSet};
