@@ -31,6 +31,8 @@
 //! set remains schedulable — the classical way to compare protocols'
 //! schedulability conditions (experiment E11).
 
+#![forbid(unsafe_code)]
+
 pub mod blocking;
 pub mod breakdown;
 pub mod rm;

@@ -36,7 +36,7 @@
 //! direct transcription of that prose, documented as a substitution in
 //! DESIGN.md.
 
-use rtdb_cc::{Decision, EngineView, LockRequest, Protocol, UpdateModel};
+use rtdb_core::{Decision, EngineView, LockRequest, ProtocolFor, UpdateModel};
 use rtdb_types::{InstanceId, ItemId, LockMode};
 
 /// The convex ceiling protocol.
@@ -50,12 +50,12 @@ impl Ccp {
     }
 }
 
-impl Protocol for Ccp {
+impl<V: EngineView + ?Sized> ProtocolFor<V> for Ccp {
     fn name(&self) -> &'static str {
         "CCP"
     }
 
-    fn request(&mut self, view: &dyn EngineView, req: LockRequest) -> Decision {
+    fn request(&mut self, view: &V, req: LockRequest) -> Decision {
         let p_i = view.base_priority(req.who);
         let sys = view.ceilings().pcp_sysceil(view.locks(), req.who);
         if sys.ceiling.cleared_by(p_i) {
@@ -65,15 +65,15 @@ impl Protocol for Ccp {
         }
     }
 
-    fn system_ceiling(&self, view: &dyn EngineView) -> rtdb_types::Ceiling {
+    fn system_ceiling(&self, view: &V) -> rtdb_types::Ceiling {
         view.ceilings()
-            .pcp_sysceil(view.locks(), rtdb_cc::protocol::ceiling_observer())
+            .pcp_sysceil(view.locks(), rtdb_core::protocol::ceiling_observer())
             .ceiling
     }
 
     fn early_releases(
         &mut self,
-        view: &dyn EngineView,
+        view: &V,
         who: InstanceId,
         completed_step: usize,
     ) -> Vec<(ItemId, LockMode)> {
@@ -138,7 +138,7 @@ impl Protocol for Ccp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pcpda::testkit::StaticView;
+    use rtdb_core::testkit::StaticView;
     use rtdb_types::{InstanceId, SetBuilder, Step, TransactionTemplate, TxnId};
 
     fn i(t: u32) -> InstanceId {
@@ -269,9 +269,9 @@ mod tests {
     #[test]
     fn uses_install_on_early_release_model() {
         assert_eq!(
-            Ccp::new().update_model(),
+            rtdb_core::Protocol::update_model(&Ccp::new()),
             UpdateModel::InstallOnEarlyRelease
         );
-        assert_eq!(Ccp::new().name(), "CCP");
+        assert_eq!(rtdb_core::Protocol::name(&Ccp::new()), "CCP");
     }
 }

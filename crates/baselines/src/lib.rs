@@ -1,8 +1,8 @@
 //! Baseline real-time concurrency-control protocols.
 //!
 //! Every comparator the paper names, implemented against the same
-//! [`rtdb_cc::Protocol`] trait as PCP-DA so the simulator, the oracles and
-//! the benchmarks treat them interchangeably:
+//! [`rtdb_core::ProtocolFor`] trait as PCP-DA so the simulator, the
+//! oracles and the benchmarks treat them interchangeably:
 //!
 //! * [`RwPcp`] — the read/write priority ceiling protocol of Sha, Rajkumar
 //!   and Lehoczky (the paper's main comparison target). Two static
@@ -27,6 +27,8 @@
 //!   Example 5 (condition "(2) `P_i ≥ HPW(x)`" without the `T*`
 //!   safeguards); it deadlocks, demonstrating why LC3/LC4 carry their
 //!   extra clauses.
+
+#![forbid(unsafe_code)]
 
 pub mod ccp;
 pub mod naive_da;

@@ -14,7 +14,7 @@
 //! locks under LC1), reproducing the deadlock so the engine's wait-for
 //! detector and the Example 5 experiment can demonstrate it.
 
-use rtdb_cc::{Decision, EngineView, LockRequest, Protocol};
+use rtdb_core::{Decision, EngineView, LockRequest, ProtocolFor};
 use rtdb_types::{Ceiling, InstanceId, LockMode};
 use std::collections::BTreeSet;
 
@@ -29,12 +29,12 @@ impl NaiveDa {
     }
 }
 
-impl Protocol for NaiveDa {
+impl<V: EngineView + ?Sized> ProtocolFor<V> for NaiveDa {
     fn name(&self) -> &'static str {
         "Naive-DA"
     }
 
-    fn request(&mut self, view: &dyn EngineView, req: LockRequest) -> Decision {
+    fn request(&mut self, view: &V, req: LockRequest) -> Decision {
         let locks = view.locks();
         let ceilings = view.ceilings();
         let p_i = view.base_priority(req.who);
@@ -70,12 +70,18 @@ impl Protocol for NaiveDa {
             }
         }
     }
+
+    fn may_deadlock(&self) -> bool {
+        // The whole point of the demo: without PCP-DA's side conditions
+        // the dynamic-adjustment idea alone deadlocks.
+        true
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pcpda::testkit::StaticView;
+    use rtdb_core::testkit::StaticView;
     use rtdb_types::{ItemId, SetBuilder, Step, TransactionTemplate, TxnId};
 
     fn i(t: u32) -> InstanceId {
@@ -147,7 +153,7 @@ mod tests {
 
     #[test]
     fn pcpda_blocks_the_unsafe_grant_instead() {
-        use pcpda::PcpDa;
+        use rtdb_cc::PcpDa;
         let set = example5();
         let mut view = StaticView::new(&set);
         let mut p = PcpDa::new();

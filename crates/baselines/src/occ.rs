@@ -18,7 +18,7 @@
 //! abortions that a lower priority transaction may experience".
 //! The E9 sweep makes that trade-off measurable.
 
-use rtdb_cc::{sorted_disjoint, Decision, EngineView, LockRequest, Protocol};
+use rtdb_core::{sorted_disjoint, Decision, EngineView, LockRequest, ProtocolFor};
 use rtdb_types::InstanceId;
 
 /// Optimistic concurrency control with broadcast commit.
@@ -32,18 +32,18 @@ impl OccBc {
     }
 }
 
-impl Protocol for OccBc {
+impl<V: EngineView + ?Sized> ProtocolFor<V> for OccBc {
     fn name(&self) -> &'static str {
         "OCC-BC"
     }
 
-    fn request(&mut self, _view: &dyn EngineView, _req: LockRequest) -> Decision {
+    fn request(&mut self, _view: &V, _req: LockRequest) -> Decision {
         // Optimistic: never block. (The engine still records the "lock";
         // it is inert because this protocol never consults the table.)
         Decision::Grant
     }
 
-    fn commit_victims(&mut self, view: &dyn EngineView, who: InstanceId) -> Vec<InstanceId> {
+    fn commit_victims(&mut self, view: &V, who: InstanceId) -> Vec<InstanceId> {
         let writes = view.staged_write_items(who);
         if writes.is_empty() {
             return Vec::new();
@@ -64,7 +64,7 @@ impl Protocol for OccBc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pcpda::testkit::StaticView;
+    use rtdb_core::testkit::StaticView;
     use rtdb_types::{ItemId, LockMode, SetBuilder, Step, TransactionTemplate, TxnId};
 
     fn i(t: u32) -> InstanceId {
@@ -105,7 +105,7 @@ mod tests {
             ),
             Decision::Grant
         );
-        assert!(p.may_abort());
+        assert!(rtdb_core::Protocol::may_abort(&p));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! `x` has priority at most `Aceil(x)`, so any second access to a locked
 //! item fails the test regardless of mode.
 
-use rtdb_cc::{Decision, EngineView, LockRequest, Protocol};
+use rtdb_core::{Decision, EngineView, LockRequest, ProtocolFor};
 
 /// The original PCP (stateless).
 #[derive(Debug, Default, Clone, Copy)]
@@ -21,12 +21,12 @@ impl Pcp {
     }
 }
 
-impl Protocol for Pcp {
+impl<V: EngineView + ?Sized> ProtocolFor<V> for Pcp {
     fn name(&self) -> &'static str {
         "PCP"
     }
 
-    fn request(&mut self, view: &dyn EngineView, req: LockRequest) -> Decision {
+    fn request(&mut self, view: &V, req: LockRequest) -> Decision {
         let p_i = view.base_priority(req.who);
         let sys = view.ceilings().pcp_sysceil(view.locks(), req.who);
         if sys.ceiling.cleared_by(p_i) {
@@ -36,9 +36,9 @@ impl Protocol for Pcp {
         }
     }
 
-    fn system_ceiling(&self, view: &dyn EngineView) -> rtdb_types::Ceiling {
+    fn system_ceiling(&self, view: &V) -> rtdb_types::Ceiling {
         view.ceilings()
-            .pcp_sysceil(view.locks(), rtdb_cc::protocol::ceiling_observer())
+            .pcp_sysceil(view.locks(), rtdb_core::protocol::ceiling_observer())
             .ceiling
     }
 }
@@ -46,7 +46,7 @@ impl Protocol for Pcp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pcpda::testkit::StaticView;
+    use rtdb_core::testkit::StaticView;
     use rtdb_types::{InstanceId, ItemId, LockMode, SetBuilder, Step, TransactionTemplate, TxnId};
 
     fn i(t: u32) -> InstanceId {

@@ -16,7 +16,7 @@
 //! Blocked requesters are blocked by the holder(s) of the ceiling item,
 //! which inherit their priority.
 
-use rtdb_cc::{Decision, EngineView, LockRequest, Protocol};
+use rtdb_core::{Decision, EngineView, LockRequest, ProtocolFor};
 
 /// The RW-PCP protocol (stateless).
 #[derive(Debug, Default, Clone, Copy)]
@@ -29,12 +29,12 @@ impl RwPcp {
     }
 }
 
-impl Protocol for RwPcp {
+impl<V: EngineView + ?Sized> ProtocolFor<V> for RwPcp {
     fn name(&self) -> &'static str {
         "RW-PCP"
     }
 
-    fn request(&mut self, view: &dyn EngineView, req: LockRequest) -> Decision {
+    fn request(&mut self, view: &V, req: LockRequest) -> Decision {
         let p_i = view.base_priority(req.who);
         let sys = view.ceilings().rwpcp_sysceil(view.locks(), req.who);
         if sys.ceiling.cleared_by(p_i) {
@@ -44,9 +44,9 @@ impl Protocol for RwPcp {
         }
     }
 
-    fn system_ceiling(&self, view: &dyn EngineView) -> rtdb_types::Ceiling {
+    fn system_ceiling(&self, view: &V) -> rtdb_types::Ceiling {
         view.ceilings()
-            .rwpcp_sysceil(view.locks(), rtdb_cc::protocol::ceiling_observer())
+            .rwpcp_sysceil(view.locks(), rtdb_core::protocol::ceiling_observer())
             .ceiling
     }
 }
@@ -54,7 +54,7 @@ impl Protocol for RwPcp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pcpda::testkit::StaticView;
+    use rtdb_core::testkit::StaticView;
     use rtdb_types::{
         InstanceId, ItemId, LockMode, SetBuilder, Step, TransactionSet, TransactionTemplate, TxnId,
     };

@@ -14,12 +14,12 @@
 //!   the trade-off the paper's §2 discusses (restart overheads break the
 //!   schedulability analysis).
 
-use rtdb_cc::{Decision, EngineView, LockRequest, Protocol};
+use rtdb_core::{Decision, EngineView, LockRequest, ProtocolFor};
 use rtdb_types::{InstanceId, LockMode};
 use std::collections::BTreeSet;
 
 /// Conflicting holders of `req` under classical r/w lock semantics.
-fn conflict_holders(view: &dyn EngineView, req: LockRequest) -> BTreeSet<InstanceId> {
+fn conflict_holders<V: EngineView + ?Sized>(view: &V, req: LockRequest) -> BTreeSet<InstanceId> {
     let locks = view.locks();
     let mut out: BTreeSet<InstanceId> = BTreeSet::new();
     match req.mode {
@@ -45,18 +45,25 @@ impl TwoPlPi {
     }
 }
 
-impl Protocol for TwoPlPi {
+impl<V: EngineView + ?Sized> ProtocolFor<V> for TwoPlPi {
     fn name(&self) -> &'static str {
         "2PL-PI"
     }
 
-    fn request(&mut self, view: &dyn EngineView, req: LockRequest) -> Decision {
+    fn request(&mut self, view: &V, req: LockRequest) -> Decision {
         let conflicts = conflict_holders(view, req);
         if conflicts.is_empty() {
             Decision::Grant
         } else {
             Decision::block_on(req.who, conflicts)
         }
+    }
+
+    fn may_deadlock(&self) -> bool {
+        // Blocking on arbitrary conflicts with no ceiling discipline
+        // admits circular waits; drivers pair 2PL-PI with the engine's
+        // wait-for deadlock resolution.
+        true
     }
 }
 
@@ -71,12 +78,12 @@ impl TwoPlHp {
     }
 }
 
-impl Protocol for TwoPlHp {
+impl<V: EngineView + ?Sized> ProtocolFor<V> for TwoPlHp {
     fn name(&self) -> &'static str {
         "2PL-HP"
     }
 
-    fn request(&mut self, view: &dyn EngineView, req: LockRequest) -> Decision {
+    fn request(&mut self, view: &V, req: LockRequest) -> Decision {
         let conflicts = conflict_holders(view, req);
         if conflicts.is_empty() {
             return Decision::Grant;
@@ -99,7 +106,7 @@ impl Protocol for TwoPlHp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pcpda::testkit::StaticView;
+    use rtdb_core::testkit::StaticView;
     use rtdb_types::{ItemId, SetBuilder, Step, TransactionTemplate, TxnId};
 
     fn i(t: u32) -> InstanceId {
@@ -163,7 +170,7 @@ mod tests {
                 blockers: vec![i(0)]
             }
         );
-        assert!(!p.may_abort());
+        assert!(!rtdb_core::Protocol::may_abort(&p));
     }
 
     #[test]
@@ -178,7 +185,7 @@ mod tests {
                 victims: vec![i(1)]
             }
         );
-        assert!(p.may_abort());
+        assert!(rtdb_core::Protocol::may_abort(&p));
     }
 
     #[test]

@@ -13,22 +13,23 @@ fn bench_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_run");
     group.sample_size(20);
     for (workload_name, set) in [("standard", &standard), ("contended", &contended)] {
-        for make in [
-            || Box::new(PcpDa::new()) as Box<dyn Protocol>,
-            || Box::new(RwPcp::new()) as Box<dyn Protocol>,
-            || Box::new(TwoPlHp::new()) as Box<dyn Protocol>,
+        // A representative subset of the registry line-up: the paper's
+        // protocol, its main comparison target, and one abort-based one.
+        for kind in [
+            ProtocolKind::PcpDa,
+            ProtocolKind::RwPcp,
+            ProtocolKind::TwoPlHp,
         ] {
-            let name = make().name();
             group.bench_with_input(
-                BenchmarkId::new(format!("{workload_name}_horizon5k"), name),
+                BenchmarkId::new(format!("{workload_name}_horizon5k"), kind.name()),
                 set,
                 |b, set| {
                     b.iter(|| {
-                        let mut protocol = make();
+                        let mut protocol = rtdb::sim::instantiate(kind);
                         let mut cfg = SimConfig::with_horizon(5_000);
                         cfg.resolve_deadlocks = true;
                         let r = Engine::new(set, cfg)
-                            .run(protocol.as_mut())
+                            .run_any(&mut protocol)
                             .expect("run succeeds");
                         std::hint::black_box(r.metrics.deadline_misses())
                     })

@@ -2,10 +2,10 @@
 //! against a representative lock-table state. This is the hot path of any
 //! lock-based RTDBS scheduler.
 
-use pcpda::testkit::StaticView;
 use rtdb::prelude::*;
 use rtdb_bench::harness::{BenchmarkId, Criterion};
 use rtdb_bench::{criterion_group, criterion_main};
+use rtdb_core::testkit::StaticView;
 
 /// A view with a populated lock table: half the low-priority templates
 /// hold read locks, one holds a write lock.
@@ -38,14 +38,10 @@ fn bench_decisions(c: &mut Criterion) {
         .expect("template accesses something");
 
     let mut group = c.benchmark_group("lock_decision");
-    let mut protocols: Vec<Box<dyn Protocol>> = vec![
-        Box::new(PcpDa::new()),
-        Box::new(RwPcp::new()),
-        Box::new(Pcp::new()),
-        Box::new(Ccp::new()),
-        Box::new(TwoPlPi::new()),
-        Box::new(TwoPlHp::new()),
-    ];
+    let mut protocols: Vec<Box<dyn Protocol>> = ProtocolKind::STANDARD
+        .iter()
+        .map(|&k| rtdb::sim::instantiate_boxed(k))
+        .collect();
     for protocol in protocols.iter_mut() {
         group.bench_with_input(
             BenchmarkId::new("read_request", protocol.name()),

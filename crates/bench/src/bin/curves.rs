@@ -75,10 +75,7 @@ fn sweep_axis(
     })
     .expect("sweep runs");
 
-    let names: Vec<&'static str> = sweep::standard_protocols()
-        .iter()
-        .map(|p| p.name())
-        .collect();
+    let names: Vec<&'static str> = ProtocolKind::STANDARD.iter().map(|k| k.name()).collect();
     for (xi, &x) in xs.iter().enumerate() {
         let mut accs: Vec<Acc> = names.iter().map(|_| Acc::new()).collect();
         for rows in &results[xi * seeds as usize..(xi + 1) * seeds as usize] {

@@ -254,8 +254,8 @@ fn fig5(rep: &mut Report) {
 
 fn table1(rep: &mut Report) {
     println!("== E6 / Table 1: lock compatibility ==");
-    print!("{}", pcpda::compat::render_table1());
-    use pcpda::compat::{compatible, CompatInput};
+    print!("{}", rtdb::pcpda::compat::render_table1());
+    use rtdb::pcpda::compat::{compatible, CompatInput};
     let cell = |held, requested, disjoint| {
         compatible(CompatInput {
             held,

@@ -1,7 +1,7 @@
 //! Emit `BENCH_protocols.json`: engine throughput (ticks/sec) and engine
-//! time per lock request (ns/lock-request) for every protocol of the
-//! line-up on the standard workload — the numbers the repository tracks
-//! across PRs to watch the perf trajectory.
+//! time per lock request (ns/lock-request) for every protocol of
+//! [`ProtocolKind::STANDARD`] on the standard workload — the numbers the
+//! repository tracks across PRs to watch the perf trajectory.
 //!
 //! ```sh
 //! cargo run --release -p rtdb-bench --bin perf              # writes ./BENCH_protocols.json
@@ -27,15 +27,18 @@
 //! entries still print their delta, marked advisory.
 //!
 //! `ns_per_lock_request` divides *whole-engine* wall time by the number
-//! of `Protocol::request` calls, so it includes scheduling and storage —
-//! it is an end-to-end cost per decision, not the isolated decision
-//! latency (`benches/protocols.rs` measures that).
+//! of `request` calls, so it includes scheduling and storage — it is an
+//! end-to-end cost per decision, not the isolated decision latency
+//! (`benches/protocols.rs` measures that). The count comes from the
+//! registry's [`AnyProtocol`] wrapper, which tallies decisions inside the
+//! engine's statically dispatched loop — the timed path has no `dyn`
+//! indirection on either the protocol or the view side.
+//!
+//! [`AnyProtocol`]: rtdb::sim::AnyProtocol
 
-use rtdb::cc::UpdateModel;
 use rtdb::prelude::*;
+use rtdb::sim::instantiate;
 use rtdb_util::Json;
-use std::cell::Cell;
-use std::rc::Rc;
 use std::time::Instant;
 
 const DEFAULT_HORIZON: u64 = 10_000;
@@ -46,74 +49,17 @@ const RUNS_PER_SAMPLE: u64 = 10;
 /// than this fraction of the baseline.
 const REGRESSION_TOLERANCE: f64 = 0.25;
 
-/// Delegating wrapper that counts `request` calls.
-struct Counting {
-    inner: Box<dyn Protocol>,
-    requests: Rc<Cell<u64>>,
-}
-
-impl Protocol for Counting {
-    fn name(&self) -> &'static str {
-        self.inner.name()
-    }
-
-    fn request(&mut self, view: &dyn EngineView, req: LockRequest) -> Decision {
-        self.requests.set(self.requests.get() + 1);
-        self.inner.request(view, req)
-    }
-
-    fn on_grant(&mut self, view: &dyn EngineView, req: LockRequest) {
-        self.inner.on_grant(view, req)
-    }
-
-    fn on_commit(&mut self, view: &dyn EngineView, who: InstanceId) {
-        self.inner.on_commit(view, who)
-    }
-
-    fn on_abort(&mut self, view: &dyn EngineView, who: InstanceId) {
-        self.inner.on_abort(view, who)
-    }
-
-    fn early_releases(
-        &mut self,
-        view: &dyn EngineView,
-        who: InstanceId,
-        completed_step: usize,
-    ) -> Vec<(ItemId, LockMode)> {
-        self.inner.early_releases(view, who, completed_step)
-    }
-
-    fn update_model(&self) -> UpdateModel {
-        self.inner.update_model()
-    }
-
-    fn system_ceiling(&self, view: &dyn EngineView) -> Ceiling {
-        self.inner.system_ceiling(view)
-    }
-
-    fn may_abort(&self) -> bool {
-        self.inner.may_abort()
-    }
-
-    fn commit_victims(&mut self, view: &dyn EngineView, who: InstanceId) -> Vec<InstanceId> {
-        self.inner.commit_victims(view, who)
-    }
-}
-
-/// One engine run of protocol `i` of the line-up, counting requests.
-fn run_once(set: &TransactionSet, i: usize, horizon: u64, requests: &Rc<Cell<u64>>) {
-    let mut lineup = rtdb_bench::lineup();
-    let mut p = Counting {
-        inner: lineup.swap_remove(i),
-        requests: Rc::clone(requests),
-    };
+/// One engine run of `kind`, returning the number of protocol decisions.
+fn run_once(set: &TransactionSet, kind: ProtocolKind, horizon: u64) -> u64 {
+    let mut p = instantiate(kind);
     let mut cfg = SimConfig::with_horizon(horizon);
-    if p.name() == "2PL-PI" {
+    if kind.may_deadlock() {
         cfg.resolve_deadlocks = true;
     }
     Engine::new(set, cfg)
-        .run(&mut p)
+        .run_any(&mut p)
         .expect("perf run succeeds");
+    p.requests()
 }
 
 /// `p`-th quantile (0..=1) of an ascending-sorted slice, by linear
@@ -137,19 +83,18 @@ struct Measurement {
     runs: u64,
 }
 
-fn measure(set: &TransactionSet, i: usize, name: &'static str, horizon: u64) -> Measurement {
-    let requests = Rc::new(Cell::new(0u64));
+fn measure(set: &TransactionSet, kind: ProtocolKind, horizon: u64) -> Measurement {
     for _ in 0..WARMUPS {
-        run_once(set, i, horizon, &requests);
+        run_once(set, kind, horizon);
     }
-    requests.set(0);
 
+    let mut requests = 0u64;
     let mut throughputs = Vec::with_capacity(SAMPLES);
     let mut total_elapsed_ns = 0u128;
     for _ in 0..SAMPLES {
         let t0 = Instant::now();
         for _ in 0..RUNS_PER_SAMPLE {
-            run_once(set, i, horizon, &requests);
+            requests += run_once(set, kind, horizon);
         }
         let elapsed = t0.elapsed();
         total_elapsed_ns += elapsed.as_nanos();
@@ -159,12 +104,12 @@ fn measure(set: &TransactionSet, i: usize, name: &'static str, horizon: u64) -> 
 
     let runs = SAMPLES as u64 * RUNS_PER_SAMPLE;
     Measurement {
-        name,
+        name: kind.name(),
         median: quantile(&throughputs, 0.5),
         q1: quantile(&throughputs, 0.25),
         q3: quantile(&throughputs, 0.75),
-        ns_per_request: total_elapsed_ns as f64 / requests.get() as f64,
-        requests_per_run: requests.get() / runs,
+        ns_per_request: total_elapsed_ns as f64 / requests as f64,
+        requests_per_run: requests / runs,
         runs,
     }
 }
@@ -231,7 +176,6 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
     let set = rtdb_bench::standard_workload(7);
-    let names: Vec<&'static str> = rtdb_bench::lineup().iter().map(|p| p.name()).collect();
     // In measure mode the committed file doubles as the comparison
     // baseline (before it is overwritten); in check mode it IS the path.
     let baseline = load_baseline(&args.path);
@@ -242,8 +186,8 @@ fn main() {
     );
     let mut records = Vec::new();
     let mut regressions = Vec::new();
-    for (i, name) in names.iter().enumerate() {
-        let m = measure(&set, i, name, args.horizon);
+    for &kind in ProtocolKind::STANDARD.iter() {
+        let m = measure(&set, kind, args.horizon);
         println!(
             "{:<8} {:>12.0} {:>14} {:>17.1} {:>14}",
             m.name,
@@ -252,7 +196,7 @@ fn main() {
             m.ns_per_request,
             m.requests_per_run
         );
-        if let Some(entry) = baseline.as_deref().and_then(|b| baseline_of(b, name)) {
+        if let Some(entry) = baseline.as_deref().and_then(|b| baseline_of(b, m.name)) {
             let base = entry.ticks_per_sec;
             let delta = (m.median - base) / base * 100.0;
             // Throughput is horizon-dependent (short runs never reach the
@@ -260,7 +204,8 @@ fn main() {
             // measured at a different horizon is advisory only.
             let comparable = entry.horizon == Some(args.horizon);
             eprintln!(
-                "{name}: {delta:+.1}% vs baseline ({base:.0} -> {:.0}){}",
+                "{}: {delta:+.1}% vs baseline ({base:.0} -> {:.0}){}",
+                m.name,
                 m.median,
                 if comparable {
                     ""
@@ -270,8 +215,8 @@ fn main() {
             );
             if comparable && delta < -100.0 * REGRESSION_TOLERANCE {
                 regressions.push(format!(
-                    "{name}: {delta:+.1}% (baseline {base:.0}, measured {:.0})",
-                    m.median
+                    "{}: {delta:+.1}% (baseline {base:.0}, measured {:.0})",
+                    m.name, m.median
                 ));
             }
         }

@@ -107,21 +107,6 @@ fn parse_workload(text: &str) -> Result<TransactionSet, String> {
     .map_err(|e| format!("invalid workload: {e}"))
 }
 
-fn protocol_by_name(name: &str) -> Option<Box<dyn Protocol>> {
-    Some(match name.to_ascii_lowercase().as_str() {
-        "pcp-da" | "pcpda" => Box::new(PcpDa::new()),
-        "pcp-da-literal" | "literal" => Box::new(PcpDa::paper_literal()),
-        "rw-pcp" | "rwpcp" => Box::new(RwPcp::new()),
-        "pcp" => Box::new(Pcp::new()),
-        "ccp" => Box::new(Ccp::new()),
-        "2pl-pi" | "2plpi" => Box::new(TwoPlPi::new()),
-        "2pl-hp" | "2plhp" => Box::new(TwoPlHp::new()),
-        "occ" | "occ-bc" => Box::new(OccBc::new()),
-        "naive-da" => Box::new(NaiveDa::new()),
-        _ => return None,
-    })
-}
-
 struct Args {
     workload: String,
     protocol: String,
@@ -133,11 +118,15 @@ struct Args {
     trace: Option<String>,
 }
 
-fn usage() -> &'static str {
-    "usage: rtdbsim <workload.json> [--protocol NAME] [--horizon N] \
-     [--gantt] [--json] [--compare] [--analysis] [--trace OUT.json]\n\
-     protocols: pcp-da (default), pcp-da-literal, rw-pcp, pcp, ccp, \
-     2pl-pi, 2pl-hp, occ-bc, naive-da"
+fn usage() -> String {
+    let names: Vec<&'static str> = ProtocolKind::ALL.iter().map(|k| k.name()).collect();
+    format!(
+        "usage: rtdbsim <workload.json> [--protocol NAME] [--horizon N] \
+         [--gantt] [--json] [--compare] [--analysis] [--trace OUT.json]\n\
+         protocols (case-insensitive): {} (default: {})",
+        names.join(", "),
+        ProtocolKind::PcpDa.name(),
+    )
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -179,7 +168,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         }
     }
     if args.workload.is_empty() {
-        return Err(usage().to_string());
+        return Err(usage());
     }
     Ok(args)
 }
@@ -363,11 +352,14 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let Some(mut protocol) = protocol_by_name(&args.protocol) else {
-        eprintln!("unknown protocol `{}`\n{}", args.protocol, usage());
-        return ExitCode::FAILURE;
+    let kind = match args.protocol.parse::<ProtocolKind>() {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
     };
-    let run = match Engine::new(&set, config(&args)).run(protocol.as_mut()) {
+    let run = match Engine::new(&set, config(&args)).run_kind(kind) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("simulation failed: {e}");
@@ -446,28 +438,39 @@ mod tests {
 
     #[test]
     fn all_protocol_names_resolve() {
+        // The historical CLI spellings must keep parsing (now through the
+        // registry), along with every registry name in any case.
         for name in [
             "pcp-da",
             "pcp-da-literal",
+            "literal",
             "rw-pcp",
+            "rwpcp",
             "pcp",
             "ccp",
             "2pl-pi",
             "2pl-hp",
+            "2plhp",
+            "occ",
             "occ-bc",
             "naive-da",
         ] {
-            assert!(protocol_by_name(name).is_some(), "{name}");
+            assert!(name.parse::<ProtocolKind>().is_ok(), "{name}");
         }
-        assert!(protocol_by_name("nonsense").is_none());
+        for kind in ProtocolKind::ALL {
+            assert_eq!(kind.name().to_uppercase().parse(), Ok(kind));
+        }
+        let err = "nonsense".parse::<ProtocolKind>().unwrap_err();
+        assert!(err.to_string().contains("PCP-DA"));
+        assert!(usage().contains("Naive-DA"));
     }
 
     #[test]
     fn end_to_end_run() {
         let set = parse_workload(EXAMPLE).unwrap();
-        let mut p = protocol_by_name("pcp-da").unwrap();
+        let kind: ProtocolKind = "pcp-da".parse().unwrap();
         let run = Engine::new(&set, SimConfig::with_horizon(100))
-            .run(p.as_mut())
+            .run_kind(kind)
             .unwrap();
         assert!(run.history.committed() > 0);
         assert!(run.is_conflict_serializable());

@@ -8,7 +8,7 @@
 //! — so they read identically.
 //!
 //! Measurement model: each benchmark warms up for [`WARMUP`] and then
-//! takes [`Criterion::sample_size`] samples, each running a calibrated
+//! takes [`BenchmarkGroup::sample_size`] samples, each running a calibrated
 //! batch of iterations; the reported statistic is the mean ns/iteration of
 //! the fastest half of the samples (robust against scheduler noise).
 //! Set `BENCH_JSON=<path>` to also write the results as a JSON array of

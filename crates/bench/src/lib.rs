@@ -7,16 +7,15 @@
 //!   latency per protocol, full-engine simulation throughput,
 //!   schedulability-analysis throughput and the correctness oracles.
 //!
-//! Shared helpers live here.
+//! Shared helpers live here. The protocol line-up everywhere in the
+//! harness derives from the registry ([`ProtocolKind::STANDARD`] via
+//! [`rtdb::sim::sweep::standard_protocols`]) — there is no local list.
+
+#![forbid(unsafe_code)]
 
 pub mod harness;
 
 use rtdb::prelude::*;
-
-/// The protocols compared throughout the harness, in presentation order.
-pub fn lineup() -> Vec<Box<dyn Protocol>> {
-    rtdb::sim::sweep::standard_protocols()
-}
 
 /// A mid-sized standard workload used by several benches: 6 templates,
 /// 60% utilization, moderate contention.
@@ -59,7 +58,10 @@ mod tests {
 
     #[test]
     fn helpers_produce_valid_workloads() {
-        assert_eq!(lineup().len(), 7);
+        assert_eq!(
+            rtdb::sim::sweep::standard_protocols().len(),
+            ProtocolKind::STANDARD.len()
+        );
         let w = standard_workload(1);
         assert!(w.total_utilization() > 0.3);
         let c = contended_workload(1);

@@ -3,7 +3,7 @@
 //! The scan-based `Sysceil` computations in [`crate::ceilings`] walk the
 //! whole lock table on every query — O(items × holders) work that sits on
 //! the hottest path of every protocol decision. This module maintains the
-//! same quantities *incrementally*: one [`FlavorIndex`] per protocol
+//! same quantities *incrementally*: one `FlavorIndex` per protocol
 //! flavor (PCP-DA read ceilings, RW-PCP mode-dependent ceilings, PCP
 //! any-mode ceilings), each a multiset of active per-lock ceiling
 //! contributions, updated in O(log n) on lock acquire / release / upgrade
@@ -173,7 +173,7 @@ impl FlavorIndex {
     }
 }
 
-/// The incremental ceiling index: three [`FlavorIndex`]es plus the dense
+/// The incremental ceiling index: three `FlavorIndex`es plus the dense
 /// static ceilings they are levelled by. Owned by [`crate::LockTable`]
 /// (see [`crate::LockTable::with_index`]), which notifies it of every
 /// lock-state transition so the two can never drift apart.

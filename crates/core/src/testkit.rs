@@ -5,7 +5,7 @@
 //! by hand and ask the protocol to decide requests. Base and running
 //! priorities coincide here (no scheduling, hence no inheritance).
 
-use rtdb_cc::{CeilingTable, EngineView, LockTable};
+use crate::{CeilingTable, EngineView, LockTable};
 use rtdb_types::{InstanceId, ItemId, LockMode, Priority, TransactionSet};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -17,7 +17,7 @@ pub struct StaticView<'a> {
     /// Per-instance `DataRead`, each sorted ascending.
     data_read: BTreeMap<InstanceId, Vec<ItemId>>,
     staged: BTreeMap<InstanceId, Vec<ItemId>>,
-    pending: BTreeMap<InstanceId, rtdb_cc::LockRequest>,
+    pending: BTreeMap<InstanceId, crate::LockRequest>,
     /// Sorted list of instances that hold locks or have read something —
     /// recomputed on mutation (this is a test fixture; simplicity wins).
     active: Vec<InstanceId>,
@@ -25,7 +25,7 @@ pub struct StaticView<'a> {
 
 impl<'a> StaticView<'a> {
     /// View over `set` with no locks held. The lock table carries the
-    /// incremental [`rtdb_cc::CeilingIndex`], so every protocol unit test
+    /// incremental [`crate::CeilingIndex`], so every protocol unit test
     /// exercises it (and its debug-build equivalence oracle) for free.
     pub fn new(set: &'a TransactionSet) -> Self {
         let ceilings = CeilingTable::new(set);
@@ -58,7 +58,7 @@ impl<'a> StaticView<'a> {
 
     /// Record that `who` is blocked waiting on `req` (maintains the
     /// pending-request view the commit-order guard consults).
-    pub fn set_pending(&mut self, who: InstanceId, req: rtdb_cc::LockRequest) {
+    pub fn set_pending(&mut self, who: InstanceId, req: crate::LockRequest) {
         self.pending.insert(who, req);
     }
 
@@ -115,7 +115,7 @@ impl EngineView for StaticView<'_> {
         self.data_read.get(&who).map_or(&[], |v| v.as_slice())
     }
 
-    fn pending_request(&self, who: InstanceId) -> Option<rtdb_cc::LockRequest> {
+    fn pending_request(&self, who: InstanceId) -> Option<crate::LockRequest> {
         self.pending.get(&who).copied()
     }
 

@@ -1,6 +1,6 @@
 //! Property tests for the concurrency-control framework.
 
-use rtdb_cc::*;
+use rtdb_core::*;
 use rtdb_types::*;
 use rtdb_util::prop::{forall, vec_of, CASES};
 use rtdb_util::Rng;

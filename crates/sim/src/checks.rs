@@ -14,7 +14,7 @@
 //!     .with(TransactionTemplate::new("b", 20, vec![Step::write(ItemId(0), 2)]))
 //!     .build().unwrap();
 //! let run = Engine::new(&set, SimConfig::with_horizon(100))
-//!     .run(&mut pcpda::PcpDa::new()).unwrap();
+//!     .run(&mut rtdb_cc::PcpDa::new()).unwrap();
 //!
 //! let violations = checks::verify_run(&set, &run, checks::Expectations::pcp_da());
 //! assert!(violations.is_empty(), "{violations:?}");
@@ -168,7 +168,7 @@ mod tests {
     fn pcpda_run_passes_full_battery() {
         let set = contended_set();
         let run = Engine::new(&set, SimConfig::with_horizon(200))
-            .run(&mut pcpda::PcpDa::new())
+            .run(&mut rtdb_cc::PcpDa::new())
             .unwrap();
         assert_eq!(verify_run(&set, &run, Expectations::pcp_da()), vec![]);
     }

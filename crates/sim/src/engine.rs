@@ -28,22 +28,23 @@
 //!
 //! ## Hot-path layout
 //!
-//! Per-instance runtime state lives in an [`InstanceSlot`] arena
-//! ([`SlotStore`]): slots are dense, recycled through per-template free
+//! Per-instance runtime state lives in an `InstanceSlot` arena
+//! (`SlotStore`): slots are dense, recycled through per-template free
 //! lists when instances commit, and keep their workspace/trace capacity
 //! across instances of the same template, so the steady state of a long
 //! run allocates nothing per instance. Arrivals are not materialized up
-//! front; an [`ArrivalCalendar`] (a binary heap with one outstanding entry
+//! front; an `ArrivalCalendar` (a binary heap with one outstanding entry
 //! per template) produces them lazily in the exact order the old eager
-//! sorted vector did. A map-backed [`MapStore`] with identical semantics
+//! sorted vector did. A map-backed `MapStore` with identical semantics
 //! is kept behind `debug_assertions`/the `oracle-checks` feature as the
 //! differential-testing oracle ([`Engine::run_map_oracle`]).
 
 use crate::metrics::{InstanceMetrics, MetricsReport};
+use crate::registry::{instantiate, AnyProtocol};
 use crate::trace::{SegKind, Trace, TraceEvent};
-use rtdb_cc::{
-    CeilingTable, Decision, EngineView, LockRequest, LockTable, PriorityManager, Protocol,
-    UpdateModel, WaitForGraph,
+use rtdb_core::{
+    CeilingTable, Decision, DynProtocol, EngineView, LockRequest, LockTable, PriorityManager,
+    Protocol, ProtocolFor, ProtocolKind, UpdateModel, WaitForGraph,
 };
 use rtdb_storage::{Database, EventKind, History, ReplayOutcome, SerializationGraph, Workspace};
 use rtdb_types::{
@@ -181,9 +182,29 @@ impl<'a> Engine<'a> {
         Engine { set, config }
     }
 
-    /// Execute one full run under `protocol`.
+    /// Execute one full run under a view-erased `protocol` object.
+    ///
+    /// The object is carried into the monomorphized loop behind a
+    /// [`DynProtocol`] adapter; it pays two virtual hops per callback
+    /// (protocol vtable + view vtable). Protocols named by the registry
+    /// run fully statically through [`Engine::run_kind`] instead.
     pub fn run(&self, protocol: &mut dyn Protocol) -> Result<RunResult> {
-        self.run_generic::<SlotStore>(protocol)
+        self.run_generic::<SlotStore, _>(&mut DynProtocol::new(protocol))
+    }
+
+    /// Execute one full run under the registry protocol `kind` — fully
+    /// monomorphized: the steady-state loop dispatches to the protocol by
+    /// enum match and hands it the concrete view, with no vtable on
+    /// either side.
+    pub fn run_kind(&self, kind: ProtocolKind) -> Result<RunResult> {
+        self.run_any(&mut instantiate(kind))
+    }
+
+    /// Execute one full run under an already-instantiated [`AnyProtocol`]
+    /// (static dispatch). Lets the caller keep the instance — e.g. to
+    /// read [`AnyProtocol::requests`] afterwards.
+    pub fn run_any(&self, protocol: &mut AnyProtocol) -> Result<RunResult> {
+        self.run_generic::<SlotStore, _>(protocol)
     }
 
     /// Execute one full run on the map-backed instance store instead of
@@ -192,13 +213,23 @@ impl<'a> Engine<'a> {
     /// and under the `oracle-checks` feature.
     #[cfg(any(debug_assertions, feature = "oracle-checks"))]
     pub fn run_map_oracle(&self, protocol: &mut dyn Protocol) -> Result<RunResult> {
-        self.run_generic::<MapStore>(protocol)
+        self.run_generic::<MapStore, _>(&mut DynProtocol::new(protocol))
     }
 
-    fn run_generic<S: InstanceStore>(&self, protocol: &mut dyn Protocol) -> Result<RunResult> {
-        let mut sim: Sim<'_, S> = Sim::new(self.set, &self.config);
+    /// [`Engine::run_kind`] on the map-backed oracle store.
+    #[cfg(any(debug_assertions, feature = "oracle-checks"))]
+    pub fn run_kind_map_oracle(&self, kind: ProtocolKind) -> Result<RunResult> {
+        self.run_generic::<MapStore, _>(&mut instantiate(kind))
+    }
+
+    fn run_generic<'s, S, P>(&'s self, protocol: &mut P) -> Result<RunResult>
+    where
+        S: InstanceStore,
+        P: ProtocolFor<ViewState<'s, S>>,
+    {
+        let mut sim: Sim<'s, S> = Sim::new(self.set, &self.config);
         sim.run(protocol)?;
-        let mut result = sim.finish(protocol);
+        let mut result = sim.finish();
         result.protocol = protocol.name();
         Ok(result)
     }
@@ -626,7 +657,7 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
         }
     }
 
-    fn run(&mut self, protocol: &mut dyn Protocol) -> Result<()> {
+    fn run<P: ProtocolFor<ViewState<'a, S>>>(&mut self, protocol: &mut P) -> Result<()> {
         self.trace
             .push_ceiling(Tick::ZERO, protocol.system_ceiling(&self.vs));
         let mut budget = self.config.max_steps;
@@ -710,7 +741,10 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
     /// sure it holds its current step's lock, blocking/aborting as the
     /// protocol dictates. Returns the instance to run, or `None` if no
     /// instance is ready.
-    fn dispatch(&mut self, protocol: &mut dyn Protocol) -> Option<InstanceId> {
+    fn dispatch<P: ProtocolFor<ViewState<'a, S>>>(
+        &mut self,
+        protocol: &mut P,
+    ) -> Option<InstanceId> {
         loop {
             let who = self.pick_ready()?;
             let slot = self.slot(who);
@@ -858,7 +892,12 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
         }
     }
 
-    fn apply_grant(&mut self, req: LockRequest, protocol: &mut dyn Protocol, resumed: bool) {
+    fn apply_grant<P: ProtocolFor<ViewState<'a, S>>>(
+        &mut self,
+        req: LockRequest,
+        protocol: &mut P,
+        resumed: bool,
+    ) {
         self.vs.locks.grant(req.who, req.item, req.mode);
         protocol.on_grant(&self.vs, req);
         let step_index = self.slot(req.who).step;
@@ -884,12 +923,12 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
             .push_ceiling(self.clock, protocol.system_ceiling(&self.vs));
     }
 
-    fn block(
+    fn block<P: ProtocolFor<ViewState<'a, S>>>(
         &mut self,
         who: InstanceId,
         req: LockRequest,
         blockers: Vec<InstanceId>,
-        protocol: &mut dyn Protocol,
+        protocol: &mut P,
     ) {
         debug_assert!(blockers.iter().all(|&b| self.vs.store.get(b).is_some()));
         let my_base = self.vs.set.priority_of(who.txn);
@@ -989,7 +1028,7 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
     ///
     /// Instances whose requests are still denied keep (refreshed)
     /// blocking edges so priority inheritance stays precise.
-    fn reevaluate(&mut self, protocol: &mut dyn Protocol) {
+    fn reevaluate<P: ProtocolFor<ViewState<'a, S>>>(&mut self, protocol: &mut P) {
         if self.n_blocked == 0 {
             return;
         }
@@ -1043,7 +1082,11 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
         self.reeval_scratch = blocked;
     }
 
-    fn complete_step(&mut self, who: InstanceId, protocol: &mut dyn Protocol) {
+    fn complete_step<P: ProtocolFor<ViewState<'a, S>>>(
+        &mut self,
+        who: InstanceId,
+        protocol: &mut P,
+    ) {
         let completed_step;
         let next_step;
         let total_steps = self.vs.set.template(who.txn).steps.len();
@@ -1104,7 +1147,7 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
         }
     }
 
-    fn commit(&mut self, who: InstanceId, protocol: &mut dyn Protocol) {
+    fn commit<P: ProtocolFor<ViewState<'a, S>>>(&mut self, who: InstanceId, protocol: &mut P) {
         // Optimistic protocols validate at commit: abort every active
         // instance this commit invalidates, before the writes install.
         let victims = protocol.commit_victims(&self.vs, who);
@@ -1184,7 +1227,7 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
         self.reevaluate(protocol);
     }
 
-    fn abort(&mut self, victim: InstanceId, protocol: &mut dyn Protocol) {
+    fn abort<P: ProtocolFor<ViewState<'a, S>>>(&mut self, victim: InstanceId, protocol: &mut P) {
         debug_assert_eq!(
             protocol.update_model(),
             UpdateModel::Workspace,
@@ -1220,7 +1263,7 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
             .push_ceiling(self.clock, protocol.system_ceiling(&self.vs));
     }
 
-    fn finish(mut self, _protocol: &mut dyn Protocol) -> RunResult {
+    fn finish(mut self) -> RunResult {
         // Flush unfinished instances into the metrics.
         let leftovers: Vec<InstanceId> = self.vs.active.clone();
         for who in leftovers {
@@ -1269,8 +1312,8 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pcpda::PcpDa;
     use rtdb_baselines::RwPcp;
+    use rtdb_cc::PcpDa;
     use rtdb_types::{SetBuilder, Step, TransactionTemplate};
 
     fn example3_set() -> TransactionSet {

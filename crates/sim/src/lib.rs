@@ -22,6 +22,9 @@
 //!   rendering used to regenerate the paper's figures;
 //! * [`workload`] — seeded random workload generation for the extension
 //!   experiments (E9–E11);
+//! * [`registry`] — [`rtdb_core::ProtocolKind`] → runnable protocol:
+//!   static-enum dispatch ([`AnyProtocol`]) feeding the engine's
+//!   monomorphized loop;
 //! * [`sweep`] — run identical workloads across protocols and tabulate.
 //!
 //! # Quick start
@@ -29,7 +32,7 @@
 //! ```
 //! use rtdb_types::{ItemId, SetBuilder, Step, TransactionTemplate};
 //! use rtdb_sim::{Engine, SimConfig};
-//! use pcpda::PcpDa;
+//! use rtdb_cc::PcpDa;
 //!
 //! // Paper Example 3.
 //! let set = SetBuilder::new()
@@ -48,10 +51,13 @@
 //! assert!(result.replay_check(&set).is_serializable());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod checks;
 pub mod engine;
 pub mod gantt;
 pub mod metrics;
+pub mod registry;
 pub mod sweep;
 pub mod trace;
 pub mod workload;
@@ -59,6 +65,7 @@ pub mod workload;
 pub use checks::{verify_run, Expectations, Violation};
 pub use engine::{Engine, RunOutcome, RunResult, SimConfig};
 pub use metrics::{InstanceMetrics, MetricsReport, TemplateMetrics};
+pub use registry::{instantiate, instantiate_boxed, AnyProtocol};
 pub use sweep::{compare_protocols, ProtocolRow};
 pub use trace::{SegKind, Trace, TraceEvent};
 pub use workload::{WorkloadParams, WorkloadSpec};

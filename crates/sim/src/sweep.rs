@@ -3,7 +3,8 @@
 
 use crate::engine::{Engine, RunOutcome, SimConfig};
 use crate::metrics::MetricsReport;
-use rtdb_cc::Protocol;
+use crate::registry::instantiate_boxed;
+use rtdb_core::{Protocol, ProtocolKind};
 use rtdb_types::{Ceiling, Result, TransactionSet};
 
 /// One protocol's aggregate results on one workload.
@@ -50,24 +51,21 @@ impl ProtocolRow {
     }
 }
 
-/// The standard protocol line-up of the evaluation: PCP-DA plus every
-/// baseline (excluding the deliberately broken Naive-DA).
+/// The standard protocol line-up of the evaluation
+/// ([`ProtocolKind::STANDARD`]): PCP-DA plus every baseline (excluding
+/// the demo variants), in the registry's presentation order.
 pub fn standard_protocols() -> Vec<Box<dyn Protocol>> {
-    vec![
-        Box::new(pcpda::PcpDa::new()),
-        Box::new(rtdb_baselines::RwPcp::new()),
-        Box::new(rtdb_baselines::Pcp::new()),
-        Box::new(rtdb_baselines::Ccp::new()),
-        Box::new(rtdb_baselines::TwoPlPi::new()),
-        Box::new(rtdb_baselines::TwoPlHp::new()),
-        Box::new(rtdb_baselines::OccBc::new()),
-    ]
+    ProtocolKind::STANDARD
+        .iter()
+        .map(|&k| instantiate_boxed(k))
+        .collect()
 }
 
 /// Run `set` under every protocol in `protocols` with the same config and
-/// collect one row per protocol. 2PL-PI runs with deadlock resolution
-/// enabled automatically (its deadlocks would otherwise stop the run —
-/// every ceiling protocol is provably deadlock-free and unaffected).
+/// collect one row per protocol. Protocols that report
+/// [`Protocol::may_deadlock`] run with deadlock resolution enabled
+/// automatically (their deadlocks would otherwise stop the run — every
+/// repaired ceiling protocol is provably deadlock-free and unaffected).
 pub fn compare_protocols(
     set: &TransactionSet,
     config: &SimConfig,
@@ -76,7 +74,7 @@ pub fn compare_protocols(
     let mut rows = Vec::with_capacity(protocols.len());
     for p in protocols.iter_mut() {
         let mut cfg = config.clone();
-        if p.name() == "2PL-PI" {
+        if p.may_deadlock() {
             cfg.resolve_deadlocks = true;
         }
         let result = Engine::new(set, cfg).run(p.as_mut())?;
@@ -165,7 +163,10 @@ mod tests {
         let mut protocols = standard_protocols();
         let cfg = SimConfig::with_horizon(2_000);
         let rows = compare_protocols(&w.set, &cfg, &mut protocols).unwrap();
-        assert_eq!(rows.len(), 7);
+        assert_eq!(rows.len(), ProtocolKind::STANDARD.len());
+        for (r, k) in rows.iter().zip(ProtocolKind::STANDARD.iter()) {
+            assert_eq!(r.name, k.name());
+        }
         // The ceiling protocols never deadlock or restart.
         for r in &rows {
             if matches!(r.name, "PCP-DA" | "RW-PCP" | "PCP" | "CCP") {
@@ -217,9 +218,9 @@ mod tests {
             .generate()
             .unwrap();
             let cfg = SimConfig::with_horizon(3_000);
-            let mut ps: Vec<Box<dyn rtdb_cc::Protocol>> = vec![
-                Box::new(pcpda::PcpDa::new()),
-                Box::new(rtdb_baselines::RwPcp::new()),
+            let mut ps: Vec<Box<dyn Protocol>> = vec![
+                instantiate_boxed(ProtocolKind::PcpDa),
+                instantiate_boxed(ProtocolKind::RwPcp),
             ];
             let rows = compare_protocols(&w.set, &cfg, &mut ps).unwrap();
             assert!(

@@ -12,12 +12,13 @@
 
 #![cfg(any(debug_assertions, feature = "oracle-checks"))]
 
+use rtdb_core::ProtocolKind;
 use rtdb_sim::{Engine, RunResult, SimConfig, WorkloadParams};
 use rtdb_types::TransactionSet;
 use rtdb_util::prop::forall;
 use rtdb_util::Rng;
 
-/// Each case runs every protocol twice; keep the case count moderate.
+/// Each case runs every registry protocol twice; keep the count moderate.
 const CASES: usize = 24;
 
 fn arb_params(rng: &mut Rng) -> WorkloadParams {
@@ -88,22 +89,22 @@ fn assert_identical(arena: &RunResult, oracle: &RunResult, context: &str) {
     );
 }
 
-fn check_set(set: &TransactionSet, resolve_2pl_pi: bool) {
-    let mut protocols = rtdb_sim::sweep::standard_protocols();
-    for p in protocols.iter_mut() {
-        let resolve = p.name() == "2PL-PI" && resolve_2pl_pi;
+fn check_set(set: &TransactionSet, resolve_deadlocks: bool) {
+    for &kind in ProtocolKind::ALL.iter() {
+        let resolve = kind.may_deadlock() && resolve_deadlocks;
         let engine_a = Engine::new(set, config(resolve));
-        let arena = engine_a.run(p.as_mut()).expect("arena run succeeds");
+        let arena = engine_a.run_kind(kind).expect("arena run succeeds");
         let engine_b = Engine::new(set, config(resolve));
         let oracle = engine_b
-            .run_map_oracle(p.as_mut())
+            .run_kind_map_oracle(kind)
             .expect("oracle run succeeds");
-        assert_identical(&arena, &oracle, p.name());
+        assert_identical(&arena, &oracle, kind.name());
     }
 }
 
-/// Arena and oracle agree on every observable, for every protocol, on
-/// random workloads (2PL-PI with deadlock resolution on).
+/// Arena and oracle agree on every observable, for every registry
+/// protocol, on random workloads (deadlock-capable protocols run with
+/// resolution on).
 #[test]
 fn slot_arena_matches_map_oracle() {
     forall(CASES, |rng| {
@@ -112,7 +113,7 @@ fn slot_arena_matches_map_oracle() {
     });
 }
 
-/// Same, with 2PL-PI's deadlocks left unresolved — exercises the
+/// Same, with deadlocks left unresolved — exercises the
 /// `RunOutcome::Deadlock` paths (cycle detection and early stop) in both
 /// stores.
 #[test]

@@ -1,8 +1,8 @@
 //! Engine behaviour tests: aborts/restarts, deadlock resolution, early
 //! release visibility, accounting, and configuration edge cases.
 
-use pcpda::PcpDa;
 use rtdb_baselines::{Ccp, NaiveDa, TwoPlHp, TwoPlPi};
+use rtdb_cc::PcpDa;
 use rtdb_sim::{Engine, RunOutcome, SimConfig, TraceEvent};
 use rtdb_types::*;
 

@@ -24,6 +24,8 @@
 //! exclusive lock held to commit makes deferred and immediate writes
 //! indistinguishable to every other transaction.
 
+#![forbid(unsafe_code)]
+
 pub mod db;
 pub mod graph;
 pub mod history;

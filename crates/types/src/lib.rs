@@ -16,6 +16,8 @@
 //! * transactions acquire read/write locks before accessing data items and
 //!   hold all locks until commit.
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod id;
 pub mod ops;

@@ -13,6 +13,8 @@
 //! * [`prop`] — a tiny property-testing harness with deterministic
 //!   per-iteration seeds (in place of `proptest`).
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 pub mod par;
 pub mod prop;

@@ -119,14 +119,15 @@ fn main() {
         "  {:8} {:>10} {:>14} {:>14} {:>12}",
         "protocol", "misses", "ctl max block", "tot blocking", "max sysceil"
     );
-    for (name, mut proto) in [
-        ("PCP-DA", Box::new(PcpDa::new()) as Box<dyn Protocol>),
-        ("RW-PCP", Box::new(RwPcp::new())),
-        ("PCP", Box::new(Pcp::new())),
-        ("CCP", Box::new(Ccp::new())),
+    for kind in [
+        ProtocolKind::PcpDa,
+        ProtocolKind::RwPcp,
+        ProtocolKind::Pcp,
+        ProtocolKind::Ccp,
     ] {
+        let name = kind.name();
         let run = Engine::new(&set, SimConfig::with_horizon(1_000))
-            .run(proto.as_mut())
+            .run_kind(kind)
             .expect("run succeeds");
         let ctl_max_block = run
             .metrics

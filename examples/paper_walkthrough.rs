@@ -50,5 +50,5 @@ fn main() {
     show("Example 5 PCP-DA", &paper::example5(), &mut PcpDa::new());
 
     println!("# Table 1 — the PCP-DA lock compatibility table\n");
-    println!("{}", pcpda::compat::render_table1());
+    println!("{}", rtdb::pcpda::compat::render_table1());
 }

@@ -4,7 +4,8 @@
 //! *"A Priority Ceiling Protocol with Dynamic Adjustment of Serialization
 //! Order"* (Lam, Son, Hung; ICDE 1997). It re-exports:
 //!
-//! * [`pcpda`] — the paper's protocol (locking conditions LC1–LC4);
+//! * [`pcpda`] — the paper's protocol (locking conditions LC1–LC4,
+//!   crate `rtdb-cc`);
 //! * [`baselines`] — RW-PCP, original PCP, CCP, 2PL-PI, 2PL-HP and the
 //!   deliberately deadlock-prone Naive-DA of Example 5;
 //! * [`sim`] — the deterministic discrete-event simulator (single CPU,
@@ -16,8 +17,10 @@
 //! * [`storage`] — the memory-resident store with private workspaces,
 //!   plus the serializability oracles (serialization graph + serial
 //!   replay);
-//! * [`cc`] — the shared concurrency-control framework (lock table,
-//!   ceilings, priority inheritance, wait-for graph);
+//! * [`cc`] — the protocol-agnostic kernel (crate `rtdb-core`): the
+//!   [`cc::ProtocolFor`]/[`cc::Protocol`] traits, the
+//!   [`cc::ProtocolKind`] registry, lock table, ceilings, priority
+//!   inheritance, wait-for graph;
 //! * [`types`] — ids, discrete time, priorities, transaction templates.
 //!
 //! ## Quick start
@@ -48,22 +51,24 @@
 //! assert!(report.rta_schedulable());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod paper;
 
-pub use pcpda;
 pub use rtdb_analysis as analysis;
 pub use rtdb_baselines as baselines;
-pub use rtdb_cc as cc;
+pub use rtdb_cc as pcpda;
+pub use rtdb_core as cc;
 pub use rtdb_sim as sim;
 pub use rtdb_storage as storage;
 pub use rtdb_types as types;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use pcpda::{GrantRule, PcpDa};
     pub use rtdb_analysis::{breakdown_utilization, schedulable, AnalysisProtocol};
     pub use rtdb_baselines::{Ccp, NaiveDa, OccBc, Pcp, RwPcp, TwoPlHp, TwoPlPi};
-    pub use rtdb_cc::{Decision, EngineView, LockRequest, Protocol};
+    pub use rtdb_cc::{GrantRule, PcpDa};
+    pub use rtdb_core::{Decision, EngineView, LockRequest, Protocol, ProtocolFor, ProtocolKind};
     pub use rtdb_sim::{
         compare_protocols, Engine, MetricsReport, RunOutcome, RunResult, SimConfig, WorkloadParams,
     };

@@ -2,7 +2,7 @@
 //! both as the pure decision function and *behaviourally* against the
 //! live protocol through the simulator.
 
-use pcpda::compat::{compatible, render_table1, CompatInput};
+use rtdb::pcpda::compat::{compatible, render_table1, CompatInput};
 use rtdb::prelude::*;
 
 /// The four cells of Table 1 as the paper prints them.

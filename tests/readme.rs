@@ -1,0 +1,29 @@
+//! Keep the README's generated protocol table in sync with the
+//! `ProtocolKind` registry it is derived from.
+
+use rtdb::cc::ProtocolKind;
+
+#[test]
+fn readme_protocol_table_matches_registry() {
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md"))
+        .expect("README.md readable");
+    let begin = "<!-- protocol-table:begin -->";
+    let end = "<!-- protocol-table:end -->";
+    let start = readme.find(begin).expect("README has the begin marker") + begin.len();
+    let stop = readme.find(end).expect("README has the end marker");
+    assert_eq!(
+        readme[start..stop].trim(),
+        ProtocolKind::markdown_table().trim(),
+        "README protocol table is stale — paste the output of \
+         ProtocolKind::markdown_table() between the markers"
+    );
+}
+
+#[test]
+fn readme_names_every_protocol() {
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md"))
+        .expect("README.md readable");
+    for kind in ProtocolKind::ALL {
+        assert!(readme.contains(kind.name()), "README omits {kind}");
+    }
+}

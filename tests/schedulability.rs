@@ -62,13 +62,7 @@ fn measured_blocking_never_exceeds_analytic_bound() {
 
     let mut checked = 0;
     for (idx, set) in workloads.iter().enumerate() {
-        for (proto_kind, mut proto) in [
-            (
-                AnalysisProtocol::PcpDa,
-                Box::new(PcpDa::new()) as Box<dyn Protocol>,
-            ),
-            (AnalysisProtocol::RwPcp, Box::new(RwPcp::new())),
-        ] {
+        for proto_kind in [AnalysisProtocol::PcpDa, AnalysisProtocol::RwPcp] {
             // The bound's theory assumes a schedulable (backlog-free)
             // system; skip combinations the analysis rejects. The
             // repaired PCP-DA needs the chain-closure bound.
@@ -83,7 +77,7 @@ fn measured_blocking_never_exceeds_analytic_bound() {
             }
             checked += 1;
             let r = Engine::new(set, SimConfig::with_horizon(2_000))
-                .run(proto.as_mut())
+                .run_kind(proto_kind.kind())
                 .unwrap();
             for m in r.metrics.instances() {
                 let bound = b[m.id.txn.index()];

@@ -39,24 +39,23 @@ fn pcpda_long_horizon_battery() {
 #[test]
 fn all_protocols_long_horizon_battery() {
     let set = stress(99, 0.55, 0.6);
-    let cases: Vec<(Box<dyn Protocol>, Expectations, bool)> = vec![
-        (Box::new(PcpDa::new()), Expectations::pcp_da(), false),
-        (Box::new(RwPcp::new()), Expectations::pcp_da(), false),
-        (Box::new(Pcp::new()), Expectations::pcp_da(), false),
-        (Box::new(Ccp::new()), Expectations::ccp(), false),
-        (Box::new(TwoPlPi::new()), Expectations::abort_based(), true),
-        (Box::new(TwoPlHp::new()), Expectations::abort_based(), false),
-        (Box::new(OccBc::new()), Expectations::abort_based(), false),
-    ];
-    for (mut protocol, expect, resolve) in cases {
+    for &kind in ProtocolKind::STANDARD.iter() {
+        // The registry metadata picks the invariant set: CCP installs on
+        // early release, abort/deadlock-capable protocols restart.
+        let expect = if kind.update_model() == rtdb::cc::UpdateModel::InstallOnEarlyRelease {
+            Expectations::ccp()
+        } else if kind.may_abort() || kind.may_deadlock() {
+            Expectations::abort_based()
+        } else {
+            Expectations::pcp_da()
+        };
         let mut cfg = SimConfig::with_horizon(15_000);
-        cfg.resolve_deadlocks = resolve;
-        let name = protocol.name();
+        cfg.resolve_deadlocks = kind.may_deadlock();
         let run = Engine::new(&set, cfg)
-            .run(protocol.as_mut())
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+            .run_kind(kind)
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
         let violations = verify_run(&set, &run, expect);
-        assert!(violations.is_empty(), "{name}: {violations:?}");
+        assert!(violations.is_empty(), "{}: {violations:?}", kind.name());
     }
 }
 
