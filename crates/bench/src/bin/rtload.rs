@@ -1,0 +1,239 @@
+//! Closed-loop load generator for the threaded runtime: emit
+//! `BENCH_rt.json` with throughput (committed txns/sec) and per-priority
+//! latency quantiles for the runtime executing the standard workload on
+//! real OS threads.
+//!
+//! ```sh
+//! cargo run --release -p rtdb-bench --bin rtload                  # STANDARD line-up -> ./BENCH_rt.json
+//! cargo run --release -p rtdb-bench --bin rtload -- --threads 8 --kind pcp-da --seed 7
+//! cargo run --release -p rtdb-bench --bin rtload -- --check       # advisory regression check
+//! ```
+//!
+//! Methodology: a deterministic seeded job queue (`rt::job_list`) is
+//! drained by `--threads` workers under each protocol; every job runs to
+//! commit (aborts restart it), so `committed == jobs` always and the
+//! interesting numbers are wall-clock throughput and the per-priority
+//! latency distribution (p50/p95/p99/max over begin→commit, measured on
+//! a log-bucketed histogram, `rt::LatencyHistogram`). `--tick-ns` scales
+//! each step's simulated duration to wall-clock busy-work; the default
+//! keeps a full line-up under a second while still letting blocking shape
+//! the tail.
+//!
+//! `--check [baseline.json]` measures without writing and **warns**
+//! (exit 0 — wall-clock throughput of a threaded run on a shared CI box
+//! is too noisy to gate merges on) when throughput drops more than 25%
+//! against a baseline record with the same protocol, threads, jobs and
+//! tick-ns; mismatched configurations are skipped.
+
+use rtdb::prelude::*;
+use rtdb::rt;
+use rtdb_util::Json;
+
+const DEFAULT_THREADS: usize = 4;
+const DEFAULT_JOBS: usize = 400;
+const DEFAULT_TICK_NS: u64 = 2_000;
+const DEFAULT_SEED: u64 = 7;
+/// Advisory tolerance: a warning is printed when committed-txns/sec
+/// drops by more than this fraction against a same-config baseline.
+const REGRESSION_TOLERANCE: f64 = 0.25;
+
+struct Args {
+    check: bool,
+    /// `None` = the full [`ProtocolKind::STANDARD`] line-up.
+    kind: Option<ProtocolKind>,
+    threads: usize,
+    jobs: usize,
+    tick_ns: u64,
+    seed: u64,
+    /// Output path (measure mode) or baseline path (`--check` mode).
+    path: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        check: false,
+        kind: None,
+        threads: DEFAULT_THREADS,
+        jobs: DEFAULT_JOBS,
+        tick_ns: DEFAULT_TICK_NS,
+        seed: DEFAULT_SEED,
+        path: "BENCH_rt.json".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} takes a value"));
+        match a.as_str() {
+            "--check" => args.check = true,
+            "--kind" => {
+                let v = value("--kind");
+                args.kind = Some(v.parse().unwrap_or_else(|e| panic!("{e}")));
+            }
+            "--threads" => args.threads = value("--threads").parse().expect("--threads: integer"),
+            "--jobs" => args.jobs = value("--jobs").parse().expect("--jobs: integer"),
+            "--tick-ns" => args.tick_ns = value("--tick-ns").parse().expect("--tick-ns: integer"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed: integer"),
+            other => args.path = other.to_string(),
+        }
+    }
+    args
+}
+
+struct Band {
+    priority: u32,
+    hist: rt::LatencyHistogram,
+}
+
+/// Execute one protocol's run and fold it into a JSON record.
+fn measure(set: &TransactionSet, kind: ProtocolKind, args: &Args) -> Json {
+    let jobs = rt::job_list(set, args.jobs, args.seed);
+    let result = rt::run(
+        set,
+        &jobs,
+        rt::RtConfig::new(kind)
+            .with_threads(args.threads)
+            .with_tick_ns(args.tick_ns),
+    );
+    assert_eq!(result.committed, jobs.len() as u64, "runtime dropped jobs");
+
+    // One histogram per distinct base priority, highest first.
+    let mut bands: Vec<Band> = Vec::new();
+    for job in &result.jobs {
+        let level = job.priority.level();
+        let band = match bands.iter_mut().find(|b| b.priority == level) {
+            Some(b) => b,
+            None => {
+                bands.push(Band {
+                    priority: level,
+                    hist: rt::LatencyHistogram::new(),
+                });
+                bands.last_mut().expect("just pushed")
+            }
+        };
+        band.hist.record(job.latency_ns);
+    }
+    bands.sort_by_key(|b| std::cmp::Reverse(b.priority));
+
+    let us = |ns: u64| ns as f64 / 1_000.0;
+    let band_records: Vec<Json> = bands
+        .iter()
+        .map(|b| {
+            Json::obj()
+                .set("priority", b.priority as u64)
+                .set("jobs", b.hist.count())
+                .set("p50_us", us(b.hist.quantile(0.50)))
+                .set("p95_us", us(b.hist.quantile(0.95)))
+                .set("p99_us", us(b.hist.quantile(0.99)))
+                .set("max_us", us(b.hist.max()))
+        })
+        .collect();
+
+    let throughput = result.throughput();
+    println!(
+        "{:<8} {:>7} threads {:>6} jobs {:>12.0} committed/sec {:>8} restarts {:>4} deadlocks",
+        kind.name(),
+        args.threads,
+        args.jobs,
+        throughput,
+        result.restarts,
+        result.deadlocks_resolved,
+    );
+    for b in &bands {
+        println!(
+            "  prio {:>3}: {:>4} jobs  p50 {:>9.1}us  p95 {:>9.1}us  p99 {:>9.1}us  max {:>9.1}us",
+            b.priority,
+            b.hist.count(),
+            us(b.hist.quantile(0.50)),
+            us(b.hist.quantile(0.95)),
+            us(b.hist.quantile(0.99)),
+            us(b.hist.max()),
+        );
+    }
+
+    Json::obj()
+        .set("protocol", kind.name())
+        .set("threads", args.threads as u64)
+        .set("jobs", args.jobs as u64)
+        .set("seed", args.seed)
+        .set("tick_ns", args.tick_ns)
+        .set("elapsed_ms", result.elapsed.as_secs_f64() * 1_000.0)
+        .set("committed", result.committed)
+        .set("committed_per_sec", throughput)
+        .set("restarts", result.restarts)
+        .set("deadlocks_resolved", result.deadlocks_resolved)
+        .set("bands", Json::Arr(band_records))
+}
+
+/// Baseline record matching this run's configuration, if any.
+fn baseline_of<'a>(baseline: &'a [Json], rec: &Json) -> Option<&'a Json> {
+    baseline.iter().find(|b| {
+        ["protocol", "threads", "jobs", "tick_ns"]
+            .iter()
+            .all(|&k| match (b.get(k), rec.get(k)) {
+                (Some(x), Some(y)) => x.to_string_compact() == y.to_string_compact(),
+                _ => false,
+            })
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let set = rtdb_bench::standard_workload(args.seed);
+    let baseline: Option<Vec<Json>> = std::fs::read_to_string(&args.path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .and_then(|json| json.as_array().map(<[Json]>::to_vec));
+
+    let kinds: Vec<ProtocolKind> = match args.kind {
+        Some(k) => vec![k],
+        None => ProtocolKind::STANDARD.to_vec(),
+    };
+
+    let mut records = Vec::new();
+    let mut warnings = Vec::new();
+    for &kind in &kinds {
+        let rec = measure(&set, kind, &args);
+        if let Some(base) = baseline.as_deref().and_then(|b| baseline_of(b, &rec)) {
+            let old = base.get("committed_per_sec").and_then(Json::as_f64);
+            let new = rec.get("committed_per_sec").and_then(Json::as_f64);
+            if let (Some(old), Some(new)) = (old, new) {
+                let delta = (new - old) / old * 100.0;
+                eprintln!(
+                    "{}: {delta:+.1}% vs baseline ({old:.0} -> {new:.0})",
+                    kind.name()
+                );
+                if delta < -100.0 * REGRESSION_TOLERANCE {
+                    warnings.push(format!(
+                        "{}: {delta:+.1}% (baseline {old:.0}, measured {new:.0})",
+                        kind.name()
+                    ));
+                }
+            }
+        }
+        records.push(rec);
+    }
+
+    if !warnings.is_empty() {
+        // Advisory only: threaded wall-clock throughput on shared hardware
+        // is too noisy for a hard gate, but regressions should be visible.
+        eprintln!(
+            "WARNING: runtime throughput dropped beyond {:.0}% on:",
+            100.0 * REGRESSION_TOLERANCE
+        );
+        for w in &warnings {
+            eprintln!("  {w}");
+        }
+    }
+
+    if args.check {
+        if baseline.is_none() {
+            eprintln!("no baseline at {} -- nothing to check against", args.path);
+        }
+        println!(
+            "check done: {} warning(s) (advisory, always exit 0)",
+            warnings.len()
+        );
+    } else {
+        std::fs::write(&args.path, Json::Arr(records).pretty()).expect("output path writable");
+        println!("written to {}", args.path);
+    }
+}

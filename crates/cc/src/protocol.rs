@@ -4,14 +4,14 @@ use rtdb_core::{Decision, EngineView, LockRequest, ProtocolFor, SysCeil};
 use rtdb_types::{Ceiling, InstanceId, ItemId, LockMode};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Per-version `Sysceil` memo (see [`PcpDa::cached_sysceil`]).
 #[derive(Debug, Default)]
 struct SysceilMemo {
     /// Lock-table version the cached entries were computed at.
     version: u64,
-    by_holder: BTreeMap<InstanceId, Rc<SysCeil>>,
+    by_holder: BTreeMap<InstanceId, Arc<SysCeil>>,
 }
 
 /// True if a sorted item slice (an [`EngineView::data_read`] view) shares
@@ -131,7 +131,7 @@ impl PcpDa {
     /// entry can never be served; within one scheduler round (version
     /// unchanged) each instance's `Sysceil` is computed at most once no
     /// matter how many `hard_blocked_on` probes ask for it.
-    fn cached_sysceil<V: EngineView + ?Sized>(&self, view: &V, who: InstanceId) -> Rc<SysCeil> {
+    fn cached_sysceil<V: EngineView + ?Sized>(&self, view: &V, who: InstanceId) -> Arc<SysCeil> {
         let version = view.locks().version();
         let mut memo = self.sysceil_memo.borrow_mut();
         if memo.version != version {
@@ -139,10 +139,10 @@ impl PcpDa {
             memo.by_holder.clear();
         }
         if let Some(hit) = memo.by_holder.get(&who) {
-            return Rc::clone(hit);
+            return Arc::clone(hit);
         }
-        let sys = Rc::new(view.ceilings().pcpda_sysceil(view.locks(), who));
-        memo.by_holder.insert(who, Rc::clone(&sys));
+        let sys = Arc::new(view.ceilings().pcpda_sysceil(view.locks(), who));
+        memo.by_holder.insert(who, Arc::clone(&sys));
         sys
     }
 

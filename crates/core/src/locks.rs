@@ -227,6 +227,20 @@ impl LockTable {
             .is_some_and(|locks| locks.holds(mode, who))
     }
 
+    /// True if a lock `who` already holds makes a request for `item` in
+    /// `mode` redundant: an exact re-grant is idempotent, and a write lock
+    /// covers reads (the reader sees its own staged value). Shared by the
+    /// simulator's dispatch and the threaded runtime's lock manager so
+    /// both skip the protocol on covered requests identically.
+    pub fn covers(&self, who: InstanceId, item: ItemId, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Read => {
+                self.holds(who, item, LockMode::Read) || self.holds(who, item, LockMode::Write)
+            }
+            LockMode::Write => self.holds(who, item, LockMode::Write),
+        }
+    }
+
     /// All locks held by `who`.
     pub fn held_by(&self, who: InstanceId) -> impl Iterator<Item = HeldLock> + '_ {
         self.held.get(&who).into_iter().flatten().copied()

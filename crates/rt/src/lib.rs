@@ -1,0 +1,38 @@
+//! Multi-threaded real-time transaction runtime.
+//!
+//! Where `rtdb-sim` *simulates* the paper's single-processor system —
+//! deterministic discrete time, a modelled scheduler — this crate
+//! *executes* the same transaction workloads on real OS threads, driving
+//! the identical protocol decision logic from `rtdb-core` through a
+//! parking lock manager:
+//!
+//! * `manager` (internal) — one global mutex guards the protocol state
+//!   (lock table, ceilings, priority inheritance, history, database);
+//!   blocked threads park on per-waiter condvars and are woken by the
+//!   same re-evaluation rule the simulator applies on every release;
+//! * [`runtime`] — the closed-loop executor: a pool of worker threads
+//!   drains a job queue, each job running one transaction instance to
+//!   commit (with abort/restart for the wound/validate protocols);
+//! * [`jobs`] — deterministic seeded job queues;
+//! * [`histogram`] — a dependency-free log-bucketed latency histogram for
+//!   the `rtload` load generator.
+//!
+//! The runtime intentionally shares every correctness-relevant component
+//! with the simulator — [`rtdb_core::ProtocolFor`] decisions,
+//! [`rtdb_storage::Workspace`] deferred updates, [`rtdb_storage::History`]
+//! logging — so its executions can be validated by the same oracles:
+//! conflict-serializability of the history and serial-replay equivalence.
+//! Scheduling, by contrast, is real: the OS decides who runs, so a run's
+//! interleaving (and therefore its history) is *not* deterministic; only
+//! the safety properties are.
+
+#![forbid(unsafe_code)]
+
+pub mod histogram;
+pub mod jobs;
+mod manager;
+pub mod runtime;
+
+pub use histogram::LatencyHistogram;
+pub use jobs::job_list;
+pub use runtime::{run, run_jobs, JobReport, RtConfig, RtResult};

@@ -1,0 +1,715 @@
+//! The concurrent lock manager.
+//!
+//! One global [`Mutex`] guards the protocol state (lock table, ceilings,
+//! inheritance, per-instance bookkeeping, database, history); every
+//! protocol decision, data operation and commit happens inside it, so the
+//! runtime linearizes the exact state machine the simulator executes —
+//! only the *order* of requests differs (it is decided by the OS
+//! scheduler instead of the simulated priority dispatcher).
+//!
+//! Blocked threads park on a per-waiter [`Condvar`] associated with the
+//! shared mutex. Wake-ups mirror the simulator's `reevaluate`: whenever a
+//! lock is released (commit, abort, early release) or a new blocking edge
+//! appears, every parked request is re-presented to the protocol in
+//! descending running-priority order, and waiters whose requests would
+//! now be granted are woken; the actual grant happens when the woken
+//! thread re-issues its request, exactly as the simulator's woken
+//! instances re-request at dispatch. Parks additionally carry a timeout:
+//! on expiry the waiter runs a re-evaluation pass itself and, if it is
+//! still blocked, a deadlock sweep — a safety net that keeps the runtime
+//! live even for wait-for cycles that form without a new block event
+//! (possible here because blocker sets are refreshed while several
+//! threads run truly concurrently).
+//!
+//! Deadlock cycles are detected on the wait-for graph at block time (as
+//! in the simulator) and always resolved by aborting the lowest-base-
+//! priority instance on the cycle: a real runtime cannot stop the world
+//! and report `RunOutcome::Deadlock` the way a simulation can.
+
+use rtdb_core::{
+    CeilingTable, Decision, EngineView, LockRequest, LockTable, PriorityManager, ProtocolFor,
+    ProtocolKind, UpdateModel, WaitForGraph,
+};
+use rtdb_sim::{instantiate, AnyProtocol};
+use rtdb_storage::{Database, EventKind, History, Workspace};
+use rtdb_types::{InstanceId, ItemId, LockMode, Priority, Tick, TransactionSet, TxnId};
+use std::cmp::Reverse;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Park timeout: the lost-wakeup / late-cycle safety net. Long enough to
+/// never matter on the fast path, short enough to keep worst-case
+/// recovery invisible in tests.
+const PARK_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// What a manager call tells the worker to do next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Outcome {
+    /// The operation happened; continue with the job.
+    Done,
+    /// The instance was aborted (deadlock victim, 2PL-HP wound, OCC
+    /// invalidation); reset the workspace and restart from step 0.
+    Restart,
+}
+
+/// Per-job statistics handed back at commit.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct JobStats {
+    /// Zero-based position in the global commit order.
+    pub commit_index: u64,
+    /// Times this job was aborted and restarted.
+    pub restarts: u32,
+    /// Times this job blocked (parked) on a lock request.
+    pub block_events: u32,
+    /// Distinct lower-priority templates that ever blocked this job —
+    /// the measurable form of the paper's single-blocking property.
+    pub lower_blockers: Vec<TxnId>,
+}
+
+/// Result of a commit attempt.
+pub(crate) enum CommitOutcome {
+    Committed(JobStats),
+    Restart,
+}
+
+/// Everything the manager accumulated, returned by [`LockManager::finish`].
+pub(crate) struct ManagerReport {
+    pub history: History,
+    pub db: Database,
+    pub commits: u64,
+    pub restarts: u64,
+    pub deadlocks_resolved: u64,
+}
+
+/// Per-live-instance bookkeeping the protocols observe through
+/// [`EngineView`]. The `data_read`/`staged` mirrors are updated in the
+/// same critical section as the grant and the data operation, so the view
+/// other threads' decisions see is always consistent.
+struct Meta {
+    id: InstanceId,
+    cv: Arc<Condvar>,
+    /// The denied request this instance is parked on, if any.
+    pending: Option<LockRequest>,
+    /// Set by a re-evaluation that would now grant `pending`.
+    woken: bool,
+    /// Set by [`Shared::abort_victim`]; consumed by the owning worker.
+    aborted: bool,
+    /// Mirror of the workspace's `data_read` set, sorted.
+    data_read: Vec<ItemId>,
+    /// Mirror of the workspace's staged-write item set, sorted.
+    staged: Vec<ItemId>,
+    /// Items already installed by an early release (CCP), sorted.
+    installed_early: Vec<ItemId>,
+    lower_blockers: Vec<TxnId>,
+    block_events: u32,
+    restarts: u32,
+}
+
+impl Meta {
+    fn new(id: InstanceId) -> Self {
+        Meta {
+            id,
+            cv: Arc::new(Condvar::new()),
+            pending: None,
+            woken: false,
+            aborted: false,
+            data_read: Vec::new(),
+            staged: Vec::new(),
+            installed_early: Vec::new(),
+            lower_blockers: Vec::new(),
+            block_events: 0,
+            restarts: 0,
+        }
+    }
+
+    fn note_lower_blocker(&mut self, txn: TxnId) {
+        if let Err(i) = self.lower_blockers.binary_search(&txn) {
+            self.lower_blockers.insert(i, txn);
+        }
+    }
+
+    /// Record an early install of `item`; `true` if new.
+    fn mark_installed_early(&mut self, item: ItemId) -> bool {
+        match self.installed_early.binary_search(&item) {
+            Ok(_) => false,
+            Err(i) => {
+                self.installed_early.insert(i, item);
+                true
+            }
+        }
+    }
+}
+
+/// The [`EngineView`] the protocols consult, shared across workers.
+struct RtView<'a> {
+    set: &'a TransactionSet,
+    ceilings: CeilingTable,
+    locks: LockTable,
+    pm: PriorityManager,
+    /// Live instances, sorted ascending by id.
+    active: Vec<InstanceId>,
+    /// Parallel per-instance bookkeeping, sorted by `Meta::id`.
+    metas: Vec<Meta>,
+}
+
+impl RtView<'_> {
+    #[inline]
+    fn meta_idx(&self, who: InstanceId) -> Option<usize> {
+        self.metas.binary_search_by_key(&who, |m| m.id).ok()
+    }
+
+    #[inline]
+    fn meta(&self, who: InstanceId) -> &Meta {
+        &self.metas[self.meta_idx(who).expect("instance is live")]
+    }
+
+    #[inline]
+    fn meta_mut(&mut self, who: InstanceId) -> &mut Meta {
+        let i = self.meta_idx(who).expect("instance is live");
+        &mut self.metas[i]
+    }
+
+    fn is_active(&self, who: InstanceId) -> bool {
+        self.meta_idx(who).is_some()
+    }
+}
+
+impl EngineView for RtView<'_> {
+    fn set(&self) -> &TransactionSet {
+        self.set
+    }
+    fn locks(&self) -> &LockTable {
+        &self.locks
+    }
+    fn ceilings(&self) -> &CeilingTable {
+        &self.ceilings
+    }
+    fn base_priority(&self, who: InstanceId) -> Priority {
+        self.set.priority_of(who.txn)
+    }
+    fn running_priority(&self, who: InstanceId) -> Priority {
+        self.pm.running(who)
+    }
+    fn data_read(&self, who: InstanceId) -> &[ItemId] {
+        self.meta_idx(who)
+            .map_or(&[], |i| self.metas[i].data_read.as_slice())
+    }
+    fn pending_request(&self, who: InstanceId) -> Option<LockRequest> {
+        self.meta_idx(who).and_then(|i| self.metas[i].pending)
+    }
+    fn active_instances(&self) -> &[InstanceId] {
+        &self.active
+    }
+    fn staged_write_items(&self, who: InstanceId) -> Vec<ItemId> {
+        self.meta_idx(who)
+            .map_or_else(Vec::new, |i| self.metas[i].staged.clone())
+    }
+}
+
+/// The mutex-guarded heart of the runtime.
+struct Shared<'a> {
+    view: RtView<'a>,
+    protocol: AnyProtocol,
+    kind: ProtocolKind,
+    db: Database,
+    history: History,
+    /// Logical event clock: history ticks order events for readers of the
+    /// log; correctness oracles never compare tick values across runs.
+    now: u64,
+    commits: u64,
+    restarts: u64,
+    deadlocks_resolved: u64,
+    reeval_scratch: Vec<InstanceId>,
+}
+
+/// What [`Shared::try_acquire`] told the caller.
+enum TryAcquire {
+    /// Granted (or already covered); the data operation happened.
+    Done,
+    /// State changed (victims aborted); retry the request immediately.
+    Retry,
+    /// Blocked; park on the returned condvar.
+    Park(Arc<Condvar>),
+}
+
+impl<'a> Shared<'a> {
+    #[inline]
+    fn tick(&mut self) -> Tick {
+        self.now += 1;
+        Tick(self.now)
+    }
+
+    fn take_abort(&mut self, who: InstanceId) -> bool {
+        let m = self.view.meta_mut(who);
+        if m.aborted {
+            m.aborted = false;
+            m.woken = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Perform the granted data operation through the worker's private
+    /// workspace and refresh the mirrors the protocols observe.
+    fn perform_op(
+        &mut self,
+        who: InstanceId,
+        step_index: usize,
+        item: ItemId,
+        mode: LockMode,
+        ws: &mut Workspace,
+    ) {
+        let at = self.tick();
+        let Shared {
+            view, db, history, ..
+        } = self;
+        match mode {
+            LockMode::Read => {
+                let rec = ws.read(db, item);
+                history.push(
+                    at,
+                    who,
+                    EventKind::Read {
+                        item,
+                        value: rec.value,
+                        version: rec.version,
+                        own: rec.own,
+                    },
+                );
+                let m = view.meta_mut(who);
+                m.data_read.clear();
+                m.data_read.extend_from_slice(ws.data_read());
+            }
+            LockMode::Write => {
+                let value = ws.write(step_index, item);
+                history.push(at, who, EventKind::StageWrite { item, value });
+                let m = view.meta_mut(who);
+                if let Err(i) = m.staged.binary_search(&item) {
+                    m.staged.insert(i, item);
+                }
+            }
+        }
+    }
+
+    fn try_acquire(
+        &mut self,
+        who: InstanceId,
+        step_index: usize,
+        item: ItemId,
+        mode: LockMode,
+        ws: &mut Workspace,
+    ) -> TryAcquire {
+        // Clear a stale wake flag from a previous round.
+        self.view.meta_mut(who).woken = false;
+
+        if self.view.locks.covers(who, item, mode) {
+            self.perform_op(who, step_index, item, mode, ws);
+            return TryAcquire::Done;
+        }
+
+        let req = LockRequest { who, item, mode };
+        let decision = {
+            let Shared { view, protocol, .. } = self;
+            protocol.request(view, req)
+        };
+        match decision {
+            Decision::Grant => {
+                self.view.locks.grant(who, item, mode);
+                {
+                    let Shared { view, protocol, .. } = self;
+                    protocol.on_grant(view, req);
+                }
+                self.perform_op(who, step_index, item, mode, ws);
+                TryAcquire::Done
+            }
+            Decision::AbortHolders { victims } => {
+                for v in victims {
+                    if v != who {
+                        self.abort_victim(v);
+                    }
+                }
+                self.reevaluate();
+                TryAcquire::Retry
+            }
+            Decision::Block { blockers } => {
+                self.block(who, req, &blockers);
+                // A new blocking edge can itself unblock others (PCP-DA's
+                // commit-order guard); give every parked request a pass
+                // before testing for a deadlock.
+                self.reevaluate();
+                if self.view.meta(who).pending.is_some() {
+                    self.resolve_deadlocks();
+                }
+                match &self.view.meta(who) {
+                    m if m.aborted || m.woken || m.pending.is_none() => TryAcquire::Retry,
+                    m => TryAcquire::Park(m.cv.clone()),
+                }
+            }
+        }
+    }
+
+    fn block(&mut self, who: InstanceId, req: LockRequest, blockers: &[InstanceId]) {
+        let my_base = self.view.set.priority_of(who.txn);
+        {
+            let RtView { set, .. } = self.view;
+            let m = self.view.meta_mut(who);
+            debug_assert!(m.pending.is_none());
+            m.pending = Some(req);
+            m.block_events += 1;
+            for &b in blockers {
+                if set.priority_of(b.txn) < my_base {
+                    m.note_lower_blocker(b.txn);
+                }
+            }
+        }
+        self.view.pm.set_blocked(who, blockers);
+    }
+
+    /// Mirror of the simulator's `reevaluate`: re-present every parked
+    /// request in descending running-priority order; wake those that would
+    /// now be granted (the grant itself happens when the woken thread
+    /// re-issues the request), refresh the blocking edges of the rest.
+    fn reevaluate(&mut self) {
+        let mut blocked = std::mem::take(&mut self.reeval_scratch);
+        blocked.clear();
+        blocked.extend(
+            self.view
+                .metas
+                .iter()
+                .filter(|m| m.pending.is_some())
+                .map(|m| m.id),
+        );
+        blocked.sort_by_key(|&id| {
+            Reverse((
+                self.view.pm.running(id),
+                self.view.set.priority_of(id.txn),
+                Reverse(id.seq),
+            ))
+        });
+        for &who in &blocked {
+            let Some(req) = self.view.meta(who).pending else {
+                continue; // woken or aborted earlier in this pass
+            };
+            let decision = {
+                let Shared { view, protocol, .. } = self;
+                protocol.request(view, req)
+            };
+            match decision {
+                Decision::Grant | Decision::AbortHolders { .. } => self.wake(who),
+                Decision::Block { blockers } => {
+                    debug_assert!(!blockers.is_empty());
+                    let my_base = self.view.set.priority_of(who.txn);
+                    {
+                        let RtView { set, .. } = self.view;
+                        let m = self.view.meta_mut(who);
+                        for &b in &blockers {
+                            if set.priority_of(b.txn) < my_base {
+                                m.note_lower_blocker(b.txn);
+                            }
+                        }
+                    }
+                    self.view.pm.set_blocked(who, &blockers);
+                }
+            }
+        }
+        self.reeval_scratch = blocked;
+    }
+
+    /// Clear `who`'s pending request and signal its thread.
+    fn wake(&mut self, who: InstanceId) {
+        self.view.pm.clear_blocked(who);
+        let m = self.view.meta_mut(who);
+        m.pending = None;
+        m.woken = true;
+        m.cv.notify_one();
+    }
+
+    /// Detect and resolve wait-for cycles by aborting the lowest-base-
+    /// priority instance on each cycle until none remains.
+    fn resolve_deadlocks(&mut self) {
+        loop {
+            let Some(cycle) = WaitForGraph::from_edges(self.view.pm.edges()).find_cycle() else {
+                return;
+            };
+            let victim = cycle
+                .iter()
+                .copied()
+                .min_by_key(|&v| (self.view.set.priority_of(v.txn), v))
+                .expect("cycle is non-empty");
+            self.deadlocks_resolved += 1;
+            self.abort_victim(victim);
+            self.reevaluate();
+        }
+    }
+
+    /// Abort a live instance: release its locks, clear its protocol-visible
+    /// state, flag its worker to restart. The victim's workspace is reset
+    /// by the owning thread when it observes the flag; until then the
+    /// cleared mirrors are what protocols see — the same state the
+    /// simulator reaches by resetting the slot in place.
+    fn abort_victim(&mut self, victim: InstanceId) {
+        if !self.view.is_active(victim) {
+            return; // committed between the decision and now — same mutex, so only via commit_victims listing a stale id
+        }
+        assert_eq!(
+            self.kind.update_model(),
+            UpdateModel::Workspace,
+            "aborts require the workspace model (no undo implemented)"
+        );
+        let at = self.tick();
+        self.history.push(at, victim, EventKind::Abort);
+        self.view.locks.release_all(victim);
+        self.view.pm.clear_blocked(victim);
+        {
+            let m = self.view.meta_mut(victim);
+            m.pending = None;
+            m.woken = false;
+            m.aborted = true;
+            m.data_read.clear();
+            m.staged.clear();
+            m.installed_early.clear();
+            m.restarts += 1;
+            m.cv.notify_one();
+        }
+        self.restarts += 1;
+        {
+            let Shared { view, protocol, .. } = self;
+            protocol.on_abort(view, victim);
+        }
+        let at = self.tick();
+        self.history.push(at, victim, EventKind::Begin);
+    }
+}
+
+/// The concurrent lock manager: one per [`crate::run`] invocation, shared
+/// by reference across the worker threads of that run.
+pub(crate) struct LockManager<'a> {
+    state: Mutex<Shared<'a>>,
+}
+
+impl<'a> LockManager<'a> {
+    pub(crate) fn new(set: &'a TransactionSet, kind: ProtocolKind) -> Self {
+        let ceilings = CeilingTable::new(set);
+        let locks = LockTable::with_index(&ceilings);
+        LockManager {
+            state: Mutex::new(Shared {
+                view: RtView {
+                    set,
+                    ceilings,
+                    locks,
+                    pm: PriorityManager::new(),
+                    active: Vec::new(),
+                    metas: Vec::new(),
+                },
+                protocol: instantiate(kind),
+                kind,
+                db: Database::new(),
+                history: History::new(),
+                now: 0,
+                commits: 0,
+                restarts: 0,
+                deadlocks_resolved: 0,
+                reeval_scratch: Vec::new(),
+            }),
+        }
+    }
+
+    /// Lock the shared state, recovering from poisoning (a panicking
+    /// worker already fails the run via the scope join; secondary threads
+    /// should not cascade with confusing poison panics).
+    fn lock(&self) -> MutexGuard<'_, Shared<'a>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Register a released instance.
+    pub(crate) fn begin(&self, id: InstanceId) {
+        let mut g = self.lock();
+        let base = g.view.set.priority_of(id.txn);
+        let at = g.tick();
+        match g.view.metas.binary_search_by_key(&id, |m| m.id) {
+            Ok(_) => panic!("instance {id:?} begun twice"),
+            Err(i) => g.view.metas.insert(i, Meta::new(id)),
+        }
+        match g.view.active.binary_search(&id) {
+            Ok(_) => unreachable!(),
+            Err(i) => g.view.active.insert(i, id),
+        }
+        g.view.pm.register(id, base);
+        g.history.push(at, id, EventKind::Begin);
+    }
+
+    /// Acquire `item` in `mode` for step `step_index`, performing the data
+    /// operation at grant time. Parks the calling thread while the
+    /// protocol denies the request.
+    pub(crate) fn acquire(
+        &self,
+        id: InstanceId,
+        step_index: usize,
+        item: ItemId,
+        mode: LockMode,
+        ws: &mut Workspace,
+    ) -> Outcome {
+        let mut g = self.lock();
+        loop {
+            if g.take_abort(id) {
+                return Outcome::Restart;
+            }
+            match g.try_acquire(id, step_index, item, mode, ws) {
+                TryAcquire::Done => return Outcome::Done,
+                TryAcquire::Retry => continue,
+                TryAcquire::Park(cv) => {
+                    loop {
+                        let (g2, timeout) = cv
+                            .wait_timeout(g, PARK_TIMEOUT)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        g = g2;
+                        let m = g.view.meta(id);
+                        if m.aborted || m.woken || m.pending.is_none() {
+                            break;
+                        }
+                        if timeout.timed_out() {
+                            // Safety net: heal lost wake-ups and cycles
+                            // that formed without a block event.
+                            g.reevaluate();
+                            if g.view.meta(id).pending.is_some() {
+                                g.resolve_deadlocks();
+                            }
+                        }
+                    }
+                    // Retry (or observe the abort) at the top of the loop.
+                }
+            }
+        }
+    }
+
+    /// Report step `completed_step` finished; applies the protocol's early
+    /// releases (CCP) and re-evaluates waiters.
+    pub(crate) fn step_done(
+        &self,
+        id: InstanceId,
+        completed_step: usize,
+        ws: &Workspace,
+    ) -> Outcome {
+        let mut g = self.lock();
+        if g.take_abort(id) {
+            return Outcome::Restart;
+        }
+        let releases = {
+            let Shared { view, protocol, .. } = &mut *g;
+            protocol.early_releases(view, id, completed_step)
+        };
+        if releases.is_empty() {
+            return Outcome::Done;
+        }
+        let install_early = g.kind.update_model() == UpdateModel::InstallOnEarlyRelease;
+        for (item, mode) in releases {
+            debug_assert!(g.view.locks.holds(id, item, mode));
+            g.view.locks.release(id, item, mode);
+            if install_early && mode == LockMode::Write {
+                if let Some(value) = ws.staged_value(item) {
+                    if g.view.meta_mut(id).mark_installed_early(item) {
+                        let at = g.tick();
+                        let version = g.db.install(id, item, value, at);
+                        g.history.push(
+                            at,
+                            id,
+                            EventKind::Install {
+                                item,
+                                value,
+                                version,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        g.reevaluate();
+        Outcome::Done
+    }
+
+    /// Commit: validate (OCC), install staged writes, release everything,
+    /// wake waiters. Fails with [`CommitOutcome::Restart`] if the instance
+    /// was aborted before the commit point.
+    pub(crate) fn commit(&self, id: InstanceId, ws: &Workspace) -> CommitOutcome {
+        let mut g = self.lock();
+        if g.take_abort(id) {
+            return CommitOutcome::Restart;
+        }
+        let victims = {
+            let Shared { view, protocol, .. } = &mut *g;
+            protocol.commit_victims(view, id)
+        };
+        for v in victims {
+            if v != id {
+                g.abort_victim(v);
+            }
+        }
+
+        let at = g.tick();
+        g.history.push(at, id, EventKind::Commit);
+        {
+            let Shared {
+                view, db, history, ..
+            } = &mut *g;
+            let m = view.meta(id);
+            for &(item, value) in ws.staged_writes() {
+                if m.installed_early.binary_search(&item).is_ok() {
+                    continue;
+                }
+                let version = db.install(id, item, value, at);
+                history.push(
+                    at,
+                    id,
+                    EventKind::Install {
+                        item,
+                        value,
+                        version,
+                    },
+                );
+            }
+        }
+        g.view.locks.release_all(id);
+        g.view.pm.remove(id);
+        {
+            let Shared { view, protocol, .. } = &mut *g;
+            protocol.on_commit(view, id);
+        }
+
+        let commit_index = g.commits;
+        g.commits += 1;
+        let stats = {
+            let i = g.view.meta_idx(id).expect("committing instance is live");
+            let meta = g.view.metas.remove(i);
+            JobStats {
+                commit_index,
+                restarts: meta.restarts,
+                block_events: meta.block_events,
+                lower_blockers: meta.lower_blockers,
+            }
+        };
+        if let Ok(i) = g.view.active.binary_search(&id) {
+            g.view.active.remove(i);
+        }
+        g.reevaluate();
+        CommitOutcome::Committed(stats)
+    }
+
+    /// Tear down after every worker joined, yielding the run's artifacts.
+    pub(crate) fn finish(self) -> ManagerReport {
+        let shared = self
+            .state
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        debug_assert!(shared.view.active.is_empty(), "live instances at finish");
+        ManagerReport {
+            history: shared.history,
+            db: shared.db,
+            commits: shared.commits,
+            restarts: shared.restarts,
+            deadlocks_resolved: shared.deadlocks_resolved,
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! The closed-loop runtime: worker threads draining a job queue through
+//! the internal `LockManager`.
+//!
+//! Each worker owns one recycled [`Workspace`]; a job is the full life of
+//! one transaction instance — begin, the template's steps (lock + data
+//! operation at grant time, then the step's simulated computation),
+//! commit. An abort (deadlock victim, 2PL-HP wound, OCC invalidation)
+//! restarts the same job from step 0 on the same thread, exactly like the
+//! simulator's slot reset.
+
+use crate::jobs;
+use crate::manager::{CommitOutcome, JobStats, LockManager, Outcome};
+use rtdb_core::ProtocolKind;
+use rtdb_storage::{Database, History, SerializationGraph, Workspace};
+use rtdb_types::{InstanceId, Priority, TransactionSet, TxnId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Configuration for one [`run`].
+#[derive(Clone, Copy, Debug)]
+pub struct RtConfig {
+    /// Which concurrency-control protocol mediates lock requests.
+    pub kind: ProtocolKind,
+    /// Worker threads (clamped to at least 1).
+    pub threads: usize,
+    /// Wall-clock nanoseconds of busy-work per simulated tick of a step's
+    /// duration. `0` skips the busy-work entirely (fastest, maximum
+    /// contention churn — the test default).
+    pub tick_ns: u64,
+}
+
+impl RtConfig {
+    /// Defaults: 4 threads, no busy-work.
+    pub fn new(kind: ProtocolKind) -> Self {
+        RtConfig {
+            kind,
+            threads: 4,
+            tick_ns: 0,
+        }
+    }
+
+    /// Set the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the per-tick busy-work duration.
+    pub fn with_tick_ns(mut self, tick_ns: u64) -> Self {
+        self.tick_ns = tick_ns;
+        self
+    }
+}
+
+/// Per-job outcome, in commit order.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// The committed instance.
+    pub id: InstanceId,
+    /// Its template's base priority.
+    pub priority: Priority,
+    /// Wall-clock begin→commit latency, including restarts.
+    pub latency_ns: u64,
+    /// Aborts this job absorbed before committing.
+    pub restarts: u32,
+    /// Times this job parked on a denied lock request.
+    pub block_events: u32,
+    /// Distinct lower-priority templates that ever blocked it.
+    pub lower_blockers: Vec<TxnId>,
+    /// Zero-based position in the global commit order.
+    pub commit_index: u64,
+}
+
+/// Everything a [`run`] produced.
+#[derive(Debug)]
+pub struct RtResult {
+    /// Protocol name (e.g. `"PCP-DA"`).
+    pub protocol: String,
+    /// Protocol kind that ran.
+    pub kind: ProtocolKind,
+    /// Worker threads used.
+    pub threads: usize,
+    /// The full event history, in install/commit linearization order.
+    pub history: History,
+    /// Final committed database state.
+    pub db: Database,
+    /// Jobs committed (always `jobs.len()` — every job retries to commit).
+    pub committed: u64,
+    /// Total aborts absorbed across all jobs.
+    pub restarts: u64,
+    /// Wait-for cycles broken by aborting a victim.
+    pub deadlocks_resolved: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Per-job outcomes, sorted by commit order.
+    pub jobs: Vec<JobReport>,
+}
+
+impl RtResult {
+    /// The conflict graph `SG(H)` of the run's history.
+    pub fn serialization_graph(&self) -> SerializationGraph {
+        SerializationGraph::build(&self.history)
+    }
+
+    /// True if the history is conflict-serializable (acyclic `SG(H)`).
+    pub fn is_conflict_serializable(&self) -> bool {
+        self.serialization_graph().find_cycle().is_none()
+    }
+
+    /// Committed transactions per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.committed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Execute `job_queue` on `config.threads` OS threads under
+/// `config.kind`, returning the complete history, final database and
+/// per-job reports. Every job runs to commit (aborts restart it), so the
+/// run always drains the queue.
+pub fn run(set: &TransactionSet, job_queue: &[InstanceId], config: RtConfig) -> RtResult {
+    let manager = LockManager::new(set, config.kind);
+    let next = AtomicUsize::new(0);
+    let reports: Mutex<Vec<JobReport>> = Mutex::new(Vec::with_capacity(job_queue.len()));
+    let threads = config.threads.max(1);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| worker(set, job_queue, &manager, &next, &reports, config.tick_ns));
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let report = manager.finish();
+    let mut jobs = reports
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    jobs.sort_by_key(|j| j.commit_index);
+
+    RtResult {
+        protocol: config.kind.name().to_string(),
+        kind: config.kind,
+        threads,
+        history: report.history,
+        db: report.db,
+        committed: report.commits,
+        restarts: report.restarts,
+        deadlocks_resolved: report.deadlocks_resolved,
+        elapsed,
+        jobs,
+    }
+}
+
+/// Convenience: generate a seeded job list (see [`jobs::job_list`]) and
+/// [`run`] it.
+pub fn run_jobs(set: &TransactionSet, total: usize, seed: u64, config: RtConfig) -> RtResult {
+    let queue = jobs::job_list(set, total, seed);
+    run(set, &queue, config)
+}
+
+fn worker(
+    set: &TransactionSet,
+    job_queue: &[InstanceId],
+    manager: &LockManager<'_>,
+    next: &AtomicUsize,
+    reports: &Mutex<Vec<JobReport>>,
+    tick_ns: u64,
+) {
+    let mut ws = Workspace::new(InstanceId::first(TxnId(0)));
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(&id) = job_queue.get(i) else {
+            return;
+        };
+        let begun = Instant::now();
+        let stats = execute_job(set, manager, id, &mut ws, tick_ns);
+        let latency_ns = begun.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let report = JobReport {
+            id,
+            priority: set.priority_of(id.txn),
+            latency_ns,
+            restarts: stats.restarts,
+            block_events: stats.block_events,
+            lower_blockers: stats.lower_blockers,
+            commit_index: stats.commit_index,
+        };
+        reports
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(report);
+    }
+}
+
+/// Run one instance to commit, restarting from step 0 on every abort.
+fn execute_job(
+    set: &TransactionSet,
+    manager: &LockManager<'_>,
+    id: InstanceId,
+    ws: &mut Workspace,
+    tick_ns: u64,
+) -> JobStats {
+    let template = set.template(id.txn);
+    let steps = template.steps.as_slice();
+    manager.begin(id);
+    'attempt: loop {
+        ws.reset(id);
+        for (step_index, step) in steps.iter().enumerate() {
+            if let Some((item, mode)) = step.op.access() {
+                match manager.acquire(id, step_index, item, mode, ws) {
+                    Outcome::Done => {}
+                    Outcome::Restart => continue 'attempt,
+                }
+            }
+            spin_work(step.duration, tick_ns);
+            // Early releases (and CCP's early installs) apply after every
+            // *non-final* step; the final step's locks fall to commit.
+            if step_index + 1 < steps.len() {
+                match manager.step_done(id, step_index, ws) {
+                    Outcome::Done => {}
+                    Outcome::Restart => continue 'attempt,
+                }
+            }
+        }
+        match manager.commit(id, ws) {
+            CommitOutcome::Committed(stats) => return stats,
+            CommitOutcome::Restart => continue 'attempt,
+        }
+    }
+}
+
+/// Busy-wait for `duration` simulated ticks at `tick_ns` wall-clock
+/// nanoseconds per tick. The runtime never sleeps inside a job: a blocked
+/// *lock* parks on a condvar, but computation is modelled as CPU work.
+fn spin_work(duration: rtdb_types::Duration, tick_ns: u64) {
+    let ns = duration.raw().saturating_mul(tick_ns);
+    if ns == 0 {
+        return;
+    }
+    let deadline = Instant::now() + Duration::from_nanos(ns);
+    while Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
+}

@@ -1,0 +1,193 @@
+//! Sim-differential validation of the threaded runtime.
+//!
+//! The simulator is this repository's ground truth: every sim run passes
+//! the serial-replay oracle. These tests execute the *same* committed
+//! workload through the runtime on one thread, in the simulator's
+//! serialization order, and require bit-identical final database state —
+//! plus conflict-serializability of the runtime's own history, which is
+//! checked by the same shared oracle (`serializability_violations`).
+//!
+//! A single-threaded runtime run is a genuinely serial execution, so any
+//! divergence from the simulator isolates a defect in the runtime's lock
+//! manager / commit path rather than a scheduling difference.
+
+use rtdb_core::ProtocolKind;
+use rtdb_rt::{run, RtConfig};
+use rtdb_sim::{serializability_violations, Engine, RunOutcome, SimConfig, WorkloadParams};
+use rtdb_types::{
+    Duration, InstanceId, ItemId, SetBuilder, Step, TransactionSet, TransactionTemplate, TxnId,
+};
+
+/// A small contended workload with every template bounded to two
+/// instances, so an unhorizoned sim run completes quickly.
+fn bounded_workload(seed: u64) -> TransactionSet {
+    let spec = WorkloadParams {
+        templates: 4,
+        items: 8,
+        target_utilization: 0.5,
+        hotspot_items: 3,
+        hotspot_prob: 0.6,
+        seed,
+        ..WorkloadParams::default()
+    }
+    .generate()
+    .expect("workload generation");
+    let mut b = SetBuilder::new();
+    for t in spec.set.templates() {
+        let mut t = t.clone();
+        t.instances = Some(2);
+        b.add(t);
+    }
+    b.build_rate_monotonic().expect("rebuild")
+}
+
+/// Run the simulator to completion and return its serialization order:
+/// commit order for the commit-order protocols, a topological order of
+/// the conflict graph for CCP (whose serialization order may deviate).
+fn sim_serial_order(set: &TransactionSet, kind: ProtocolKind) -> Vec<InstanceId> {
+    let mut config = SimConfig::default();
+    if kind.may_deadlock() {
+        config = config.resolving_deadlocks();
+    }
+    let sim = Engine::new(set, config).run_kind(kind).expect("sim run");
+    assert_eq!(
+        sim.outcome,
+        RunOutcome::Completed,
+        "{kind:?} sim deadlocked"
+    );
+    assert!(
+        !sim.history.commit_order().is_empty(),
+        "{kind:?} sim committed nothing"
+    );
+    if kind == ProtocolKind::Ccp {
+        sim.serialization_graph()
+            .topological_order()
+            .expect("sim history is acyclic")
+    } else {
+        sim.history.commit_order().to_vec()
+    }
+}
+
+/// Final database snapshot of the sim run for the same workload.
+fn sim_final_db(
+    set: &TransactionSet,
+    kind: ProtocolKind,
+) -> std::collections::BTreeMap<ItemId, rtdb_types::Value> {
+    let mut config = SimConfig::default();
+    if kind.may_deadlock() {
+        config = config.resolving_deadlocks();
+    }
+    let sim = Engine::new(set, config).run_kind(kind).expect("sim run");
+    sim.db.snapshot()
+}
+
+#[test]
+fn single_thread_replay_matches_sim_for_all_kinds() {
+    for kind in ProtocolKind::ALL {
+        let set = bounded_workload(0xD1FF + kind as u64);
+        let jobs = sim_serial_order(&set, kind);
+        let rt = run(&set, &jobs, RtConfig::new(kind).with_threads(1));
+
+        assert_eq!(
+            rt.committed,
+            jobs.len() as u64,
+            "{kind:?}: runtime dropped jobs"
+        );
+        assert_eq!(
+            rt.db.snapshot(),
+            sim_final_db(&set, kind),
+            "{kind:?}: final database diverged from the simulator"
+        );
+        // A 1-thread run is serial, so commit order is a valid
+        // serialization order for every protocol.
+        let violations = serializability_violations(&set, &rt.history, &rt.db, true);
+        assert!(violations.is_empty(), "{kind:?}: {violations:?}");
+    }
+}
+
+/// Theorem 1 spot check on real threads: under PCP-DA a high-priority
+/// transaction is blocked by at most one lower-priority transaction.
+///
+/// TL (low priority) grabs a read lock on `x` and then computes for ~20ms
+/// of wall-clock busy-work; TH (high priority) starts on another thread,
+/// computes ~5ms, then requests the write lock on `x` — LC1 blocks a
+/// writer while another reader holds `x`, so TH parks behind TL alone.
+/// The assertion is timing-robust: if the race never materialises TH
+/// simply records no lower blockers, which also passes.
+#[test]
+fn pcp_da_single_blocking_spot_check() {
+    let x = ItemId(0);
+    let set = SetBuilder::new()
+        .with(TransactionTemplate::new(
+            "TH",
+            100,
+            vec![Step::compute(5), Step::write(x, 1)],
+        ))
+        .with(TransactionTemplate::new(
+            "TL",
+            1_000,
+            vec![Step::read(x, 1), Step::compute(20)],
+        ))
+        .build()
+        .expect("set");
+    let th = InstanceId::first(TxnId(0));
+    let tl = InstanceId::first(TxnId(1));
+
+    for attempt in 0..8u32 {
+        // TL first in the queue so it wins the read lock; 1ms per tick
+        // keeps TL inside its compute step while TH requests the lock.
+        let jobs = [tl, th];
+        let rt = run(
+            &set,
+            &jobs,
+            RtConfig::new(ProtocolKind::PcpDa)
+                .with_threads(2)
+                .with_tick_ns(1_000_000),
+        );
+        assert_eq!(rt.committed, 2);
+        assert_eq!(rt.restarts, 0, "PCP-DA must not abort");
+        let th_report = rt.jobs.iter().find(|j| j.id == th).expect("TH committed");
+        assert!(
+            th_report.lower_blockers.len() <= 1,
+            "TH blocked by multiple lower-priority transactions: {:?}",
+            th_report.lower_blockers
+        );
+        assert!(
+            th_report.lower_blockers.iter().all(|&t| t == tl.txn),
+            "unexpected blocker set {:?}",
+            th_report.lower_blockers
+        );
+        let violations = serializability_violations(&set, &rt.history, &rt.db, true);
+        assert!(violations.is_empty(), "attempt {attempt}: {violations:?}");
+        if !th_report.lower_blockers.is_empty() {
+            return; // observed the intended block at least once
+        }
+    }
+    // Never observing the block is legal (scheduling is real), but with
+    // 20ms of lock-holding per attempt it is practically unreachable;
+    // don't fail the suite over scheduler luck.
+}
+
+/// Multi-threaded runs stay serializable and lose no committed work, for
+/// every protocol in the registry.
+#[test]
+fn multi_thread_runs_are_serializable_for_all_kinds() {
+    for kind in ProtocolKind::ALL {
+        let set = bounded_workload(0xBEEF + kind as u64);
+        let jobs = rtdb_rt::job_list(&set, 24, 11);
+        let rt = run(&set, &jobs, RtConfig::new(kind).with_threads(4));
+        assert_eq!(rt.committed, jobs.len() as u64, "{kind:?} dropped jobs");
+        let commit_order_serialization = kind != ProtocolKind::Ccp;
+        let violations =
+            serializability_violations(&set, &rt.history, &rt.db, commit_order_serialization);
+        assert!(violations.is_empty(), "{kind:?}: {violations:?}");
+    }
+}
+
+/// `Duration` sanity for the spot check: the templates above rely on
+/// compute steps being measured in ticks.
+#[test]
+fn spot_check_template_durations() {
+    let t = TransactionTemplate::new("t", 10, vec![Step::compute(5)]);
+    assert_eq!(t.steps[0].duration, Duration(5));
+}

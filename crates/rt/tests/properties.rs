@@ -1,0 +1,47 @@
+//! Property tests: runtime histories are conflict-serializable.
+//!
+//! 32 seeded random workloads through 4 worker threads each, for the
+//! paper's protocol (PCP-DA) and the abort-based baseline (2PL-HP, which
+//! exercises the wound/restart path). The oracle is the same
+//! `serialization_graph()` checker the simulator's battery uses, via the
+//! shared `serializability_violations` entry point.
+
+use rtdb_core::ProtocolKind;
+use rtdb_rt::{job_list, run, RtConfig};
+use rtdb_sim::{serializability_violations, WorkloadParams};
+use rtdb_util::prop;
+
+const CASES: usize = 32;
+
+fn check_kind(kind: ProtocolKind) {
+    prop::forall(CASES, |rng| {
+        let set = WorkloadParams {
+            templates: rng.range_usize(3..6),
+            items: rng.range_usize(6..14),
+            target_utilization: 0.5,
+            hotspot_items: 3,
+            hotspot_prob: 0.5 + 0.3 * rng.f64(),
+            seed: rng.next_u64(),
+            ..WorkloadParams::default()
+        }
+        .generate()
+        .expect("workload generation")
+        .set;
+
+        let jobs = job_list(&set, 20, rng.next_u64());
+        let rt = run(&set, &jobs, RtConfig::new(kind).with_threads(4));
+        assert_eq!(rt.committed, jobs.len() as u64, "{kind:?} dropped jobs");
+        let violations = serializability_violations(&set, &rt.history, &rt.db, true);
+        assert!(violations.is_empty(), "{kind:?}: {violations:?}");
+    });
+}
+
+#[test]
+fn pcp_da_runtime_histories_are_conflict_serializable() {
+    check_kind(ProtocolKind::PcpDa);
+}
+
+#[test]
+fn two_pl_hp_runtime_histories_are_conflict_serializable() {
+    check_kind(ProtocolKind::TwoPlHp);
+}

@@ -21,7 +21,8 @@
 //! ```
 
 use crate::engine::{RunOutcome, RunResult};
-use rtdb_types::TransactionSet;
+use rtdb_storage::{Database, EventKind, History, SerializationGraph};
+use rtdb_types::{Tick, TransactionSet};
 
 /// What a protocol promises; [`verify_run`] checks a run against it.
 #[derive(Clone, Copy, Debug)]
@@ -122,24 +123,57 @@ pub fn verify_run(set: &TransactionSet, run: &RunResult, expect: Expectations) -
 
     // Serializability — always checked: conflict graph first, then the
     // value-level replay in the appropriate order.
-    let graph = run.serialization_graph();
-    if let Some(cycle) = graph.find_cycle() {
-        out.push(Violation::ConflictCycle(cycle));
-    } else {
-        let replay = if expect.commit_order_serialization {
-            Some(run.replay_check(set))
-        } else {
-            run.replay_check_topological(set)
-        };
-        match replay {
-            Some(r) if !r.is_serializable() => {
-                out.push(Violation::ReplayDivergence(r.violations.len()));
-            }
-            _ => {}
-        }
-    }
+    out.extend(serializability_violations(
+        set,
+        &run.history,
+        &run.db,
+        expect.commit_order_serialization,
+    ));
 
     out
+}
+
+/// The serializability core of [`verify_run`], usable on any history —
+/// including those produced by the threaded runtime (`rtdb-rt`), which has
+/// no [`RunResult`]: conflict-graph acyclicity first, then the value-level
+/// serial replay, in commit order when `commit_order_serialization` is
+/// set and otherwise in a topological order of the conflict graph (the
+/// view check valid for CCP, whose serialization order may deviate from
+/// commit order).
+pub fn serializability_violations(
+    set: &TransactionSet,
+    history: &History,
+    db: &Database,
+    commit_order_serialization: bool,
+) -> Vec<Violation> {
+    let graph = SerializationGraph::build(history);
+    if let Some(cycle) = graph.find_cycle() {
+        return vec![Violation::ConflictCycle(cycle)];
+    }
+    let replay = if commit_order_serialization {
+        rtdb_storage::replay_serial(set, history, db)
+    } else {
+        // Reconstruct a history whose commit order is a topological order
+        // of the (acyclic) conflict graph; only commit order and the
+        // committed reads matter to the replayer.
+        let topo = graph
+            .topological_order()
+            .expect("acyclic graph has a topological order");
+        let mut h = History::new();
+        for e in history.events() {
+            if !matches!(e.kind, EventKind::Commit) {
+                h.push(e.at, e.instance, e.kind);
+            }
+        }
+        for who in topo {
+            h.push(Tick::ZERO, who, EventKind::Commit);
+        }
+        rtdb_storage::replay_serial(set, &h, db)
+    };
+    if !replay.is_serializable() {
+        return vec![Violation::ReplayDivergence(replay.violations.len())];
+    }
+    Vec::new()
 }
 
 #[cfg(test)]

@@ -763,14 +763,7 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
             // A lock already held in a sufficient mode needs no request:
             // a write lock covers reads of the own staged value; an exact
             // re-grant is idempotent.
-            let holds_sufficient = match mode {
-                LockMode::Read => {
-                    self.vs.locks.holds(who, item, LockMode::Read)
-                        || self.vs.locks.holds(who, item, LockMode::Write)
-                }
-                LockMode::Write => self.vs.locks.holds(who, item, LockMode::Write),
-            };
-            if holds_sufficient {
+            if self.vs.locks.covers(who, item, mode) {
                 self.perform_data_op(who, step_index, item, mode);
                 self.slot_mut(who).acquired = true;
                 return Some(who);

@@ -11,6 +11,9 @@
 //! * [`sim`] — the deterministic discrete-event simulator (single CPU,
 //!   priority inheritance, periodic transactions) that reproduces the
 //!   paper's Figures 1–5 tick-for-tick;
+//! * [`rt`] — the multi-threaded runtime (crate `rtdb-rt`): the same
+//!   protocols executed on real OS threads through a parking lock
+//!   manager, with closed-loop job execution and latency histograms;
 //! * [`analysis`] — the §9 worst-case schedulability analysis (`BTS_i`,
 //!   `B_i`, Liu–Layland with blocking, response-time analysis, breakdown
 //!   utilization);
@@ -59,6 +62,7 @@ pub use rtdb_analysis as analysis;
 pub use rtdb_baselines as baselines;
 pub use rtdb_cc as pcpda;
 pub use rtdb_core as cc;
+pub use rtdb_rt as rt;
 pub use rtdb_sim as sim;
 pub use rtdb_storage as storage;
 pub use rtdb_types as types;
@@ -69,6 +73,7 @@ pub mod prelude {
     pub use rtdb_baselines::{Ccp, NaiveDa, OccBc, Pcp, RwPcp, TwoPlHp, TwoPlPi};
     pub use rtdb_cc::{GrantRule, PcpDa};
     pub use rtdb_core::{Decision, EngineView, LockRequest, Protocol, ProtocolFor, ProtocolKind};
+    pub use rtdb_rt::{job_list, LatencyHistogram, RtConfig, RtResult};
     pub use rtdb_sim::{
         compare_protocols, Engine, MetricsReport, RunOutcome, RunResult, SimConfig, WorkloadParams,
     };
