@@ -1,50 +1,82 @@
-//! Closed-loop load generator for the threaded runtime: emit
-//! `BENCH_rt.json` with throughput (committed txns/sec) and per-priority
-//! latency quantiles for the runtime executing the standard workload on
-//! real OS threads.
+//! Load generator for the threaded runtime: emit `BENCH_rt.json` with
+//! closed-loop throughput/latency records and an open-loop saturation
+//! curve with per-priority deadline-miss ratios.
 //!
 //! ```sh
-//! cargo run --release -p rtdb-bench --bin rtload                  # STANDARD line-up -> ./BENCH_rt.json
+//! cargo run --release -p rtdb-bench --bin rtload                  # full line-up -> ./BENCH_rt.json
 //! cargo run --release -p rtdb-bench --bin rtload -- --threads 8 --kind pcp-da --seed 7
+//! cargo run --release -p rtdb-bench --bin rtload -- --arrival-rate 50000 --sweep-points 6
 //! cargo run --release -p rtdb-bench --bin rtload -- --check       # advisory regression check
 //! ```
 //!
-//! Methodology: a deterministic seeded job queue (`rt::job_list`) is
-//! drained by `--threads` workers under each protocol; every job runs to
-//! commit (aborts restart it), so `committed == jobs` always and the
-//! interesting numbers are wall-clock throughput and the per-priority
-//! latency distribution (p50/p95/p99/max over begin→commit, measured on
-//! a log-bucketed histogram, `rt::LatencyHistogram`). `--tick-ns` scales
-//! each step's simulated duration to wall-clock busy-work; the default
-//! keeps a full line-up under a second while still letting blocking shape
-//! the tail.
+//! **Closed loop** (`"mode": "closed-loop"` records): a deterministic
+//! seeded job queue (`rt::job_list`) is drained by `--threads` workers
+//! under each protocol; every job runs to commit (aborts restart it), so
+//! `committed == jobs` always and the interesting numbers are wall-clock
+//! throughput and the per-priority latency distribution (p50/p95/p99/max
+//! over begin→commit, measured on a log-bucketed histogram,
+//! `rt::LatencyHistogram`). This measures *service capacity*.
+//!
+//! **Open loop** (`"mode": "open-loop"` records): arrivals follow a
+//! seeded schedule (exponential or periodic interarrivals, per-template
+//! rates ∝ 1/period) that does not slow down when the system does; jobs
+//! flow through the admission front-end (`rt::run_front`) carrying
+//! `deadline = release + period·tick`. Each run of the sweep offers
+//! `rate·k/points` jobs/sec for `k = 1..=points` — a monotone
+//! offered-load axis — and the record reports per-priority deadline-miss
+//! ratios, queueing delay split from service time, and shed/reject
+//! counts. `--arrival-rate` sets the sweep top; the default is 1.5× a
+//! short closed-loop calibration run (capped by the first-order
+//! service-capacity estimate), so the curve always crosses saturation
+//! without starting there. This measures behaviour *under offered
+//! load* — the regime where queueing collapse lives.
+//!
+//! `--tick-ns` scales each step's simulated duration to wall-clock
+//! busy-work (and, in open-loop mode, the deadline scale); the default
+//! keeps a full line-up under a few seconds while still letting blocking
+//! shape the tail.
 //!
 //! `--check [baseline.json]` measures without writing and **warns**
 //! (exit 0 — wall-clock throughput of a threaded run on a shared CI box
-//! is too noisy to gate merges on) when throughput drops more than 25%
-//! against a baseline record with the same protocol, threads, jobs and
-//! tick-ns; mismatched configurations are skipped.
+//! is too noisy to gate merges on) when committed throughput drops more
+//! than 25% against a baseline record with the same mode and
+//! configuration; mismatched configurations are skipped.
 
 use rtdb::prelude::*;
 use rtdb::rt;
+use rtdb_bench::loadgen::{service_capacity, Interarrival, OpenLoopParams, OpenLoopReport};
 use rtdb_util::Json;
 
 const DEFAULT_THREADS: usize = 4;
 const DEFAULT_JOBS: usize = 400;
 const DEFAULT_TICK_NS: u64 = 2_000;
 const DEFAULT_SEED: u64 = 7;
+const DEFAULT_SWEEP_POINTS: usize = 4;
+const DEFAULT_QUEUE_CAP: usize = 64;
+/// Default sweep top: this multiple of the service-capacity estimate.
+const DEFAULT_OVERLOAD: f64 = 1.5;
 /// Advisory tolerance: a warning is printed when committed-txns/sec
 /// drops by more than this fraction against a same-config baseline.
 const REGRESSION_TOLERANCE: f64 = 0.25;
 
 struct Args {
     check: bool,
-    /// `None` = the full [`ProtocolKind::STANDARD`] line-up.
+    /// `None` = the full [`ProtocolKind::STANDARD`] line-up (closed
+    /// loop) and the PCP-DA / 2PL-HP pair (open loop).
     kind: Option<ProtocolKind>,
     threads: usize,
     jobs: usize,
     tick_ns: u64,
     seed: u64,
+    /// Sweep-top offered rate (jobs/sec); `None` = auto from
+    /// [`service_capacity`].
+    arrival_rate: Option<f64>,
+    sweep_points: usize,
+    interarrival: Interarrival,
+    policy: rt::AdmissionPolicy,
+    queue_cap: usize,
+    /// Skip the closed-loop line-up (open-loop sweep only).
+    open_only: bool,
     /// Output path (measure mode) or baseline path (`--check` mode).
     path: String,
 }
@@ -57,6 +89,12 @@ fn parse_args() -> Args {
         jobs: DEFAULT_JOBS,
         tick_ns: DEFAULT_TICK_NS,
         seed: DEFAULT_SEED,
+        arrival_rate: None,
+        sweep_points: DEFAULT_SWEEP_POINTS,
+        interarrival: Interarrival::Exponential,
+        policy: rt::AdmissionPolicy::Reject,
+        queue_cap: DEFAULT_QUEUE_CAP,
+        open_only: false,
         path: "BENCH_rt.json".into(),
     };
     let mut it = std::env::args().skip(1);
@@ -64,6 +102,7 @@ fn parse_args() -> Args {
         let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} takes a value"));
         match a.as_str() {
             "--check" => args.check = true,
+            "--open-only" => args.open_only = true,
             "--kind" => {
                 let v = value("--kind");
                 args.kind = Some(v.parse().unwrap_or_else(|e| panic!("{e}")));
@@ -72,6 +111,30 @@ fn parse_args() -> Args {
             "--jobs" => args.jobs = value("--jobs").parse().expect("--jobs: integer"),
             "--tick-ns" => args.tick_ns = value("--tick-ns").parse().expect("--tick-ns: integer"),
             "--seed" => args.seed = value("--seed").parse().expect("--seed: integer"),
+            "--arrival-rate" => {
+                let rate: f64 = value("--arrival-rate")
+                    .parse()
+                    .expect("--arrival-rate: jobs/sec");
+                assert!(rate > 0.0, "--arrival-rate must be positive");
+                args.arrival_rate = Some(rate);
+            }
+            "--sweep-points" => {
+                args.sweep_points = value("--sweep-points")
+                    .parse()
+                    .expect("--sweep-points: integer");
+                assert!(args.sweep_points > 0, "--sweep-points must be positive");
+            }
+            "--interarrival" => {
+                let v = value("--interarrival");
+                args.interarrival = v.parse().unwrap_or_else(|e| panic!("{e}"));
+            }
+            "--policy" => {
+                let v = value("--policy");
+                args.policy = v.parse().unwrap_or_else(|e| panic!("{e}"));
+            }
+            "--queue-cap" => {
+                args.queue_cap = value("--queue-cap").parse().expect("--queue-cap: integer");
+            }
             other => args.path = other.to_string(),
         }
     }
@@ -83,19 +146,8 @@ struct Band {
     hist: rt::LatencyHistogram,
 }
 
-/// Execute one protocol's run and fold it into a JSON record.
-fn measure(set: &TransactionSet, kind: ProtocolKind, args: &Args) -> Json {
-    let jobs = rt::job_list(set, args.jobs, args.seed);
-    let result = rt::run(
-        set,
-        &jobs,
-        rt::RtConfig::new(kind)
-            .with_threads(args.threads)
-            .with_tick_ns(args.tick_ns),
-    );
-    assert_eq!(result.committed, jobs.len() as u64, "runtime dropped jobs");
-
-    // One histogram per distinct base priority, highest first.
+/// Per-priority latency histograms over a run's committed jobs.
+fn latency_bands(result: &rt::RtResult) -> Vec<Band> {
     let mut bands: Vec<Band> = Vec::new();
     for job in &result.jobs {
         let level = job.priority.level();
@@ -112,8 +164,27 @@ fn measure(set: &TransactionSet, kind: ProtocolKind, args: &Args) -> Json {
         band.hist.record(job.latency_ns);
     }
     bands.sort_by_key(|b| std::cmp::Reverse(b.priority));
+    bands
+}
 
-    let us = |ns: u64| ns as f64 / 1_000.0;
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1_000.0
+}
+
+/// Execute one protocol's closed-loop run and fold it into a JSON record.
+fn measure(set: &TransactionSet, kind: ProtocolKind, args: &Args) -> Json {
+    let jobs = rt::job_list(set, args.jobs, args.seed);
+    let result = rt::run(
+        set,
+        &jobs,
+        rt::RtConfig::new(kind)
+            .with_threads(args.threads)
+            .with_tick_ns(args.tick_ns),
+    );
+    assert_eq!(result.committed, jobs.len() as u64, "runtime dropped jobs");
+
+    // One histogram per distinct base priority, highest first.
+    let bands = latency_bands(&result);
     let band_records: Vec<Json> = bands
         .iter()
         .map(|b| {
@@ -150,6 +221,7 @@ fn measure(set: &TransactionSet, kind: ProtocolKind, args: &Args) -> Json {
     }
 
     Json::obj()
+        .set("mode", "closed-loop")
         .set("protocol", kind.name())
         .set("threads", args.threads as u64)
         .set("jobs", args.jobs as u64)
@@ -163,15 +235,128 @@ fn measure(set: &TransactionSet, kind: ProtocolKind, args: &Args) -> Json {
         .set("bands", Json::Arr(band_records))
 }
 
-/// Baseline record matching this run's configuration, if any.
+/// Fold one open-loop sweep point into a JSON record.
+fn open_loop_record(report: &OpenLoopReport, point: usize) -> Json {
+    let p = &report.params;
+    let r = &report.result;
+    let band_records: Vec<Json> = r
+        .misses_by_priority()
+        .iter()
+        .map(|b| {
+            Json::obj()
+                .set("priority", b.priority as u64)
+                .set("committed", b.committed)
+                .set("missed", b.missed)
+                .set("miss_ratio", b.ratio())
+        })
+        .collect();
+
+    println!(
+        "{:<8} open-loop {:>10.0} jobs/sec offered: {:>4} committed {:>4} shed {:>4} rejected  miss {:>6.1}%  queue p95 {:>9.1}us  service p95 {:>9.1}us",
+        p.kind.name(),
+        p.arrival_rate,
+        r.committed,
+        r.shed,
+        r.rejected,
+        100.0 * r.miss_ratio(),
+        us(report.queue_hist.quantile(0.95)),
+        us(report.service_hist.quantile(0.95)),
+    );
+
+    Json::obj()
+        .set("mode", "open-loop")
+        .set("protocol", p.kind.name())
+        .set("threads", p.threads as u64)
+        .set("jobs", p.jobs as u64)
+        .set("seed", p.seed)
+        .set("tick_ns", p.tick_ns)
+        .set("point", point as u64)
+        .set("arrival_rate", p.arrival_rate)
+        .set("interarrival", p.interarrival.to_string())
+        .set("policy", p.policy.to_string())
+        .set("queue_cap", p.capacity as u64)
+        .set("offered", report.offered)
+        .set("committed", r.committed)
+        .set("shed", r.shed)
+        .set("rejected", r.rejected)
+        .set("committed_per_sec", r.throughput())
+        .set("miss_ratio", r.miss_ratio())
+        .set("queue_p50_us", us(report.queue_hist.quantile(0.50)))
+        .set("queue_p95_us", us(report.queue_hist.quantile(0.95)))
+        .set("queue_p99_us", us(report.queue_hist.quantile(0.99)))
+        .set("service_p50_us", us(report.service_hist.quantile(0.50)))
+        .set("service_p95_us", us(report.service_hist.quantile(0.95)))
+        .set("service_p99_us", us(report.service_hist.quantile(0.99)))
+        .set("bands", Json::Arr(band_records))
+}
+
+/// Run the saturation sweep for one protocol, lowest offered rate first.
+fn measure_open_loop(set: &TransactionSet, kind: ProtocolKind, args: &Args) -> Vec<Json> {
+    let top_rate = args.arrival_rate.unwrap_or_else(|| {
+        // Calibrate the sweep top against *measured* closed-loop
+        // throughput: the first-order `service_capacity` estimate knows
+        // nothing about blocking or lock-manager overhead and can sit
+        // several times above the real ceiling, which would leave every
+        // sweep point saturated. The min guards against a calibration
+        // run inflated by scheduler luck.
+        let jobs = rt::job_list(set, 200, args.seed);
+        let cal = rt::run(
+            set,
+            &jobs,
+            rt::RtConfig::new(kind)
+                .with_threads(args.threads)
+                .with_tick_ns(args.tick_ns),
+        );
+        let ceiling = cal
+            .throughput()
+            .min(service_capacity(set, args.threads, args.tick_ns));
+        DEFAULT_OVERLOAD * ceiling
+    });
+    let base = OpenLoopParams {
+        kind,
+        threads: args.threads,
+        tick_ns: args.tick_ns,
+        jobs: args.jobs,
+        arrival_rate: top_rate,
+        interarrival: args.interarrival,
+        policy: args.policy,
+        capacity: args.queue_cap,
+        seed: args.seed,
+    };
+    rtdb_bench::loadgen::saturation_sweep(set, &base, args.sweep_points)
+        .iter()
+        .enumerate()
+        .map(|(i, report)| open_loop_record(report, i + 1))
+        .collect()
+}
+
+/// Baseline record matching this run's mode and configuration, if any.
 fn baseline_of<'a>(baseline: &'a [Json], rec: &Json) -> Option<&'a Json> {
+    let open_loop = rec.get("mode").and_then(Json::as_str) == Some("open-loop");
+    // Open-loop committed/sec tracks the offered rate below saturation,
+    // so records only compare when the offered rate matches too —
+    // auto-calibrated sweeps (whose top moves with measured capacity)
+    // simply skip the check; explicit `--arrival-rate` runs match.
+    let keys: &[&str] = if open_loop {
+        &[
+            "mode",
+            "protocol",
+            "threads",
+            "jobs",
+            "tick_ns",
+            "point",
+            "policy",
+            "interarrival",
+            "arrival_rate",
+        ]
+    } else {
+        &["mode", "protocol", "threads", "jobs", "tick_ns"]
+    };
     baseline.iter().find(|b| {
-        ["protocol", "threads", "jobs", "tick_ns"]
-            .iter()
-            .all(|&k| match (b.get(k), rec.get(k)) {
-                (Some(x), Some(y)) => x.to_string_compact() == y.to_string_compact(),
-                _ => false,
-            })
+        keys.iter().all(|&k| match (b.get(k), rec.get(k)) {
+            (Some(x), Some(y)) => x.to_string_compact() == y.to_string_compact(),
+            _ => false,
+        })
     })
 }
 
@@ -183,33 +368,54 @@ fn main() {
         .and_then(|text| Json::parse(&text).ok())
         .and_then(|json| json.as_array().map(<[Json]>::to_vec));
 
-    let kinds: Vec<ProtocolKind> = match args.kind {
+    let closed_kinds: Vec<ProtocolKind> = if args.open_only {
+        Vec::new()
+    } else {
+        match args.kind {
+            Some(k) => vec![k],
+            None => ProtocolKind::STANDARD.to_vec(),
+        }
+    };
+    // The open-loop sweep defaults to the paper's protocol and the
+    // abort-based baseline; a full nine-protocol sweep belongs in
+    // figures.rs, not the load generator.
+    let open_kinds: Vec<ProtocolKind> = match args.kind {
         Some(k) => vec![k],
-        None => ProtocolKind::STANDARD.to_vec(),
+        None => vec![ProtocolKind::PcpDa, ProtocolKind::TwoPlHp],
     };
 
     let mut records = Vec::new();
+    for &kind in &closed_kinds {
+        records.push(measure(&set, kind, &args));
+    }
+    for &kind in &open_kinds {
+        records.extend(measure_open_loop(&set, kind, &args));
+    }
+
     let mut warnings = Vec::new();
-    for &kind in &kinds {
-        let rec = measure(&set, kind, &args);
-        if let Some(base) = baseline.as_deref().and_then(|b| baseline_of(b, &rec)) {
+    for rec in &records {
+        if let Some(base) = baseline.as_deref().and_then(|b| baseline_of(b, rec)) {
             let old = base.get("committed_per_sec").and_then(Json::as_f64);
             let new = rec.get("committed_per_sec").and_then(Json::as_f64);
             if let (Some(old), Some(new)) = (old, new) {
                 let delta = (new - old) / old * 100.0;
-                eprintln!(
-                    "{}: {delta:+.1}% vs baseline ({old:.0} -> {new:.0})",
-                    kind.name()
+                let label = format!(
+                    "{} ({}{})",
+                    rec.get("protocol").and_then(Json::as_str).unwrap_or("?"),
+                    rec.get("mode").and_then(Json::as_str).unwrap_or("?"),
+                    rec.get("point")
+                        .and_then(Json::as_i64)
+                        .map(|p| format!(" p{p}"))
+                        .unwrap_or_default(),
                 );
+                eprintln!("{label}: {delta:+.1}% vs baseline ({old:.0} -> {new:.0})");
                 if delta < -100.0 * REGRESSION_TOLERANCE {
                     warnings.push(format!(
-                        "{}: {delta:+.1}% (baseline {old:.0}, measured {new:.0})",
-                        kind.name()
+                        "{label}: {delta:+.1}% (baseline {old:.0}, measured {new:.0})"
                     ));
                 }
             }
         }
-        records.push(rec);
     }
 
     if !warnings.is_empty() {

@@ -3,6 +3,9 @@
 //! * `src/bin/figures.rs` — regenerates **every table and figure** of the
 //!   paper (experiments E1–E11 of DESIGN.md) as text, and emits
 //!   machine-readable JSON records used by EXPERIMENTS.md;
+//! * `src/bin/rtload.rs` — the runtime load generator (closed-loop job
+//!   queues plus the [`loadgen`] open-loop saturation sweep), emitting
+//!   `BENCH_rt.json`;
 //! * `benches/` — Criterion micro- and macro-benchmarks: lock-decision
 //!   latency per protocol, full-engine simulation throughput,
 //!   schedulability-analysis throughput and the correctness oracles.
@@ -14,6 +17,7 @@
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod loadgen;
 
 use rtdb::prelude::*;
 

@@ -1,0 +1,315 @@
+//! Open-loop load generation for `rtload`.
+//!
+//! The closed loop (`rt::run` over a prebuilt job list) measures *service
+//! capacity*: workers are never idle, so throughput is the ceiling and
+//! latency is pure contention. The open loop here measures behaviour
+//! *under offered load*: arrivals follow a seeded stochastic schedule
+//! that does not slow down when the system does, which is the regime
+//! where queueing collapse and deadline misses actually appear.
+//!
+//! The pieces:
+//!
+//! * [`arrival_schedule`] — a deterministic merged arrival sequence;
+//!   per-template rates are proportional to `1/period` (faster templates
+//!   arrive more often, as in the periodic model) and normalised to the
+//!   requested aggregate rate, with seeded per-template phasing so the
+//!   templates do not arrive in lock-step;
+//! * [`run_open_loop`] — drives [`rt::run_front`]: the current thread
+//!   plays the submitter, pacing itself to the schedule; each request
+//!   carries `release = scheduled arrival` and
+//!   `deadline = release + period·tick`, so misses are judged against
+//!   the *intended* release, exactly like the simulator's periodic model;
+//! * [`saturation_sweep`] — re-runs the same schedule shape at
+//!   `rate·k/points` for `k = 1..=points`, producing the monotone
+//!   offered-load axis of the saturation curve in `BENCH_rt.json`;
+//! * [`service_capacity`] — a first-order estimate of the sustainable
+//!   job rate (`threads / mean service time`), used to pick a default
+//!   sweep top that is guaranteed to push past saturation.
+
+use rtdb::prelude::*;
+use rtdb::rt;
+use rtdb_util::Rng;
+
+/// The interarrival process of the open-loop schedule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Interarrival {
+    /// Exponential gaps (Poisson arrivals) — the classic open-loop model.
+    #[default]
+    Exponential,
+    /// Fixed gaps at each template's rate, with a seeded phase offset.
+    Periodic,
+}
+
+impl std::fmt::Display for Interarrival {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Interarrival::Exponential => "exp",
+            Interarrival::Periodic => "periodic",
+        })
+    }
+}
+
+impl std::str::FromStr for Interarrival {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "exp" | "exponential" | "poisson" => Ok(Interarrival::Exponential),
+            "periodic" | "fixed" => Ok(Interarrival::Periodic),
+            other => Err(format!(
+                "unknown interarrival process `{other}` (expected exp or periodic)"
+            )),
+        }
+    }
+}
+
+/// Configuration of one open-loop run.
+#[derive(Clone, Debug)]
+pub struct OpenLoopParams {
+    pub kind: ProtocolKind,
+    pub threads: usize,
+    /// Wall-clock nanoseconds per simulated tick, for both the workers'
+    /// busy-work and the deadline scale.
+    pub tick_ns: u64,
+    /// Total offered jobs (across all templates).
+    pub jobs: usize,
+    /// Aggregate offered rate, jobs per second.
+    pub arrival_rate: f64,
+    pub interarrival: Interarrival,
+    pub policy: rt::AdmissionPolicy,
+    /// Admission queue bound.
+    pub capacity: usize,
+    pub seed: u64,
+}
+
+/// One scheduled arrival: a template released at an offset from run start.
+#[derive(Clone, Copy, Debug)]
+pub struct Arrival {
+    pub at_ns: u64,
+    pub txn: TxnId,
+}
+
+/// First-order service-capacity estimate in jobs/sec: `threads` workers,
+/// each serving one job of mean WCET at `tick_ns` per tick. Queueing and
+/// blocking only lower the real ceiling, so offered load above this is
+/// guaranteed to saturate.
+pub fn service_capacity(set: &TransactionSet, threads: usize, tick_ns: u64) -> f64 {
+    let mean_wcet: f64 = set
+        .templates()
+        .iter()
+        .map(|t| t.wcet().raw() as f64)
+        .sum::<f64>()
+        / set.len() as f64;
+    let service_ns = (mean_wcet * tick_ns as f64).max(1.0);
+    threads as f64 * 1e9 / service_ns
+}
+
+/// Build the merged, time-sorted arrival schedule for `p.jobs` arrivals.
+///
+/// Deterministic in `(set, p)`: each template gets its own split of the
+/// seed, so adding sweep points or reordering runs never perturbs a
+/// template's arrival pattern.
+pub fn arrival_schedule(set: &TransactionSet, p: &OpenLoopParams) -> Vec<Arrival> {
+    assert!(p.arrival_rate > 0.0, "arrival rate must be positive");
+    let weights: Vec<f64> = set
+        .templates()
+        .iter()
+        .map(|t| 1.0 / t.period.raw() as f64)
+        .collect();
+    let wsum: f64 = weights.iter().sum();
+    let mut root = Rng::seed(p.seed ^ 0x4f50_454e); // "OPEN"
+
+    let mut arrivals: Vec<Arrival> = Vec::with_capacity(p.jobs * set.len());
+    for (t, w) in set.templates().iter().zip(&weights) {
+        let rate = p.arrival_rate * w / wsum;
+        let gap_ns = 1e9 / rate;
+        let mut rng = root.split();
+        // Seeded phase: spread template starts across one mean gap.
+        let mut at = rng.f64() * gap_ns;
+        for _ in 0..p.jobs {
+            arrivals.push(Arrival {
+                at_ns: at as u64,
+                txn: t.id,
+            });
+            at += match p.interarrival {
+                Interarrival::Exponential => -(1.0 - rng.f64()).ln() * gap_ns,
+                Interarrival::Periodic => gap_ns,
+            };
+        }
+    }
+    // Earliest `p.jobs` arrivals overall; ties broken by template id so
+    // the merge is deterministic.
+    arrivals.sort_by_key(|a| (a.at_ns, a.txn.0));
+    arrivals.truncate(p.jobs);
+    arrivals
+}
+
+/// Everything one open-loop run produces, ready for JSON folding.
+pub struct OpenLoopReport {
+    pub params: OpenLoopParams,
+    /// Scheduled arrivals (== `params.jobs`).
+    pub offered: u64,
+    /// Submissions the admission queue accepted (committed + shed).
+    pub admitted: u64,
+    pub result: rt::RtResult,
+    /// Admission → worker-start delay of committed jobs.
+    pub queue_hist: rt::LatencyHistogram,
+    /// Worker-start → commit service time of committed jobs.
+    pub service_hist: rt::LatencyHistogram,
+}
+
+impl OpenLoopReport {
+    /// Offered rate actually realised by the schedule, jobs/sec, derived
+    /// from the last scheduled arrival (differs from the nominal rate by
+    /// sampling noise).
+    pub fn offered_rate(&self) -> f64 {
+        self.params.arrival_rate
+    }
+}
+
+/// Execute one open-loop run: pace the schedule, submit through the
+/// admission front-end, split each committed job's latency into queueing
+/// and service histograms.
+pub fn run_open_loop(set: &TransactionSet, p: &OpenLoopParams) -> OpenLoopReport {
+    let schedule = arrival_schedule(set, p);
+    let config = rt::FrontConfig::new(p.kind)
+        .with_policy(p.policy)
+        .with_capacity(p.capacity)
+        .with_rt(
+            rt::RtConfig::new(p.kind)
+                .with_threads(p.threads)
+                .with_tick_ns(p.tick_ns),
+        );
+    let (result, admitted) = rt::run_front(set, config, |front| {
+        let (sub, _rx) = front.submitter();
+        let mut admitted = 0u64;
+        for a in &schedule {
+            // Pace to the schedule: coarse sleep for long waits, then a
+            // short spin so submit lateness stays well under the
+            // deadline scale.
+            let now = front.elapsed_ns();
+            if a.at_ns > now {
+                let wait = a.at_ns - now;
+                if wait > 200_000 {
+                    std::thread::sleep(std::time::Duration::from_nanos(wait - 100_000));
+                }
+                while front.elapsed_ns() < a.at_ns {
+                    std::hint::spin_loop();
+                }
+            }
+            let req = rt::JobRequest::periodic(set, a.txn, a.at_ns, p.tick_ns);
+            if let rt::SubmitOutcome::Admitted { .. } = sub.submit(req) {
+                admitted += 1;
+            }
+        }
+        admitted
+    });
+
+    let mut queue_hist = rt::LatencyHistogram::new();
+    let mut service_hist = rt::LatencyHistogram::new();
+    for job in &result.jobs {
+        queue_hist.record(job.queue_ns);
+        service_hist.record(job.service_ns);
+    }
+    OpenLoopReport {
+        params: p.clone(),
+        offered: schedule.len() as u64,
+        admitted,
+        result,
+        queue_hist,
+        service_hist,
+    }
+}
+
+/// Run the same schedule shape at `k/points` of the top rate for
+/// `k = 1..=points`: a monotone offered-load sweep ending at
+/// `base.arrival_rate`.
+pub fn saturation_sweep(
+    set: &TransactionSet,
+    base: &OpenLoopParams,
+    points: usize,
+) -> Vec<OpenLoopReport> {
+    assert!(points > 0, "sweep needs at least one point");
+    (1..=points)
+        .map(|k| {
+            let mut p = base.clone();
+            p.arrival_rate = base.arrival_rate * k as f64 / points as f64;
+            run_open_loop(set, &p)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(rate: f64) -> OpenLoopParams {
+        OpenLoopParams {
+            kind: ProtocolKind::PcpDa,
+            threads: 2,
+            tick_ns: 2_000,
+            jobs: 60,
+            arrival_rate: rate,
+            interarrival: Interarrival::Exponential,
+            policy: rt::AdmissionPolicy::Reject,
+            capacity: 2,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_sorted_and_rate_scaled() {
+        let set = crate::standard_workload(7);
+        let p = params(50_000.0);
+        let a = arrival_schedule(&set, &p);
+        let b = arrival_schedule(&set, &p);
+        assert_eq!(a.len(), p.jobs);
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.at_ns == y.at_ns && x.txn == y.txn));
+        assert!(a.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        // Doubling the rate compresses the schedule: the last arrival of
+        // the faster schedule lands earlier.
+        let fast = arrival_schedule(&set, &params(100_000.0));
+        assert!(fast.last().unwrap().at_ns < a.last().unwrap().at_ns);
+        // Every template appears: rates are proportional, not exclusive.
+        for t in set.templates() {
+            assert!(a.iter().any(|x| x.txn == t.id), "{:?} never arrives", t.id);
+        }
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_offered_load_and_accounts_for_every_job() {
+        let set = crate::standard_workload(7);
+        // Top rate far above capacity so the last point must saturate.
+        let top = 20.0 * service_capacity(&set, 2, 2_000);
+        let reports = saturation_sweep(&set, &params(top), 3);
+        assert_eq!(reports.len(), 3);
+        let rates: Vec<f64> = reports.iter().map(OpenLoopReport::offered_rate).collect();
+        assert!(rates.windows(2).all(|w| w[0] < w[1]), "{rates:?}");
+        for r in &reports {
+            assert_eq!(r.offered, r.params.jobs as u64);
+            assert_eq!(
+                r.result.committed + r.result.shed + r.result.rejected,
+                r.offered,
+                "jobs leaked at rate {}",
+                r.params.arrival_rate
+            );
+            assert_eq!(r.admitted, r.result.committed + r.result.shed);
+            let ratio = r.result.miss_ratio();
+            assert!((0.0..=1.0).contains(&ratio));
+            // Decomposition feeds the split histograms 1:1.
+            assert_eq!(r.queue_hist.count(), r.result.committed);
+            assert_eq!(r.service_hist.count(), r.result.committed);
+        }
+        // At 20x capacity with a 2-deep Reject queue, the schedule front
+        // outruns the workers by construction: drops are certain.
+        let top_point = reports.last().unwrap();
+        assert!(
+            top_point.result.rejected > 0,
+            "no drops at 20x capacity: {:?}",
+            (top_point.result.committed, top_point.result.rejected)
+        );
+    }
+}

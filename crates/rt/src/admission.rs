@@ -1,0 +1,288 @@
+//! The bounded admission queue and its overload policies.
+//!
+//! Submitters enqueue [`crate::JobRequest`]s here without ever touching
+//! the lock manager; the dispatcher thread drains the queue into the
+//! worker pool. The queue is the *only* place the open-loop front door
+//! pushes back on offered load, and what it does when full is the
+//! [`AdmissionPolicy`]:
+//!
+//! * [`AdmissionPolicy::Reject`] — bounce the new request back to its
+//!   submitter (classic open-loop drop-tail; offered load above
+//!   saturation shows up as a rising reject count);
+//! * [`AdmissionPolicy::ShedOldest`] — admit the new request and shed
+//!   the *oldest* queued one (its submitter is told via
+//!   [`crate::Completion::Shed`]; under deadline pressure the oldest
+//!   request is the one most likely to be dead on arrival anyway);
+//! * [`AdmissionPolicy::Block`] — park the submitter until space frees
+//!   up (turns the open loop into a closed loop at the bound — useful
+//!   for replay and backpressure experiments, but it hides queueing
+//!   collapse, which is exactly why it is not the load generator's
+//!   default).
+//!
+//! Admission timestamps are taken *inside* the queue's critical section
+//! at the moment the entry actually enters the queue, so queueing delay
+//! (admission → worker start) is well defined even when a `Block`ed
+//! submitter waited first.
+
+use crate::front::{Completion, JobRequest};
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// What the admission queue does with a new request when it is full.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Bounce the new request back to the submitter.
+    Reject,
+    /// Admit the new request, shedding the oldest queued one.
+    ShedOldest,
+    /// Park the submitter until the queue has space.
+    #[default]
+    Block,
+}
+
+impl std::fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AdmissionPolicy::Reject => "reject",
+            AdmissionPolicy::ShedOldest => "shed-oldest",
+            AdmissionPolicy::Block => "block",
+        })
+    }
+}
+
+impl std::str::FromStr for AdmissionPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "reject" => Ok(AdmissionPolicy::Reject),
+            "shed-oldest" | "shed" => Ok(AdmissionPolicy::ShedOldest),
+            "block" => Ok(AdmissionPolicy::Block),
+            other => Err(format!(
+                "unknown admission policy `{other}` (expected reject, shed-oldest or block)"
+            )),
+        }
+    }
+}
+
+/// One admitted request, as it travels queue → dispatcher → worker.
+pub(crate) struct Admitted {
+    pub req: JobRequest,
+    /// Submission ticket, for correlating completions.
+    pub ticket: u64,
+    /// Stamped inside the queue at the moment of admission.
+    pub admitted_at: Instant,
+    /// The submitter's completion channel.
+    pub done: Sender<Completion>,
+}
+
+/// Outcome of [`AdmissionQueue::push`].
+pub(crate) enum Push {
+    /// Entered the queue.
+    Admitted,
+    /// Entered the queue; the returned oldest entry was shed to make
+    /// room ([`AdmissionPolicy::ShedOldest`]).
+    AdmittedShed(Box<Admitted>),
+    /// Bounced: the queue was full under [`AdmissionPolicy::Reject`].
+    Rejected,
+    /// Bounced: the front-end has shut down.
+    Closed,
+}
+
+struct Inner {
+    q: VecDeque<Admitted>,
+    closed: bool,
+}
+
+/// A bounded MPSC queue: many submitters push, the dispatcher pops.
+pub(crate) struct AdmissionQueue {
+    inner: Mutex<Inner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl AdmissionQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            inner: Mutex::new(Inner {
+                q: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Try to admit `item` under `policy`. Blocks only for
+    /// [`AdmissionPolicy::Block`] on a full queue.
+    pub(crate) fn push(&self, mut item: Admitted, policy: AdmissionPolicy) -> Push {
+        let mut g = self.lock();
+        loop {
+            if g.closed {
+                return Push::Closed;
+            }
+            if g.q.len() < self.capacity {
+                item.admitted_at = Instant::now();
+                g.q.push_back(item);
+                self.not_empty.notify_one();
+                return Push::Admitted;
+            }
+            match policy {
+                AdmissionPolicy::Reject => return Push::Rejected,
+                AdmissionPolicy::ShedOldest => {
+                    let old = g.q.pop_front().expect("full queue is non-empty");
+                    item.admitted_at = Instant::now();
+                    g.q.push_back(item);
+                    self.not_empty.notify_one();
+                    return Push::AdmittedShed(Box::new(old));
+                }
+                AdmissionPolicy::Block => {
+                    g = self
+                        .not_full
+                        .wait(g)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    /// Pop the oldest admitted request, blocking while the queue is open
+    /// and empty. `None` once the queue is closed *and* drained.
+    pub(crate) fn pop(&self) -> Option<Admitted> {
+        let mut g = self.lock();
+        loop {
+            if let Some(item) = g.q.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self
+                .not_empty
+                .wait(g)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Close the queue: further pushes bounce, pops drain what remains.
+    pub(crate) fn close(&self) {
+        let mut g = self.lock();
+        g.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Queued (admitted, not yet dispatched) requests.
+    pub(crate) fn len(&self) -> usize {
+        self.lock().q.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdb_types::TxnId;
+    use std::sync::mpsc::channel;
+
+    fn item(ticket: u64) -> (Admitted, std::sync::mpsc::Receiver<Completion>) {
+        let (tx, rx) = channel();
+        (
+            Admitted {
+                req: JobRequest::new(TxnId(0)),
+                ticket,
+                admitted_at: Instant::now(),
+                done: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn reject_bounces_when_full() {
+        let q = AdmissionQueue::new(2);
+        for t in 0..2 {
+            assert!(matches!(
+                q.push(item(t).0, AdmissionPolicy::Reject),
+                Push::Admitted
+            ));
+        }
+        assert!(matches!(
+            q.push(item(2).0, AdmissionPolicy::Reject),
+            Push::Rejected
+        ));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn shed_oldest_returns_the_oldest() {
+        let q = AdmissionQueue::new(2);
+        q.push(item(0).0, AdmissionPolicy::ShedOldest);
+        q.push(item(1).0, AdmissionPolicy::ShedOldest);
+        match q.push(item(2).0, AdmissionPolicy::ShedOldest) {
+            Push::AdmittedShed(old) => assert_eq!(old.ticket, 0),
+            _ => panic!("expected shed"),
+        }
+        let tickets: Vec<u64> = std::iter::from_fn(|| {
+            q.close();
+            q.pop().map(|a| a.ticket)
+        })
+        .collect();
+        assert_eq!(tickets, vec![1, 2]);
+    }
+
+    #[test]
+    fn block_waits_for_space() {
+        let q = AdmissionQueue::new(1);
+        q.push(item(0).0, AdmissionPolicy::Block);
+        std::thread::scope(|s| {
+            let pusher =
+                s.spawn(|| matches!(q.push(item(1).0, AdmissionPolicy::Block), Push::Admitted));
+            // Give the pusher a moment to park on the full queue, then
+            // drain one entry to release it.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            assert_eq!(q.pop().expect("queued").ticket, 0);
+            assert!(pusher.join().expect("pusher"));
+        });
+        assert_eq!(q.pop().expect("queued").ticket, 1);
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = AdmissionQueue::new(4);
+        q.push(item(7).0, AdmissionPolicy::Reject);
+        q.close();
+        assert!(matches!(
+            q.push(item(8).0, AdmissionPolicy::Block),
+            Push::Closed
+        ));
+        assert_eq!(q.pop().expect("drains the backlog").ticket, 7);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn policy_parses_and_displays() {
+        for p in [
+            AdmissionPolicy::Reject,
+            AdmissionPolicy::ShedOldest,
+            AdmissionPolicy::Block,
+        ] {
+            assert_eq!(p.to_string().parse::<AdmissionPolicy>(), Ok(p));
+        }
+        assert_eq!(
+            "shed".parse::<AdmissionPolicy>(),
+            Ok(AdmissionPolicy::ShedOldest)
+        );
+        assert!("fifo".parse::<AdmissionPolicy>().is_err());
+    }
+}

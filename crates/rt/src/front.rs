@@ -1,0 +1,582 @@
+//! The asynchronous admission front-end: open-loop arrivals for the
+//! threaded runtime.
+//!
+//! The closed-loop executor ([`crate::runtime`]) drains a fixed job list
+//! — useful for throughput, blind to queueing collapse, because a worker
+//! only admits a job when it is free to run it. This module is the open
+//! front door: *submitters* enqueue [`JobRequest`]s (template, release
+//! time, absolute deadline) onto a bounded admission queue without ever
+//! blocking on the lock manager; a *dispatcher* thread assigns instance
+//! ids and feeds the worker pool; workers execute exactly the closed
+//! loop's job body and report completions back over each submitter's own
+//! completion channel. When the admission queue fills, the configured
+//! [`AdmissionPolicy`] decides who loses.
+//!
+//! Time is wall-clock nanoseconds relative to the front-end's start
+//! (`t0`). A job's life is stamped at four points — release (intended,
+//! submitter-supplied), admission (entering the queue), start (a worker
+//! picks it up) and commit — which split end-to-end latency into
+//! *queueing delay* (admission → start) and *service latency* (start →
+//! commit), and make the deadline verdict (`commit > deadline`?) a pure
+//! observation. The resulting [`RtResult`] carries per-priority
+//! deadline-miss ratios directly comparable with the simulator's miss
+//! metrics.
+//!
+//! The whole front-end is scoped: [`run_front`] spawns dispatcher and
+//! workers, hands the caller a [`FrontHandle`] to create submitters
+//! from, and shuts down with *drain* semantics when the driver closure
+//! returns — everything already admitted still executes, everything
+//! submitted afterwards bounces.
+
+use crate::admission::{AdmissionPolicy, AdmissionQueue, Admitted, Push};
+use crate::histogram::LatencyHistogram;
+use crate::manager::LockManager;
+use crate::runtime::{dur_ns, execute_job, JobReport, RtConfig, RtResult};
+use rtdb_core::ProtocolKind;
+use rtdb_storage::Workspace;
+use rtdb_types::{InstanceId, TransactionSet, TxnId};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// One transaction request, as a submitter hands it to the front door.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobRequest {
+    /// The template to instantiate (sequence numbers are assigned by the
+    /// dispatcher in admission order).
+    pub txn: TxnId,
+    /// Intended release time, ns since the front-end's `t0`. Informational
+    /// for the runtime — the submitter is responsible for not submitting
+    /// before the release (open-loop generators sleep until it).
+    pub release_ns: u64,
+    /// Absolute deadline, ns since `t0`; `None` = no deadline tracking.
+    pub deadline_ns: Option<u64>,
+}
+
+impl JobRequest {
+    /// A request with release `0` and no deadline.
+    pub fn new(txn: TxnId) -> Self {
+        JobRequest {
+            txn,
+            release_ns: 0,
+            deadline_ns: None,
+        }
+    }
+
+    /// Set the intended release time.
+    pub fn released_at(mut self, release_ns: u64) -> Self {
+        self.release_ns = release_ns;
+        self
+    }
+
+    /// Set the absolute deadline.
+    pub fn with_deadline(mut self, deadline_ns: u64) -> Self {
+        self.deadline_ns = Some(deadline_ns);
+        self
+    }
+
+    /// The paper's periodic-transaction convention: deadline = release +
+    /// period, with the template's period (in ticks) scaled to wall-clock
+    /// nanoseconds by `ns_per_tick` — use the same scale as
+    /// [`RtConfig::tick_ns`] so deadlines and simulated computation agree.
+    /// A zero scale yields `deadline == release`, i.e. every job misses;
+    /// callers that want no tracking should use [`JobRequest::new`].
+    pub fn periodic(set: &TransactionSet, txn: TxnId, release_ns: u64, ns_per_tick: u64) -> Self {
+        let period = set.template(txn).period.raw();
+        JobRequest {
+            txn,
+            release_ns,
+            deadline_ns: Some(release_ns.saturating_add(period.saturating_mul(ns_per_tick))),
+        }
+    }
+}
+
+/// Configuration of one [`run_front`].
+#[derive(Clone, Copy, Debug)]
+pub struct FrontConfig {
+    /// The worker-pool configuration (protocol, threads, tick scale,
+    /// park timeout).
+    pub rt: RtConfig,
+    /// Admission-queue bound (clamped to at least 1).
+    pub capacity: usize,
+    /// What happens to new requests when the queue is full.
+    pub policy: AdmissionPolicy,
+}
+
+impl FrontConfig {
+    /// Defaults: [`RtConfig::new`], capacity 1024, [`AdmissionPolicy::Block`].
+    pub fn new(kind: ProtocolKind) -> Self {
+        FrontConfig {
+            rt: RtConfig::new(kind),
+            capacity: 1024,
+            policy: AdmissionPolicy::Block,
+        }
+    }
+
+    /// Replace the worker-pool configuration.
+    pub fn with_rt(mut self, rt: RtConfig) -> Self {
+        self.rt = rt;
+        self
+    }
+
+    /// Set the admission-queue bound.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Set the admission policy.
+    pub fn with_policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// What [`Submitter::submit`] told the submitter, synchronously.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Admitted; a [`Completion`] carrying this ticket will arrive on the
+    /// submitter's channel (unless the job is later shed).
+    Admitted {
+        /// The submission ticket.
+        ticket: u64,
+    },
+    /// Bounced by a full queue under [`AdmissionPolicy::Reject`].
+    Rejected,
+    /// Bounced because the front-end has shut down.
+    Closed,
+}
+
+/// What arrives on a submitter's completion channel.
+#[derive(Debug)]
+pub enum Completion {
+    /// The job committed; the full per-job report.
+    Committed {
+        /// Ticket of the originating [`Submitter::submit`] call.
+        ticket: u64,
+        /// The same report that appears in [`RtResult::jobs`].
+        report: JobReport,
+    },
+    /// The job was shed from the admission queue to make room
+    /// ([`AdmissionPolicy::ShedOldest`]); it never ran.
+    Shed {
+        /// Ticket of the originating [`Submitter::submit`] call.
+        ticket: u64,
+        /// The template that was requested.
+        txn: TxnId,
+    },
+}
+
+/// Shared front-end state the handle and submitters reference.
+struct FrontShared {
+    t0: Instant,
+    policy: AdmissionPolicy,
+    queue: AdmissionQueue,
+    tickets: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// The caller's view of a running front-end (see [`run_front`]).
+/// `Copy`, `Send` and `Sync`: drivers may fan it out across their own
+/// scoped submitter threads.
+#[derive(Clone, Copy)]
+pub struct FrontHandle<'e> {
+    shared: &'e FrontShared,
+}
+
+impl<'e> FrontHandle<'e> {
+    /// Nanoseconds since the front-end started — the clock `release_ns`
+    /// and `deadline_ns` are measured on.
+    pub fn elapsed_ns(&self) -> u64 {
+        dur_ns(self.shared.t0.elapsed())
+    }
+
+    /// Requests currently waiting in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Create a submitter with its own completion channel.
+    pub fn submitter(&self) -> (Submitter<'e>, Receiver<Completion>) {
+        let (done, rx) = channel();
+        (
+            Submitter {
+                shared: self.shared,
+                done,
+            },
+            rx,
+        )
+    }
+}
+
+/// One producer of [`JobRequest`]s. Completions for everything this
+/// submitter admitted arrive on the [`Receiver`] returned alongside it.
+pub struct Submitter<'e> {
+    shared: &'e FrontShared,
+    done: Sender<Completion>,
+}
+
+impl Submitter<'_> {
+    /// Submit one request. Blocks only under [`AdmissionPolicy::Block`]
+    /// on a full queue; never blocks on the lock manager.
+    pub fn submit(&self, req: JobRequest) -> SubmitOutcome {
+        let ticket = self.shared.tickets.fetch_add(1, Ordering::Relaxed);
+        let item = Admitted {
+            req,
+            ticket,
+            admitted_at: Instant::now(),
+            done: self.done.clone(),
+        };
+        match self.shared.queue.push(item, self.shared.policy) {
+            Push::Admitted => SubmitOutcome::Admitted { ticket },
+            Push::AdmittedShed(old) => {
+                self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                let _ = old.done.send(Completion::Shed {
+                    ticket: old.ticket,
+                    txn: old.req.txn,
+                });
+                SubmitOutcome::Admitted { ticket }
+            }
+            Push::Rejected => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                SubmitOutcome::Rejected
+            }
+            Push::Closed => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                SubmitOutcome::Closed
+            }
+        }
+    }
+
+    /// Nanoseconds since the front-end started.
+    pub fn elapsed_ns(&self) -> u64 {
+        dur_ns(self.shared.t0.elapsed())
+    }
+}
+
+/// A dispatched job: an admitted request with its instance id assigned.
+struct Dispatched {
+    id: InstanceId,
+    job: Admitted,
+}
+
+/// The tightly bounded dispatcher→worker hand-off. Its capacity is the
+/// worker count, so backlog accumulates in the *admission* queue — the
+/// place where the policy applies — not here.
+struct DispatchQueue {
+    inner: Mutex<(VecDeque<Dispatched>, bool)>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl DispatchQueue {
+    fn new(capacity: usize) -> Self {
+        DispatchQueue {
+            inner: Mutex::new((VecDeque::new(), false)),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, (VecDeque<Dispatched>, bool)> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Blocking push; only the dispatcher calls this, and it closes the
+    /// queue afterwards, so a push never races a close.
+    fn push(&self, item: Dispatched) {
+        let mut g = self.lock();
+        while g.0.len() >= self.capacity {
+            g = self
+                .not_full
+                .wait(g)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        g.0.push_back(item);
+        self.not_empty.notify_one();
+    }
+
+    fn pop(&self) -> Option<Dispatched> {
+        let mut g = self.lock();
+        loop {
+            if let Some(item) = g.0.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if g.1 {
+                return None;
+            }
+            g = self
+                .not_empty
+                .wait(g)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        let mut g = self.lock();
+        g.1 = true;
+        self.not_empty.notify_all();
+    }
+}
+
+/// FIFO bridge from the admission queue to the worker pool: assigns each
+/// template's sequence numbers in admission order (so a single-threaded,
+/// block-policy replay reproduces exactly the instance sequence it was
+/// fed — the property the sim-differential test leans on).
+fn dispatcher(set: &TransactionSet, admission: &AdmissionQueue, dispatch: &DispatchQueue) {
+    let mut next_seq = vec![0u32; set.len()];
+    while let Some(job) = admission.pop() {
+        let txn = job.req.txn;
+        let seq = next_seq[txn.index()];
+        next_seq[txn.index()] += 1;
+        dispatch.push(Dispatched {
+            id: InstanceId::new(txn, seq),
+            job,
+        });
+    }
+    dispatch.close();
+}
+
+fn front_worker(
+    set: &TransactionSet,
+    manager: &LockManager<'_>,
+    dispatch: &DispatchQueue,
+    reports: &Mutex<Vec<JobReport>>,
+    tick_ns: u64,
+    t0: Instant,
+) -> LatencyHistogram {
+    let mut ws = Workspace::new(InstanceId::first(TxnId(0)));
+    let mut hist = LatencyHistogram::new();
+    while let Some(d) = dispatch.pop() {
+        let started = Instant::now();
+        let stats = execute_job(set, manager, d.id, &mut ws, tick_ns);
+        let committed = Instant::now();
+        let latency_ns = dur_ns(committed.duration_since(d.job.admitted_at));
+        hist.record(latency_ns);
+        let report = JobReport {
+            id: d.id,
+            priority: set.priority_of(d.id.txn),
+            latency_ns,
+            queue_ns: dur_ns(started.duration_since(d.job.admitted_at)),
+            service_ns: dur_ns(committed.duration_since(started)),
+            release_ns: d.job.req.release_ns,
+            deadline_ns: d.job.req.deadline_ns,
+            commit_ns: dur_ns(committed.duration_since(t0)),
+            restarts: stats.restarts,
+            block_events: stats.block_events,
+            lower_blockers: stats.lower_blockers,
+            commit_index: stats.commit_index,
+        };
+        reports
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(report.clone());
+        let _ = d.job.done.send(Completion::Committed {
+            ticket: d.job.ticket,
+            report,
+        });
+    }
+    hist
+}
+
+/// Run an admission front-end: spawn `config.rt.threads` workers and a
+/// dispatcher, call `driver` with a [`FrontHandle`] on the current
+/// thread, and shut down with drain semantics when it returns (admitted
+/// jobs still execute; later submissions observe [`SubmitOutcome::Closed`]).
+/// Returns the run's [`RtResult`] — commit-ordered job reports with
+/// queueing/service split and deadline verdicts, shed/reject counts, the
+/// full history and database — together with the driver's return value.
+pub fn run_front<R>(
+    set: &TransactionSet,
+    config: FrontConfig,
+    driver: impl FnOnce(FrontHandle<'_>) -> R,
+) -> (RtResult, R) {
+    let threads = config.rt.threads.max(1);
+    let manager = LockManager::new(set, config.rt.kind, config.rt.park_timeout);
+    let dispatch = DispatchQueue::new(threads);
+    let reports: Mutex<Vec<JobReport>> = Mutex::new(Vec::new());
+    let shared = FrontShared {
+        t0: Instant::now(),
+        policy: config.policy,
+        queue: AdmissionQueue::new(config.capacity),
+        tickets: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+    };
+
+    let (value, latency_hist) = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    front_worker(
+                        set,
+                        &manager,
+                        &dispatch,
+                        &reports,
+                        config.rt.tick_ns,
+                        shared.t0,
+                    )
+                })
+            })
+            .collect();
+        let disp = scope.spawn(|| dispatcher(set, &shared.queue, &dispatch));
+
+        // Run the driver on this thread; if it panics the queues must
+        // still close, or the scope would join parked workers forever.
+        let value = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            driver(FrontHandle { shared: &shared })
+        }));
+        shared.queue.close();
+        disp.join().expect("dispatcher panicked");
+        let mut hist = LatencyHistogram::new();
+        for w in workers {
+            hist.merge(&w.join().expect("worker panicked"));
+        }
+        match value {
+            Ok(v) => (v, hist),
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    });
+    let elapsed = shared.t0.elapsed();
+
+    let report = manager.finish();
+    let mut jobs = reports
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    jobs.sort_by_key(|j| j.commit_index);
+
+    (
+        RtResult {
+            protocol: config.rt.kind.name().to_string(),
+            kind: config.rt.kind,
+            threads,
+            history: report.history,
+            db: report.db,
+            committed: report.commits,
+            restarts: report.restarts,
+            deadlocks_resolved: report.deadlocks_resolved,
+            elapsed,
+            jobs,
+            shed: shared.shed.load(Ordering::Relaxed),
+            rejected: shared.rejected.load(Ordering::Relaxed),
+            latency_hist,
+        },
+        value,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdb_types::{SetBuilder, Step, TransactionTemplate};
+
+    fn small_set() -> TransactionSet {
+        SetBuilder::new()
+            .with(TransactionTemplate::new(
+                "hi",
+                10,
+                vec![Step::read(rtdb_types::ItemId(0), 1), Step::compute(1)],
+            ))
+            .with(TransactionTemplate::new(
+                "lo",
+                100,
+                vec![Step::write(rtdb_types::ItemId(0), 1), Step::compute(1)],
+            ))
+            .build()
+            .expect("set")
+    }
+
+    #[test]
+    fn submitted_jobs_run_and_complete() {
+        let set = small_set();
+        let config = FrontConfig::new(ProtocolKind::PcpDa);
+        let (result, tickets) = run_front(&set, config, |front| {
+            let (sub, rx) = front.submitter();
+            let mut tickets = Vec::new();
+            for i in 0..6u32 {
+                match sub.submit(JobRequest::new(TxnId(i % 2))) {
+                    SubmitOutcome::Admitted { ticket } => tickets.push(ticket),
+                    other => panic!("unexpected outcome {other:?}"),
+                }
+            }
+            // Completions for all six arrive even before shutdown.
+            let mut done = Vec::new();
+            for _ in 0..6 {
+                match rx.recv().expect("completion") {
+                    Completion::Committed { ticket, report } => {
+                        assert_eq!(report.queue_ns + report.service_ns, report.latency_ns);
+                        done.push(ticket);
+                    }
+                    Completion::Shed { .. } => panic!("nothing sheds under Block"),
+                }
+            }
+            done.sort_unstable();
+            (tickets, done)
+        });
+        let (submitted, completed) = tickets;
+        assert_eq!(submitted, completed);
+        assert_eq!(result.committed, 6);
+        assert_eq!(result.shed, 0);
+        assert_eq!(result.rejected, 0);
+        assert_eq!(result.jobs.len(), 6);
+        assert_eq!(result.latency_hist.count(), 6);
+        // No deadlines were set, so nothing can miss.
+        assert_eq!(result.deadline_misses(), 0);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_bounce() {
+        let set = small_set();
+        let (result, outcome) = run_front(&set, FrontConfig::new(ProtocolKind::TwoPlHp), |front| {
+            let (sub, _rx) = front.submitter();
+            sub.submit(JobRequest::new(TxnId(0)));
+            front.shared.queue.close();
+            sub.submit(JobRequest::new(TxnId(0)))
+        });
+        assert_eq!(outcome, SubmitOutcome::Closed);
+        assert_eq!(result.committed, 1);
+        assert_eq!(result.rejected, 1);
+    }
+
+    #[test]
+    fn shed_oldest_notifies_the_shed_submitter() {
+        let set = small_set();
+        // Capacity 1, huge tick_ns on a 1-thread pool: the first job owns
+        // the worker long enough that subsequent submissions contend for
+        // the single queue slot deterministically.
+        let config = FrontConfig::new(ProtocolKind::PcpDa)
+            .with_capacity(1)
+            .with_policy(AdmissionPolicy::ShedOldest)
+            .with_rt(
+                RtConfig::new(ProtocolKind::PcpDa)
+                    .with_threads(1)
+                    .with_tick_ns(2_000_000),
+            );
+        let (result, sheds) = run_front(&set, config, |front| {
+            let (sub, rx) = front.submitter();
+            for _ in 0..8 {
+                sub.submit(JobRequest::new(TxnId(1)));
+            }
+            drop(sub);
+            let mut sheds = 0u64;
+            while let Ok(c) = rx.recv() {
+                if let Completion::Shed { txn, .. } = c {
+                    assert_eq!(txn, TxnId(1));
+                    sheds += 1;
+                }
+            }
+            sheds
+        });
+        assert_eq!(result.shed, sheds);
+        assert_eq!(result.committed + result.shed, 8);
+        assert!(result.shed > 0, "8 submissions through a 1-slot queue shed");
+    }
+}

@@ -60,10 +60,27 @@ impl LatencyHistogram {
 
     /// Record one value.
     pub fn record(&mut self, value: u64) {
-        self.buckets[Self::bucket_of(value)] += 1;
-        self.count += 1;
+        let b = &mut self.buckets[Self::bucket_of(value)];
+        *b = b.saturating_add(1);
+        self.count = self.count.saturating_add(1);
         self.max = self.max.max(value);
         self.min = self.min.min(value);
+    }
+
+    /// Fold `other` into `self`, bucket by bucket, so per-worker
+    /// histograms can be combined after the threads join without any
+    /// locking during recording. Counts saturate at `u64::MAX` (the same
+    /// semantics as [`LatencyHistogram::record`]), so merging can never
+    /// wrap; min/max stay exact.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        if other.count > 0 {
+            self.max = self.max.max(other.max);
+            self.min = self.min.min(other.min);
+        }
     }
 
     /// Number of recorded values.
@@ -161,6 +178,61 @@ mod tests {
         assert!((4_200..=5_800).contains(&p50), "p50 = {p50}");
         assert!((8_700..=10_000).contains(&p99), "p99 = {p99}");
         assert_eq!(h.quantile(1.0), 10_000);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union() {
+        let xs: Vec<u64> = (0..400u64).map(|i| i * i * 37 % 90_001).collect();
+        let ys: Vec<u64> = (0..300u64).map(|i| i * 13 + 5).collect();
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut union = LatencyHistogram::new();
+        for &x in &xs {
+            a.record(x);
+            union.record(x);
+        }
+        for &y in &ys {
+            b.record(y);
+            union.record(y);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), union.count());
+        assert_eq!(a.min(), union.min());
+        assert_eq!(a.max(), union.max());
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), union.quantile(q), "quantile {q} diverged");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = LatencyHistogram::new();
+        a.record(7);
+        a.record(1_000);
+        let before = (a.count(), a.min(), a.max(), a.quantile(0.5));
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(before, (a.count(), a.min(), a.max(), a.quantile(0.5)));
+
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), a.count());
+        assert_eq!(empty.min(), a.min());
+        assert_eq!(empty.max(), a.max());
+    }
+
+    #[test]
+    fn merge_counts_saturate() {
+        let mut a = LatencyHistogram::new();
+        a.record(42);
+        a.count = u64::MAX - 1;
+        a.buckets[LatencyHistogram::bucket_of(42)] = u64::MAX - 1;
+        let mut b = LatencyHistogram::new();
+        for _ in 0..3 {
+            b.record(42);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), u64::MAX, "count saturates instead of wrapping");
+        assert_eq!(a.buckets[LatencyHistogram::bucket_of(42)], u64::MAX);
     }
 
     #[test]

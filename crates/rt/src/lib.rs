@@ -13,6 +13,13 @@
 //! * [`runtime`] — the closed-loop executor: a pool of worker threads
 //!   drains a job queue, each job running one transaction instance to
 //!   commit (with abort/restart for the wound/validate protocols);
+//! * [`front`] — the asynchronous admission front-end: submitters
+//!   enqueue [`JobRequest`]s (release time, deadline) on a bounded
+//!   admission queue, a dispatcher feeds the worker pool, completions
+//!   return over per-submitter channels — open-loop arrivals with
+//!   runtime deadline tracking;
+//! * [`admission`] — the bounded MPSC admission queue and its overload
+//!   policies (reject / shed-oldest / block-submitter);
 //! * [`jobs`] — deterministic seeded job queues;
 //! * [`histogram`] — a dependency-free log-bucketed latency histogram for
 //!   the `rtload` load generator.
@@ -28,11 +35,17 @@
 
 #![forbid(unsafe_code)]
 
+pub mod admission;
+pub mod front;
 pub mod histogram;
 pub mod jobs;
 mod manager;
 pub mod runtime;
 
+pub use admission::AdmissionPolicy;
+pub use front::{
+    run_front, Completion, FrontConfig, FrontHandle, JobRequest, SubmitOutcome, Submitter,
+};
 pub use histogram::LatencyHistogram;
 pub use jobs::job_list;
-pub use runtime::{run, run_jobs, JobReport, RtConfig, RtResult};
+pub use runtime::{run, run_jobs, JobReport, PriorityMisses, RtConfig, RtResult};

@@ -37,10 +37,11 @@ use std::cmp::Reverse;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
-/// Park timeout: the lost-wakeup / late-cycle safety net. Long enough to
-/// never matter on the fast path, short enough to keep worst-case
-/// recovery invisible in tests.
-const PARK_TIMEOUT: Duration = Duration::from_millis(25);
+/// Default park timeout (see [`crate::RtConfig::park_timeout`]): the
+/// lost-wakeup / late-cycle safety net. Long enough to never matter on
+/// the fast path, short enough to keep worst-case recovery invisible in
+/// tests.
+pub(crate) const DEFAULT_PARK_TIMEOUT: Duration = Duration::from_millis(25);
 
 /// What a manager call tells the worker to do next.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -486,13 +487,16 @@ impl<'a> Shared<'a> {
 /// by reference across the worker threads of that run.
 pub(crate) struct LockManager<'a> {
     state: Mutex<Shared<'a>>,
+    /// Park `wait_timeout` safety net (see [`crate::RtConfig::park_timeout`]).
+    park_timeout: Duration,
 }
 
 impl<'a> LockManager<'a> {
-    pub(crate) fn new(set: &'a TransactionSet, kind: ProtocolKind) -> Self {
+    pub(crate) fn new(set: &'a TransactionSet, kind: ProtocolKind, park_timeout: Duration) -> Self {
         let ceilings = CeilingTable::new(set);
         let locks = LockTable::with_index(&ceilings);
         LockManager {
+            park_timeout,
             state: Mutex::new(Shared {
                 view: RtView {
                     set,
@@ -563,7 +567,7 @@ impl<'a> LockManager<'a> {
                 TryAcquire::Park(cv) => {
                     loop {
                         let (g2, timeout) = cv
-                            .wait_timeout(g, PARK_TIMEOUT)
+                            .wait_timeout(g, self.park_timeout)
                             .unwrap_or_else(std::sync::PoisonError::into_inner);
                         g = g2;
                         let m = g.view.meta(id);

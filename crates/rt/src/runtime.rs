@@ -8,8 +8,9 @@
 //! restarts the same job from step 0 on the same thread, exactly like the
 //! simulator's slot reset.
 
+use crate::histogram::LatencyHistogram;
 use crate::jobs;
-use crate::manager::{CommitOutcome, JobStats, LockManager, Outcome};
+use crate::manager::{CommitOutcome, JobStats, LockManager, Outcome, DEFAULT_PARK_TIMEOUT};
 use rtdb_core::ProtocolKind;
 use rtdb_storage::{Database, History, SerializationGraph, Workspace};
 use rtdb_types::{InstanceId, Priority, TransactionSet, TxnId};
@@ -28,15 +29,23 @@ pub struct RtConfig {
     /// duration. `0` skips the busy-work entirely (fastest, maximum
     /// contention churn — the test default).
     pub tick_ns: u64,
+    /// Park `wait_timeout` safety net for blocked lock requests: on
+    /// expiry the waiter re-runs the wake-up re-evaluation and a deadlock
+    /// sweep itself, healing lost wake-ups and cycles that formed without
+    /// a block event. The default (25 ms) never matters on the fast path;
+    /// the admission dispatcher and latency-sensitive tests can tighten
+    /// it.
+    pub park_timeout: Duration,
 }
 
 impl RtConfig {
-    /// Defaults: 4 threads, no busy-work.
+    /// Defaults: 4 threads, no busy-work, 25 ms park timeout.
     pub fn new(kind: ProtocolKind) -> Self {
         RtConfig {
             kind,
             threads: 4,
             tick_ns: 0,
+            park_timeout: DEFAULT_PARK_TIMEOUT,
         }
     }
 
@@ -51,17 +60,42 @@ impl RtConfig {
         self.tick_ns = tick_ns;
         self
     }
+
+    /// Set the park `wait_timeout` safety net.
+    pub fn with_park_timeout(mut self, park_timeout: Duration) -> Self {
+        self.park_timeout = park_timeout;
+        self
+    }
 }
 
 /// Per-job outcome, in commit order.
+///
+/// All `_ns` timestamps are wall-clock offsets from the run's start (the
+/// admission front-end's `t0`, or the moment [`run`] spawned its workers
+/// for the closed loop).
 #[derive(Clone, Debug)]
 pub struct JobReport {
     /// The committed instance.
     pub id: InstanceId,
     /// Its template's base priority.
     pub priority: Priority,
-    /// Wall-clock begin→commit latency, including restarts.
+    /// Wall-clock admission→commit latency, including restarts. Always
+    /// exactly [`JobReport::queue_ns`] `+` [`JobReport::service_ns`].
     pub latency_ns: u64,
+    /// Queueing delay: admission → a worker starting the job. Zero in the
+    /// closed loop, where a worker *is* the admitter.
+    pub queue_ns: u64,
+    /// Service latency: worker start → commit, including restarts.
+    pub service_ns: u64,
+    /// Intended release time. The closed loop has no releases; there this
+    /// equals the admission time.
+    pub release_ns: u64,
+    /// Absolute deadline (`release + period`, scaled to wall-clock ns by
+    /// the submitter). `None` when the job carries no deadline — every
+    /// closed-loop job.
+    pub deadline_ns: Option<u64>,
+    /// Commit completion time.
+    pub commit_ns: u64,
     /// Aborts this job absorbed before committing.
     pub restarts: u32,
     /// Times this job parked on a denied lock request.
@@ -70,6 +104,36 @@ pub struct JobReport {
     pub lower_blockers: Vec<TxnId>,
     /// Zero-based position in the global commit order.
     pub commit_index: u64,
+}
+
+impl JobReport {
+    /// True if the job committed after its deadline. Jobs without a
+    /// deadline never miss.
+    pub fn missed_deadline(&self) -> bool {
+        self.deadline_ns.is_some_and(|d| self.commit_ns > d)
+    }
+}
+
+/// Committed/missed counts of one base-priority level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PriorityMisses {
+    /// The base-priority level ([`Priority::level`]).
+    pub priority: u32,
+    /// Jobs of this priority that committed.
+    pub committed: u64,
+    /// Of those, jobs that committed after their deadline.
+    pub missed: u64,
+}
+
+impl PriorityMisses {
+    /// Miss ratio `missed / committed` (0.0 when nothing committed).
+    pub fn ratio(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.missed as f64 / self.committed as f64
+        }
+    }
 }
 
 /// Everything a [`run`] produced.
@@ -95,6 +159,17 @@ pub struct RtResult {
     pub elapsed: Duration,
     /// Per-job outcomes, sorted by commit order.
     pub jobs: Vec<JobReport>,
+    /// Jobs the admission queue shed under
+    /// [`crate::AdmissionPolicy::ShedOldest`]. Always 0 in the closed
+    /// loop.
+    pub shed: u64,
+    /// Jobs the admission queue rejected under
+    /// [`crate::AdmissionPolicy::Reject`] (or submitted after shutdown).
+    /// Always 0 in the closed loop.
+    pub rejected: u64,
+    /// Total admission→commit latency distribution, merged from the
+    /// per-worker histograms after the threads joined.
+    pub latency_hist: LatencyHistogram,
 }
 
 impl RtResult {
@@ -117,6 +192,50 @@ impl RtResult {
             0.0
         }
     }
+
+    /// Committed jobs that missed their deadline.
+    pub fn deadline_misses(&self) -> u64 {
+        self.jobs.iter().filter(|j| j.missed_deadline()).count() as u64
+    }
+
+    /// Overall miss ratio over committed jobs (0.0 when nothing
+    /// committed). Shed and rejected jobs are *not* counted as misses —
+    /// they are reported separately ([`RtResult::shed`],
+    /// [`RtResult::rejected`]).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.jobs.is_empty() {
+            0.0
+        } else {
+            self.deadline_misses() as f64 / self.jobs.len() as f64
+        }
+    }
+
+    /// Per-priority deadline-miss accounting, highest priority first —
+    /// directly comparable with the simulator's per-template miss
+    /// metrics.
+    pub fn misses_by_priority(&self) -> Vec<PriorityMisses> {
+        let mut bands: Vec<PriorityMisses> = Vec::new();
+        for job in &self.jobs {
+            let level = job.priority.level();
+            let band = match bands.iter_mut().find(|b| b.priority == level) {
+                Some(b) => b,
+                None => {
+                    bands.push(PriorityMisses {
+                        priority: level,
+                        committed: 0,
+                        missed: 0,
+                    });
+                    bands.last_mut().expect("just pushed")
+                }
+            };
+            band.committed += 1;
+            if job.missed_deadline() {
+                band.missed += 1;
+            }
+        }
+        bands.sort_by_key(|b| std::cmp::Reverse(b.priority));
+        bands
+    }
 }
 
 /// Execute `job_queue` on `config.threads` OS threads under
@@ -124,16 +243,33 @@ impl RtResult {
 /// per-job reports. Every job runs to commit (aborts restart it), so the
 /// run always drains the queue.
 pub fn run(set: &TransactionSet, job_queue: &[InstanceId], config: RtConfig) -> RtResult {
-    let manager = LockManager::new(set, config.kind);
+    let manager = LockManager::new(set, config.kind, config.park_timeout);
     let next = AtomicUsize::new(0);
     let reports: Mutex<Vec<JobReport>> = Mutex::new(Vec::with_capacity(job_queue.len()));
     let threads = config.threads.max(1);
 
     let start = Instant::now();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| worker(set, job_queue, &manager, &next, &reports, config.tick_ns));
+    let latency_hist = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    worker(
+                        set,
+                        job_queue,
+                        &manager,
+                        &next,
+                        &reports,
+                        config.tick_ns,
+                        start,
+                    )
+                })
+            })
+            .collect();
+        let mut hist = LatencyHistogram::new();
+        for h in handles {
+            hist.merge(&h.join().expect("worker panicked"));
         }
+        hist
     });
     let elapsed = start.elapsed();
 
@@ -154,6 +290,9 @@ pub fn run(set: &TransactionSet, job_queue: &[InstanceId], config: RtConfig) -> 
         deadlocks_resolved: report.deadlocks_resolved,
         elapsed,
         jobs,
+        shed: 0,
+        rejected: 0,
+        latency_hist,
     }
 }
 
@@ -164,6 +303,11 @@ pub fn run_jobs(set: &TransactionSet, total: usize, seed: u64, config: RtConfig)
     run(set, &queue, config)
 }
 
+/// Saturating `u128 → u64` nanosecond conversion for [`std::time::Duration`]s.
+pub(crate) fn dur_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}
+
 fn worker(
     set: &TransactionSet,
     job_queue: &[InstanceId],
@@ -171,20 +315,32 @@ fn worker(
     next: &AtomicUsize,
     reports: &Mutex<Vec<JobReport>>,
     tick_ns: u64,
-) {
+    t0: Instant,
+) -> LatencyHistogram {
     let mut ws = Workspace::new(InstanceId::first(TxnId(0)));
+    let mut hist = LatencyHistogram::new();
     loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         let Some(&id) = job_queue.get(i) else {
-            return;
+            return hist;
         };
         let begun = Instant::now();
         let stats = execute_job(set, manager, id, &mut ws, tick_ns);
-        let latency_ns = begun.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let committed = Instant::now();
+        let latency_ns = dur_ns(committed.duration_since(begun));
+        hist.record(latency_ns);
         let report = JobReport {
             id,
             priority: set.priority_of(id.txn),
             latency_ns,
+            // Closed loop: the worker admits and starts the job in the
+            // same breath, so queueing delay is zero and service is the
+            // whole latency.
+            queue_ns: 0,
+            service_ns: latency_ns,
+            release_ns: dur_ns(begun.duration_since(t0)),
+            deadline_ns: None,
+            commit_ns: dur_ns(committed.duration_since(t0)),
             restarts: stats.restarts,
             block_events: stats.block_events,
             lower_blockers: stats.lower_blockers,
@@ -198,7 +354,7 @@ fn worker(
 }
 
 /// Run one instance to commit, restarting from step 0 on every abort.
-fn execute_job(
+pub(crate) fn execute_job(
     set: &TransactionSet,
     manager: &LockManager<'_>,
     id: InstanceId,

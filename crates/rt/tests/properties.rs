@@ -7,8 +7,11 @@
 //! shared `serializability_violations` entry point.
 
 use rtdb_core::ProtocolKind;
-use rtdb_rt::{job_list, run, RtConfig};
+use rtdb_rt::{
+    job_list, run, run_front, AdmissionPolicy, FrontConfig, JobRequest, RtConfig, SubmitOutcome,
+};
 use rtdb_sim::{serializability_violations, WorkloadParams};
+use rtdb_types::TxnId;
 use rtdb_util::prop;
 
 const CASES: usize = 32;
@@ -44,4 +47,75 @@ fn pcp_da_runtime_histories_are_conflict_serializable() {
 #[test]
 fn two_pl_hp_runtime_histories_are_conflict_serializable() {
     check_kind(ProtocolKind::TwoPlHp);
+}
+
+/// Deadline-accounting invariant of the admission front-end: for *every*
+/// committed job, queueing delay plus service time equals total latency
+/// exactly — all three are derived from the same three `Instant`s
+/// (admission, worker start, commit), so the identity must hold to the
+/// nanosecond, under every policy, thread count and queue bound.
+#[test]
+fn front_queueing_plus_service_equals_latency_for_every_committed_job() {
+    prop::forall(16, |rng| {
+        let set = WorkloadParams {
+            templates: rng.range_usize(3..6),
+            items: rng.range_usize(6..14),
+            target_utilization: 0.5,
+            hotspot_items: 3,
+            hotspot_prob: 0.5 + 0.3 * rng.f64(),
+            seed: rng.next_u64(),
+            ..WorkloadParams::default()
+        }
+        .generate()
+        .expect("workload generation")
+        .set;
+
+        let policy = match rng.bounded(3) {
+            0 => AdmissionPolicy::Reject,
+            1 => AdmissionPolicy::ShedOldest,
+            _ => AdmissionPolicy::Block,
+        };
+        let kind = if rng.bounded(2) == 0 {
+            ProtocolKind::PcpDa
+        } else {
+            ProtocolKind::TwoPlHp
+        };
+        let threads = 1 + rng.bounded(3) as usize;
+        let capacity = 1 + rng.bounded(8) as usize;
+        let offered: Vec<TxnId> = (0..24)
+            .map(|_| TxnId(rng.bounded(set.len() as u64) as u32))
+            .collect();
+
+        let config = FrontConfig::new(kind)
+            .with_policy(policy)
+            .with_capacity(capacity)
+            .with_rt(RtConfig::new(kind).with_threads(threads));
+        let (rt, ()) = run_front(&set, config, |front| {
+            let (sub, _rx) = front.submitter();
+            for &txn in &offered {
+                let release = front.elapsed_ns();
+                let out = sub.submit(JobRequest::periodic(&set, txn, release, 1_000));
+                assert!(!matches!(out, SubmitOutcome::Closed));
+            }
+        });
+
+        assert_eq!(
+            rt.committed + rt.shed + rt.rejected,
+            offered.len() as u64,
+            "{policy}/{kind:?}: submissions leaked"
+        );
+        assert_eq!(rt.jobs.len() as u64, rt.committed);
+        for job in &rt.jobs {
+            assert_eq!(
+                job.queue_ns + job.service_ns,
+                job.latency_ns,
+                "decomposition broke for {job:?}"
+            );
+            assert!(job.commit_ns >= job.release_ns, "{job:?}");
+            assert!(
+                job.deadline_ns.is_some(),
+                "periodic request lost its deadline"
+            );
+        }
+    });
 }

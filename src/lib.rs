@@ -13,7 +13,9 @@
 //!   paper's Figures 1–5 tick-for-tick;
 //! * [`rt`] — the multi-threaded runtime (crate `rtdb-rt`): the same
 //!   protocols executed on real OS threads through a parking lock
-//!   manager, with closed-loop job execution and latency histograms;
+//!   manager, with closed-loop job execution, an asynchronous admission
+//!   front-end for open-loop arrivals with runtime deadline tracking,
+//!   and latency histograms;
 //! * [`analysis`] — the §9 worst-case schedulability analysis (`BTS_i`,
 //!   `B_i`, Liu–Layland with blocking, response-time analysis, breakdown
 //!   utilization);
@@ -73,7 +75,10 @@ pub mod prelude {
     pub use rtdb_baselines::{Ccp, NaiveDa, OccBc, Pcp, RwPcp, TwoPlHp, TwoPlPi};
     pub use rtdb_cc::{GrantRule, PcpDa};
     pub use rtdb_core::{Decision, EngineView, LockRequest, Protocol, ProtocolFor, ProtocolKind};
-    pub use rtdb_rt::{job_list, LatencyHistogram, RtConfig, RtResult};
+    pub use rtdb_rt::{
+        job_list, run_front, AdmissionPolicy, FrontConfig, JobRequest, LatencyHistogram, RtConfig,
+        RtResult,
+    };
     pub use rtdb_sim::{
         compare_protocols, Engine, MetricsReport, RunOutcome, RunResult, SimConfig, WorkloadParams,
     };
