@@ -5,6 +5,7 @@
 //! ```sh
 //! cargo run --release -p rtdb-bench --bin rtload                  # full line-up -> ./BENCH_rt.json
 //! cargo run --release -p rtdb-bench --bin rtload -- --threads 8 --kind pcp-da --seed 7
+//! cargo run --release -p rtdb-bench --bin rtload -- --manager combining --threads 1,4,16
 //! cargo run --release -p rtdb-bench --bin rtload -- --arrival-rate 50000 --sweep-points 6
 //! cargo run --release -p rtdb-bench --bin rtload -- --check       # advisory regression check
 //! ```
@@ -31,6 +32,29 @@
 //! without starting there. This measures behaviour *under offered
 //! load* — the regime where queueing collapse lives.
 //!
+//! **Sweep axes.** `--manager mutex|combining|both` (default `both`)
+//! selects the lock manager(s); every record carries a `"manager"`
+//! field, and combining records additionally carry a `"combiner"`
+//! telemetry object (passes, ops-combined-per-pass, pass-length
+//! distribution, per-priority time-in-slot). `--threads` accepts a
+//! comma-separated list; the closed loop defaults to the
+//! 1/2/4/8/16/32 sweep, the open loop runs at one thread count (the
+//! single `--threads` value if one was given, else 4). Both managers
+//! run at identical seeds and — in the open loop — identical offered
+//! rates (the auto-calibration runs once per protocol, under the mutex
+//! manager), so mutex-vs-combining records are directly comparable;
+//! after measuring, a warn-only A/B summary prints the combining-vs-
+//! mutex throughput delta for every matched pair.
+//!
+//! `--reps` (default 3) re-runs each closed-loop configuration and keeps
+//! the *median-throughput* record: single 400-job runs are ~20 ms
+//! windows, and on a shared box one preemption inside such a window
+//! swings the measurement by ±20-30%, which would drown the A/B
+//! comparison in scheduler noise. The open loop is exempt — its runs are
+//! paced in real time, so repetitions multiply wall-clock cost, and its
+//! headline numbers (miss ratios over hundreds of jobs) average the
+//! noise out internally.
+//!
 //! `--tick-ns` scales each step's simulated duration to wall-clock
 //! busy-work (and, in open-loop mode, the deadline scale); the default
 //! keeps a full line-up under a few seconds while still letting blocking
@@ -39,7 +63,7 @@
 //! `--check [baseline.json]` measures without writing and **warns**
 //! (exit 0 — wall-clock throughput of a threaded run on a shared CI box
 //! is too noisy to gate merges on) when committed throughput drops more
-//! than 25% against a baseline record with the same mode and
+//! than 25% against a baseline record with the same mode, manager and
 //! configuration; mismatched configurations are skipped.
 
 use rtdb::prelude::*;
@@ -48,7 +72,15 @@ use rtdb_bench::loadgen::{service_capacity, Interarrival, OpenLoopParams, OpenLo
 use rtdb_util::Json;
 
 const DEFAULT_THREADS: usize = 4;
-const DEFAULT_JOBS: usize = 400;
+const DEFAULT_THREAD_SWEEP: [usize; 6] = [1, 2, 4, 8, 16, 32];
+/// Sized so a closed-loop run spans many scheduler quanta (~100 ms at
+/// line rate): a 400-job run is a ~20 ms window — about two CFS
+/// timeslices — and one preemption inside it moves the measurement by
+/// double-digit percents.
+const DEFAULT_JOBS: usize = 2_000;
+/// Closed-loop repetitions per configuration; the median-throughput
+/// record is kept (see the module docs on scheduler noise).
+const DEFAULT_REPS: usize = 3;
 const DEFAULT_TICK_NS: u64 = 2_000;
 const DEFAULT_SEED: u64 = 7;
 const DEFAULT_SWEEP_POINTS: usize = 4;
@@ -56,7 +88,8 @@ const DEFAULT_QUEUE_CAP: usize = 64;
 /// Default sweep top: this multiple of the service-capacity estimate.
 const DEFAULT_OVERLOAD: f64 = 1.5;
 /// Advisory tolerance: a warning is printed when committed-txns/sec
-/// drops by more than this fraction against a same-config baseline.
+/// drops by more than this fraction against a same-config baseline (or,
+/// in the A/B summary, when combining lags mutex by more than this).
 const REGRESSION_TOLERANCE: f64 = 0.25;
 
 struct Args {
@@ -64,8 +97,13 @@ struct Args {
     /// `None` = the full [`ProtocolKind::STANDARD`] line-up (closed
     /// loop) and the PCP-DA / 2PL-HP pair (open loop).
     kind: Option<ProtocolKind>,
-    threads: usize,
+    /// Lock managers to measure (default: both).
+    managers: Vec<rt::ManagerKind>,
+    /// Thread counts; `None` = the default closed-loop sweep.
+    threads: Option<Vec<usize>>,
     jobs: usize,
+    /// Closed-loop repetitions; the median-throughput record survives.
+    reps: usize,
     tick_ns: u64,
     seed: u64,
     /// Sweep-top offered rate (jobs/sec); `None` = auto from
@@ -85,8 +123,10 @@ fn parse_args() -> Args {
     let mut args = Args {
         check: false,
         kind: None,
-        threads: DEFAULT_THREADS,
+        managers: rt::ManagerKind::ALL.to_vec(),
+        threads: None,
         jobs: DEFAULT_JOBS,
+        reps: DEFAULT_REPS,
         tick_ns: DEFAULT_TICK_NS,
         seed: DEFAULT_SEED,
         arrival_rate: None,
@@ -107,8 +147,27 @@ fn parse_args() -> Args {
                 let v = value("--kind");
                 args.kind = Some(v.parse().unwrap_or_else(|e| panic!("{e}")));
             }
-            "--threads" => args.threads = value("--threads").parse().expect("--threads: integer"),
+            "--manager" => {
+                let v = value("--manager");
+                args.managers = match v.to_ascii_lowercase().as_str() {
+                    "both" | "all" => rt::ManagerKind::ALL.to_vec(),
+                    one => vec![one.parse().unwrap_or_else(|e| panic!("{e}"))],
+                };
+            }
+            "--threads" => {
+                let v = value("--threads");
+                let list: Vec<usize> = v
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads: integer list"))
+                    .collect();
+                assert!(!list.is_empty(), "--threads needs at least one value");
+                args.threads = Some(list);
+            }
             "--jobs" => args.jobs = value("--jobs").parse().expect("--jobs: integer"),
+            "--reps" => {
+                args.reps = value("--reps").parse().expect("--reps: integer");
+                assert!(args.reps > 0, "--reps must be positive");
+            }
             "--tick-ns" => args.tick_ns = value("--tick-ns").parse().expect("--tick-ns: integer"),
             "--seed" => args.seed = value("--seed").parse().expect("--seed: integer"),
             "--arrival-rate" => {
@@ -171,15 +230,78 @@ fn us(ns: u64) -> f64 {
     ns as f64 / 1_000.0
 }
 
-/// Execute one protocol's closed-loop run and fold it into a JSON record.
-fn measure(set: &TransactionSet, kind: ProtocolKind, args: &Args) -> Json {
+/// Fold a combining run's pass/slot telemetry into a JSON object.
+fn combiner_record(c: &rt::CombinerStats) -> Json {
+    let overall = c.slot_wait_overall();
+    let prio_records: Vec<Json> = c
+        .slot_wait_by_priority
+        .iter()
+        .map(|(level, h)| {
+            Json::obj()
+                .set("priority", *level as u64)
+                .set("ops", h.count())
+                .set("p50_us", us(h.quantile(0.50)))
+                .set("p95_us", us(h.quantile(0.95)))
+                .set("p99_us", us(h.quantile(0.99)))
+                .set("max_us", us(h.max()))
+        })
+        .collect();
+    Json::obj()
+        .set("passes", c.passes)
+        .set("ops_combined", c.ops_combined)
+        .set("ops_per_pass", c.ops_per_pass())
+        .set("max_pass_len", c.max_pass_len)
+        .set("pass_len_p50", c.pass_len.quantile(0.50))
+        .set("pass_len_p99", c.pass_len.quantile(0.99))
+        .set("slot_wait_p50_us", us(overall.quantile(0.50)))
+        .set("slot_wait_p95_us", us(overall.quantile(0.95)))
+        .set("slot_wait_p99_us", us(overall.quantile(0.99)))
+        .set("slot_wait_max_us", us(overall.max()))
+        .set("slot_wait_by_priority", Json::Arr(prio_records))
+}
+
+/// Execute one protocol's closed-loop configuration `args.reps` times
+/// and keep the median-throughput record (tagged with `"reps"`). Every
+/// repetition runs the identical seeded job list; only the OS scheduler
+/// varies between them.
+fn measure(
+    set: &TransactionSet,
+    kind: ProtocolKind,
+    manager: rt::ManagerKind,
+    threads: usize,
+    args: &Args,
+) -> Json {
+    let mut runs: Vec<(f64, Json)> = (0..args.reps)
+        .map(|_| {
+            let rec = measure_once(set, kind, manager, threads, args);
+            let tps = rec
+                .get("committed_per_sec")
+                .and_then(Json::as_f64)
+                .expect("closed-loop record carries committed_per_sec");
+            (tps, rec)
+        })
+        .collect();
+    runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let (_, median) = runs.swap_remove(runs.len() / 2);
+    median.set("reps", args.reps as u64)
+}
+
+/// One closed-loop run folded into a JSON record.
+fn measure_once(
+    set: &TransactionSet,
+    kind: ProtocolKind,
+    manager: rt::ManagerKind,
+    threads: usize,
+    args: &Args,
+) -> Json {
     let jobs = rt::job_list(set, args.jobs, args.seed);
     let result = rt::run(
         set,
         &jobs,
         rt::RtConfig::new(kind)
-            .with_threads(args.threads)
-            .with_tick_ns(args.tick_ns),
+            .with_threads(threads)
+            .with_tick_ns(args.tick_ns)
+            .with_manager(manager),
     );
     assert_eq!(result.committed, jobs.len() as u64, "runtime dropped jobs");
 
@@ -200,9 +322,10 @@ fn measure(set: &TransactionSet, kind: ProtocolKind, args: &Args) -> Json {
 
     let throughput = result.throughput();
     println!(
-        "{:<8} {:>7} threads {:>6} jobs {:>12.0} committed/sec {:>8} restarts {:>4} deadlocks",
+        "{:<8} {:<9} {:>3} threads {:>6} jobs {:>12.0} committed/sec {:>8} restarts {:>4} deadlocks",
         kind.name(),
-        args.threads,
+        manager.name(),
+        threads,
         args.jobs,
         throughput,
         result.restarts,
@@ -220,10 +343,11 @@ fn measure(set: &TransactionSet, kind: ProtocolKind, args: &Args) -> Json {
         );
     }
 
-    Json::obj()
+    let mut rec = Json::obj()
         .set("mode", "closed-loop")
         .set("protocol", kind.name())
-        .set("threads", args.threads as u64)
+        .set("manager", manager.name())
+        .set("threads", threads as u64)
         .set("jobs", args.jobs as u64)
         .set("seed", args.seed)
         .set("tick_ns", args.tick_ns)
@@ -232,7 +356,12 @@ fn measure(set: &TransactionSet, kind: ProtocolKind, args: &Args) -> Json {
         .set("committed_per_sec", throughput)
         .set("restarts", result.restarts)
         .set("deadlocks_resolved", result.deadlocks_resolved)
-        .set("bands", Json::Arr(band_records))
+        .set("park_timeout_wakeups", result.park_timeout_wakeups)
+        .set("bands", Json::Arr(band_records));
+    if manager == rt::ManagerKind::Combining {
+        rec = rec.set("combiner", combiner_record(&result.combiner));
+    }
+    rec
 }
 
 /// Fold one open-loop sweep point into a JSON record.
@@ -252,8 +381,9 @@ fn open_loop_record(report: &OpenLoopReport, point: usize) -> Json {
         .collect();
 
     println!(
-        "{:<8} open-loop {:>10.0} jobs/sec offered: {:>4} committed {:>4} shed {:>4} rejected  miss {:>6.1}%  queue p95 {:>9.1}us  service p95 {:>9.1}us",
+        "{:<8} {:<9} open-loop {:>10.0} jobs/sec offered: {:>4} committed {:>4} shed {:>4} rejected  miss {:>6.1}%  queue p95 {:>9.1}us  service p95 {:>9.1}us",
         p.kind.name(),
+        p.manager.name(),
         p.arrival_rate,
         r.committed,
         r.shed,
@@ -263,9 +393,10 @@ fn open_loop_record(report: &OpenLoopReport, point: usize) -> Json {
         us(report.service_hist.quantile(0.95)),
     );
 
-    Json::obj()
+    let mut rec = Json::obj()
         .set("mode", "open-loop")
         .set("protocol", p.kind.name())
+        .set("manager", p.manager.name())
         .set("threads", p.threads as u64)
         .set("jobs", p.jobs as u64)
         .set("seed", p.seed)
@@ -281,18 +412,26 @@ fn open_loop_record(report: &OpenLoopReport, point: usize) -> Json {
         .set("rejected", r.rejected)
         .set("committed_per_sec", r.throughput())
         .set("miss_ratio", r.miss_ratio())
+        .set("park_timeout_wakeups", r.park_timeout_wakeups)
         .set("queue_p50_us", us(report.queue_hist.quantile(0.50)))
         .set("queue_p95_us", us(report.queue_hist.quantile(0.95)))
         .set("queue_p99_us", us(report.queue_hist.quantile(0.99)))
         .set("service_p50_us", us(report.service_hist.quantile(0.50)))
         .set("service_p95_us", us(report.service_hist.quantile(0.95)))
         .set("service_p99_us", us(report.service_hist.quantile(0.99)))
-        .set("bands", Json::Arr(band_records))
+        .set("bands", Json::Arr(band_records));
+    if p.manager == rt::ManagerKind::Combining {
+        rec = rec.set("combiner", combiner_record(&r.combiner));
+    }
+    rec
 }
 
-/// Run the saturation sweep for one protocol, lowest offered rate first.
-fn measure_open_loop(set: &TransactionSet, kind: ProtocolKind, args: &Args) -> Vec<Json> {
-    let top_rate = args.arrival_rate.unwrap_or_else(|| {
+/// Sweep-top offered rate for one protocol: the explicit `--arrival-rate`
+/// if given, else 1.5× a short closed-loop calibration. Calibration runs
+/// under the mutex manager (the oracle), so both managers sweep at the
+/// *same* rates and their records compare like for like.
+fn top_rate(set: &TransactionSet, kind: ProtocolKind, threads: usize, args: &Args) -> f64 {
+    args.arrival_rate.unwrap_or_else(|| {
         // Calibrate the sweep top against *measured* closed-loop
         // throughput: the first-order `service_capacity` estimate knows
         // nothing about blocking or lock-manager overhead and can sit
@@ -304,20 +443,32 @@ fn measure_open_loop(set: &TransactionSet, kind: ProtocolKind, args: &Args) -> V
             set,
             &jobs,
             rt::RtConfig::new(kind)
-                .with_threads(args.threads)
+                .with_threads(threads)
                 .with_tick_ns(args.tick_ns),
         );
         let ceiling = cal
             .throughput()
-            .min(service_capacity(set, args.threads, args.tick_ns));
+            .min(service_capacity(set, threads, args.tick_ns));
         DEFAULT_OVERLOAD * ceiling
-    });
+    })
+}
+
+/// Run the saturation sweep for one protocol, lowest offered rate first.
+fn measure_open_loop(
+    set: &TransactionSet,
+    kind: ProtocolKind,
+    manager: rt::ManagerKind,
+    threads: usize,
+    rate: f64,
+    args: &Args,
+) -> Vec<Json> {
     let base = OpenLoopParams {
         kind,
-        threads: args.threads,
+        manager,
+        threads,
         tick_ns: args.tick_ns,
         jobs: args.jobs,
-        arrival_rate: top_rate,
+        arrival_rate: rate,
         interarrival: args.interarrival,
         policy: args.policy,
         capacity: args.queue_cap,
@@ -330,14 +481,14 @@ fn measure_open_loop(set: &TransactionSet, kind: ProtocolKind, args: &Args) -> V
         .collect()
 }
 
-/// Baseline record matching this run's mode and configuration, if any.
-fn baseline_of<'a>(baseline: &'a [Json], rec: &Json) -> Option<&'a Json> {
-    let open_loop = rec.get("mode").and_then(Json::as_str) == Some("open-loop");
+/// The identity keys two records must share to be comparable: everything
+/// that parameterizes a run except the lock manager.
+fn config_keys(rec: &Json) -> &'static [&'static str] {
     // Open-loop committed/sec tracks the offered rate below saturation,
     // so records only compare when the offered rate matches too —
     // auto-calibrated sweeps (whose top moves with measured capacity)
     // simply skip the check; explicit `--arrival-rate` runs match.
-    let keys: &[&str] = if open_loop {
+    if rec.get("mode").and_then(Json::as_str) == Some("open-loop") {
         &[
             "mode",
             "protocol",
@@ -351,13 +502,74 @@ fn baseline_of<'a>(baseline: &'a [Json], rec: &Json) -> Option<&'a Json> {
         ]
     } else {
         &["mode", "protocol", "threads", "jobs", "tick_ns"]
-    };
-    baseline.iter().find(|b| {
-        keys.iter().all(|&k| match (b.get(k), rec.get(k)) {
-            (Some(x), Some(y)) => x.to_string_compact() == y.to_string_compact(),
-            _ => false,
-        })
+    }
+}
+
+fn keys_match(a: &Json, b: &Json, keys: &[&str]) -> bool {
+    keys.iter().all(|&k| match (a.get(k), b.get(k)) {
+        (Some(x), Some(y)) => x.to_string_compact() == y.to_string_compact(),
+        _ => false,
     })
+}
+
+/// Baseline record matching this run's mode, manager and configuration.
+fn baseline_of<'a>(baseline: &'a [Json], rec: &Json) -> Option<&'a Json> {
+    let mut keys = config_keys(rec).to_vec();
+    keys.push("manager");
+    baseline.iter().find(|b| keys_match(b, rec, &keys))
+}
+
+fn short_label(rec: &Json) -> String {
+    format!(
+        "{} ({}{} @{}t)",
+        rec.get("protocol").and_then(Json::as_str).unwrap_or("?"),
+        rec.get("mode").and_then(Json::as_str).unwrap_or("?"),
+        rec.get("point")
+            .and_then(Json::as_i64)
+            .map(|p| format!(" p{p}"))
+            .unwrap_or_default(),
+        rec.get("threads").and_then(Json::as_i64).unwrap_or(0),
+    )
+}
+
+/// Warn-only A/B summary: for every combining record with a same-config
+/// mutex twin, print the throughput delta; collect a warning when the
+/// combiner lags beyond the tolerance.
+fn ab_summary(records: &[Json], warnings: &mut Vec<String>) {
+    let manager_of = |r: &Json| {
+        r.get("manager")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    for rec in records.iter().filter(|r| manager_of(r) == "combining") {
+        let Some(twin) = records
+            .iter()
+            .filter(|r| manager_of(r) == "mutex")
+            .find(|r| keys_match(r, rec, config_keys(rec)))
+        else {
+            continue;
+        };
+        let (Some(mutex_tps), Some(comb_tps)) = (
+            twin.get("committed_per_sec").and_then(Json::as_f64),
+            rec.get("committed_per_sec").and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        if mutex_tps <= 0.0 {
+            continue;
+        }
+        let delta = (comb_tps - mutex_tps) / mutex_tps * 100.0;
+        let label = short_label(rec);
+        eprintln!(
+            "A/B {label}: combining {comb_tps:.0}/s vs mutex {mutex_tps:.0}/s ({delta:+.1}%)"
+        );
+        if delta < -100.0 * REGRESSION_TOLERANCE {
+            warnings.push(format!(
+                "A/B {label}: combining lags mutex by {delta:+.1}% ({mutex_tps:.0} -> {comb_tps:.0})"
+            ));
+        }
+    }
 }
 
 fn main() {
@@ -383,13 +595,38 @@ fn main() {
         Some(k) => vec![k],
         None => vec![ProtocolKind::PcpDa, ProtocolKind::TwoPlHp],
     };
+    let closed_threads: Vec<usize> = args
+        .threads
+        .clone()
+        .unwrap_or_else(|| DEFAULT_THREAD_SWEEP.to_vec());
+    // The open loop keeps a single thread count: its sweep axis is
+    // offered load, and a full threads × rate × manager cube would blow
+    // the runtime budget.
+    let open_threads: usize = match args.threads.as_deref() {
+        Some([single]) => *single,
+        _ => DEFAULT_THREADS,
+    };
 
     let mut records = Vec::new();
     for &kind in &closed_kinds {
-        records.push(measure(&set, kind, &args));
+        for &threads in &closed_threads {
+            for &manager in &args.managers {
+                records.push(measure(&set, kind, manager, threads, &args));
+            }
+        }
     }
     for &kind in &open_kinds {
-        records.extend(measure_open_loop(&set, kind, &args));
+        let rate = top_rate(&set, kind, open_threads, &args);
+        for &manager in &args.managers {
+            records.extend(measure_open_loop(
+                &set,
+                kind,
+                manager,
+                open_threads,
+                rate,
+                &args,
+            ));
+        }
     }
 
     let mut warnings = Vec::new();
@@ -400,13 +637,9 @@ fn main() {
             if let (Some(old), Some(new)) = (old, new) {
                 let delta = (new - old) / old * 100.0;
                 let label = format!(
-                    "{} ({}{})",
-                    rec.get("protocol").and_then(Json::as_str).unwrap_or("?"),
-                    rec.get("mode").and_then(Json::as_str).unwrap_or("?"),
-                    rec.get("point")
-                        .and_then(Json::as_i64)
-                        .map(|p| format!(" p{p}"))
-                        .unwrap_or_default(),
+                    "{} [{}]",
+                    short_label(rec),
+                    rec.get("manager").and_then(Json::as_str).unwrap_or("?"),
                 );
                 eprintln!("{label}: {delta:+.1}% vs baseline ({old:.0} -> {new:.0})");
                 if delta < -100.0 * REGRESSION_TOLERANCE {
@@ -417,6 +650,7 @@ fn main() {
             }
         }
     }
+    ab_summary(&records, &mut warnings);
 
     if !warnings.is_empty() {
         // Advisory only: threaded wall-clock throughput on shared hardware

@@ -67,6 +67,8 @@ impl std::str::FromStr for Interarrival {
 #[derive(Clone, Debug)]
 pub struct OpenLoopParams {
     pub kind: ProtocolKind,
+    /// Lock-manager implementation driving the worker pool.
+    pub manager: rt::ManagerKind,
     pub threads: usize,
     /// Wall-clock nanoseconds per simulated tick, for both the workers'
     /// busy-work and the deadline scale.
@@ -178,7 +180,8 @@ pub fn run_open_loop(set: &TransactionSet, p: &OpenLoopParams) -> OpenLoopReport
         .with_rt(
             rt::RtConfig::new(p.kind)
                 .with_threads(p.threads)
-                .with_tick_ns(p.tick_ns),
+                .with_tick_ns(p.tick_ns)
+                .with_manager(p.manager),
         );
     let (result, admitted) = rt::run_front(set, config, |front| {
         let (sub, _rx) = front.submitter();
@@ -246,6 +249,7 @@ mod tests {
     fn params(rate: f64) -> OpenLoopParams {
         OpenLoopParams {
             kind: ProtocolKind::PcpDa,
+            manager: rt::ManagerKind::Mutex,
             threads: 2,
             tick_ns: 2_000,
             jobs: 60,

@@ -1,0 +1,964 @@
+//! Flat-combining delegation manager (DESIGN.md §6c, "Delegation
+//! instead of sharding").
+//!
+//! The ceiling protocols' `Sysceil` is a global predicate, so the lock
+//! table cannot be sharded per item; the alternative to a contended
+//! global mutex is *delegation*: a worker publishes its operation into a
+//! publication slot, and whichever thread holds the combiner role drains
+//! all pending operations in one cache-hot pass — in **descending
+//! running-priority order**, the same order the reevaluate rule already
+//! mandates, so delegation preserves the real-time semantics instead of
+//! merely approximating them.
+//!
+//! ## Fast path
+//!
+//! Delegation is worth a slot round-trip only when the protocol state is
+//! actually contended. A worker therefore first `try_lock`s the state:
+//! if the lock is free it executes its operation inline — byte-for-byte
+//! what the mutex manager would do, plus draining any wakes the
+//! operation produced — and never touches the publication machinery.
+//! Only when the state lock is busy (someone is executing or combining)
+//! does the worker publish, and the sitting lock holder then serves the
+//! whole backlog in one cache-hot pass. Uncontended runs thus match the
+//! mutex manager's cost profile, while contention bursts get batched.
+//!
+//! ## Slot protocol and combiner handoff
+//!
+//! Publication uses an intake queue rather than the classic scan-over-
+//! slots design: a worker pushes `(op, slot)` into `intake.queue` and, in
+//! the *same* critical section, checks `intake.combiner`. If the flag is
+//! clear the publisher sets it and becomes the combiner itself; if not,
+//! the sitting combiner is guaranteed to see the op, because the combiner
+//! only steps down after observing an empty queue — also under the intake
+//! lock. Either way exactly one thread is responsible for every published
+//! op: the classic flat-combining lost-wakeup window (combiner scans,
+//! finds nothing, releases the role just as a slot fills) cannot occur.
+//!
+//! The combiner executes each operation against the [`Shared`] protocol
+//! core (the identical state machine the mutex manager guards) and posts
+//! the result into the operation's slot. Operations carry the worker's
+//! private [`Workspace`] *by value* — a `Workspace` is three `Vec`s and
+//! two words, moving it is pointer-width copies and the buffers keep
+//! their capacity — so the grant-time data operation happens inside the
+//! combiner pass exactly as it happens inside the mutex critical
+//! section.
+//!
+//! A denied acquire does not occupy the combiner: it is recorded as a
+//! [`ParkedOp`] in the instance's bookkeeping and the waiting worker
+//! blocks on its own slot. When a re-evaluation would grant the request,
+//! the combiner posts [`Response::Retry`] — an *advisory* wake, exactly
+//! the mutex manager's semantics: the woken worker re-presents its
+//! acquire and competes for the freed capacity on equal terms with every
+//! running thread. Binding the grant to the sleeper instead (executing
+//! the parked acquire inline on wake) looks cheaper on paper but puts an
+//! OS context switch on the critical path of every lock handoff: the
+//! freed capacity sits reserved while the sleeper schedules in, and on
+//! an oversubscribed box the blocked pile then drains serially at
+//! wake-up latency. Advisory wakes keep the manager work-conserving.
+//!
+//! ## Safety nets
+//!
+//! Deadlock cycles that form without a new block event are caught by the
+//! combiner's end-of-drain sweep: before stepping down with blocked
+//! instances outstanding it runs `resolve_deadlocks` once. Waiting
+//! workers additionally keep the mutex manager's park-timeout net: a
+//! worker whose slot stays empty past the timeout publishes a `Nudge`
+//! operation (and self-elects if no combiner sits), which re-presents
+//! every pending request. Each firing is counted in
+//! [`crate::RtResult::park_timeout_wakeups`]; deterministic replays
+//! assert the count is zero.
+
+use crate::histogram::LatencyHistogram;
+use crate::manager::{
+    CommitOutcome, JobStats, ManagerReport, Outcome, Shared, TryAcquire, WorkerCtx,
+};
+use rtdb_core::ProtocolKind;
+use rtdb_storage::Workspace;
+use rtdb_types::{InstanceId, ItemId, LockMode, TransactionSet};
+use std::cmp::Reverse;
+use std::mem;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How long a parked acquire stays hot (yield-polling its slot) before
+/// falling back to the condvar sleep. Sized to cover a few commit
+/// intervals at closed-loop rates, where Retry wakes arrive; catching
+/// one while still runnable skips the condvar sleep/wake pair entirely.
+const PARK_GRACE: Duration = Duration::from_micros(200);
+
+/// Bounded slot wait while our op rides in another server's in-flight
+/// batch; the response posts as soon as that server re-takes the state
+/// lock, so this only bounds against a missed race, not real work.
+const IN_FLIGHT_WAIT: Duration = Duration::from_micros(200);
+
+/// Fast-path retries (with a `yield_now` between each) before an op is
+/// published for delegation. See `fast_lock`.
+const FAST_RETRIES: u32 = 3;
+
+/// Telemetry of the combining passes, exposed via
+/// [`crate::RtResult::combiner`] (all-zero under the mutex manager).
+#[derive(Clone, Debug, Default)]
+pub struct CombinerStats {
+    /// Combining passes executed (batches drained from the intake).
+    pub passes: u64,
+    /// Published operations executed across all passes.
+    pub ops_combined: u64,
+    /// Longest single pass, in operations.
+    pub max_pass_len: u64,
+    /// Distribution of pass lengths (operations per pass).
+    pub pass_len: LatencyHistogram,
+    /// Time-in-slot (publish → response, ns) per base-priority level,
+    /// sorted ascending by level. A parked acquire contributes one entry
+    /// per presentation (each Retry wake re-presents it), so the
+    /// per-priority asymmetry of slot waits is directly readable.
+    pub slot_wait_by_priority: Vec<(u32, LatencyHistogram)>,
+}
+
+impl CombinerStats {
+    /// Mean operations combined per pass (0 when no pass ran).
+    pub fn ops_per_pass(&self) -> f64 {
+        if self.passes == 0 {
+            0.0
+        } else {
+            self.ops_combined as f64 / self.passes as f64
+        }
+    }
+
+    /// All slot waits folded across priority levels.
+    pub fn slot_wait_overall(&self) -> LatencyHistogram {
+        let mut all = LatencyHistogram::new();
+        for (_, h) in &self.slot_wait_by_priority {
+            all.merge(h);
+        }
+        all
+    }
+
+    pub(crate) fn record_pass(&mut self, len: usize) {
+        self.passes += 1;
+        self.ops_combined += len as u64;
+        self.max_pass_len = self.max_pass_len.max(len as u64);
+        self.pass_len.record(len as u64);
+    }
+
+    pub(crate) fn record_slot_wait(&mut self, level: u32, wait: Duration) {
+        let i = match self
+            .slot_wait_by_priority
+            .binary_search_by_key(&level, |&(l, _)| l)
+        {
+            Ok(i) => i,
+            Err(i) => {
+                self.slot_wait_by_priority
+                    .insert(i, (level, LatencyHistogram::new()));
+                i
+            }
+        };
+        self.slot_wait_by_priority[i]
+            .1
+            .record(u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Fold another run's stats into this one (used by rtload sweeps).
+    pub fn merge(&mut self, other: &CombinerStats) {
+        self.passes += other.passes;
+        self.ops_combined += other.ops_combined;
+        self.max_pass_len = self.max_pass_len.max(other.max_pass_len);
+        self.pass_len.merge(&other.pass_len);
+        for (level, h) in &other.slot_wait_by_priority {
+            let i = match self
+                .slot_wait_by_priority
+                .binary_search_by_key(level, |&(l, _)| l)
+            {
+                Ok(i) => i,
+                Err(i) => {
+                    self.slot_wait_by_priority
+                        .insert(i, (*level, LatencyHistogram::new()));
+                    i
+                }
+            };
+            self.slot_wait_by_priority[i].1.merge(h);
+        }
+    }
+}
+
+/// A worker's publication slot: the single-use response mailbox for the
+/// operation it currently has in flight. One per worker thread, reused
+/// across operations (each response is consumed before the next publish).
+pub(crate) struct OpSlot {
+    resp: Mutex<Option<Response>>,
+    cv: Condvar,
+}
+
+impl OpSlot {
+    pub(crate) fn new() -> Self {
+        OpSlot {
+            resp: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Deliver the response and wake the waiting publisher.
+    pub(crate) fn post(&self, r: Response) {
+        let mut g = self
+            .resp
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        debug_assert!(g.is_none(), "slot response overwritten");
+        *g = Some(r);
+        self.cv.notify_one();
+    }
+
+    /// Wait up to `timeout` for a response; `None` on timeout.
+    fn wait(&self, timeout: Duration) -> Option<Response> {
+        let deadline = Instant::now() + timeout;
+        let mut g = self
+            .resp
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(r) = g.take() {
+                return Some(r);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (g2, _) = self
+                .cv
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            g = g2;
+        }
+    }
+
+    /// Non-blocking probe (used after an elected combine pass).
+    fn try_take(&self) -> Option<Response> {
+        self.resp
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+    }
+}
+
+/// What the combiner posts back through a slot.
+pub(crate) enum Response {
+    /// The operation completed; the workspace travels back if the
+    /// operation carried one.
+    Done(Option<Workspace>),
+    /// The instance was aborted; restart the job.
+    Restart(Workspace),
+    /// Commit succeeded.
+    Committed(Box<JobStats>, Workspace),
+    /// A parked acquire was woken by a re-evaluation: re-present it.
+    /// Mirrors the mutex manager's advisory wake — the grant is *not*
+    /// reserved for the sleeper, so a running thread can consume the
+    /// freed capacity first. Binding the grant to a descheduled thread
+    /// (the previous design: re-execute the parked acquire inline and
+    /// post the grant) serialized every lock handoff behind an OS
+    /// context switch; on an oversubscribed machine the blocked pile
+    /// then drains one wake-up at a time while runnable threads spin.
+    Retry(Workspace),
+}
+
+/// A denied acquire waiting for a re-evaluation to grant it, stored in
+/// the instance's [`crate::manager::Meta`]. A wake answers it with
+/// [`Response::Retry`] (the worker re-presents the acquire);
+/// `abort_victim` answers it with `Restart` directly.
+pub(crate) struct ParkedOp {
+    pub(crate) ws: Workspace,
+    pub(crate) slot: Arc<OpSlot>,
+    pub(crate) published: Instant,
+}
+
+/// A published operation awaiting a combiner.
+enum Op {
+    Begin {
+        id: InstanceId,
+    },
+    Acquire {
+        id: InstanceId,
+        step_index: usize,
+        item: ItemId,
+        mode: LockMode,
+        ws: Workspace,
+    },
+    StepDone {
+        id: InstanceId,
+        completed_step: usize,
+        ws: Workspace,
+    },
+    Commit {
+        id: InstanceId,
+        ws: Workspace,
+    },
+    /// Park-timeout safety net: re-present every pending request and run
+    /// the deadlock sweep if the nudger is still blocked.
+    Nudge {
+        id: InstanceId,
+    },
+}
+
+impl Op {
+    fn id(&self) -> InstanceId {
+        match *self {
+            Op::Begin { id }
+            | Op::Acquire { id, .. }
+            | Op::StepDone { id, .. }
+            | Op::Commit { id, .. }
+            | Op::Nudge { id } => id,
+        }
+    }
+}
+
+struct Published {
+    op: Op,
+    slot: Arc<OpSlot>,
+    published: Instant,
+}
+
+/// The publication intake. Push-and-check-flag and empty-check-and-clear
+/// both happen under this one lock, which makes the combiner handoff
+/// race-free: every published op is either seen by the sitting combiner
+/// or its publisher self-elects.
+struct Intake {
+    queue: Vec<Published>,
+    combiner: bool,
+}
+
+/// The flat-combining lock manager (see module docs for the protocol).
+///
+/// Lock ordering: `state` → `intake` and `state` → slot mutexes; workers
+/// take `intake` alone or their own slot alone. No cycles, hence no
+/// manager-level deadlock.
+pub(crate) struct CombiningManager<'a> {
+    state: Mutex<Shared<'a>>,
+    intake: Mutex<Intake>,
+    park_timeout: Duration,
+    /// Worker-side park-timeout firings (merged into the report).
+    timeout_wakeups: AtomicU64,
+}
+
+impl<'a> CombiningManager<'a> {
+    pub(crate) fn new(set: &'a TransactionSet, kind: ProtocolKind, park_timeout: Duration) -> Self {
+        CombiningManager {
+            state: Mutex::new(Shared::new(set, kind, true)),
+            intake: Mutex::new(Intake {
+                queue: Vec::new(),
+                combiner: false,
+            }),
+            park_timeout,
+            timeout_wakeups: AtomicU64::new(0),
+        }
+    }
+
+    fn lock_intake(&self) -> MutexGuard<'_, Intake> {
+        self.intake
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, Shared<'a>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Publish `op`; returns true if the caller became the combiner.
+    fn publish(&self, op: Op, slot: &Arc<OpSlot>, published: Instant) -> bool {
+        let mut intake = self.lock_intake();
+        intake.queue.push(Published {
+            op,
+            slot: Arc::clone(slot),
+            published,
+        });
+        if intake.combiner {
+            false
+        } else {
+            intake.combiner = true;
+            true
+        }
+    }
+
+    /// The uncontended fast path's lock attempt: spin-then-delegate.
+    /// Try the state lock, and on failure yield-retry a few times
+    /// before giving up. State critical sections are microseconds long,
+    /// so when the box is oversubscribed the holder usually just needs
+    /// the yielded timeslice to finish, and the retry converts a slot
+    /// round-trip (a sleep/wake pair) into an inline execution.
+    /// Bounded, so a combiner running a long pass still gets the op by
+    /// delegation.
+    fn fast_lock(&self) -> Option<MutexGuard<'_, Shared<'a>>> {
+        use std::sync::TryLockError;
+        let mut spins = 0;
+        loop {
+            match self.state.try_lock() {
+                Ok(g) => return Some(g),
+                Err(TryLockError::Poisoned(p)) => return Some(p.into_inner()),
+                Err(TryLockError::WouldBlock) if spins < FAST_RETRIES => {
+                    spins += 1;
+                    thread::yield_now();
+                }
+                Err(TryLockError::WouldBlock) => return None,
+            }
+        }
+    }
+
+    /// Fast-path epilogue: count the degenerate length-one pass (keeps
+    /// `ops_per_pass` honest — near 1.0 means the manager ran mostly
+    /// uncontended) and serve the wakes the inline operation produced.
+    /// Returns the response captured for our own slot, which is only
+    /// possible when the operation itself parked and a same-pass
+    /// re-evaluation answered it.
+    fn fast_epilogue(&self, g: &mut Shared<'a>, slot: &Arc<OpSlot>) -> Option<Response> {
+        g.combiner.record_pass(1);
+        let mut mine = None;
+        self.drain_woken(g, slot, &mut mine);
+        mine
+    }
+
+    /// Delegate an operation the fast path could not run (state lock
+    /// busy) and block until its response arrives: publish it, then
+    /// either run the combiner ourselves, collect the response a
+    /// sitting combiner posted, or serve the backlog when we beat the
+    /// combiner to the state lock.
+    fn call_slow(&self, id: InstanceId, op: Op, slot: &Arc<OpSlot>) -> Response {
+        if self.publish(op, slot, Instant::now()) {
+            if let Some(r) = self.combine(slot) {
+                return r;
+            }
+            // Our own op parked and we stepped down; its response
+            // arrives through the slot (possibly already posted by
+            // `abort_victim` during our own pass).
+            if let Some(r) = slot.try_take() {
+                return r;
+            }
+        } else if let Some(r) = self.await_session(id, slot) {
+            return r;
+        }
+        self.parked_wait(id, slot)
+    }
+
+    /// A combiner session is active and our op is queued for it. Sleep on
+    /// the *state futex* — the same wait the mutex manager's contended
+    /// path performs — not on the slot: a condvar round-trip per op is
+    /// exactly the oversubscription tax delegation is meant to avoid. On
+    /// wake either the sitting combiner already served us (response
+    /// waiting in the slot) or we hold the state lock with the session
+    /// over — then we serve the whole backlog ourselves, cache-hot.
+    /// Returns `None` if the op parked (caller falls through to the slot
+    /// wait).
+    fn await_session(&self, id: InstanceId, slot: &Arc<OpSlot>) -> Option<Response> {
+        let mut batch: Vec<Published> = Vec::new();
+        loop {
+            if let Some(r) = slot.try_take() {
+                return Some(r);
+            }
+            let mut g = self.lock_state();
+            if let Some(r) = slot.try_take() {
+                drop(g);
+                return Some(r);
+            }
+            // No response and the state lock is ours: the session that
+            // held it executed its ops before releasing (responses post
+            // under the state lock), so our op is still in the intake.
+            // Serve the backlog — we are a combiner in all but the flag.
+            let mut my_resp = None;
+            self.serve_backlog(&mut g, &mut batch, slot, &mut my_resp);
+            match my_resp {
+                Some(r) => return Some(r),
+                None if g.view.is_active(id) && g.view.meta(id).parked.is_some() => {
+                    return None; // genuinely blocked: park on the slot
+                }
+                // Raced another server that took our op into its batch
+                // mid-swap; its response is imminent — but it needs the
+                // state lock we hold to finish executing. Release it and
+                // wait on the slot (bounded, in case the response landed
+                // between our check and the wait); looping straight back
+                // to `lock_state` would barge the lock away from that
+                // server and spin a whole scheduler quantum against it.
+                None => {
+                    drop(g);
+                    if let Some(r) = slot.wait(IN_FLIGHT_WAIT) {
+                        return Some(r);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Slot wait for a parked acquire, with the park-timeout safety net.
+    ///
+    /// Yields before sleeping: the Retry wake is posted inline by
+    /// whichever thread runs the releasing commit, so under load it
+    /// typically lands within a few scheduler turns. Catching it while
+    /// still runnable turns wake → re-present into two queue operations;
+    /// taking the condvar sleep immediately would add a full sleep/wake
+    /// pair to every block, which is the dominant cost when the box is
+    /// oversubscribed. The yield loop keeps the thread hot through that
+    /// window at zero cost to others.
+    fn parked_wait(&self, id: InstanceId, slot: &Arc<OpSlot>) -> Response {
+        let grace = Instant::now() + PARK_GRACE;
+        loop {
+            if let Some(r) = slot.try_take() {
+                return r;
+            }
+            if Instant::now() >= grace {
+                break;
+            }
+            thread::yield_now();
+        }
+        loop {
+            match slot.wait(self.park_timeout) {
+                Some(r) => return r,
+                None => {
+                    // Safety net: heal lost wake-ups and cycles that
+                    // formed without a block event. The nudge's own
+                    // response goes to a throwaway slot.
+                    self.timeout_wakeups.fetch_add(1, Ordering::Relaxed);
+                    let nudge_slot = Arc::new(OpSlot::new());
+                    if self.publish(Op::Nudge { id }, &nudge_slot, Instant::now()) {
+                        if let Some(r) = self.combine(slot) {
+                            return r;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run the combiner until the intake drains. Returns the response to
+    /// the caller's own operation if it completed during the run (`None`
+    /// if it parked — the caller then waits on its slot like everyone
+    /// else).
+    fn combine(&self, my_slot: &Arc<OpSlot>) -> Option<Response> {
+        let mut my_resp = None;
+        let mut batch: Vec<Published> = Vec::new();
+        let mut swept = false;
+        let mut g = self.lock_state();
+        loop {
+            if self.serve_backlog(&mut g, &mut batch, my_slot, &mut my_resp) {
+                swept = false;
+                continue;
+            }
+            // Before stepping down with blocked instances outstanding,
+            // sweep once for wait-for cycles that formed without a
+            // fresh block event (the mutex manager relies on the park
+            // timeout for these; here detection is deterministic).
+            if !swept && g.has_blocked() {
+                swept = true;
+                g.resolve_deadlocks();
+                self.drain_woken(&mut g, my_slot, &mut my_resp);
+                continue;
+            }
+            let mut intake = self.lock_intake();
+            if intake.queue.is_empty() {
+                intake.combiner = false;
+                return my_resp;
+            }
+            // New arrivals raced the sweep; keep combining.
+        }
+    }
+
+    /// Swap out the intake backlog and serve it in one pass. Returns
+    /// false when the backlog was empty. Requires the state lock; any
+    /// holder may serve, combiner flag or not — the flag only guarantees
+    /// *someone* is responsible for the queue, not who.
+    fn serve_backlog(
+        &self,
+        g: &mut Shared<'a>,
+        batch: &mut Vec<Published>,
+        my_slot: &Arc<OpSlot>,
+        my_resp: &mut Option<Response>,
+    ) -> bool {
+        {
+            let mut intake = self.lock_intake();
+            debug_assert!(intake.combiner);
+            mem::swap(&mut intake.queue, batch);
+        }
+        if batch.is_empty() {
+            return false;
+        }
+        // Serve in descending running-priority order — the order the
+        // reevaluate rule mandates — with the simulator's tie-break
+        // (base priority, then earliest instance). Begin ops have no
+        // registered running priority yet; their base stands in.
+        batch.sort_by_key(|p| {
+            let id = p.op.id();
+            let base = g.view.set.priority_of(id.txn);
+            let running = if g.view.is_active(id) {
+                g.view.pm.running(id)
+            } else {
+                base
+            };
+            Reverse((running, base, Reverse(id.seq)))
+        });
+        g.combiner.record_pass(batch.len());
+        for p in batch.drain(..) {
+            let Published {
+                op,
+                slot,
+                published,
+            } = p;
+            self.exec_op(g, op, &slot, Some(published), my_slot, my_resp);
+            self.drain_woken(g, my_slot, my_resp);
+        }
+        true
+    }
+
+    /// Execute one operation against the shared core and answer its
+    /// slot. `published` is the publication timestamp for delegated ops
+    /// (`None` on the fast path, which never sits in a slot).
+    fn exec_op(
+        &self,
+        g: &mut Shared<'a>,
+        op: Op,
+        slot: &Arc<OpSlot>,
+        published: Option<Instant>,
+        my_slot: &Arc<OpSlot>,
+        my_resp: &mut Option<Response>,
+    ) {
+        match op {
+            Op::Begin { id } => {
+                g.begin(id);
+                respond(
+                    g,
+                    id,
+                    slot,
+                    published,
+                    Response::Done(None),
+                    my_slot,
+                    my_resp,
+                );
+            }
+            Op::Acquire {
+                id,
+                step_index,
+                item,
+                mode,
+                ws,
+            } => {
+                self.exec_acquire(
+                    g, id, step_index, item, mode, ws, slot, published, my_slot, my_resp,
+                );
+            }
+            Op::StepDone {
+                id,
+                completed_step,
+                ws,
+            } => {
+                let r = if g.take_abort(id) {
+                    Response::Restart(ws)
+                } else {
+                    g.step_done_inner(id, completed_step, &ws);
+                    Response::Done(Some(ws))
+                };
+                respond(g, id, slot, published, r, my_slot, my_resp);
+            }
+            Op::Commit { id, ws } => {
+                let r = if g.take_abort(id) {
+                    Response::Restart(ws)
+                } else {
+                    let stats = g.commit_inner(id, &ws);
+                    Response::Committed(Box::new(stats), ws)
+                };
+                respond(g, id, slot, published, r, my_slot, my_resp);
+            }
+            Op::Nudge { id } => {
+                g.reevaluate();
+                if g.view.is_active(id) && g.view.meta(id).pending.is_some() {
+                    g.resolve_deadlocks();
+                }
+                respond(
+                    g,
+                    id,
+                    slot,
+                    published,
+                    Response::Done(None),
+                    my_slot,
+                    my_resp,
+                );
+            }
+        }
+    }
+
+    /// Execute an acquire to completion or park it. Mirrors the mutex
+    /// manager's `acquire` loop, except a denial records a [`ParkedOp`]
+    /// instead of parking the calling thread.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_acquire(
+        &self,
+        g: &mut Shared<'a>,
+        id: InstanceId,
+        step_index: usize,
+        item: ItemId,
+        mode: LockMode,
+        mut ws: Workspace,
+        slot: &Arc<OpSlot>,
+        published: Option<Instant>,
+        my_slot: &Arc<OpSlot>,
+        my_resp: &mut Option<Response>,
+    ) {
+        loop {
+            if g.take_abort(id) {
+                respond(
+                    g,
+                    id,
+                    slot,
+                    published,
+                    Response::Restart(ws),
+                    my_slot,
+                    my_resp,
+                );
+                return;
+            }
+            match g.try_acquire(id, step_index, item, mode, &mut ws) {
+                TryAcquire::Done => {
+                    respond(
+                        g,
+                        id,
+                        slot,
+                        published,
+                        Response::Done(Some(ws)),
+                        my_slot,
+                        my_resp,
+                    );
+                    return;
+                }
+                TryAcquire::Retry => continue,
+                TryAcquire::Park(_cv) => {
+                    // Delegated parking: the request stays pending in the
+                    // shared state; the publisher waits on its slot. A
+                    // fast-path park starts its slot wait here, so the
+                    // wait clock starts now.
+                    let m = g.view.meta_mut(id);
+                    debug_assert!(m.parked.is_none(), "double park for {id:?}");
+                    m.parked = Some(ParkedOp {
+                        ws,
+                        slot: Arc::clone(slot),
+                        published: published.unwrap_or_else(Instant::now),
+                    });
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Answer every parked acquire a re-evaluation woke with
+    /// [`Response::Retry`]: the waiting worker re-presents the request
+    /// itself. The wake is advisory, not a reservation — see the
+    /// `Retry` variant for why binding the grant to a sleeping thread
+    /// collapses throughput under oversubscription.
+    fn drain_woken(
+        &self,
+        g: &mut Shared<'a>,
+        my_slot: &Arc<OpSlot>,
+        my_resp: &mut Option<Response>,
+    ) {
+        while !g.woken_queue.is_empty() {
+            let woken = mem::take(&mut g.woken_queue);
+            for id in woken {
+                if !g.view.is_active(id) {
+                    continue; // committed after a stale wake
+                }
+                let Some(p) = g.view.meta_mut(id).parked.take() else {
+                    continue; // stale: granted or aborted within its own pass
+                };
+                respond(
+                    g,
+                    id,
+                    &p.slot,
+                    Some(p.published),
+                    Response::Retry(p.ws),
+                    my_slot,
+                    my_resp,
+                );
+            }
+        }
+    }
+
+    // The public methods below each try a mutex-style inline fast path
+    // first: with the state lock in hand, operate on the borrowed
+    // `&mut ctx.ws` exactly as the mutex manager does, so the
+    // uncontended case pays no `Op`/`Response` moves and no workspace
+    // re-initialisation. The workspace is moved into a delegation `Op`
+    // only when the state lock is actually busy (or when an acquire
+    // parks and the workspace must outlive our stack frame).
+
+    pub(crate) fn begin(&self, id: InstanceId, ctx: &mut WorkerCtx) {
+        if let Some(mut g) = self.fast_lock() {
+            g.begin(id);
+            let mine = self.fast_epilogue(&mut g, &ctx.slot);
+            debug_assert!(mine.is_none(), "begin never parks");
+            return;
+        }
+        match self.call_slow(id, Op::Begin { id }, &ctx.slot) {
+            Response::Done(None) => {}
+            _ => unreachable!("begin returns a bare Done"),
+        }
+    }
+
+    pub(crate) fn acquire(
+        &self,
+        id: InstanceId,
+        step_index: usize,
+        item: ItemId,
+        mode: LockMode,
+        ctx: &mut WorkerCtx,
+    ) -> Outcome {
+        loop {
+            let resp = if let Some(mut g) = self.fast_lock() {
+                let granted = loop {
+                    if g.take_abort(id) {
+                        break Some(Outcome::Restart);
+                    }
+                    match g.try_acquire(id, step_index, item, mode, &mut ctx.ws) {
+                        TryAcquire::Done => break Some(Outcome::Done),
+                        TryAcquire::Retry => continue,
+                        TryAcquire::Park(_cv) => break None,
+                    }
+                };
+                if let Some(out) = granted {
+                    let mine = self.fast_epilogue(&mut g, &ctx.slot);
+                    debug_assert!(mine.is_none(), "response for an unparked op");
+                    return out;
+                }
+                // Denied: the request stays pending in the shared state;
+                // move the workspace out so it survives while we sleep on
+                // the slot. The wait clock starts now — the op never sat
+                // in a publication slot.
+                let ws = mem::replace(&mut ctx.ws, Workspace::new(id));
+                let m = g.view.meta_mut(id);
+                debug_assert!(m.parked.is_none(), "double park for {id:?}");
+                m.parked = Some(ParkedOp {
+                    ws,
+                    slot: Arc::clone(&ctx.slot),
+                    published: Instant::now(),
+                });
+                // A same-pass re-evaluation can wake the op we just
+                // parked; `fast_epilogue` then answers our own slot.
+                let mine = self.fast_epilogue(&mut g, &ctx.slot);
+                drop(g);
+                mine.unwrap_or_else(|| self.parked_wait(id, &ctx.slot))
+            } else {
+                let ws = mem::replace(&mut ctx.ws, Workspace::new(id));
+                let op = Op::Acquire {
+                    id,
+                    step_index,
+                    item,
+                    mode,
+                    ws,
+                };
+                self.call_slow(id, op, &ctx.slot)
+            };
+            match resp {
+                Response::Done(Some(w)) => {
+                    ctx.ws = w;
+                    return Outcome::Done;
+                }
+                Response::Restart(w) => {
+                    ctx.ws = w;
+                    return Outcome::Restart;
+                }
+                // Advisory wake: the pending request is still registered;
+                // re-present it (and race everyone else for the freed
+                // capacity, exactly like the mutex manager's wake path).
+                Response::Retry(w) => ctx.ws = w,
+                _ => unreachable!("acquire returns Done(ws), Restart(ws), or Retry(ws)"),
+            }
+        }
+    }
+
+    pub(crate) fn step_done(
+        &self,
+        id: InstanceId,
+        completed_step: usize,
+        ctx: &mut WorkerCtx,
+    ) -> Outcome {
+        if let Some(mut g) = self.fast_lock() {
+            let out = if g.take_abort(id) {
+                Outcome::Restart
+            } else {
+                g.step_done_inner(id, completed_step, &ctx.ws);
+                Outcome::Done
+            };
+            let mine = self.fast_epilogue(&mut g, &ctx.slot);
+            debug_assert!(mine.is_none(), "step_done never parks");
+            return out;
+        }
+        let ws = mem::replace(&mut ctx.ws, Workspace::new(id));
+        let op = Op::StepDone {
+            id,
+            completed_step,
+            ws,
+        };
+        match self.call_slow(id, op, &ctx.slot) {
+            Response::Done(Some(ws)) => {
+                ctx.ws = ws;
+                Outcome::Done
+            }
+            Response::Restart(ws) => {
+                ctx.ws = ws;
+                Outcome::Restart
+            }
+            _ => unreachable!("step_done returns Done(ws) or Restart(ws)"),
+        }
+    }
+
+    pub(crate) fn commit(&self, id: InstanceId, ctx: &mut WorkerCtx) -> CommitOutcome {
+        if let Some(mut g) = self.fast_lock() {
+            let out = if g.take_abort(id) {
+                CommitOutcome::Restart
+            } else {
+                CommitOutcome::Committed(g.commit_inner(id, &ctx.ws))
+            };
+            let mine = self.fast_epilogue(&mut g, &ctx.slot);
+            debug_assert!(mine.is_none(), "commit never parks");
+            return out;
+        }
+        let ws = mem::replace(&mut ctx.ws, Workspace::new(id));
+        match self.call_slow(id, Op::Commit { id, ws }, &ctx.slot) {
+            Response::Committed(stats, ws) => {
+                ctx.ws = ws;
+                CommitOutcome::Committed(*stats)
+            }
+            Response::Restart(ws) => {
+                ctx.ws = ws;
+                CommitOutcome::Restart
+            }
+            _ => unreachable!("commit returns Committed or Restart"),
+        }
+    }
+
+    pub(crate) fn finish(self) -> ManagerReport {
+        let extra = self.timeout_wakeups.load(Ordering::Relaxed);
+        self.state
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .into_report(extra)
+    }
+}
+
+/// Post `resp` through `slot`, recording its time-in-slot under the
+/// instance's base-priority level. The combiner's own operation short-
+/// circuits into `my_resp` instead of a slot round-trip.
+fn respond(
+    g: &mut Shared<'_>,
+    id: InstanceId,
+    slot: &Arc<OpSlot>,
+    published: Option<Instant>,
+    resp: Response,
+    my_slot: &Arc<OpSlot>,
+    my_resp: &mut Option<Response>,
+) {
+    if let Some(published) = published {
+        let level = g.view.set.priority_of(id.txn).level();
+        g.combiner.record_slot_wait(level, published.elapsed());
+    }
+    if Arc::ptr_eq(slot, my_slot) {
+        debug_assert!(my_resp.is_none(), "two responses for one op");
+        *my_resp = Some(resp);
+    } else {
+        slot.post(resp);
+    }
+}

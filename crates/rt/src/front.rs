@@ -30,10 +30,9 @@
 
 use crate::admission::{AdmissionPolicy, AdmissionQueue, Admitted, Push};
 use crate::histogram::LatencyHistogram;
-use crate::manager::LockManager;
+use crate::manager::{LockManager, WorkerCtx};
 use crate::runtime::{dur_ns, execute_job, JobReport, RtConfig, RtResult};
 use rtdb_core::ProtocolKind;
-use rtdb_storage::Workspace;
 use rtdb_types::{InstanceId, TransactionSet, TxnId};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -353,11 +352,11 @@ fn front_worker(
     tick_ns: u64,
     t0: Instant,
 ) -> LatencyHistogram {
-    let mut ws = Workspace::new(InstanceId::first(TxnId(0)));
+    let mut ctx = WorkerCtx::new();
     let mut hist = LatencyHistogram::new();
     while let Some(d) = dispatch.pop() {
         let started = Instant::now();
-        let stats = execute_job(set, manager, d.id, &mut ws, tick_ns);
+        let stats = execute_job(set, manager, d.id, &mut ctx, tick_ns);
         let committed = Instant::now();
         let latency_ns = dur_ns(committed.duration_since(d.job.admitted_at));
         hist.record(latency_ns);
@@ -400,7 +399,12 @@ pub fn run_front<R>(
     driver: impl FnOnce(FrontHandle<'_>) -> R,
 ) -> (RtResult, R) {
     let threads = config.rt.threads.max(1);
-    let manager = LockManager::new(set, config.rt.kind, config.rt.park_timeout);
+    let manager = LockManager::new(
+        set,
+        config.rt.kind,
+        config.rt.manager,
+        config.rt.park_timeout,
+    );
     let dispatch = DispatchQueue::new(threads);
     let reports: Mutex<Vec<JobReport>> = Mutex::new(Vec::new());
     let shared = FrontShared {
@@ -457,6 +461,7 @@ pub fn run_front<R>(
         RtResult {
             protocol: config.rt.kind.name().to_string(),
             kind: config.rt.kind,
+            manager: config.rt.manager,
             threads,
             history: report.history,
             db: report.db,
@@ -468,6 +473,8 @@ pub fn run_front<R>(
             shed: shared.shed.load(Ordering::Relaxed),
             rejected: shared.rejected.load(Ordering::Relaxed),
             latency_hist,
+            park_timeout_wakeups: report.park_timeout_wakeups,
+            combiner: report.combiner,
         },
         value,
     )

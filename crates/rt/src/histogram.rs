@@ -106,8 +106,12 @@ impl LatencyHistogram {
         }
     }
 
-    /// The `q`-quantile (`0.0..=1.0`) as the midpoint of the bucket holding
-    /// the rank, clamped to the exact observed min/max. Returns 0 when
+    /// The `q`-quantile (`0.0..=1.0`), interpolated by rank within the
+    /// bucket holding it. The bucket's value span is first clipped to the
+    /// exact observed min/max, so the top bucket interpolates toward the
+    /// true maximum instead of reporting the bucket's upper bound (the
+    /// old midpoint-and-clamp scheme collapsed every tail quantile that
+    /// landed in the max's bucket onto `max` itself). Returns 0 when
     /// empty.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
@@ -122,11 +126,21 @@ impl LatencyHistogram {
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (idx, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = seen;
             seen += c;
             if seen >= rank {
                 let (low, high) = Self::bucket_range(idx);
-                let mid = low + (high - low) / 2;
-                return mid.clamp(self.min, self.max);
+                let lo = low.max(self.min);
+                let hi = high.min(self.max);
+                if lo >= hi {
+                    return lo;
+                }
+                // Position of the rank among this bucket's occupants.
+                let frac = (rank - before) as f64 / c as f64;
+                return lo + ((hi - lo) as f64 * frac).round() as u64;
             }
         }
         self.max
@@ -202,6 +216,25 @@ mod tests {
         for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
             assert_eq!(a.quantile(q), union.quantile(q), "quantile {q} diverged");
         }
+    }
+
+    #[test]
+    fn tail_quantile_in_top_bucket_interpolates_below_max() {
+        // Regression for the p99 == max artifact: when the p99 rank lands
+        // in the same bucket as the maximum and the bucket midpoint sits
+        // above the true max, the old midpoint-and-clamp scheme collapsed
+        // the quantile onto `max` exactly. Rank interpolation keeps it
+        // inside the bucket's observed span.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..98 {
+            h.record(100);
+        }
+        h.record(8_192);
+        h.record(8_300);
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= 8_192, "p99 {p99} fell below its bucket");
+        assert!(p99 < h.max(), "p99 {p99} collapsed onto max {}", h.max());
+        assert_eq!(h.quantile(1.0), 8_300);
     }
 
     #[test]

@@ -6,10 +6,15 @@
 //! the identical protocol decision logic from `rtdb-core` through a
 //! parking lock manager:
 //!
-//! * `manager` (internal) — one global mutex guards the protocol state
-//!   (lock table, ceilings, priority inheritance, history, database);
-//!   blocked threads park on per-waiter condvars and are woken by the
-//!   same re-evaluation rule the simulator applies on every release;
+//! * `manager` (internal) — the protocol state core (lock table,
+//!   ceilings, priority inheritance, history, database) behind one of two
+//!   runtime-selectable lock managers ([`ManagerKind`]): the original
+//!   global mutex with per-waiter condvar parking, or
+//! * `combining` (internal) — the flat-combining delegation manager:
+//!   workers publish operations into publication slots and a single
+//!   combiner executes everyone's grant/deny/reevaluate decisions in one
+//!   cache-hot pass, in descending running-priority order (telemetry in
+//!   [`CombinerStats`]);
 //! * [`runtime`] — the closed-loop executor: a pool of worker threads
 //!   drains a job queue, each job running one transaction instance to
 //!   commit (with abort/restart for the wound/validate protocols);
@@ -36,6 +41,7 @@
 #![forbid(unsafe_code)]
 
 pub mod admission;
+mod combining;
 pub mod front;
 pub mod histogram;
 pub mod jobs;
@@ -43,9 +49,11 @@ mod manager;
 pub mod runtime;
 
 pub use admission::AdmissionPolicy;
+pub use combining::CombinerStats;
 pub use front::{
     run_front, Completion, FrontConfig, FrontHandle, JobRequest, SubmitOutcome, Submitter,
 };
 pub use histogram::LatencyHistogram;
 pub use jobs::job_list;
+pub use manager::ManagerKind;
 pub use runtime::{run, run_jobs, JobReport, PriorityMisses, RtConfig, RtResult};

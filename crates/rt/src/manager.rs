@@ -1,31 +1,33 @@
-//! The concurrent lock manager.
+//! The concurrent lock managers.
 //!
-//! One global [`Mutex`] guards the protocol state (lock table, ceilings,
-//! inheritance, per-instance bookkeeping, database, history); every
-//! protocol decision, data operation and commit happens inside it, so the
-//! runtime linearizes the exact state machine the simulator executes —
-//! only the *order* of requests differs (it is decided by the OS
-//! scheduler instead of the simulated priority dispatcher).
+//! Two interchangeable managers drive the identical protocol state
+//! machine (the [`Shared`] core below):
 //!
-//! Blocked threads park on a per-waiter [`Condvar`] associated with the
-//! shared mutex. Wake-ups mirror the simulator's `reevaluate`: whenever a
-//! lock is released (commit, abort, early release) or a new blocking edge
-//! appears, every parked request is re-presented to the protocol in
-//! descending running-priority order, and waiters whose requests would
-//! now be granted are woken; the actual grant happens when the woken
-//! thread re-issues its request, exactly as the simulator's woken
-//! instances re-request at dispatch. Parks additionally carry a timeout:
-//! on expiry the waiter runs a re-evaluation pass itself and, if it is
-//! still blocked, a deadlock sweep — a safety net that keeps the runtime
-//! live even for wait-for cycles that form without a new block event
-//! (possible here because blocker sets are refreshed while several
-//! threads run truly concurrently).
+//! * [`MutexManager`] — one global [`Mutex`] guards the protocol state
+//!   (lock table, ceilings, inheritance, per-instance bookkeeping,
+//!   database, history); every protocol decision, data operation and
+//!   commit happens inside it, so the runtime linearizes the exact state
+//!   machine the simulator executes — only the *order* of requests
+//!   differs (it is decided by the OS scheduler instead of the simulated
+//!   priority dispatcher). Blocked threads park on per-waiter
+//!   [`Condvar`]s; wake-ups mirror the simulator's `reevaluate`.
+//! * [`crate::combining::CombiningManager`] — the flat-combining
+//!   delegation manager: threads publish their operation into a
+//!   publication slot and one *combiner* thread executes everyone's
+//!   grant/deny/reevaluate decisions in a single cache-hot pass, in
+//!   descending running-priority order (see `combining.rs` and DESIGN.md
+//!   §6c "Delegation instead of sharding").
+//!
+//! The mutex manager is the semantic oracle for the combiner: every
+//! differential, serializability and stress test runs against both
+//! (selected by [`ManagerKind`] via [`crate::RtConfig`]).
 //!
 //! Deadlock cycles are detected on the wait-for graph at block time (as
 //! in the simulator) and always resolved by aborting the lowest-base-
 //! priority instance on the cycle: a real runtime cannot stop the world
 //! and report `RunOutcome::Deadlock` the way a simulation can.
 
+use crate::combining::{CombinerStats, CombiningManager, OpSlot, ParkedOp, Response};
 use rtdb_core::{
     CeilingTable, Decision, EngineView, LockRequest, LockTable, PriorityManager, ProtocolFor,
     ProtocolKind, UpdateModel, WaitForGraph,
@@ -42,6 +44,57 @@ use std::time::Duration;
 /// the fast path, short enough to keep worst-case recovery invisible in
 /// tests.
 pub(crate) const DEFAULT_PARK_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// Which lock-manager implementation mediates protocol state.
+///
+/// Both managers execute the identical [`rtdb_core::ProtocolFor`] decision
+/// logic over the same shared state core; they differ only in *how*
+/// threads reach that state. `Mutex` is the semantic oracle; `Combining`
+/// is the delegation design built for the high-contention regime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ManagerKind {
+    /// One global mutex, per-waiter condvar parking (the original
+    /// manager and the differential oracle).
+    #[default]
+    Mutex,
+    /// Flat-combining delegation: publication slots plus a single
+    /// combiner pass executing all pending decisions in descending
+    /// running-priority order.
+    Combining,
+}
+
+impl ManagerKind {
+    /// Both manager kinds, oracle first.
+    pub const ALL: [ManagerKind; 2] = [ManagerKind::Mutex, ManagerKind::Combining];
+
+    /// Short stable name, as used in `BENCH_rt.json` records.
+    pub fn name(self) -> &'static str {
+        match self {
+            ManagerKind::Mutex => "mutex",
+            ManagerKind::Combining => "combining",
+        }
+    }
+}
+
+impl std::fmt::Display for ManagerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ManagerKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "mutex" | "lock" => Ok(ManagerKind::Mutex),
+            "combining" | "combiner" | "fc" | "flat-combining" => Ok(ManagerKind::Combining),
+            other => Err(format!(
+                "unknown manager kind `{other}` (expected mutex or combining)"
+            )),
+        }
+    }
+}
 
 /// What a manager call tells the worker to do next.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -80,30 +133,55 @@ pub(crate) struct ManagerReport {
     pub commits: u64,
     pub restarts: u64,
     pub deadlocks_resolved: u64,
+    /// Park-timeout safety-net firings (see [`crate::RtResult::park_timeout_wakeups`]).
+    pub park_timeout_wakeups: u64,
+    /// Combining-pass telemetry (all-zero under [`ManagerKind::Mutex`]).
+    pub combiner: CombinerStats,
+}
+
+/// Per-worker context threaded through every manager call: the recycled
+/// private workspace plus (for the combining manager) the worker's
+/// publication slot. One per worker thread, reused across jobs.
+pub(crate) struct WorkerCtx {
+    pub ws: Workspace,
+    pub slot: Arc<OpSlot>,
+}
+
+impl WorkerCtx {
+    pub(crate) fn new() -> Self {
+        WorkerCtx {
+            ws: Workspace::new(InstanceId::first(TxnId(0))),
+            slot: Arc::new(OpSlot::new()),
+        }
+    }
 }
 
 /// Per-live-instance bookkeeping the protocols observe through
 /// [`EngineView`]. The `data_read`/`staged` mirrors are updated in the
 /// same critical section as the grant and the data operation, so the view
 /// other threads' decisions see is always consistent.
-struct Meta {
-    id: InstanceId,
-    cv: Arc<Condvar>,
+pub(crate) struct Meta {
+    pub(crate) id: InstanceId,
+    pub(crate) cv: Arc<Condvar>,
     /// The denied request this instance is parked on, if any.
-    pending: Option<LockRequest>,
+    pub(crate) pending: Option<LockRequest>,
     /// Set by a re-evaluation that would now grant `pending`.
-    woken: bool,
+    pub(crate) woken: bool,
     /// Set by [`Shared::abort_victim`]; consumed by the owning worker.
-    aborted: bool,
+    pub(crate) aborted: bool,
+    /// The parked acquire operation awaiting a combiner decision
+    /// (combining manager only; the mutex manager parks the *thread*
+    /// instead).
+    pub(crate) parked: Option<ParkedOp>,
     /// Mirror of the workspace's `data_read` set, sorted.
-    data_read: Vec<ItemId>,
+    pub(crate) data_read: Vec<ItemId>,
     /// Mirror of the workspace's staged-write item set, sorted.
-    staged: Vec<ItemId>,
+    pub(crate) staged: Vec<ItemId>,
     /// Items already installed by an early release (CCP), sorted.
-    installed_early: Vec<ItemId>,
-    lower_blockers: Vec<TxnId>,
-    block_events: u32,
-    restarts: u32,
+    pub(crate) installed_early: Vec<ItemId>,
+    pub(crate) lower_blockers: Vec<TxnId>,
+    pub(crate) block_events: u32,
+    pub(crate) restarts: u32,
 }
 
 impl Meta {
@@ -114,6 +192,7 @@ impl Meta {
             pending: None,
             woken: false,
             aborted: false,
+            parked: None,
             data_read: Vec::new(),
             staged: Vec::new(),
             installed_early: Vec::new(),
@@ -142,35 +221,35 @@ impl Meta {
 }
 
 /// The [`EngineView`] the protocols consult, shared across workers.
-struct RtView<'a> {
-    set: &'a TransactionSet,
-    ceilings: CeilingTable,
-    locks: LockTable,
-    pm: PriorityManager,
+pub(crate) struct RtView<'a> {
+    pub(crate) set: &'a TransactionSet,
+    pub(crate) ceilings: CeilingTable,
+    pub(crate) locks: LockTable,
+    pub(crate) pm: PriorityManager,
     /// Live instances, sorted ascending by id.
-    active: Vec<InstanceId>,
+    pub(crate) active: Vec<InstanceId>,
     /// Parallel per-instance bookkeeping, sorted by `Meta::id`.
-    metas: Vec<Meta>,
+    pub(crate) metas: Vec<Meta>,
 }
 
 impl RtView<'_> {
     #[inline]
-    fn meta_idx(&self, who: InstanceId) -> Option<usize> {
+    pub(crate) fn meta_idx(&self, who: InstanceId) -> Option<usize> {
         self.metas.binary_search_by_key(&who, |m| m.id).ok()
     }
 
     #[inline]
-    fn meta(&self, who: InstanceId) -> &Meta {
+    pub(crate) fn meta(&self, who: InstanceId) -> &Meta {
         &self.metas[self.meta_idx(who).expect("instance is live")]
     }
 
     #[inline]
-    fn meta_mut(&mut self, who: InstanceId) -> &mut Meta {
+    pub(crate) fn meta_mut(&mut self, who: InstanceId) -> &mut Meta {
         let i = self.meta_idx(who).expect("instance is live");
         &mut self.metas[i]
     }
 
-    fn is_active(&self, who: InstanceId) -> bool {
+    pub(crate) fn is_active(&self, who: InstanceId) -> bool {
         self.meta_idx(who).is_some()
     }
 }
@@ -207,40 +286,96 @@ impl EngineView for RtView<'_> {
     }
 }
 
-/// The mutex-guarded heart of the runtime.
-struct Shared<'a> {
-    view: RtView<'a>,
-    protocol: AnyProtocol,
-    kind: ProtocolKind,
-    db: Database,
-    history: History,
+/// The guarded heart of the runtime, shared by both manager kinds: under
+/// [`ManagerKind::Mutex`] every worker locks it directly; under
+/// [`ManagerKind::Combining`] only the current combiner does.
+pub(crate) struct Shared<'a> {
+    pub(crate) view: RtView<'a>,
+    pub(crate) protocol: AnyProtocol,
+    pub(crate) kind: ProtocolKind,
+    /// True under the combining manager: `wake`/`abort_victim` complete
+    /// parked *operations* (publication slots) instead of notifying
+    /// parked *threads*.
+    pub(crate) delegated: bool,
+    pub(crate) db: Database,
+    pub(crate) history: History,
     /// Logical event clock: history ticks order events for readers of the
     /// log; correctness oracles never compare tick values across runs.
-    now: u64,
-    commits: u64,
-    restarts: u64,
-    deadlocks_resolved: u64,
+    pub(crate) now: u64,
+    pub(crate) commits: u64,
+    pub(crate) restarts: u64,
+    pub(crate) deadlocks_resolved: u64,
+    /// Park-timeout safety-net firings (mutex manager; the combining
+    /// manager counts its own on the worker side).
+    pub(crate) park_timeout_wakeups: u64,
+    /// Instances whose parked operation a re-evaluation would now grant,
+    /// in wake order (combining mode only; drained by the combiner).
+    pub(crate) woken_queue: Vec<InstanceId>,
+    /// Combining-pass telemetry (combining mode only).
+    pub(crate) combiner: CombinerStats,
     reeval_scratch: Vec<InstanceId>,
 }
 
 /// What [`Shared::try_acquire`] told the caller.
-enum TryAcquire {
+pub(crate) enum TryAcquire {
     /// Granted (or already covered); the data operation happened.
     Done,
     /// State changed (victims aborted); retry the request immediately.
     Retry,
-    /// Blocked; park on the returned condvar.
+    /// Blocked; park on the returned condvar (mutex manager) or record a
+    /// parked operation (combining manager).
     Park(Arc<Condvar>),
 }
 
 impl<'a> Shared<'a> {
+    pub(crate) fn new(set: &'a TransactionSet, kind: ProtocolKind, delegated: bool) -> Self {
+        let ceilings = CeilingTable::new(set);
+        let locks = LockTable::with_index(&ceilings);
+        Shared {
+            view: RtView {
+                set,
+                ceilings,
+                locks,
+                pm: PriorityManager::new(),
+                active: Vec::new(),
+                metas: Vec::new(),
+            },
+            protocol: instantiate(kind),
+            kind,
+            delegated,
+            db: Database::new(),
+            history: History::new(),
+            now: 0,
+            commits: 0,
+            restarts: 0,
+            deadlocks_resolved: 0,
+            park_timeout_wakeups: 0,
+            woken_queue: Vec::new(),
+            combiner: CombinerStats::default(),
+            reeval_scratch: Vec::new(),
+        }
+    }
+
+    pub(crate) fn into_report(self, extra_timeout_wakeups: u64) -> ManagerReport {
+        debug_assert!(self.view.active.is_empty(), "live instances at finish");
+        ManagerReport {
+            history: self.history,
+            db: self.db,
+            commits: self.commits,
+            restarts: self.restarts,
+            deadlocks_resolved: self.deadlocks_resolved,
+            park_timeout_wakeups: self.park_timeout_wakeups + extra_timeout_wakeups,
+            combiner: self.combiner,
+        }
+    }
+
     #[inline]
-    fn tick(&mut self) -> Tick {
+    pub(crate) fn tick(&mut self) -> Tick {
         self.now += 1;
         Tick(self.now)
     }
 
-    fn take_abort(&mut self, who: InstanceId) -> bool {
+    pub(crate) fn take_abort(&mut self, who: InstanceId) -> bool {
         let m = self.view.meta_mut(who);
         if m.aborted {
             m.aborted = false;
@@ -249,6 +384,22 @@ impl<'a> Shared<'a> {
         } else {
             false
         }
+    }
+
+    /// Register a released instance.
+    pub(crate) fn begin(&mut self, id: InstanceId) {
+        let base = self.view.set.priority_of(id.txn);
+        let at = self.tick();
+        match self.view.metas.binary_search_by_key(&id, |m| m.id) {
+            Ok(_) => panic!("instance {id:?} begun twice"),
+            Err(i) => self.view.metas.insert(i, Meta::new(id)),
+        }
+        match self.view.active.binary_search(&id) {
+            Ok(_) => unreachable!(),
+            Err(i) => self.view.active.insert(i, id),
+        }
+        self.view.pm.register(id, base);
+        self.history.push(at, id, EventKind::Begin);
     }
 
     /// Perform the granted data operation through the worker's private
@@ -293,7 +444,7 @@ impl<'a> Shared<'a> {
         }
     }
 
-    fn try_acquire(
+    pub(crate) fn try_acquire(
         &mut self,
         who: InstanceId,
         step_index: usize,
@@ -370,8 +521,10 @@ impl<'a> Shared<'a> {
     /// Mirror of the simulator's `reevaluate`: re-present every parked
     /// request in descending running-priority order; wake those that would
     /// now be granted (the grant itself happens when the woken thread
-    /// re-issues the request), refresh the blocking edges of the rest.
-    fn reevaluate(&mut self) {
+    /// re-issues the request — or, under the combining manager, when the
+    /// combiner drains the woken queue), refresh the blocking edges of the
+    /// rest.
+    pub(crate) fn reevaluate(&mut self) {
         let mut blocked = std::mem::take(&mut self.reeval_scratch);
         blocked.clear();
         blocked.extend(
@@ -417,18 +570,31 @@ impl<'a> Shared<'a> {
         self.reeval_scratch = blocked;
     }
 
-    /// Clear `who`'s pending request and signal its thread.
+    /// Clear `who`'s pending request and hand the wake to its owner: the
+    /// parked thread's condvar (mutex manager) or the combiner's woken
+    /// queue (combining manager).
     fn wake(&mut self, who: InstanceId) {
         self.view.pm.clear_blocked(who);
+        let delegated = self.delegated;
         let m = self.view.meta_mut(who);
         m.pending = None;
         m.woken = true;
-        m.cv.notify_one();
+        if delegated {
+            self.woken_queue.push(who);
+        } else {
+            m.cv.notify_one();
+        }
+    }
+
+    /// True while any live instance still has a pending (denied) request —
+    /// the combiner's cue to run the end-of-pass deadlock sweep.
+    pub(crate) fn has_blocked(&self) -> bool {
+        self.view.pm.has_edges()
     }
 
     /// Detect and resolve wait-for cycles by aborting the lowest-base-
     /// priority instance on each cycle until none remains.
-    fn resolve_deadlocks(&mut self) {
+    pub(crate) fn resolve_deadlocks(&mut self) {
         loop {
             let Some(cycle) = WaitForGraph::from_edges(self.view.pm.edges()).find_cycle() else {
                 return;
@@ -448,10 +614,13 @@ impl<'a> Shared<'a> {
     /// state, flag its worker to restart. The victim's workspace is reset
     /// by the owning thread when it observes the flag; until then the
     /// cleared mirrors are what protocols see — the same state the
-    /// simulator reaches by resetting the slot in place.
-    fn abort_victim(&mut self, victim: InstanceId) {
+    /// simulator reaches by resetting the slot in place. Under the
+    /// combining manager a victim parked on a denied request is answered
+    /// directly: its parked operation completes with `Restart` and its
+    /// workspace travels back through the publication slot.
+    pub(crate) fn abort_victim(&mut self, victim: InstanceId) {
         if !self.view.is_active(victim) {
-            return; // committed between the decision and now — same mutex, so only via commit_victims listing a stale id
+            return; // committed between the decision and now — same critical section, so only via commit_victims listing a stale id
         }
         assert_eq!(
             self.kind.update_model(),
@@ -462,18 +631,36 @@ impl<'a> Shared<'a> {
         self.history.push(at, victim, EventKind::Abort);
         self.view.locks.release_all(victim);
         self.view.pm.clear_blocked(victim);
-        {
+        let parked = {
+            let delegated = self.delegated;
             let m = self.view.meta_mut(victim);
             m.pending = None;
             m.woken = false;
-            m.aborted = true;
             m.data_read.clear();
             m.staged.clear();
             m.installed_early.clear();
             m.restarts += 1;
-            m.cv.notify_one();
-        }
+            match m.parked.take() {
+                Some(p) => Some(p),
+                None => {
+                    // Running (or queued) worker: it observes the flag at
+                    // its next manager call; parked mutex waiters observe
+                    // it when the notify lands.
+                    m.aborted = true;
+                    if !delegated {
+                        m.cv.notify_one();
+                    }
+                    None
+                }
+            }
+        };
         self.restarts += 1;
+        if let Some(p) = parked {
+            // The parked operation consumed the abort: answer it now.
+            let prio = self.view.set.priority_of(victim.txn).level();
+            self.combiner.record_slot_wait(prio, p.published.elapsed());
+            p.slot.post(Response::Restart(p.ws));
+        }
         {
             let Shared { view, protocol, .. } = self;
             protocol.on_abort(view, victim);
@@ -481,41 +668,126 @@ impl<'a> Shared<'a> {
         let at = self.tick();
         self.history.push(at, victim, EventKind::Begin);
     }
+
+    /// Report step `completed_step` finished; applies the protocol's early
+    /// releases (CCP) and re-evaluates waiters. Shared by both managers
+    /// (the caller holds whatever exclusion its kind requires).
+    pub(crate) fn step_done_inner(
+        &mut self,
+        id: InstanceId,
+        completed_step: usize,
+        ws: &Workspace,
+    ) {
+        let releases = {
+            let Shared { view, protocol, .. } = self;
+            protocol.early_releases(view, id, completed_step)
+        };
+        if releases.is_empty() {
+            return;
+        }
+        let install_early = self.kind.update_model() == UpdateModel::InstallOnEarlyRelease;
+        for (item, mode) in releases {
+            debug_assert!(self.view.locks.holds(id, item, mode));
+            self.view.locks.release(id, item, mode);
+            if install_early && mode == LockMode::Write {
+                if let Some(value) = ws.staged_value(item) {
+                    if self.view.meta_mut(id).mark_installed_early(item) {
+                        let at = self.tick();
+                        let version = self.db.install(id, item, value, at);
+                        self.history.push(
+                            at,
+                            id,
+                            EventKind::Install {
+                                item,
+                                value,
+                                version,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        self.reevaluate();
+    }
+
+    /// Commit `id`: abort the protocol's commit victims, install staged
+    /// writes, release everything, re-evaluate waiters. The caller has
+    /// already consumed any abort flag.
+    pub(crate) fn commit_inner(&mut self, id: InstanceId, ws: &Workspace) -> JobStats {
+        let victims = {
+            let Shared { view, protocol, .. } = self;
+            protocol.commit_victims(view, id)
+        };
+        for v in victims {
+            if v != id {
+                self.abort_victim(v);
+            }
+        }
+
+        let at = self.tick();
+        self.history.push(at, id, EventKind::Commit);
+        {
+            let Shared {
+                view, db, history, ..
+            } = self;
+            let m = view.meta(id);
+            for &(item, value) in ws.staged_writes() {
+                if m.installed_early.binary_search(&item).is_ok() {
+                    continue;
+                }
+                let version = db.install(id, item, value, at);
+                history.push(
+                    at,
+                    id,
+                    EventKind::Install {
+                        item,
+                        value,
+                        version,
+                    },
+                );
+            }
+        }
+        self.view.locks.release_all(id);
+        self.view.pm.remove(id);
+        {
+            let Shared { view, protocol, .. } = self;
+            protocol.on_commit(view, id);
+        }
+
+        let commit_index = self.commits;
+        self.commits += 1;
+        let stats = {
+            let i = self.view.meta_idx(id).expect("committing instance is live");
+            let meta = self.view.metas.remove(i);
+            JobStats {
+                commit_index,
+                restarts: meta.restarts,
+                block_events: meta.block_events,
+                lower_blockers: meta.lower_blockers,
+            }
+        };
+        if let Ok(i) = self.view.active.binary_search(&id) {
+            self.view.active.remove(i);
+        }
+        self.reevaluate();
+        stats
+    }
 }
 
-/// The concurrent lock manager: one per [`crate::run`] invocation, shared
-/// by reference across the worker threads of that run.
-pub(crate) struct LockManager<'a> {
+/// The original mutex manager: one global lock, per-waiter condvar
+/// parking. Kept verbatim as the differential oracle for the combining
+/// manager (mirroring how the map-store engine oracles the slot arena).
+pub(crate) struct MutexManager<'a> {
     state: Mutex<Shared<'a>>,
     /// Park `wait_timeout` safety net (see [`crate::RtConfig::park_timeout`]).
     park_timeout: Duration,
 }
 
-impl<'a> LockManager<'a> {
+impl<'a> MutexManager<'a> {
     pub(crate) fn new(set: &'a TransactionSet, kind: ProtocolKind, park_timeout: Duration) -> Self {
-        let ceilings = CeilingTable::new(set);
-        let locks = LockTable::with_index(&ceilings);
-        LockManager {
+        MutexManager {
             park_timeout,
-            state: Mutex::new(Shared {
-                view: RtView {
-                    set,
-                    ceilings,
-                    locks,
-                    pm: PriorityManager::new(),
-                    active: Vec::new(),
-                    metas: Vec::new(),
-                },
-                protocol: instantiate(kind),
-                kind,
-                db: Database::new(),
-                history: History::new(),
-                now: 0,
-                commits: 0,
-                restarts: 0,
-                deadlocks_resolved: 0,
-                reeval_scratch: Vec::new(),
-            }),
+            state: Mutex::new(Shared::new(set, kind, false)),
         }
     }
 
@@ -528,21 +800,8 @@ impl<'a> LockManager<'a> {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Register a released instance.
     pub(crate) fn begin(&self, id: InstanceId) {
-        let mut g = self.lock();
-        let base = g.view.set.priority_of(id.txn);
-        let at = g.tick();
-        match g.view.metas.binary_search_by_key(&id, |m| m.id) {
-            Ok(_) => panic!("instance {id:?} begun twice"),
-            Err(i) => g.view.metas.insert(i, Meta::new(id)),
-        }
-        match g.view.active.binary_search(&id) {
-            Ok(_) => unreachable!(),
-            Err(i) => g.view.active.insert(i, id),
-        }
-        g.view.pm.register(id, base);
-        g.history.push(at, id, EventKind::Begin);
+        self.lock().begin(id);
     }
 
     /// Acquire `item` in `mode` for step `step_index`, performing the data
@@ -577,6 +836,7 @@ impl<'a> LockManager<'a> {
                         if timeout.timed_out() {
                             // Safety net: heal lost wake-ups and cycles
                             // that formed without a block event.
+                            g.park_timeout_wakeups += 1;
                             g.reevaluate();
                             if g.view.meta(id).pending.is_some() {
                                 g.resolve_deadlocks();
@@ -601,36 +861,7 @@ impl<'a> LockManager<'a> {
         if g.take_abort(id) {
             return Outcome::Restart;
         }
-        let releases = {
-            let Shared { view, protocol, .. } = &mut *g;
-            protocol.early_releases(view, id, completed_step)
-        };
-        if releases.is_empty() {
-            return Outcome::Done;
-        }
-        let install_early = g.kind.update_model() == UpdateModel::InstallOnEarlyRelease;
-        for (item, mode) in releases {
-            debug_assert!(g.view.locks.holds(id, item, mode));
-            g.view.locks.release(id, item, mode);
-            if install_early && mode == LockMode::Write {
-                if let Some(value) = ws.staged_value(item) {
-                    if g.view.meta_mut(id).mark_installed_early(item) {
-                        let at = g.tick();
-                        let version = g.db.install(id, item, value, at);
-                        g.history.push(
-                            at,
-                            id,
-                            EventKind::Install {
-                                item,
-                                value,
-                                version,
-                            },
-                        );
-                    }
-                }
-            }
-        }
-        g.reevaluate();
+        g.step_done_inner(id, completed_step, ws);
         Outcome::Done
     }
 
@@ -642,78 +873,91 @@ impl<'a> LockManager<'a> {
         if g.take_abort(id) {
             return CommitOutcome::Restart;
         }
-        let victims = {
-            let Shared { view, protocol, .. } = &mut *g;
-            protocol.commit_victims(view, id)
-        };
-        for v in victims {
-            if v != id {
-                g.abort_victim(v);
-            }
-        }
+        CommitOutcome::Committed(g.commit_inner(id, ws))
+    }
 
-        let at = g.tick();
-        g.history.push(at, id, EventKind::Commit);
-        {
-            let Shared {
-                view, db, history, ..
-            } = &mut *g;
-            let m = view.meta(id);
-            for &(item, value) in ws.staged_writes() {
-                if m.installed_early.binary_search(&item).is_ok() {
-                    continue;
-                }
-                let version = db.install(id, item, value, at);
-                history.push(
-                    at,
-                    id,
-                    EventKind::Install {
-                        item,
-                        value,
-                        version,
-                    },
-                );
-            }
-        }
-        g.view.locks.release_all(id);
-        g.view.pm.remove(id);
-        {
-            let Shared { view, protocol, .. } = &mut *g;
-            protocol.on_commit(view, id);
-        }
+    pub(crate) fn finish(self) -> ManagerReport {
+        self.state
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .into_report(0)
+    }
+}
 
-        let commit_index = g.commits;
-        g.commits += 1;
-        let stats = {
-            let i = g.view.meta_idx(id).expect("committing instance is live");
-            let meta = g.view.metas.remove(i);
-            JobStats {
-                commit_index,
-                restarts: meta.restarts,
-                block_events: meta.block_events,
-                lower_blockers: meta.lower_blockers,
+/// The concurrent lock manager: one per [`crate::run`] invocation, shared
+/// by reference across the worker threads of that run. Dispatches to the
+/// [`ManagerKind`] the run was configured with.
+pub(crate) enum LockManager<'a> {
+    Mutex(MutexManager<'a>),
+    Combining(CombiningManager<'a>),
+}
+
+impl<'a> LockManager<'a> {
+    pub(crate) fn new(
+        set: &'a TransactionSet,
+        kind: ProtocolKind,
+        manager: ManagerKind,
+        park_timeout: Duration,
+    ) -> Self {
+        match manager {
+            ManagerKind::Mutex => LockManager::Mutex(MutexManager::new(set, kind, park_timeout)),
+            ManagerKind::Combining => {
+                LockManager::Combining(CombiningManager::new(set, kind, park_timeout))
             }
-        };
-        if let Ok(i) = g.view.active.binary_search(&id) {
-            g.view.active.remove(i);
         }
-        g.reevaluate();
-        CommitOutcome::Committed(stats)
+    }
+
+    /// Register a released instance.
+    pub(crate) fn begin(&self, id: InstanceId, ctx: &mut WorkerCtx) {
+        match self {
+            LockManager::Mutex(m) => m.begin(id),
+            LockManager::Combining(m) => m.begin(id, ctx),
+        }
+    }
+
+    /// Acquire `item` in `mode` for step `step_index`, performing the data
+    /// operation at grant time through `ctx.ws`. Blocks the calling worker
+    /// while the protocol denies the request.
+    pub(crate) fn acquire(
+        &self,
+        id: InstanceId,
+        step_index: usize,
+        item: ItemId,
+        mode: LockMode,
+        ctx: &mut WorkerCtx,
+    ) -> Outcome {
+        match self {
+            LockManager::Mutex(m) => m.acquire(id, step_index, item, mode, &mut ctx.ws),
+            LockManager::Combining(m) => m.acquire(id, step_index, item, mode, ctx),
+        }
+    }
+
+    /// Report step `completed_step` finished.
+    pub(crate) fn step_done(
+        &self,
+        id: InstanceId,
+        completed_step: usize,
+        ctx: &mut WorkerCtx,
+    ) -> Outcome {
+        match self {
+            LockManager::Mutex(m) => m.step_done(id, completed_step, &ctx.ws),
+            LockManager::Combining(m) => m.step_done(id, completed_step, ctx),
+        }
+    }
+
+    /// Commit `id`, installing the staged writes in `ctx.ws`.
+    pub(crate) fn commit(&self, id: InstanceId, ctx: &mut WorkerCtx) -> CommitOutcome {
+        match self {
+            LockManager::Mutex(m) => m.commit(id, &ctx.ws),
+            LockManager::Combining(m) => m.commit(id, ctx),
+        }
     }
 
     /// Tear down after every worker joined, yielding the run's artifacts.
     pub(crate) fn finish(self) -> ManagerReport {
-        let shared = self
-            .state
-            .into_inner()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        debug_assert!(shared.view.active.is_empty(), "live instances at finish");
-        ManagerReport {
-            history: shared.history,
-            db: shared.db,
-            commits: shared.commits,
-            restarts: shared.restarts,
-            deadlocks_resolved: shared.deadlocks_resolved,
+        match self {
+            LockManager::Mutex(m) => m.finish(),
+            LockManager::Combining(m) => m.finish(),
         }
     }
 }

@@ -1,18 +1,22 @@
 //! The closed-loop runtime: worker threads draining a job queue through
 //! the internal `LockManager`.
 //!
-//! Each worker owns one recycled [`Workspace`]; a job is the full life of
+//! Each worker owns one recycled [`Workspace`](rtdb_storage::Workspace);
+//! a job is the full life of
 //! one transaction instance — begin, the template's steps (lock + data
 //! operation at grant time, then the step's simulated computation),
 //! commit. An abort (deadlock victim, 2PL-HP wound, OCC invalidation)
 //! restarts the same job from step 0 on the same thread, exactly like the
 //! simulator's slot reset.
 
+use crate::combining::CombinerStats;
 use crate::histogram::LatencyHistogram;
 use crate::jobs;
-use crate::manager::{CommitOutcome, JobStats, LockManager, Outcome, DEFAULT_PARK_TIMEOUT};
+use crate::manager::{
+    CommitOutcome, JobStats, LockManager, ManagerKind, Outcome, WorkerCtx, DEFAULT_PARK_TIMEOUT,
+};
 use rtdb_core::ProtocolKind;
-use rtdb_storage::{Database, History, SerializationGraph, Workspace};
+use rtdb_storage::{Database, History, SerializationGraph};
 use rtdb_types::{InstanceId, Priority, TransactionSet, TxnId};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -23,6 +27,11 @@ use std::time::{Duration, Instant};
 pub struct RtConfig {
     /// Which concurrency-control protocol mediates lock requests.
     pub kind: ProtocolKind,
+    /// Which lock-manager implementation mediates protocol state. The
+    /// default ([`ManagerKind::Mutex`]) is the differential oracle;
+    /// [`ManagerKind::Combining`] is the flat-combining delegation
+    /// manager.
+    pub manager: ManagerKind,
     /// Worker threads (clamped to at least 1).
     pub threads: usize,
     /// Wall-clock nanoseconds of busy-work per simulated tick of a step's
@@ -39,14 +48,22 @@ pub struct RtConfig {
 }
 
 impl RtConfig {
-    /// Defaults: 4 threads, no busy-work, 25 ms park timeout.
+    /// Defaults: mutex manager, 4 threads, no busy-work, 25 ms park
+    /// timeout.
     pub fn new(kind: ProtocolKind) -> Self {
         RtConfig {
             kind,
+            manager: ManagerKind::default(),
             threads: 4,
             tick_ns: 0,
             park_timeout: DEFAULT_PARK_TIMEOUT,
         }
+    }
+
+    /// Select the lock-manager implementation.
+    pub fn with_manager(mut self, manager: ManagerKind) -> Self {
+        self.manager = manager;
+        self
     }
 
     /// Set the worker-thread count.
@@ -143,6 +160,8 @@ pub struct RtResult {
     pub protocol: String,
     /// Protocol kind that ran.
     pub kind: ProtocolKind,
+    /// Lock-manager implementation that ran.
+    pub manager: ManagerKind,
     /// Worker threads used.
     pub threads: usize,
     /// The full event history, in install/commit linearization order.
@@ -170,6 +189,14 @@ pub struct RtResult {
     /// Total admission→commit latency distribution, merged from the
     /// per-worker histograms after the threads joined.
     pub latency_hist: LatencyHistogram,
+    /// Park-timeout safety-net firings: wake-ups (mutex manager) or
+    /// nudge publications (combining manager) caused by a blocked
+    /// request's `wait_timeout` expiring. Deterministic replays assert
+    /// this is 0 — a nonzero count there would reveal a lost wake-up
+    /// otherwise silently healed by the net.
+    pub park_timeout_wakeups: u64,
+    /// Combining-pass telemetry (all-zero under [`ManagerKind::Mutex`]).
+    pub combiner: CombinerStats,
 }
 
 impl RtResult {
@@ -243,7 +270,7 @@ impl RtResult {
 /// per-job reports. Every job runs to commit (aborts restart it), so the
 /// run always drains the queue.
 pub fn run(set: &TransactionSet, job_queue: &[InstanceId], config: RtConfig) -> RtResult {
-    let manager = LockManager::new(set, config.kind, config.park_timeout);
+    let manager = LockManager::new(set, config.kind, config.manager, config.park_timeout);
     let next = AtomicUsize::new(0);
     let reports: Mutex<Vec<JobReport>> = Mutex::new(Vec::with_capacity(job_queue.len()));
     let threads = config.threads.max(1);
@@ -282,6 +309,7 @@ pub fn run(set: &TransactionSet, job_queue: &[InstanceId], config: RtConfig) -> 
     RtResult {
         protocol: config.kind.name().to_string(),
         kind: config.kind,
+        manager: config.manager,
         threads,
         history: report.history,
         db: report.db,
@@ -293,6 +321,8 @@ pub fn run(set: &TransactionSet, job_queue: &[InstanceId], config: RtConfig) -> 
         shed: 0,
         rejected: 0,
         latency_hist,
+        park_timeout_wakeups: report.park_timeout_wakeups,
+        combiner: report.combiner,
     }
 }
 
@@ -317,7 +347,7 @@ fn worker(
     tick_ns: u64,
     t0: Instant,
 ) -> LatencyHistogram {
-    let mut ws = Workspace::new(InstanceId::first(TxnId(0)));
+    let mut ctx = WorkerCtx::new();
     let mut hist = LatencyHistogram::new();
     loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -325,7 +355,7 @@ fn worker(
             return hist;
         };
         let begun = Instant::now();
-        let stats = execute_job(set, manager, id, &mut ws, tick_ns);
+        let stats = execute_job(set, manager, id, &mut ctx, tick_ns);
         let committed = Instant::now();
         let latency_ns = dur_ns(committed.duration_since(begun));
         hist.record(latency_ns);
@@ -358,17 +388,22 @@ pub(crate) fn execute_job(
     set: &TransactionSet,
     manager: &LockManager<'_>,
     id: InstanceId,
-    ws: &mut Workspace,
+    ctx: &mut WorkerCtx,
     tick_ns: u64,
 ) -> JobStats {
     let template = set.template(id.txn);
     let steps = template.steps.as_slice();
-    manager.begin(id);
+    manager.begin(id, ctx);
+    let mut attempt: u32 = 0;
     'attempt: loop {
-        ws.reset(id);
+        if attempt > 0 {
+            restart_backoff(id, attempt, tick_ns);
+        }
+        attempt += 1;
+        ctx.ws.reset(id);
         for (step_index, step) in steps.iter().enumerate() {
             if let Some((item, mode)) = step.op.access() {
-                match manager.acquire(id, step_index, item, mode, ws) {
+                match manager.acquire(id, step_index, item, mode, ctx) {
                     Outcome::Done => {}
                     Outcome::Restart => continue 'attempt,
                 }
@@ -377,17 +412,43 @@ pub(crate) fn execute_job(
             // Early releases (and CCP's early installs) apply after every
             // *non-final* step; the final step's locks fall to commit.
             if step_index + 1 < steps.len() {
-                match manager.step_done(id, step_index, ws) {
+                match manager.step_done(id, step_index, ctx) {
                     Outcome::Done => {}
                     Outcome::Restart => continue 'attempt,
                 }
             }
         }
-        match manager.commit(id, ws) {
+        match manager.commit(id, ctx) {
             CommitOutcome::Committed(stats) => return stats,
             CommitOutcome::Restart => continue 'attempt,
         }
     }
+}
+
+/// Jittered exponential delay between an abort and the restart it forces.
+///
+/// Protocols that resolve deadlocks by victim restart rely on the victim
+/// *not* re-acquiring its locks in the same instant it was aborted: a
+/// reader aborted out of a lock-upgrade cycle that immediately re-grabs
+/// its shared lock reforms the identical cycle and starves the pending
+/// writer indefinitely. Thread-scheduling latency used to provide that
+/// gap by accident; inline combiner grants remove it, so the restart
+/// delay is explicit — `sleep`, not spin, so the yielded CPU goes to the
+/// transactions the victim was deadlocked with. Deterministically
+/// jittered per `(instance, attempt)` so simultaneous victims
+/// desynchronise instead of colliding again in lock-step.
+fn restart_backoff(id: InstanceId, attempt: u32, tick_ns: u64) {
+    // First delay ~ one job service time (a handful of steps at a few
+    // ticks each), quadrupling per repeat so a victim caught behind a
+    // convoy of conflicting higher-priority instances outwaits the whole
+    // convoy within a few aborts. Capped so no victim is parked for a
+    // macroscopic slice of a run.
+    let base = 16 * tick_ns.max(500);
+    let ns = (base << (2 * (attempt - 1)).min(8)).min(4_000_000);
+    let seed = ((id.txn.0 as u64) << 32 | id.seq as u64)
+        ^ (attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let jitter = 0.5 + rtdb_util::Rng::seed(seed).f64(); // [0.5, 1.5)
+    std::thread::sleep(Duration::from_nanos((ns as f64 * jitter) as u64));
 }
 
 /// Busy-wait for `duration` simulated ticks at `tick_ns` wall-clock

@@ -76,8 +76,8 @@ pub mod prelude {
     pub use rtdb_cc::{GrantRule, PcpDa};
     pub use rtdb_core::{Decision, EngineView, LockRequest, Protocol, ProtocolFor, ProtocolKind};
     pub use rtdb_rt::{
-        job_list, run_front, AdmissionPolicy, FrontConfig, JobRequest, LatencyHistogram, RtConfig,
-        RtResult,
+        job_list, run_front, AdmissionPolicy, CombinerStats, FrontConfig, JobRequest,
+        LatencyHistogram, ManagerKind, RtConfig, RtResult,
     };
     pub use rtdb_sim::{
         compare_protocols, Engine, MetricsReport, RunOutcome, RunResult, SimConfig, WorkloadParams,
