@@ -60,6 +60,20 @@
 //! keeps a full line-up under a few seconds while still letting blocking
 //! shape the tail.
 //!
+//! **Read-heavy family.** `--read-fraction F` (templates that are pure
+//! readers, default 0.95 when the family is selected) and `--skew θ`
+//! (Zipfian exponent over the item pool, 0 = uniform) switch the
+//! workload to [`rtdb_bench::read_heavy_workload`]; `--snapshot
+//! on|off|both` (default `off`) runs with the lock-exempt multiversion
+//! snapshot path enabled, disabled, or A/B. Records from these runs
+//! carry `"read_fraction"`, `"skew"` and (when on) `"snapshot": true`
+//! plus snapshot telemetry (`snapshots`, `lock_transitions`,
+//! `mv_high_water`), and baseline matching is read-mix aware: a record
+//! only compares against a baseline with the same mix and snapshot
+//! setting. The default full line-up additionally appends a read-heavy
+//! sweep — PCP-DA, 95/5, θ ∈ {0, 0.6, 0.9}, snapshot off vs on, both
+//! managers — and prints a warn-only snapshot-on-vs-off A/B summary.
+//!
 //! `--check [baseline.json]` measures without writing and **warns**
 //! (exit 0 — wall-clock throughput of a threaded run on a shared CI box
 //! is too noisy to gate merges on) when committed throughput drops more
@@ -115,6 +129,14 @@ struct Args {
     queue_cap: usize,
     /// Skip the closed-loop line-up (open-loop sweep only).
     open_only: bool,
+    /// Fraction of templates that are pure readers; selects the
+    /// read-heavy workload family.
+    read_fraction: Option<f64>,
+    /// Zipfian exponent over the item pool; selects the read-heavy
+    /// workload family.
+    skew: Option<f64>,
+    /// Snapshot-path settings to run (`[false]`, `[true]`, or both).
+    snapshots: Vec<bool>,
     /// Output path (measure mode) or baseline path (`--check` mode).
     path: String,
 }
@@ -135,6 +157,9 @@ fn parse_args() -> Args {
         policy: rt::AdmissionPolicy::Reject,
         queue_cap: DEFAULT_QUEUE_CAP,
         open_only: false,
+        read_fraction: None,
+        skew: None,
+        snapshots: vec![false],
         path: "BENCH_rt.json".into(),
     };
     let mut it = std::env::args().skip(1);
@@ -194,10 +219,60 @@ fn parse_args() -> Args {
             "--queue-cap" => {
                 args.queue_cap = value("--queue-cap").parse().expect("--queue-cap: integer");
             }
+            "--read-fraction" => {
+                let f: f64 = value("--read-fraction")
+                    .parse()
+                    .expect("--read-fraction: fraction in [0, 1]");
+                assert!(
+                    (0.0..=1.0).contains(&f),
+                    "--read-fraction must be in [0, 1]"
+                );
+                args.read_fraction = Some(f);
+            }
+            "--skew" => {
+                let theta: f64 = value("--skew").parse().expect("--skew: Zipf exponent");
+                assert!(
+                    theta.is_finite() && theta >= 0.0,
+                    "--skew must be a finite non-negative exponent"
+                );
+                args.skew = Some(theta);
+            }
+            "--snapshot" => {
+                let v = value("--snapshot");
+                args.snapshots = match v.to_ascii_lowercase().as_str() {
+                    "on" | "true" => vec![true],
+                    "off" | "false" => vec![false],
+                    "both" | "ab" => vec![false, true],
+                    other => panic!("--snapshot: expected on, off or both, got `{other}`"),
+                };
+            }
             other => args.path = other.to_string(),
         }
     }
     args
+}
+
+/// Workload-mix tags carried on every record of a run, so baseline
+/// matching is read-mix aware: `family` is `Some((read_fraction, skew))`
+/// for the read-heavy workload family, and `snapshot` marks runs with
+/// the lock-exempt snapshot path on. Absent tags mean the standard
+/// workload / path off — old baselines without the keys keep matching.
+#[derive(Clone, Copy)]
+struct Mix {
+    family: Option<(f64, f64)>,
+    snapshot: bool,
+}
+
+impl Mix {
+    fn tag(self, mut rec: Json) -> Json {
+        if let Some((read_fraction, skew)) = self.family {
+            rec = rec.set("read_fraction", read_fraction).set("skew", skew);
+        }
+        if self.snapshot {
+            rec = rec.set("snapshot", true);
+        }
+        rec
+    }
 }
 
 struct Band {
@@ -269,11 +344,12 @@ fn measure(
     kind: ProtocolKind,
     manager: rt::ManagerKind,
     threads: usize,
+    mix: Mix,
     args: &Args,
 ) -> Json {
     let mut runs: Vec<(f64, Json)> = (0..args.reps)
         .map(|_| {
-            let rec = measure_once(set, kind, manager, threads, args);
+            let rec = measure_once(set, kind, manager, threads, mix, args);
             let tps = rec
                 .get("committed_per_sec")
                 .and_then(Json::as_f64)
@@ -292,6 +368,7 @@ fn measure_once(
     kind: ProtocolKind,
     manager: rt::ManagerKind,
     threads: usize,
+    mix: Mix,
     args: &Args,
 ) -> Json {
     let jobs = rt::job_list(set, args.jobs, args.seed);
@@ -301,7 +378,8 @@ fn measure_once(
         rt::RtConfig::new(kind)
             .with_threads(threads)
             .with_tick_ns(args.tick_ns)
-            .with_manager(manager),
+            .with_manager(manager)
+            .with_snapshot_reads(mix.snapshot),
     );
     assert_eq!(result.committed, jobs.len() as u64, "runtime dropped jobs");
 
@@ -361,11 +439,17 @@ fn measure_once(
     if manager == rt::ManagerKind::Combining {
         rec = rec.set("combiner", combiner_record(&result.combiner));
     }
-    rec
+    if result.snapshot_reads {
+        rec = rec
+            .set("snapshots", result.snapshots)
+            .set("lock_transitions", result.lock_transitions)
+            .set("mv_high_water", result.mv_high_water as u64);
+    }
+    mix.tag(rec)
 }
 
 /// Fold one open-loop sweep point into a JSON record.
-fn open_loop_record(report: &OpenLoopReport, point: usize) -> Json {
+fn open_loop_record(report: &OpenLoopReport, point: usize, mix: Mix) -> Json {
     let p = &report.params;
     let r = &report.result;
     let band_records: Vec<Json> = r
@@ -423,7 +507,13 @@ fn open_loop_record(report: &OpenLoopReport, point: usize) -> Json {
     if p.manager == rt::ManagerKind::Combining {
         rec = rec.set("combiner", combiner_record(&r.combiner));
     }
-    rec
+    if r.snapshot_reads {
+        rec = rec
+            .set("snapshots", r.snapshots)
+            .set("lock_transitions", r.lock_transitions)
+            .set("mv_high_water", r.mv_high_water as u64);
+    }
+    mix.tag(rec)
 }
 
 /// Sweep-top offered rate for one protocol: the explicit `--arrival-rate`
@@ -460,6 +550,7 @@ fn measure_open_loop(
     manager: rt::ManagerKind,
     threads: usize,
     rate: f64,
+    mix: Mix,
     args: &Args,
 ) -> Vec<Json> {
     let base = OpenLoopParams {
@@ -472,12 +563,13 @@ fn measure_open_loop(
         interarrival: args.interarrival,
         policy: args.policy,
         capacity: args.queue_cap,
+        snapshot: mix.snapshot,
         seed: args.seed,
     };
     rtdb_bench::loadgen::saturation_sweep(set, &base, args.sweep_points)
         .iter()
         .enumerate()
-        .map(|(i, report)| open_loop_record(report, i + 1))
+        .map(|(i, report)| open_loop_record(report, i + 1, mix))
         .collect()
 }
 
@@ -499,15 +591,30 @@ fn config_keys(rec: &Json) -> &'static [&'static str] {
             "policy",
             "interarrival",
             "arrival_rate",
+            "read_fraction",
+            "skew",
+            "snapshot",
         ]
     } else {
-        &["mode", "protocol", "threads", "jobs", "tick_ns"]
+        &[
+            "mode",
+            "protocol",
+            "threads",
+            "jobs",
+            "tick_ns",
+            "read_fraction",
+            "skew",
+            "snapshot",
+        ]
     }
 }
 
 fn keys_match(a: &Json, b: &Json, keys: &[&str]) -> bool {
     keys.iter().all(|&k| match (a.get(k), b.get(k)) {
         (Some(x), Some(y)) => x.to_string_compact() == y.to_string_compact(),
+        // Mix tags are only written when set, so two records both
+        // lacking a key agree on it (and old baselines keep matching).
+        (None, None) => true,
         _ => false,
     })
 }
@@ -521,12 +628,16 @@ fn baseline_of<'a>(baseline: &'a [Json], rec: &Json) -> Option<&'a Json> {
 
 fn short_label(rec: &Json) -> String {
     format!(
-        "{} ({}{} @{}t)",
+        "{} ({}{}{} @{}t)",
         rec.get("protocol").and_then(Json::as_str).unwrap_or("?"),
         rec.get("mode").and_then(Json::as_str).unwrap_or("?"),
         rec.get("point")
             .and_then(Json::as_i64)
             .map(|p| format!(" p{p}"))
+            .unwrap_or_default(),
+        rec.get("skew")
+            .and_then(Json::as_f64)
+            .map(|s| format!(" θ={s}"))
             .unwrap_or_default(),
         rec.get("threads").and_then(Json::as_i64).unwrap_or(0),
     )
@@ -572,9 +683,63 @@ fn ab_summary(records: &[Json], warnings: &mut Vec<String>) {
     }
 }
 
+/// Warn-only snapshot A/B summary: for every snapshot-on record with a
+/// same-config snapshot-off twin (same manager, mix, everything but the
+/// snapshot tag), print the throughput delta; collect a warning when
+/// enabling the path *costs* throughput.
+fn snapshot_summary(records: &[Json], warnings: &mut Vec<String>) {
+    let snapshot_of = |r: &Json| r.get("snapshot").and_then(Json::as_bool) == Some(true);
+    for rec in records.iter().filter(|r| snapshot_of(r)) {
+        let keys: Vec<&str> = config_keys(rec)
+            .iter()
+            .copied()
+            .filter(|&k| k != "snapshot")
+            .chain(["manager"])
+            .collect();
+        let Some(twin) = records
+            .iter()
+            .filter(|r| !snapshot_of(r))
+            .find(|r| keys_match(r, rec, &keys))
+        else {
+            continue;
+        };
+        let (Some(off_tps), Some(on_tps)) = (
+            twin.get("committed_per_sec").and_then(Json::as_f64),
+            rec.get("committed_per_sec").and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        if off_tps <= 0.0 {
+            continue;
+        }
+        let delta = (on_tps - off_tps) / off_tps * 100.0;
+        let label = format!(
+            "{} [{}]",
+            short_label(rec),
+            rec.get("manager").and_then(Json::as_str).unwrap_or("?"),
+        );
+        eprintln!("snapshot A/B {label}: on {on_tps:.0}/s vs off {off_tps:.0}/s ({delta:+.1}%)");
+        // Below saturation an open-loop run commits what is offered, so
+        // small negative deltas are sampling noise; warn only on real
+        // regressions, same tolerance as everywhere else.
+        if delta < -100.0 * REGRESSION_TOLERANCE {
+            warnings.push(format!(
+                "snapshot A/B {label}: the snapshot path costs throughput ({delta:+.1}%)"
+            ));
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
-    let set = rtdb_bench::standard_workload(args.seed);
+    let family = (args.read_fraction.is_some() || args.skew.is_some())
+        .then(|| (args.read_fraction.unwrap_or(0.95), args.skew.unwrap_or(0.0)));
+    let set = match family {
+        Some((read_fraction, skew)) => {
+            rtdb_bench::read_heavy_workload(args.seed, read_fraction, skew)
+        }
+        None => rtdb_bench::standard_workload(args.seed),
+    };
     let baseline: Option<Vec<Json>> = std::fs::read_to_string(&args.path)
         .ok()
         .and_then(|text| Json::parse(&text).ok())
@@ -611,21 +776,83 @@ fn main() {
     for &kind in &closed_kinds {
         for &threads in &closed_threads {
             for &manager in &args.managers {
-                records.push(measure(&set, kind, manager, threads, &args));
+                for &snapshot in &args.snapshots {
+                    let mix = Mix { family, snapshot };
+                    records.push(measure(&set, kind, manager, threads, mix, &args));
+                }
+            }
+        }
+    }
+    // The read-heavy sweep of the default full line-up: PCP-DA at 95/5,
+    // three Zipf exponents, snapshot off vs on, both managers — the A/B
+    // that the snapshot path exists for. Explicit `--read-fraction` /
+    // `--skew` runs already measure their own family above.
+    if args.kind.is_none() && !args.open_only && family.is_none() {
+        let family_threads: Vec<usize> = match args.threads.as_deref() {
+            Some([single]) => vec![*single],
+            _ => vec![4, 8],
+        };
+        for &skew in &[0.0, 0.6, 0.9] {
+            let rh = rtdb_bench::read_heavy_workload(args.seed, 0.95, skew);
+            for &threads in &family_threads {
+                for &manager in &args.managers {
+                    for snapshot in [false, true] {
+                        let mix = Mix {
+                            family: Some((0.95, skew)),
+                            snapshot,
+                        };
+                        records.push(measure(
+                            &rh,
+                            ProtocolKind::PcpDa,
+                            manager,
+                            threads,
+                            mix,
+                            &args,
+                        ));
+                    }
+                }
+            }
+        }
+        // Open-loop A/B at the steepest skew: both settings sweep the
+        // *same* offered rates (calibration runs snapshot-off), so a
+        // later saturation point — higher committed/sec at the top,
+        // fewer rejects, lower miss ratio — is attributable to the
+        // snapshot path alone.
+        let rh = rtdb_bench::read_heavy_workload(args.seed, 0.95, 0.9);
+        let rate = top_rate(&rh, ProtocolKind::PcpDa, open_threads, &args);
+        for &manager in &args.managers {
+            for snapshot in [false, true] {
+                let mix = Mix {
+                    family: Some((0.95, 0.9)),
+                    snapshot,
+                };
+                records.extend(measure_open_loop(
+                    &rh,
+                    ProtocolKind::PcpDa,
+                    manager,
+                    open_threads,
+                    rate,
+                    mix,
+                    &args,
+                ));
             }
         }
     }
     for &kind in &open_kinds {
         let rate = top_rate(&set, kind, open_threads, &args);
         for &manager in &args.managers {
-            records.extend(measure_open_loop(
-                &set,
-                kind,
-                manager,
-                open_threads,
-                rate,
-                &args,
-            ));
+            for &snapshot in &args.snapshots {
+                let mix = Mix { family, snapshot };
+                records.extend(measure_open_loop(
+                    &set,
+                    kind,
+                    manager,
+                    open_threads,
+                    rate,
+                    mix,
+                    &args,
+                ));
+            }
         }
     }
 
@@ -651,6 +878,7 @@ fn main() {
         }
     }
     ab_summary(&records, &mut warnings);
+    snapshot_summary(&records, &mut warnings);
 
     if !warnings.is_empty() {
         // Advisory only: threaded wall-clock throughput on shared hardware

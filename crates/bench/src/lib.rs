@@ -39,6 +39,35 @@ pub fn standard_workload(seed: u64) -> TransactionSet {
     .set
 }
 
+/// The read-heavy workload family for the snapshot-read experiments:
+/// `read_fraction` of the templates are pure readers (the rest write),
+/// and item popularity follows a Zipfian of exponent `theta` over a
+/// 32-item pool (`theta = 0.0` is uniform). 95/5 at θ ∈ {0, 0.6, 0.9}
+/// is the line-up `rtload` sweeps snapshot-on vs snapshot-off.
+pub fn read_heavy_workload(seed: u64, read_fraction: f64, theta: f64) -> TransactionSet {
+    assert!(
+        (0.0..=1.0).contains(&read_fraction),
+        "read fraction must be in [0, 1]"
+    );
+    let templates = 20;
+    let read_only = (read_fraction * templates as f64).round() as usize;
+    WorkloadParams {
+        templates,
+        items: 32,
+        target_utilization: 0.6,
+        hotspot_items: 0,
+        hotspot_prob: 0.0,
+        zipf_theta: Some(theta),
+        read_only_templates: read_only.min(templates),
+        write_fraction: 0.6,
+        seed,
+        ..Default::default()
+    }
+    .generate()
+    .expect("read-heavy workload is valid")
+    .set
+}
+
 /// A high-contention workload (every access in a 3-item hotspot).
 pub fn contended_workload(seed: u64) -> TransactionSet {
     WorkloadParams {
@@ -70,5 +99,13 @@ mod tests {
         assert!(w.total_utilization() > 0.3);
         let c = contended_workload(1);
         assert!(!c.items().is_empty());
+    }
+
+    #[test]
+    fn read_heavy_workload_respects_read_fraction() {
+        let w = read_heavy_workload(1, 0.95, 0.9);
+        let readers = w.templates().iter().filter(|t| t.is_read_only()).count();
+        assert_eq!(readers, 19, "95% of 20 templates must be pure readers");
+        assert!(w.templates().iter().any(|t| !t.is_read_only()));
     }
 }

@@ -81,6 +81,8 @@ pub struct OpenLoopParams {
     pub policy: rt::AdmissionPolicy,
     /// Admission queue bound.
     pub capacity: usize,
+    /// Offer read-only jobs the lock-exempt snapshot path.
+    pub snapshot: bool,
     pub seed: u64,
 }
 
@@ -181,7 +183,8 @@ pub fn run_open_loop(set: &TransactionSet, p: &OpenLoopParams) -> OpenLoopReport
             rt::RtConfig::new(p.kind)
                 .with_threads(p.threads)
                 .with_tick_ns(p.tick_ns)
-                .with_manager(p.manager),
+                .with_manager(p.manager)
+                .with_snapshot_reads(p.snapshot),
         );
     let (result, admitted) = rt::run_front(set, config, |front| {
         let (sub, _rx) = front.submitter();
@@ -257,6 +260,7 @@ mod tests {
             interarrival: Interarrival::Exponential,
             policy: rt::AdmissionPolicy::Reject,
             capacity: 2,
+            snapshot: false,
             seed: 7,
         }
     }

@@ -52,7 +52,7 @@ pub use inherit::PriorityManager;
 pub use locks::{HeldLock, LockTable};
 pub use protocol::{
     sorted_disjoint, Decision, DynProtocol, EngineView, LockRequest, Protocol, ProtocolFor,
-    UpdateModel,
+    TxnMode, UpdateModel,
 };
 pub use registry::{ProtocolFamily, ProtocolKind, UnknownProtocol};
 pub use waitfor::WaitForGraph;

@@ -18,6 +18,31 @@ pub enum UpdateModel {
     InstallOnEarlyRelease,
 }
 
+/// Whether a transaction instance may write.
+///
+/// Templates with an empty write set run as [`TxnMode::ReadOnly`]; engines
+/// offer protocols the chance to run such instances on the lock-free
+/// multiversion snapshot path via [`ProtocolFor::lock_exempt`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnMode {
+    /// May read and write; always takes the lock-based path.
+    ReadWrite,
+    /// Provably never writes (no `Write` step in the template); a
+    /// candidate for lock-exempt snapshot reads.
+    ReadOnly,
+}
+
+impl TxnMode {
+    /// The mode of `template`: [`TxnMode::ReadOnly`] iff no step writes.
+    pub fn of(template: &rtdb_types::TransactionTemplate) -> TxnMode {
+        if template.is_read_only() {
+            TxnMode::ReadOnly
+        } else {
+            TxnMode::ReadWrite
+        }
+    }
+}
+
 /// A sentinel instance that holds no locks — used as the "observer" when
 /// computing the global system ceiling (every `Sysceil` computation
 /// excludes the observer's own locks, and this observer has none).
@@ -160,6 +185,23 @@ pub trait ProtocolFor<V: EngineView + ?Sized> {
         UpdateModel::Workspace
     }
 
+    /// True if instances running in `mode` may bypass this protocol
+    /// entirely and read from a multiversion snapshot (never locking,
+    /// never raising `Sysceil`, never blocking or being blocked).
+    ///
+    /// Sound by default exactly for read-only transactions under the
+    /// deferred-update model: every commit installs atomically at a global
+    /// commit stamp, so a snapshot at stamp `S` equals the serial state
+    /// after the first `S` committed writers and the reader serialises
+    /// right there. Protocols that install writes *before* commit
+    /// ([`UpdateModel::InstallOnEarlyRelease`], i.e. CCP) decline: a
+    /// snapshot taken between an early install's commit and the commit of
+    /// the transaction whose dirty value it read is not a committed
+    /// prefix, so their read-only instances stay on the lock-based path.
+    fn lock_exempt(&self, mode: TxnMode) -> bool {
+        mode == TxnMode::ReadOnly && self.update_model() == UpdateModel::Workspace
+    }
+
     /// The *global* system ceiling currently in effect (the paper's
     /// `Max_Sysceil`, the dotted line of Figures 4 and 5): the ceiling an
     /// arriving transaction that holds nothing would face. Protocols
@@ -219,6 +261,8 @@ pub trait Protocol {
     ) -> Vec<(ItemId, LockMode)>;
     /// See [`ProtocolFor::update_model`].
     fn update_model(&self) -> UpdateModel;
+    /// See [`ProtocolFor::lock_exempt`].
+    fn lock_exempt(&self, mode: TxnMode) -> bool;
     /// See [`ProtocolFor::system_ceiling`].
     fn system_ceiling(&self, view: &dyn EngineView) -> rtdb_types::Ceiling;
     /// See [`ProtocolFor::may_abort`].
@@ -265,6 +309,10 @@ where
 
     fn update_model(&self) -> UpdateModel {
         ProtocolFor::<dyn EngineView>::update_model(self)
+    }
+
+    fn lock_exempt(&self, mode: TxnMode) -> bool {
+        ProtocolFor::<dyn EngineView>::lock_exempt(self, mode)
     }
 
     fn system_ceiling(&self, view: &dyn EngineView) -> rtdb_types::Ceiling {
@@ -334,6 +382,10 @@ impl<V: EngineView> ProtocolFor<V> for DynProtocol<'_> {
 
     fn update_model(&self) -> UpdateModel {
         self.inner.update_model()
+    }
+
+    fn lock_exempt(&self, mode: TxnMode) -> bool {
+        self.inner.lock_exempt(mode)
     }
 
     fn system_ceiling(&self, view: &V) -> rtdb_types::Ceiling {

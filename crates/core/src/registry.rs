@@ -156,6 +156,15 @@ impl ProtocolKind {
         }
     }
 
+    /// Whether read-only transactions may take the lock-free multiversion
+    /// snapshot path under this protocol; equals the constructed
+    /// protocol's default `Protocol::lock_exempt(TxnMode::ReadOnly)`.
+    /// Exactly the deferred-update kinds qualify — CCP installs writes at
+    /// early release, so its commit stamps are not consistent prefixes.
+    pub fn snapshot_exempt(self) -> bool {
+        self.update_model() == UpdateModel::Workspace
+    }
+
     /// Whether the protocol may abort/restart transactions; equals the
     /// constructed protocol's `Protocol::may_abort()`.
     pub fn may_abort(self) -> bool {

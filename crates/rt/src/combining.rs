@@ -340,9 +340,14 @@ pub(crate) struct CombiningManager<'a> {
 }
 
 impl<'a> CombiningManager<'a> {
-    pub(crate) fn new(set: &'a TransactionSet, kind: ProtocolKind, park_timeout: Duration) -> Self {
+    pub(crate) fn new(
+        set: &'a TransactionSet,
+        kind: ProtocolKind,
+        park_timeout: Duration,
+        snap: Option<Arc<crate::snapshot::SnapshotSide>>,
+    ) -> Self {
         CombiningManager {
-            state: Mutex::new(Shared::new(set, kind, true)),
+            state: Mutex::new(Shared::new(set, kind, true, snap)),
             intake: Mutex::new(Intake {
                 queue: Vec::new(),
                 combiner: false,

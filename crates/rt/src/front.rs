@@ -31,7 +31,10 @@
 use crate::admission::{AdmissionPolicy, AdmissionQueue, Admitted, Push};
 use crate::histogram::LatencyHistogram;
 use crate::manager::{LockManager, WorkerCtx};
-use crate::runtime::{dur_ns, execute_job, JobReport, RtConfig, RtResult};
+use crate::runtime::{
+    dur_ns, execute_job, merge_snapshot_jobs, snapshot_side, JobReport, RtConfig, RtResult,
+};
+use crate::snapshot::SnapshotSide;
 use rtdb_core::ProtocolKind;
 use rtdb_types::{InstanceId, TransactionSet, TxnId};
 use std::collections::VecDeque;
@@ -344,19 +347,22 @@ fn dispatcher(set: &TransactionSet, admission: &AdmissionQueue, dispatch: &Dispa
     dispatch.close();
 }
 
+#[allow(clippy::too_many_arguments)]
 fn front_worker(
     set: &TransactionSet,
     manager: &LockManager<'_>,
+    snap: Option<&SnapshotSide>,
     dispatch: &DispatchQueue,
     reports: &Mutex<Vec<JobReport>>,
-    tick_ns: u64,
+    config: &RtConfig,
+    worker_index: usize,
     t0: Instant,
 ) -> LatencyHistogram {
-    let mut ctx = WorkerCtx::new();
+    let mut ctx = WorkerCtx::new(worker_index);
     let mut hist = LatencyHistogram::new();
     while let Some(d) = dispatch.pop() {
         let started = Instant::now();
-        let stats = execute_job(set, manager, d.id, &mut ctx, tick_ns);
+        let stats = execute_job(set, manager, snap, d.id, &mut ctx, config);
         let committed = Instant::now();
         let latency_ns = dur_ns(committed.duration_since(d.job.admitted_at));
         hist.record(latency_ns);
@@ -373,6 +379,7 @@ fn front_worker(
             block_events: stats.block_events,
             lower_blockers: stats.lower_blockers,
             commit_index: stats.commit_index,
+            snapshot: stats.snapshot,
         };
         reports
             .lock()
@@ -399,11 +406,13 @@ pub fn run_front<R>(
     driver: impl FnOnce(FrontHandle<'_>) -> R,
 ) -> (RtResult, R) {
     let threads = config.rt.threads.max(1);
+    let snap = snapshot_side(set, &config.rt);
     let manager = LockManager::new(
         set,
         config.rt.kind,
         config.rt.manager,
         config.rt.park_timeout,
+        snap.clone(),
     );
     let dispatch = DispatchQueue::new(threads);
     let reports: Mutex<Vec<JobReport>> = Mutex::new(Vec::new());
@@ -417,21 +426,20 @@ pub fn run_front<R>(
     };
 
     let (value, latency_hist) = std::thread::scope(|scope| {
+        let manager = &manager;
+        let dispatch = &dispatch;
+        let reports = &reports;
+        let rt_config = &config.rt;
+        let t0 = shared.t0;
         let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    front_worker(
-                        set,
-                        &manager,
-                        &dispatch,
-                        &reports,
-                        config.rt.tick_ns,
-                        shared.t0,
-                    )
+            .map(|w| {
+                let snap = snap.as_deref();
+                scope.spawn(move || {
+                    front_worker(set, manager, snap, dispatch, reports, rt_config, w, t0)
                 })
             })
             .collect();
-        let disp = scope.spawn(|| dispatcher(set, &shared.queue, &dispatch));
+        let disp = scope.spawn(|| dispatcher(set, &shared.queue, dispatch));
 
         // Run the driver on this thread; if it panics the queues must
         // still close, or the scope would join parked workers forever.
@@ -451,11 +459,12 @@ pub fn run_front<R>(
     });
     let elapsed = shared.t0.elapsed();
 
-    let report = manager.finish();
-    let mut jobs = reports
+    let mut report = manager.finish();
+    let jobs = reports
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
-    jobs.sort_by_key(|j| j.commit_index);
+    let (jobs, snapshots, mv_high_water) =
+        merge_snapshot_jobs(jobs, snap.as_deref(), &mut report.history, report.commits);
 
     (
         RtResult {
@@ -465,7 +474,7 @@ pub fn run_front<R>(
             threads,
             history: report.history,
             db: report.db,
-            committed: report.commits,
+            committed: report.commits + snapshots,
             restarts: report.restarts,
             deadlocks_resolved: report.deadlocks_resolved,
             elapsed,
@@ -475,6 +484,10 @@ pub fn run_front<R>(
             latency_hist,
             park_timeout_wakeups: report.park_timeout_wakeups,
             combiner: report.combiner,
+            snapshot_reads: snap.is_some(),
+            snapshots,
+            lock_transitions: report.lock_transitions,
+            mv_high_water,
         },
         value,
     )

@@ -47,6 +47,7 @@ pub mod histogram;
 pub mod jobs;
 mod manager;
 pub mod runtime;
+mod snapshot;
 
 pub use admission::AdmissionPolicy;
 pub use combining::CombinerStats;
@@ -56,4 +57,4 @@ pub use front::{
 pub use histogram::LatencyHistogram;
 pub use jobs::job_list;
 pub use manager::ManagerKind;
-pub use runtime::{run, run_jobs, JobReport, PriorityMisses, RtConfig, RtResult};
+pub use runtime::{run, run_jobs, JobReport, PriorityMisses, RestartBackoff, RtConfig, RtResult};

@@ -28,12 +28,13 @@
 //! and report `RunOutcome::Deadlock` the way a simulation can.
 
 use crate::combining::{CombinerStats, CombiningManager, OpSlot, ParkedOp, Response};
+use crate::snapshot::SnapshotSide;
 use rtdb_core::{
     CeilingTable, Decision, EngineView, LockRequest, LockTable, PriorityManager, ProtocolFor,
     ProtocolKind, UpdateModel, WaitForGraph,
 };
 use rtdb_sim::{instantiate, AnyProtocol};
-use rtdb_storage::{Database, EventKind, History, Workspace};
+use rtdb_storage::{Database, EventKind, History, VersionedValue, Workspace};
 use rtdb_types::{InstanceId, ItemId, LockMode, Priority, Tick, TransactionSet, TxnId};
 use std::cmp::Reverse;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -118,6 +119,10 @@ pub(crate) struct JobStats {
     /// Distinct lower-priority templates that ever blocked this job —
     /// the measurable form of the paper's single-blocking property.
     pub lower_blockers: Vec<TxnId>,
+    /// Commit stamp for jobs that ran on the snapshot read path (their
+    /// `commit_index` is an ordinal in the reader stream until the run's
+    /// epilogue offsets it past the lock-path commits).
+    pub snapshot: Option<u64>,
 }
 
 /// Result of a commit attempt.
@@ -137,6 +142,10 @@ pub(crate) struct ManagerReport {
     pub park_timeout_wakeups: u64,
     /// Combining-pass telemetry (all-zero under [`ManagerKind::Mutex`]).
     pub combiner: CombinerStats,
+    /// Final value of the lock table's monotone state-transition counter
+    /// — 0 means the run never granted, released or converted a single
+    /// lock (the snapshot path's zero-lock assertion hook).
+    pub lock_transitions: u64,
 }
 
 /// Per-worker context threaded through every manager call: the recycled
@@ -145,13 +154,17 @@ pub(crate) struct ManagerReport {
 pub(crate) struct WorkerCtx {
     pub ws: Workspace,
     pub slot: Arc<OpSlot>,
+    /// This worker's index in `0..threads` — its reader slot in the
+    /// snapshot store's pin table.
+    pub worker: usize,
 }
 
 impl WorkerCtx {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(worker: usize) -> Self {
         WorkerCtx {
             ws: Workspace::new(InstanceId::first(TxnId(0))),
             slot: Arc::new(OpSlot::new()),
+            worker,
         }
     }
 }
@@ -313,7 +326,13 @@ pub(crate) struct Shared<'a> {
     pub(crate) woken_queue: Vec<InstanceId>,
     /// Combining-pass telemetry (combining mode only).
     pub(crate) combiner: CombinerStats,
+    /// The snapshot-read side-car, when the path is enabled: every commit
+    /// publishes its installs (and seals a stamp) here, inside this state
+    /// core's critical section.
+    pub(crate) snap: Option<Arc<SnapshotSide>>,
     reeval_scratch: Vec<InstanceId>,
+    /// Scratch for the publish batch handed to the snapshot store.
+    publish_scratch: Vec<(ItemId, VersionedValue)>,
 }
 
 /// What [`Shared::try_acquire`] told the caller.
@@ -328,7 +347,12 @@ pub(crate) enum TryAcquire {
 }
 
 impl<'a> Shared<'a> {
-    pub(crate) fn new(set: &'a TransactionSet, kind: ProtocolKind, delegated: bool) -> Self {
+    pub(crate) fn new(
+        set: &'a TransactionSet,
+        kind: ProtocolKind,
+        delegated: bool,
+        snap: Option<Arc<SnapshotSide>>,
+    ) -> Self {
         let ceilings = CeilingTable::new(set);
         let locks = LockTable::with_index(&ceilings);
         Shared {
@@ -352,7 +376,9 @@ impl<'a> Shared<'a> {
             park_timeout_wakeups: 0,
             woken_queue: Vec::new(),
             combiner: CombinerStats::default(),
+            snap,
             reeval_scratch: Vec::new(),
+            publish_scratch: Vec::new(),
         }
     }
 
@@ -366,6 +392,7 @@ impl<'a> Shared<'a> {
             deadlocks_resolved: self.deadlocks_resolved,
             park_timeout_wakeups: self.park_timeout_wakeups + extra_timeout_wakeups,
             combiner: self.combiner,
+            lock_transitions: self.view.locks.version(),
         }
     }
 
@@ -728,7 +755,12 @@ impl<'a> Shared<'a> {
         self.history.push(at, id, EventKind::Commit);
         {
             let Shared {
-                view, db, history, ..
+                view,
+                db,
+                history,
+                snap,
+                publish_scratch,
+                ..
             } = self;
             let m = view.meta(id);
             for &(item, value) in ws.staged_writes() {
@@ -745,6 +777,24 @@ impl<'a> Shared<'a> {
                         version,
                     },
                 );
+                if snap.is_some() {
+                    publish_scratch.push((
+                        item,
+                        VersionedValue {
+                            value,
+                            version,
+                            writer: Some(id),
+                            installed_at: at,
+                        },
+                    ));
+                }
+            }
+            // Seal this commit's stamp — on *every* lock-path commit,
+            // written or not, so stamp `S` means "the state after the
+            // first `S` commits" exactly as the oracle counts them.
+            if let Some(side) = snap {
+                side.store.publish(publish_scratch);
+                publish_scratch.clear();
             }
         }
         self.view.locks.release_all(id);
@@ -764,6 +814,7 @@ impl<'a> Shared<'a> {
                 restarts: meta.restarts,
                 block_events: meta.block_events,
                 lower_blockers: meta.lower_blockers,
+                snapshot: None,
             }
         };
         if let Ok(i) = self.view.active.binary_search(&id) {
@@ -784,10 +835,15 @@ pub(crate) struct MutexManager<'a> {
 }
 
 impl<'a> MutexManager<'a> {
-    pub(crate) fn new(set: &'a TransactionSet, kind: ProtocolKind, park_timeout: Duration) -> Self {
+    pub(crate) fn new(
+        set: &'a TransactionSet,
+        kind: ProtocolKind,
+        park_timeout: Duration,
+        snap: Option<Arc<SnapshotSide>>,
+    ) -> Self {
         MutexManager {
             park_timeout,
-            state: Mutex::new(Shared::new(set, kind, false)),
+            state: Mutex::new(Shared::new(set, kind, false, snap)),
         }
     }
 
@@ -898,11 +954,14 @@ impl<'a> LockManager<'a> {
         kind: ProtocolKind,
         manager: ManagerKind,
         park_timeout: Duration,
+        snap: Option<Arc<SnapshotSide>>,
     ) -> Self {
         match manager {
-            ManagerKind::Mutex => LockManager::Mutex(MutexManager::new(set, kind, park_timeout)),
+            ManagerKind::Mutex => {
+                LockManager::Mutex(MutexManager::new(set, kind, park_timeout, snap))
+            }
             ManagerKind::Combining => {
-                LockManager::Combining(CombiningManager::new(set, kind, park_timeout))
+                LockManager::Combining(CombiningManager::new(set, kind, park_timeout, snap))
             }
         }
     }

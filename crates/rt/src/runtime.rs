@@ -15,11 +15,12 @@ use crate::jobs;
 use crate::manager::{
     CommitOutcome, JobStats, LockManager, ManagerKind, Outcome, WorkerCtx, DEFAULT_PARK_TIMEOUT,
 };
+use crate::snapshot::{ReaderLog, SnapshotSide};
 use rtdb_core::ProtocolKind;
-use rtdb_storage::{Database, History, SerializationGraph};
-use rtdb_types::{InstanceId, Priority, TransactionSet, TxnId};
+use rtdb_storage::{Database, History, SerializationGraph, VersionedValue};
+use rtdb_types::{InstanceId, LockMode, Priority, TransactionSet, TxnId};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Configuration for one [`run`].
@@ -45,11 +46,49 @@ pub struct RtConfig {
     /// the admission dispatcher and latency-sensitive tests can tighten
     /// it.
     pub park_timeout: Duration,
+    /// Serve read-only transactions from multiversion snapshots instead
+    /// of the lock manager. Effective only for protocols whose update
+    /// model makes commit-stamp snapshots serializable (see
+    /// `ProtocolKind::snapshot_exempt` — every workspace-model protocol;
+    /// CCP's early installs disqualify it and its read-only jobs simply
+    /// keep taking locks). Exempt jobs never touch the lock table, never
+    /// raise the system ceiling, never block a writer and never abort.
+    pub snapshot_reads: bool,
+    /// Jittered exponential abort→restart delay (see [`RestartBackoff`]).
+    pub backoff: RestartBackoff,
+}
+
+/// The abort→restart backoff policy: a victim sleeps a jittered,
+/// exponentially growing delay before re-acquiring its locks, so a
+/// deadlock victim cannot reform the identical cycle in the same instant
+/// and starve the peer it was aborted for. Disable it only in
+/// deterministic single-threaded tests, where restarts cannot race.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RestartBackoff {
+    /// Master switch; `false` restarts immediately (deterministic tests).
+    pub enabled: bool,
+    /// Lower bound on the per-tick cost estimate feeding the first delay:
+    /// `base = 16 * max(tick_ns, base_floor_ns)`, i.e. roughly one job
+    /// service time even when `tick_ns` is 0.
+    pub base_floor_ns: u64,
+    /// Hard cap on a single delay, so no victim is parked for a
+    /// macroscopic slice of a run.
+    pub cap_ns: u64,
+}
+
+impl Default for RestartBackoff {
+    fn default() -> Self {
+        RestartBackoff {
+            enabled: true,
+            base_floor_ns: 500,
+            cap_ns: 4_000_000,
+        }
+    }
 }
 
 impl RtConfig {
     /// Defaults: mutex manager, 4 threads, no busy-work, 25 ms park
-    /// timeout.
+    /// timeout, snapshot reads off, default restart backoff.
     pub fn new(kind: ProtocolKind) -> Self {
         RtConfig {
             kind,
@@ -57,6 +96,8 @@ impl RtConfig {
             threads: 4,
             tick_ns: 0,
             park_timeout: DEFAULT_PARK_TIMEOUT,
+            snapshot_reads: false,
+            backoff: RestartBackoff::default(),
         }
     }
 
@@ -82,6 +123,30 @@ impl RtConfig {
     pub fn with_park_timeout(mut self, park_timeout: Duration) -> Self {
         self.park_timeout = park_timeout;
         self
+    }
+
+    /// Enable or disable the multiversion snapshot read path.
+    pub fn with_snapshot_reads(mut self, on: bool) -> Self {
+        self.snapshot_reads = on;
+        self
+    }
+
+    /// Replace the restart-backoff policy.
+    pub fn with_backoff(mut self, backoff: RestartBackoff) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Disable the restart backoff (deterministic tests only).
+    pub fn without_backoff(mut self) -> Self {
+        self.backoff.enabled = false;
+        self
+    }
+
+    /// True when this run actually serves read-only jobs from snapshots:
+    /// the switch is on *and* the protocol's update model permits it.
+    pub fn snapshot_active(&self) -> bool {
+        self.snapshot_reads && self.kind.snapshot_exempt()
     }
 }
 
@@ -119,8 +184,15 @@ pub struct JobReport {
     pub block_events: u32,
     /// Distinct lower-priority templates that ever blocked it.
     pub lower_blockers: Vec<TxnId>,
-    /// Zero-based position in the global commit order.
+    /// Zero-based position in the global commit order. Snapshot readers
+    /// are ordered after every lock-path commit (they hold no position in
+    /// the lock manager's commit stream — the serializability oracle
+    /// places them by [`JobReport::snapshot`] instead).
     pub commit_index: u64,
+    /// The commit stamp this job's reads were served at, when it ran on
+    /// the lock-exempt snapshot path: it observed exactly the state after
+    /// the first `snapshot` lock-path commits. `None` for lock-based jobs.
+    pub snapshot: Option<u64>,
 }
 
 impl JobReport {
@@ -197,12 +269,34 @@ pub struct RtResult {
     pub park_timeout_wakeups: u64,
     /// Combining-pass telemetry (all-zero under [`ManagerKind::Mutex`]).
     pub combiner: CombinerStats,
+    /// Whether the snapshot read path was active for this run (the config
+    /// switch was on *and* the protocol's update model permitted it).
+    pub snapshot_reads: bool,
+    /// Jobs that committed on the lock-exempt snapshot path (included in
+    /// [`RtResult::committed`]).
+    pub snapshots: u64,
+    /// Final value of the lock table's monotone transition counter: every
+    /// grant, release or conversion bumps it, so 0 proves the run never
+    /// took a single lock.
+    pub lock_transitions: u64,
+    /// Longest per-item version chain the snapshot store ever held — the
+    /// epoch GC's memory-flatness telemetry (0 when the path is off).
+    pub mv_high_water: usize,
 }
 
 impl RtResult {
     /// The conflict graph `SG(H)` of the run's history.
     pub fn serialization_graph(&self) -> SerializationGraph {
         SerializationGraph::build(&self.history)
+    }
+
+    /// `(reader, stamp)` for every job that committed on the snapshot
+    /// path — the positions the snapshot serializability oracle needs.
+    pub fn snapshot_stamps(&self) -> Vec<(InstanceId, u64)> {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.snapshot.map(|s| (j.id, s)))
+            .collect()
     }
 
     /// True if the history is conflict-serializable (acyclic `SG(H)`).
@@ -270,24 +364,30 @@ impl RtResult {
 /// per-job reports. Every job runs to commit (aborts restart it), so the
 /// run always drains the queue.
 pub fn run(set: &TransactionSet, job_queue: &[InstanceId], config: RtConfig) -> RtResult {
-    let manager = LockManager::new(set, config.kind, config.manager, config.park_timeout);
+    let threads = config.threads.max(1);
+    let snap = snapshot_side(set, &config);
+    let manager = LockManager::new(
+        set,
+        config.kind,
+        config.manager,
+        config.park_timeout,
+        snap.clone(),
+    );
     let next = AtomicUsize::new(0);
     let reports: Mutex<Vec<JobReport>> = Mutex::new(Vec::with_capacity(job_queue.len()));
-    let threads = config.threads.max(1);
 
     let start = Instant::now();
     let latency_hist = std::thread::scope(|scope| {
+        let manager = &manager;
+        let next = &next;
+        let reports = &reports;
+        let config = &config;
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                let snap = snap.as_deref();
+                scope.spawn(move || {
                     worker(
-                        set,
-                        job_queue,
-                        &manager,
-                        &next,
-                        &reports,
-                        config.tick_ns,
-                        start,
+                        set, job_queue, manager, snap, next, reports, config, w, start,
                     )
                 })
             })
@@ -300,11 +400,12 @@ pub fn run(set: &TransactionSet, job_queue: &[InstanceId], config: RtConfig) -> 
     });
     let elapsed = start.elapsed();
 
-    let report = manager.finish();
-    let mut jobs = reports
+    let mut report = manager.finish();
+    let jobs = reports
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
-    jobs.sort_by_key(|j| j.commit_index);
+    let (jobs, snapshots, mv_high_water) =
+        merge_snapshot_jobs(jobs, snap.as_deref(), &mut report.history, report.commits);
 
     RtResult {
         protocol: config.kind.name().to_string(),
@@ -313,7 +414,7 @@ pub fn run(set: &TransactionSet, job_queue: &[InstanceId], config: RtConfig) -> 
         threads,
         history: report.history,
         db: report.db,
-        committed: report.commits,
+        committed: report.commits + snapshots,
         restarts: report.restarts,
         deadlocks_resolved: report.deadlocks_resolved,
         elapsed,
@@ -323,7 +424,42 @@ pub fn run(set: &TransactionSet, job_queue: &[InstanceId], config: RtConfig) -> 
         latency_hist,
         park_timeout_wakeups: report.park_timeout_wakeups,
         combiner: report.combiner,
+        snapshot_reads: snap.is_some(),
+        snapshots,
+        lock_transitions: report.lock_transitions,
+        mv_high_water,
     }
+}
+
+/// Build the snapshot side-car when the run will actually use it.
+pub(crate) fn snapshot_side(set: &TransactionSet, config: &RtConfig) -> Option<Arc<SnapshotSide>> {
+    config
+        .snapshot_active()
+        .then(|| Arc::new(SnapshotSide::for_set(set, config.threads.max(1))))
+}
+
+/// Run epilogue shared with the admission front-end: merge the reader
+/// logs into the history, offset reader commit indices past the
+/// `lock_commits` lock-path commits, and re-sort the job reports into the
+/// global commit order. Returns `(jobs, snapshots, mv_high_water)`.
+pub(crate) fn merge_snapshot_jobs(
+    mut jobs: Vec<JobReport>,
+    snap: Option<&SnapshotSide>,
+    history: &mut History,
+    lock_commits: u64,
+) -> (Vec<JobReport>, u64, usize) {
+    let (snapshots, mv_high_water) = match snap {
+        Some(side) => {
+            side.merge_into(history);
+            for j in jobs.iter_mut().filter(|j| j.snapshot.is_some()) {
+                j.commit_index += lock_commits;
+            }
+            (side.committed(), side.store.high_water())
+        }
+        None => (0, 0),
+    };
+    jobs.sort_by_key(|j| j.commit_index);
+    (jobs, snapshots, mv_high_water)
 }
 
 /// Convenience: generate a seeded job list (see [`jobs::job_list`]) and
@@ -338,16 +474,19 @@ pub(crate) fn dur_ns(d: Duration) -> u64 {
     d.as_nanos().min(u64::MAX as u128) as u64
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker(
     set: &TransactionSet,
     job_queue: &[InstanceId],
     manager: &LockManager<'_>,
+    snap: Option<&SnapshotSide>,
     next: &AtomicUsize,
     reports: &Mutex<Vec<JobReport>>,
-    tick_ns: u64,
+    config: &RtConfig,
+    worker_index: usize,
     t0: Instant,
 ) -> LatencyHistogram {
-    let mut ctx = WorkerCtx::new();
+    let mut ctx = WorkerCtx::new(worker_index);
     let mut hist = LatencyHistogram::new();
     loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -355,7 +494,7 @@ fn worker(
             return hist;
         };
         let begun = Instant::now();
-        let stats = execute_job(set, manager, id, &mut ctx, tick_ns);
+        let stats = execute_job(set, manager, snap, id, &mut ctx, config);
         let committed = Instant::now();
         let latency_ns = dur_ns(committed.duration_since(begun));
         hist.record(latency_ns);
@@ -375,6 +514,7 @@ fn worker(
             block_events: stats.block_events,
             lower_blockers: stats.lower_blockers,
             commit_index: stats.commit_index,
+            snapshot: stats.snapshot,
         };
         reports
             .lock()
@@ -384,20 +524,27 @@ fn worker(
 }
 
 /// Run one instance to commit, restarting from step 0 on every abort.
+/// Read-only jobs take the lock-free snapshot path when `snap` is live.
 pub(crate) fn execute_job(
     set: &TransactionSet,
     manager: &LockManager<'_>,
+    snap: Option<&SnapshotSide>,
     id: InstanceId,
     ctx: &mut WorkerCtx,
-    tick_ns: u64,
+    config: &RtConfig,
 ) -> JobStats {
     let template = set.template(id.txn);
+    if let Some(side) = snap {
+        if template.is_read_only() {
+            return execute_snapshot_job(set, side, id, ctx, config);
+        }
+    }
     let steps = template.steps.as_slice();
     manager.begin(id, ctx);
     let mut attempt: u32 = 0;
     'attempt: loop {
         if attempt > 0 {
-            restart_backoff(id, attempt, tick_ns);
+            restart_backoff(id, attempt, config.tick_ns, &config.backoff);
         }
         attempt += 1;
         ctx.ws.reset(id);
@@ -408,7 +555,7 @@ pub(crate) fn execute_job(
                     Outcome::Restart => continue 'attempt,
                 }
             }
-            spin_work(step.duration, tick_ns);
+            spin_work(step.duration, config.tick_ns);
             // Early releases (and CCP's early installs) apply after every
             // *non-final* step; the final step's locks fall to commit.
             if step_index + 1 < steps.len() {
@@ -425,6 +572,45 @@ pub(crate) fn execute_job(
     }
 }
 
+/// The lock-exempt job body: pin a commit stamp once, resolve every read
+/// against the version chains, commit without touching the manager. No
+/// protocol decision runs, no lock-table transition happens, nothing can
+/// block or abort this job, and the pinned stamp keeps the epoch GC from
+/// reclaiming the versions it still needs.
+fn execute_snapshot_job(
+    set: &TransactionSet,
+    side: &SnapshotSide,
+    id: InstanceId,
+    ctx: &mut WorkerCtx,
+    config: &RtConfig,
+) -> JobStats {
+    let template = set.template(id.txn);
+    let stamp = side.store.pin(ctx.worker);
+    ctx.ws.reset(id);
+    let mut reads = Vec::new();
+    for step in &template.steps {
+        if let Some((item, mode)) = step.op.access() {
+            debug_assert_eq!(mode, LockMode::Read, "read-only template wrote");
+            let vv = side
+                .store
+                .read_at(item, stamp)
+                .unwrap_or(VersionedValue::INITIAL);
+            let rec = ctx.ws.read_versioned(item, vv.value, vv.version);
+            reads.push((item, rec.value, rec.version));
+        }
+        spin_work(step.duration, config.tick_ns);
+    }
+    side.store.unpin(ctx.worker);
+    let ordinal = side.commit_reader(ctx.worker, ReaderLog { id, reads });
+    JobStats {
+        commit_index: ordinal,
+        restarts: 0,
+        block_events: 0,
+        lower_blockers: Vec::new(),
+        snapshot: Some(stamp),
+    }
+}
+
 /// Jittered exponential delay between an abort and the restart it forces.
 ///
 /// Protocols that resolve deadlocks by victim restart rely on the victim
@@ -437,14 +623,17 @@ pub(crate) fn execute_job(
 /// transactions the victim was deadlocked with. Deterministically
 /// jittered per `(instance, attempt)` so simultaneous victims
 /// desynchronise instead of colliding again in lock-step.
-fn restart_backoff(id: InstanceId, attempt: u32, tick_ns: u64) {
+fn restart_backoff(id: InstanceId, attempt: u32, tick_ns: u64, policy: &RestartBackoff) {
+    if !policy.enabled {
+        return;
+    }
     // First delay ~ one job service time (a handful of steps at a few
     // ticks each), quadrupling per repeat so a victim caught behind a
     // convoy of conflicting higher-priority instances outwaits the whole
     // convoy within a few aborts. Capped so no victim is parked for a
     // macroscopic slice of a run.
-    let base = 16 * tick_ns.max(500);
-    let ns = (base << (2 * (attempt - 1)).min(8)).min(4_000_000);
+    let base = 16 * tick_ns.max(policy.base_floor_ns);
+    let ns = (base << (2 * (attempt - 1)).min(8)).min(policy.cap_ns);
     let seed = ((id.txn.0 as u64) << 32 | id.seq as u64)
         ^ (attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
     let jitter = 0.5 + rtdb_util::Rng::seed(seed).f64(); // [0.5, 1.5)

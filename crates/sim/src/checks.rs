@@ -22,7 +22,8 @@
 
 use crate::engine::{RunOutcome, RunResult};
 use rtdb_storage::{Database, EventKind, History, SerializationGraph};
-use rtdb_types::{Tick, TransactionSet};
+use rtdb_types::{InstanceId, ItemId, Tick, TransactionSet};
+use std::collections::BTreeMap;
 
 /// What a protocol promises; [`verify_run`] checks a run against it.
 #[derive(Clone, Copy, Debug)]
@@ -93,6 +94,21 @@ pub enum Violation {
     /// Serial replay diverged (value-level anomaly); carries the number
     /// of divergences.
     ReplayDivergence(usize),
+    /// A snapshot reader observed a version that is not the latest one
+    /// installed by the first `stamp` lock-path commits — its reads do
+    /// not form a consistent committed prefix.
+    SnapshotInconsistency {
+        /// The offending snapshot reader.
+        reader: InstanceId,
+        /// Item whose read was wrong.
+        item: ItemId,
+        /// Version the reader observed.
+        version: u64,
+        /// Version visible at the reader's pinned stamp.
+        expected: u64,
+        /// The reader's pinned commit stamp.
+        stamp: u64,
+    },
 }
 
 /// Verify `run` against `expect`; returns every violation found (empty =
@@ -122,12 +138,14 @@ pub fn verify_run(set: &TransactionSet, run: &RunResult, expect: Expectations) -
     }
 
     // Serializability — always checked: conflict graph first, then the
-    // value-level replay in the appropriate order.
-    out.extend(serializability_violations(
+    // value-level replay in the appropriate order. Snapshot readers (if
+    // the run used the lock-exempt path) are verified at their stamps.
+    out.extend(snapshot_serializability_violations(
         set,
         &run.history,
         &run.db,
         expect.commit_order_serialization,
+        &run.snapshot_stamps(),
     ));
 
     out
@@ -170,6 +188,124 @@ pub fn serializability_violations(
         }
         rtdb_storage::replay_serial(set, &h, db)
     };
+    if !replay.is_serializable() {
+        return vec![Violation::ReplayDivergence(replay.violations.len())];
+    }
+    Vec::new()
+}
+
+/// [`serializability_violations`] extended for histories with lock-exempt
+/// snapshot readers. `snapshots` lists each reader with its pinned commit
+/// stamp (as produced by `RunResult::snapshot_stamps` or the runtime's
+/// report); with an empty list this is exactly the plain oracle.
+///
+/// Three layers:
+/// 1. conflict-graph acyclicity on the raw history (edges derive from the
+///    version numbers each read observed, so snapshot readers' wr/rw
+///    edges are already placed correctly);
+/// 2. an explicit **consistent-prefix check**: every read of a snapshot
+///    reader pinned at stamp `S` must observe exactly the latest version
+///    installed by the first `S` lock-path commits — wr edges may only
+///    point to installed-before-snapshot versions, and skipping an
+///    overwritten-before-snapshot version is equally a violation;
+/// 3. the value-level serial replay on a rebuilt history whose commit
+///    order inserts each reader directly after its stamp-th lock-path
+///    commit — the serial position the snapshot semantics claim.
+pub fn snapshot_serializability_violations(
+    set: &TransactionSet,
+    history: &History,
+    db: &Database,
+    commit_order_serialization: bool,
+    snapshots: &[(InstanceId, u64)],
+) -> Vec<Violation> {
+    // Only committed readers participate; unfinished ones have no Commit
+    // event to place (the runtime never reports them, but the simulator's
+    // metrics include leftovers at the horizon).
+    let committed: std::collections::BTreeSet<InstanceId> =
+        history.commit_order().iter().copied().collect();
+    let readers: BTreeMap<InstanceId, u64> = snapshots
+        .iter()
+        .copied()
+        .filter(|(r, _)| committed.contains(r))
+        .collect();
+    if readers.is_empty() {
+        return serializability_violations(set, history, db, commit_order_serialization);
+    }
+
+    let graph = SerializationGraph::build(history);
+    if let Some(cycle) = graph.find_cycle() {
+        return vec![Violation::ConflictCycle(cycle)];
+    }
+
+    // 1-based commit positions of the lock-path (non-reader) commits —
+    // the engine seals one stamp per such commit, in this exact order.
+    let mut pos: BTreeMap<InstanceId, u64> = BTreeMap::new();
+    for &who in history.commit_order() {
+        if !readers.contains_key(&who) {
+            pos.insert(who, pos.len() as u64 + 1);
+        }
+    }
+
+    // Consistent-prefix check.
+    let installs = history.install_order();
+    let reads = history.committed_reads();
+    let mut out = Vec::new();
+    for (&reader, &stamp) in &readers {
+        for &(item, _, version, own) in reads.get(&reader).map_or(&[][..], Vec::as_slice) {
+            debug_assert!(!own, "snapshot readers stage nothing");
+            let expected = installs.get(&item).map_or(0, |chain| {
+                chain
+                    .iter()
+                    .filter(|&&(_, writer, _)| pos.get(&writer).is_some_and(|&p| p <= stamp))
+                    .map(|&(v, _, _)| v)
+                    .max()
+                    .unwrap_or(0)
+            });
+            if version != expected {
+                out.push(Violation::SnapshotInconsistency {
+                    reader,
+                    item,
+                    version,
+                    expected,
+                    stamp,
+                });
+            }
+        }
+    }
+    if !out.is_empty() {
+        return out;
+    }
+
+    // Value-level replay with each reader serialized at its stamp.
+    let mut by_stamp: BTreeMap<u64, Vec<InstanceId>> = BTreeMap::new();
+    for (&r, &s) in &readers {
+        by_stamp.entry(s).or_default().push(r);
+    }
+    let mut h = History::new();
+    for e in history.events() {
+        if !matches!(e.kind, EventKind::Commit) {
+            h.push(e.at, e.instance, e.kind);
+        }
+    }
+    let mut serial: Vec<InstanceId> = Vec::with_capacity(history.commit_order().len());
+    serial.extend(by_stamp.get(&0).into_iter().flatten());
+    let mut k = 0u64;
+    for &who in history.commit_order() {
+        if readers.contains_key(&who) {
+            continue;
+        }
+        k += 1;
+        serial.push(who);
+        serial.extend(by_stamp.get(&k).into_iter().flatten());
+    }
+    // A stamp beyond the last commit cannot be pinned; be defensive.
+    for (_, rs) in by_stamp.range(k + 1..) {
+        serial.extend(rs);
+    }
+    for who in serial {
+        h.push(Tick::ZERO, who, EventKind::Commit);
+    }
+    let replay = rtdb_storage::replay_serial(set, &h, db);
     if !replay.is_serializable() {
         return vec![Violation::ReplayDivergence(replay.violations.len())];
     }

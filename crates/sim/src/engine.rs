@@ -44,9 +44,12 @@ use crate::registry::{instantiate, AnyProtocol};
 use crate::trace::{SegKind, Trace, TraceEvent};
 use rtdb_core::{
     CeilingTable, Decision, DynProtocol, EngineView, LockRequest, LockTable, PriorityManager,
-    Protocol, ProtocolFor, ProtocolKind, UpdateModel, WaitForGraph,
+    Protocol, ProtocolFor, ProtocolKind, TxnMode, UpdateModel, WaitForGraph,
 };
-use rtdb_storage::{Database, EventKind, History, ReplayOutcome, SerializationGraph, Workspace};
+use rtdb_storage::{
+    Database, EventKind, History, MvStore, ReplayOutcome, SerializationGraph, VersionedValue,
+    Workspace,
+};
 use rtdb_types::{
     Duration, Error, InstanceId, ItemId, LockMode, Priority, Result, Tick, TransactionSet, TxnId,
 };
@@ -66,6 +69,11 @@ pub struct SimConfig {
     pub resolve_deadlocks: bool,
     /// Safety budget on scheduler iterations.
     pub max_steps: u64,
+    /// Offer read-only transactions the lock-exempt multiversion snapshot
+    /// path. Takes effect only for protocols whose
+    /// [`rtdb_core::ProtocolFor::lock_exempt`] accepts (the
+    /// deferred-update kinds; CCP declines and keeps lock-based reads).
+    pub snapshot_reads: bool,
 }
 
 impl Default for SimConfig {
@@ -74,6 +82,7 @@ impl Default for SimConfig {
             horizon: None,
             resolve_deadlocks: false,
             max_steps: 10_000_000,
+            snapshot_reads: false,
         }
     }
 }
@@ -90,6 +99,12 @@ impl SimConfig {
     /// Enable deadlock resolution by victim abort.
     pub fn resolving_deadlocks(mut self) -> Self {
         self.resolve_deadlocks = true;
+        self
+    }
+
+    /// Enable the multiversion snapshot path for read-only transactions.
+    pub fn with_snapshot_reads(mut self) -> Self {
+        self.snapshot_reads = true;
         self
     }
 }
@@ -121,6 +136,13 @@ pub struct RunResult {
     pub outcome: RunOutcome,
     /// Value of the simulation clock when the run ended.
     pub final_clock: Tick,
+    /// True if the lock-exempt snapshot path was active (config asked for
+    /// it *and* the protocol's `lock_exempt` accepted).
+    pub snapshot_reads: bool,
+    /// Longest per-item version chain the multiversion side store ever
+    /// held (0 when the snapshot path was off) — the memory-flatness
+    /// telemetry the epoch GC is asserted against.
+    pub mv_high_water: usize,
 }
 
 impl RunResult {
@@ -141,6 +163,16 @@ impl RunResult {
     /// history). This is the correctness oracle valid for *all* protocols.
     pub fn is_conflict_serializable(&self) -> bool {
         self.serialization_graph().find_cycle().is_none()
+    }
+
+    /// Commit stamps of the instances that ran on the snapshot path,
+    /// sorted by instance id: each observed exactly the state after its
+    /// stamp's worth of lock-path commits. Empty when the path was off.
+    pub fn snapshot_stamps(&self) -> Vec<(InstanceId, u64)> {
+        self.metrics
+            .instances()
+            .filter_map(|m| m.snapshot.map(|s| (m.id, s)))
+            .collect()
     }
 
     /// Serial-replay oracle in a topological order of the serialization
@@ -264,6 +296,8 @@ struct InstanceSlot {
     pending: Option<LockRequest>,
     /// Items already installed by an early release (CCP), sorted.
     installed_early: Vec<ItemId>,
+    /// Commit stamp pinned by a snapshot reader at its first read.
+    snapshot: Option<u64>,
 }
 
 impl InstanceSlot {
@@ -285,6 +319,7 @@ impl InstanceSlot {
             workspace: Workspace::new(id),
             pending: None,
             installed_early: Vec::new(),
+            snapshot: None,
         }
     }
 
@@ -306,6 +341,7 @@ impl InstanceSlot {
         self.workspace.reset(id);
         self.pending = None;
         self.installed_early.clear();
+        self.snapshot = None;
     }
 
     fn note_lower_blocker(&mut self, txn: TxnId) {
@@ -508,6 +544,22 @@ struct ViewState<'a, S> {
     /// (dispatch, deadline misses, lower-priority attribution, finish)
     /// shares, and the exact key order of the oracle's `BTreeMap`s.
     active: Vec<InstanceId>,
+    /// Per-template read-only flags (index = `TxnId::index()`).
+    read_only: Vec<bool>,
+    /// The snapshot path is on for this run (config asked *and* the
+    /// protocol's `lock_exempt` accepted).
+    snapshot_on: bool,
+}
+
+impl<S> ViewState<'_, S> {
+    /// True if `who` runs on the lock-exempt snapshot path: it never
+    /// requests locks and — as far as any protocol can observe — has
+    /// read nothing ([`EngineView::data_read`] reports empty), so it can
+    /// neither block nor be aborted by protocol decisions.
+    #[inline]
+    fn exempt(&self, who: InstanceId) -> bool {
+        self.snapshot_on && self.read_only[who.txn.index()]
+    }
 }
 
 impl<S: InstanceStore> EngineView for ViewState<'_, S> {
@@ -527,6 +579,13 @@ impl<S: InstanceStore> EngineView for ViewState<'_, S> {
         self.pm.running(who)
     }
     fn data_read(&self, who: InstanceId) -> &[ItemId] {
+        if self.exempt(who) {
+            // Snapshot readers are invisible to protocols: their reads
+            // cannot be invalidated (they resolve against an immutable
+            // stamped prefix), so LC4-style conditions and optimistic
+            // validation must not see them.
+            return &[];
+        }
         self.store.get(who).map_or(&[], |s| s.workspace.data_read())
     }
     fn pending_request(&self, who: InstanceId) -> Option<LockRequest> {
@@ -552,6 +611,9 @@ struct Sim<'a, S> {
     clock: Tick,
     calendar: ArrivalCalendar,
     db: Database,
+    /// Multiversion side store backing snapshot readers (idle unless the
+    /// snapshot path is on).
+    mv: MvStore,
     history: History,
     trace: Trace,
     metrics: MetricsReport,
@@ -619,11 +681,14 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
                 pm: PriorityManager::new(),
                 store: S::with_templates(set.templates().len()),
                 active: Vec::new(),
+                read_only: set.templates().iter().map(|t| t.is_read_only()).collect(),
+                snapshot_on: false,
             },
             config,
             clock: Tick::ZERO,
             calendar,
             db: Database::new(),
+            mv: MvStore::new(),
             history,
             trace,
             metrics: MetricsReport::new(),
@@ -658,6 +723,7 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
     }
 
     fn run<P: ProtocolFor<ViewState<'a, S>>>(&mut self, protocol: &mut P) -> Result<()> {
+        self.vs.snapshot_on = self.config.snapshot_reads && protocol.lock_exempt(TxnMode::ReadOnly);
         self.trace
             .push_ceiling(Tick::ZERO, protocol.system_ceiling(&self.vs));
         let mut budget = self.config.max_steps;
@@ -753,6 +819,16 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
             let (step_index, resumed) = (slot.step, slot.was_denied);
 
             if slot.acquired {
+                return Some(who);
+            }
+            if self.vs.exempt(who) {
+                // Snapshot reader: no lock request, no protocol call. The
+                // read resolves against the stamp pinned at the first read.
+                if let Some((item, mode)) = step.op.access() {
+                    debug_assert_eq!(mode, LockMode::Read, "read-only template wrote");
+                    self.perform_snapshot_read(who, item);
+                }
+                self.slot_mut(who).acquired = true;
                 return Some(who);
             }
             let Some((item, mode)) = step.op.access() else {
@@ -883,6 +959,47 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
                     .push(self.clock, who, EventKind::StageWrite { item, value });
             }
         }
+    }
+
+    /// Serve a snapshot reader's read: pin the current commit stamp on
+    /// first use, then resolve the item against that stamp in the
+    /// multiversion store. No locks, no protocol.
+    fn perform_snapshot_read(&mut self, who: InstanceId, item: ItemId) {
+        let Sim {
+            vs,
+            mv,
+            history,
+            clock,
+            ..
+        } = self;
+        let slot = vs.store.get_mut(who).expect("live workspace");
+        let stamp = *slot.snapshot.get_or_insert_with(|| mv.stamp());
+        let vv = mv.read_at(item, stamp).unwrap_or(VersionedValue::INITIAL);
+        let rec = slot.workspace.read_versioned(item, vv.value, vv.version);
+        history.push(
+            *clock,
+            who,
+            EventKind::Read {
+                item,
+                value: rec.value,
+                version: rec.version,
+                own: false,
+            },
+        );
+    }
+
+    /// Retire multiversion entries no live snapshot (current or future)
+    /// can observe.
+    fn prune_mv(&mut self) {
+        let mut floor = self.mv.stamp();
+        for &id in &self.vs.active {
+            if self.vs.exempt(id) {
+                if let Some(s) = self.slot(id).snapshot {
+                    floor = floor.min(s);
+                }
+            }
+        }
+        self.mv.prune(floor);
     }
 
     fn apply_grant<P: ProtocolFor<ViewState<'a, S>>>(
@@ -1097,6 +1214,10 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
             self.commit(who, protocol);
             return;
         }
+        if self.vs.exempt(who) {
+            // Snapshot readers hold nothing to release early.
+            return;
+        }
 
         // Early releases (CCP).
         let releases = protocol.early_releases(&self.vs, who, completed_step);
@@ -1141,13 +1262,19 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
     }
 
     fn commit<P: ProtocolFor<ViewState<'a, S>>>(&mut self, who: InstanceId, protocol: &mut P) {
+        if self.vs.exempt(who) {
+            self.commit_snapshot(who);
+            return;
+        }
         // Optimistic protocols validate at commit: abort every active
         // instance this commit invalidates, before the writes install.
+        // Snapshot readers can never be victims — their reads resolve
+        // against an immutable stamped prefix no commit invalidates.
         let victims = protocol.commit_victims(&self.vs, who);
         if !victims.is_empty() {
             debug_assert!(protocol.may_abort());
             for v in victims {
-                if v != who && self.vs.store.get(v).is_some() {
+                if v != who && self.vs.store.get(v).is_some() && !self.vs.exempt(v) {
                     self.abort(v, protocol);
                 }
             }
@@ -1161,6 +1288,7 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
             let Sim {
                 vs,
                 db,
+                mv,
                 history,
                 clock,
                 ..
@@ -1180,7 +1308,24 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
                         version,
                     },
                 );
+                if vs.snapshot_on {
+                    mv.publish(
+                        item,
+                        VersionedValue {
+                            value,
+                            version,
+                            writer: Some(who),
+                            installed_at: *clock,
+                        },
+                    );
+                }
             }
+        }
+        if self.vs.snapshot_on {
+            // Every lock-path commit seals a stamp — written or not — so
+            // a snapshot stamp is exactly a commit-order position.
+            self.mv.seal();
+            self.prune_mv();
         }
 
         self.vs.locks.release_all(who);
@@ -1215,9 +1360,55 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
             lower_exec,
             distinct_lower_blockers: lower_blockers,
             restarts,
+            snapshot: None,
         });
 
         self.reevaluate(protocol);
+    }
+
+    /// Slim commit for a snapshot reader: no validation, no installs, no
+    /// locks to release, no protocol notification — just the Commit
+    /// event, metrics, and an epoch-GC pass now that its pin is gone.
+    fn commit_snapshot(&mut self, who: InstanceId) {
+        self.history.push(self.clock, who, EventKind::Commit);
+        self.vs.pm.remove(who);
+        self.trace.push_event(TraceEvent::Commit {
+            at: self.clock,
+            who,
+        });
+
+        let mv_stamp = self.mv.stamp();
+        let (release, deadline, blocking, lower_exec, restarts, lower_blockers, snapshot) = {
+            let slot = self.slot_mut(who);
+            (
+                slot.release,
+                slot.deadline,
+                slot.blocking,
+                slot.lower_exec,
+                slot.restarts,
+                std::mem::take(&mut slot.lower_blockers),
+                // A reader that never touched data still commits *as* a
+                // snapshot commit; stamp it now so every exempt commit in
+                // the history carries its serialization position.
+                slot.snapshot.or(Some(mv_stamp)),
+            )
+        };
+        debug_assert_eq!(blocking, Duration::ZERO, "snapshot readers never block");
+        debug_assert_eq!(restarts, 0, "snapshot readers never abort");
+        self.vs.store.remove(who);
+        self.deactivate(who);
+        self.metrics.record(InstanceMetrics {
+            id: who,
+            release,
+            deadline,
+            completion: Some(self.clock),
+            blocking,
+            lower_exec,
+            distinct_lower_blockers: lower_blockers,
+            restarts,
+            snapshot,
+        });
+        self.prune_mv();
     }
 
     fn abort<P: ProtocolFor<ViewState<'a, S>>>(&mut self, victim: InstanceId, protocol: &mut P) {
@@ -1225,6 +1416,10 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
             protocol.update_model(),
             UpdateModel::Workspace,
             "aborts require the workspace model (no undo implemented)"
+        );
+        debug_assert!(
+            !self.vs.exempt(victim),
+            "snapshot readers never abort (hold no locks, block nobody)"
         );
         self.history.push(self.clock, victim, EventKind::Abort);
         self.trace.push_event(TraceEvent::Abort {
@@ -1272,6 +1467,7 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
                     std::mem::take(&mut slot.lower_blockers),
                 )
             };
+            let snapshot = self.vs.store.get(who).and_then(|s| s.snapshot);
             self.vs.store.remove(who);
             if let Some(since) = blocked_since {
                 self.trace
@@ -1287,6 +1483,7 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
                 lower_exec,
                 distinct_lower_blockers: lowers,
                 restarts,
+                snapshot,
             });
         }
         self.metrics.max_sysceil = self.trace.max_system_ceiling();
@@ -1298,6 +1495,8 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
             trace: self.trace,
             outcome: self.outcome,
             final_clock: self.clock,
+            snapshot_reads: self.vs.snapshot_on,
+            mv_high_water: self.mv.high_water(),
         }
     }
 }

@@ -62,7 +62,10 @@ pub mod sweep;
 pub mod trace;
 pub mod workload;
 
-pub use checks::{serializability_violations, verify_run, Expectations, Violation};
+pub use checks::{
+    serializability_violations, snapshot_serializability_violations, verify_run, Expectations,
+    Violation,
+};
 pub use engine::{Engine, RunOutcome, RunResult, SimConfig};
 pub use metrics::{InstanceMetrics, MetricsReport, TemplateMetrics};
 pub use registry::{instantiate, instantiate_boxed, AnyProtocol};

@@ -35,6 +35,20 @@ pub struct WorkloadParams {
     /// Probability that a data step touches a hot item — the data
     /// contention knob.
     pub hotspot_prob: f64,
+    /// Zipfian skew exponent θ for item selection. `None` keeps the
+    /// legacy two-tier hotspot model (and its exact RNG stream, so
+    /// existing seeds reproduce); `Some(theta)` replaces it with a
+    /// Zipf(θ) distribution over the item pool — rank 1 (the hottest
+    /// item) is item 0, matching the hotspot convention. θ = 0 is
+    /// uniform; 0.9 is a sharp hotspot.
+    pub zipf_theta: Option<f64>,
+    /// Force the first `read_only_templates` templates to be pure
+    /// readers (every data step reads) — the knob the read-heavy
+    /// snapshot scenarios use to dial a read fraction: with round-robin
+    /// job queues, `k` of `n` templates read-only yields a `k/n` read
+    /// mix. The remaining templates keep sampling writes with
+    /// [`WorkloadParams::write_fraction`].
+    pub read_only_templates: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -52,6 +66,8 @@ impl Default for WorkloadParams {
             write_fraction: 0.4,
             hotspot_items: 4,
             hotspot_prob: 0.5,
+            zipf_theta: None,
+            read_only_templates: 0,
             seed: 42,
         }
     }
@@ -73,17 +89,19 @@ impl WorkloadParams {
         let mut rng = Rng::seed(self.seed);
         let mut builder = SetBuilder::new();
         let share = self.target_utilization / self.templates as f64;
+        let zipf_cdf = self.zipf_cdf();
 
         for idx in 0..self.templates {
             // Log-uniform period.
             let (lo, hi) = (self.min_period as f64, self.max_period as f64);
             let period = (lo * (hi / lo).powf(rng.f64())).round() as u64;
 
+            let force_read = idx < self.read_only_templates;
             let n_data = rng.range_inclusive_usize(self.min_data_steps, self.max_data_steps);
             let mut ops: Vec<Operation> = Vec::with_capacity(n_data + 1);
             for _ in 0..n_data {
-                let item = self.pick_item(&mut rng);
-                if rng.f64() < self.write_fraction {
+                let item = self.pick_item(&mut rng, zipf_cdf.as_deref());
+                if !force_read && rng.f64() < self.write_fraction {
                     ops.push(Operation::Write(item));
                 } else {
                     ops.push(Operation::Read(item));
@@ -144,7 +162,27 @@ impl WorkloadParams {
         None
     }
 
-    fn pick_item(&self, rng: &mut Rng) -> ItemId {
+    /// Cumulative Zipf(θ) distribution over item ranks, if requested.
+    fn zipf_cdf(&self) -> Option<Vec<f64>> {
+        let theta = self.zipf_theta?;
+        let mut w: Vec<f64> = (1..=self.items)
+            .map(|rank| 1.0 / (rank as f64).powf(theta))
+            .collect();
+        let total: f64 = w.iter().sum();
+        let mut acc = 0.0;
+        for x in &mut w {
+            acc += *x / total;
+            *x = acc;
+        }
+        Some(w)
+    }
+
+    fn pick_item(&self, rng: &mut Rng, zipf_cdf: Option<&[f64]>) -> ItemId {
+        if let Some(cdf) = zipf_cdf {
+            let u = rng.f64();
+            let idx = cdf.partition_point(|&c| c < u).min(self.items - 1);
+            return ItemId(idx as u32);
+        }
         let hot = self.hotspot_items.min(self.items);
         if hot > 0 && rng.f64() < self.hotspot_prob {
             ItemId(rng.range_usize(0..hot) as u32)
@@ -165,6 +203,17 @@ impl WorkloadParams {
         }
         if self.min_data_steps == 0 || self.min_data_steps > self.max_data_steps {
             return Err(Error::Config("invalid data step range".into()));
+        }
+        if self
+            .zipf_theta
+            .is_some_and(|t| !t.is_finite() || !(0.0..=16.0).contains(&t))
+        {
+            return Err(Error::Config("zipf_theta must be in [0, 16]".into()));
+        }
+        if self.read_only_templates > self.templates {
+            return Err(Error::Config(
+                "read_only_templates exceeds template count".into(),
+            ));
         }
         // A template needs at least steps+1 ticks of period to fit.
         if self.min_period < (self.max_data_steps as u64 + 1) * 2 {
@@ -271,6 +320,62 @@ mod tests {
     }
 
     #[test]
+    fn zipf_skew_concentrates_on_low_ids() {
+        let gen = |theta: Option<f64>| {
+            let w = WorkloadParams {
+                templates: 40,
+                zipf_theta: theta,
+                min_data_steps: 4,
+                max_data_steps: 6,
+                seed: 9,
+                ..Default::default()
+            }
+            .generate()
+            .unwrap();
+            let mut hot = 0usize;
+            let mut total = 0usize;
+            for t in w.set.templates() {
+                for s in &t.steps {
+                    if let Some(item) = s.op.item() {
+                        total += 1;
+                        hot += usize::from(item.0 < 2);
+                    }
+                }
+            }
+            hot as f64 / total as f64
+        };
+        let uniform = gen(Some(0.0));
+        let skewed = gen(Some(0.9));
+        // θ = 0 spreads over 20 items (~10% on the top two); θ = 0.9
+        // concentrates hard on the lowest ranks.
+        assert!(uniform < 0.3, "uniform top-2 share {uniform}");
+        assert!(
+            skewed > uniform + 0.1,
+            "skewed {skewed} vs uniform {uniform}"
+        );
+    }
+
+    #[test]
+    fn read_only_templates_never_write() {
+        let w = WorkloadParams {
+            templates: 8,
+            read_only_templates: 5,
+            write_fraction: 1.0,
+            seed: 11,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        for (idx, t) in w.set.templates().iter().enumerate() {
+            if idx < 5 {
+                assert!(t.is_read_only(), "template {idx} should be read-only");
+            } else {
+                assert!(!t.is_read_only(), "template {idx} writes with p=1");
+            }
+        }
+    }
+
+    #[test]
     fn invalid_params_are_rejected() {
         let bad = WorkloadParams {
             templates: 0,
@@ -285,6 +390,16 @@ mod tests {
         let bad = WorkloadParams {
             min_period: 100,
             max_period: 10,
+            ..Default::default()
+        };
+        assert!(bad.generate().is_err());
+        let bad = WorkloadParams {
+            zipf_theta: Some(-0.5),
+            ..Default::default()
+        };
+        assert!(bad.generate().is_err());
+        let bad = WorkloadParams {
+            read_only_templates: 7,
             ..Default::default()
         };
         assert!(bad.generate().is_err());

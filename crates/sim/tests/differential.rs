@@ -33,6 +33,8 @@ fn arb_params(rng: &mut Rng) -> WorkloadParams {
         write_fraction: rng.f64() * 0.8,
         hotspot_items: 3,
         hotspot_prob: rng.f64() * 0.9,
+        zipf_theta: None,
+        read_only_templates: 0,
         seed: rng.next_u64(),
     }
 }

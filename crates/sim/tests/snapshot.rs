@@ -1,0 +1,157 @@
+//! Simulator-level tests of the multiversion snapshot read path: the
+//! exemption gate per protocol kind, snapshot-aware serializability,
+//! reader wait-freedom, writer-equivalence of the final state, and the
+//! epoch GC's memory-flatness telemetry.
+
+use rtdb_core::ProtocolKind;
+use rtdb_sim::{
+    snapshot_serializability_violations, Engine, RunOutcome, SimConfig, WorkloadParams,
+};
+use rtdb_types::{Duration, SetBuilder, TransactionSet};
+
+/// Read-heavy contended workload, bounded to a few instances per
+/// template so an unhorizoned run completes for every protocol.
+fn read_heavy_set(seed: u64, instances: u32) -> TransactionSet {
+    let spec = WorkloadParams {
+        templates: 6,
+        items: 12,
+        target_utilization: 0.5,
+        hotspot_items: 0,
+        hotspot_prob: 0.0,
+        zipf_theta: Some(0.6),
+        read_only_templates: 3,
+        write_fraction: 0.7,
+        seed,
+        ..WorkloadParams::default()
+    }
+    .generate()
+    .expect("workload generation");
+    let mut b = SetBuilder::new();
+    for t in spec.set.templates() {
+        let mut t = t.clone();
+        t.instances = Some(instances);
+        b.add(t);
+    }
+    b.build_rate_monotonic().expect("rebuild")
+}
+
+fn config_for(kind: ProtocolKind) -> SimConfig {
+    let mut config = SimConfig::default().with_snapshot_reads();
+    if kind.may_deadlock() {
+        config = config.resolving_deadlocks();
+    }
+    config
+}
+
+#[test]
+fn snapshot_gate_and_oracle_for_all_kinds() {
+    for kind in ProtocolKind::ALL {
+        let set = read_heavy_set(0xA11 + kind as u64, 2);
+        let run = Engine::new(&set, config_for(kind))
+            .run_kind(kind)
+            .expect("sim run");
+        assert_eq!(run.outcome, RunOutcome::Completed, "{kind:?} stalled");
+        assert_eq!(
+            run.snapshot_reads,
+            kind.snapshot_exempt(),
+            "{kind:?}: engine gate disagrees with the registry"
+        );
+        let stamps = run.snapshot_stamps();
+        if kind.snapshot_exempt() {
+            assert!(!stamps.is_empty(), "{kind:?}: no reader took the path");
+        } else {
+            // CCP installs at early release, so commit stamps cannot
+            // name consistent states; its readers must stay on locks.
+            assert!(stamps.is_empty(), "{kind:?}: must decline the path");
+        }
+        let violations = snapshot_serializability_violations(
+            &set,
+            &run.history,
+            &run.db,
+            kind != ProtocolKind::Ccp,
+            &stamps,
+        );
+        assert!(violations.is_empty(), "{kind:?}: {violations:?}");
+    }
+}
+
+#[test]
+fn snapshot_readers_never_block_or_restart() {
+    let set = read_heavy_set(0xB10C, 3);
+    let run = Engine::new(&set, config_for(ProtocolKind::PcpDa))
+        .run_kind(ProtocolKind::PcpDa)
+        .expect("sim run");
+    let stamps = run.snapshot_stamps();
+    assert!(!stamps.is_empty());
+    for (id, _) in &stamps {
+        let m = run.metrics.instance(*id).expect("metrics");
+        assert_eq!(m.blocking, Duration(0), "{id:?}: snapshot reader blocked");
+        assert_eq!(m.restarts, 0, "{id:?}: snapshot reader restarted");
+        assert!(
+            m.distinct_lower_blockers.is_empty(),
+            "{id:?}: snapshot reader recorded a blocker"
+        );
+    }
+}
+
+#[test]
+fn snapshot_path_leaves_writers_unchanged() {
+    // Readers are invisible to writers: flipping the path on must not
+    // change the final database or the set of committed instances.
+    for kind in ProtocolKind::ALL {
+        let set = read_heavy_set(0xD0D0 + kind as u64, 2);
+        let mut plain_config = SimConfig::default();
+        if kind.may_deadlock() {
+            plain_config = plain_config.resolving_deadlocks();
+        }
+        let plain = Engine::new(&set, plain_config)
+            .run_kind(kind)
+            .expect("sim run");
+        let snap = Engine::new(&set, config_for(kind))
+            .run_kind(kind)
+            .expect("sim run");
+        assert_eq!(
+            snap.db.snapshot(),
+            plain.db.snapshot(),
+            "{kind:?}: snapshot path changed the final database"
+        );
+        assert_eq!(
+            snap.history.commit_order().len(),
+            plain.history.commit_order().len(),
+            "{kind:?}: snapshot path changed the committed count"
+        );
+    }
+}
+
+#[test]
+fn snapshot_runs_are_deterministic() {
+    let a = Engine::new(&read_heavy_set(0x5A5A, 3), config_for(ProtocolKind::RwPcp))
+        .run_kind(ProtocolKind::RwPcp)
+        .expect("sim run");
+    let b = Engine::new(&read_heavy_set(0x5A5A, 3), config_for(ProtocolKind::RwPcp))
+        .run_kind(ProtocolKind::RwPcp)
+        .expect("sim run");
+    assert_eq!(a.db.snapshot(), b.db.snapshot());
+    assert_eq!(a.history.commit_order(), b.history.commit_order());
+    assert_eq!(a.snapshot_stamps(), b.snapshot_stamps());
+    assert_eq!(a.mv_high_water, b.mv_high_water);
+}
+
+#[test]
+fn mv_high_water_stays_bounded_over_long_horizon() {
+    // Many writer commits over a long horizon; pruning at every reader
+    // retirement must keep the longest chain far below the commit count.
+    let set = read_heavy_set(0xF1A7, 40);
+    let run = Engine::new(&set, config_for(ProtocolKind::PcpDa))
+        .run_kind(ProtocolKind::PcpDa)
+        .expect("sim run");
+    assert_eq!(run.outcome, RunOutcome::Completed);
+    let lock_commits = run.history.commit_order().len() - run.snapshot_stamps().len();
+    assert!(lock_commits > 60, "soak too small: {lock_commits} commits");
+    assert!(run.mv_high_water > 0, "writers never published");
+    assert!(
+        run.mv_high_water < lock_commits / 2,
+        "chains not pruned: high water {} vs {lock_commits} lock-path commits",
+        run.mv_high_water
+    );
+}

@@ -22,13 +22,16 @@ pub struct VersionedValue {
 }
 
 impl VersionedValue {
+    /// The version-0 state every item starts in.
+    pub const INITIAL: VersionedValue = VersionedValue {
+        value: Value::INITIAL,
+        version: 0,
+        writer: None,
+        installed_at: Tick::ZERO,
+    };
+
     fn initial() -> Self {
-        VersionedValue {
-            value: Value::INITIAL,
-            version: 0,
-            writer: None,
-            installed_at: Tick::ZERO,
-        }
+        Self::INITIAL
     }
 }
 
@@ -49,12 +52,17 @@ impl Database {
         Self::default()
     }
 
-    /// Latest committed version of `item`.
+    /// Latest committed version of `item`, by value. Prefer
+    /// [`Database::get`] on hot paths — it hands back a borrow and a miss
+    /// costs nothing.
     pub fn read(&self, item: ItemId) -> VersionedValue {
-        self.items
-            .get(&item)
-            .copied()
-            .unwrap_or_else(VersionedValue::initial)
+        *self.get(item)
+    }
+
+    /// Latest committed version of `item` as a borrowed view; unwritten
+    /// items borrow the shared [`VersionedValue::INITIAL`].
+    pub fn get(&self, item: ItemId) -> &VersionedValue {
+        self.items.get(&item).unwrap_or(&VersionedValue::INITIAL)
     }
 
     /// Install a committed write, returning the new version number.
@@ -98,6 +106,16 @@ mod tests {
         assert_eq!(v.value, Value::INITIAL);
         assert_eq!(v.version, 0);
         assert_eq!(v.writer, None);
+    }
+
+    #[test]
+    fn borrowed_get_matches_read() {
+        let mut db = Database::new();
+        assert_eq!(db.get(ItemId(3)), &VersionedValue::INITIAL);
+        let w = InstanceId::first(TxnId(0));
+        db.install(w, ItemId(3), Value(7), Tick(1));
+        assert_eq!(*db.get(ItemId(3)), db.read(ItemId(3)));
+        assert_eq!(db.get(ItemId(3)).value, Value(7));
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   needs it;
 //! * [`History`] — a complete, versioned log of every read, staged write,
 //!   commit and abort, the raw material for the correctness oracles;
+//! * [`mvcc`] — bounded per-item version chains keyed by a global commit
+//!   stamp, powering the lock-free snapshot read path for read-only
+//!   transactions, with epoch-style reclamation;
 //! * [`SerializationGraph`] — the conflict graph `SG(H)` of a history with
 //!   cycle detection (Theorem 3 oracle);
 //! * [`replay`] — the serial-replay oracle: re-executes the committed
@@ -29,11 +32,13 @@
 pub mod db;
 pub mod graph;
 pub mod history;
+pub mod mvcc;
 pub mod replay;
 pub mod workspace;
 
 pub use db::{Database, Version, VersionedValue};
 pub use graph::{ConflictEdge, EdgeKind, SerializationGraph};
 pub use history::{Event, EventKind, History};
+pub use mvcc::{MvStore, SnapshotStore, Stamp, NO_SNAPSHOT};
 pub use replay::{replay_serial, ReplayOutcome, ReplayViolation};
 pub use workspace::Workspace;

@@ -98,7 +98,7 @@ impl Workspace {
     /// committed version. Records the read and folds the value into the
     /// read digest.
     pub fn read(&mut self, db: &Database, item: ItemId) -> ReadRecord {
-        let committed = db.read(item);
+        let committed = db.get(item);
         let rec = match self.staged_value(item) {
             Some(own_value) => ReadRecord {
                 item,
@@ -124,6 +124,30 @@ impl Workspace {
             if let Err(idx) = self.data_read.binary_search(&item) {
                 self.data_read.insert(idx, item);
             }
+        }
+        self.digest = self.digest.mix(rec.value);
+        rec
+    }
+
+    /// Record a read served from a multiversion snapshot (the lock-exempt
+    /// read-only path, see `crate::mvcc`). Snapshot readers never stage
+    /// writes, so the observation can never be an own read; it still enters
+    /// `DataRead` and the digest so histories and derived values stay
+    /// comparable with the lock-based read path.
+    pub fn read_versioned(&mut self, item: ItemId, value: Value, version: Version) -> ReadRecord {
+        debug_assert!(
+            self.staged.is_empty(),
+            "snapshot readers never stage writes"
+        );
+        let rec = ReadRecord {
+            item,
+            value,
+            version,
+            own: false,
+        };
+        self.reads.push(rec);
+        if let Err(idx) = self.data_read.binary_search(&item) {
+            self.data_read.insert(idx, item);
         }
         self.digest = self.digest.mix(rec.value);
         rec

@@ -174,3 +174,190 @@ fn version_monotonicity() {
         }
     });
 }
+
+// ---------------------------------------------------------------------
+// Snapshot path properties: multiversion reads against a map-store
+// oracle that keeps the *full* database state at every epoch.
+// ---------------------------------------------------------------------
+
+/// A random commit schedule: per commit, the set of `(item, value)`
+/// writes it installs. Versions are derived per item (monotone +1).
+type Schedule = Vec<Vec<(u32, u64)>>;
+
+fn arb_schedule(rng: &mut Rng) -> Schedule {
+    vec_of(rng, 1..30, |rng| {
+        let mut items: Vec<u32> = vec_of(rng, 0..4, |rng| rng.range_u32(0..6));
+        items.sort_unstable();
+        items.dedup();
+        items
+            .into_iter()
+            .map(|item| (item, rng.next_u64()))
+            .collect()
+    })
+}
+
+/// Map-store oracle: `states[s]` is the complete `item -> value` map
+/// after exactly the first `s` commits — serial execution at the epoch,
+/// with none of the chain/pruning machinery under test.
+fn epoch_states(schedule: &Schedule) -> Vec<std::collections::BTreeMap<u32, VersionedValue>> {
+    let mut versions: std::collections::BTreeMap<u32, u64> = Default::default();
+    let mut states = vec![std::collections::BTreeMap::new()];
+    for commit in schedule {
+        let mut state = states.last().unwrap().clone();
+        for &(item, value) in commit {
+            let v = versions.entry(item).or_insert(0);
+            *v += 1;
+            state.insert(
+                item,
+                VersionedValue {
+                    value: Value(value),
+                    version: *v,
+                    writer: Some(InstanceId::first(TxnId(0))),
+                    installed_at: Tick::ZERO,
+                },
+            );
+        }
+        states.push(state);
+    }
+    states
+}
+
+/// Every `(stamp, item)` read of both stores equals serial execution at
+/// that epoch, per the map-store oracle.
+#[test]
+fn snapshot_reads_equal_serial_execution_at_epoch() {
+    forall(CASES, |rng| {
+        let schedule = arb_schedule(rng);
+        let states = epoch_states(&schedule);
+
+        let mut mv = MvStore::new();
+        let snap = SnapshotStore::new(6, 1);
+        snap.pin(0); // hold stamp 0 so nothing is reclaimed mid-check
+        let mut versions: std::collections::BTreeMap<u32, u64> = Default::default();
+        for commit in &schedule {
+            let writes: Vec<(ItemId, VersionedValue)> = commit
+                .iter()
+                .map(|&(item, value)| {
+                    let v = versions.entry(item).or_insert(0);
+                    *v += 1;
+                    (
+                        ItemId(item),
+                        VersionedValue {
+                            value: Value(value),
+                            version: *v,
+                            writer: Some(InstanceId::first(TxnId(0))),
+                            installed_at: Tick::ZERO,
+                        },
+                    )
+                })
+                .collect();
+            for &(item, vv) in &writes {
+                mv.publish(item, vv);
+            }
+            mv.seal();
+            snap.publish(&writes);
+        }
+
+        assert_eq!(mv.stamp(), schedule.len() as u64);
+        assert_eq!(snap.stamp(), schedule.len() as u64);
+        for (stamp, state) in states.iter().enumerate() {
+            for item in 0..6u32 {
+                let expect = state.get(&item).copied();
+                let got_mv = mv.read_at(ItemId(item), stamp as u64);
+                let got_snap = snap.read_at(ItemId(item), stamp as u64);
+                assert_eq!(got_mv, expect, "MvStore at stamp {stamp}, item {item}");
+                assert_eq!(
+                    got_snap, expect,
+                    "SnapshotStore at stamp {stamp}, item {item}"
+                );
+            }
+        }
+    });
+}
+
+/// Pruning at a random floor keeps every read at or above the floor
+/// exact (the epoch-GC rule loses only unreachable history).
+#[test]
+fn prune_preserves_reads_at_or_above_floor() {
+    forall(CASES, |rng| {
+        let schedule = arb_schedule(rng);
+        let states = epoch_states(&schedule);
+        let mut mv = MvStore::new();
+        let mut versions: std::collections::BTreeMap<u32, u64> = Default::default();
+        for commit in &schedule {
+            for &(item, value) in commit {
+                let v = versions.entry(item).or_insert(0);
+                *v += 1;
+                mv.publish(
+                    ItemId(item),
+                    VersionedValue {
+                        value: Value(value),
+                        version: *v,
+                        writer: Some(InstanceId::first(TxnId(0))),
+                        installed_at: Tick::ZERO,
+                    },
+                );
+            }
+            mv.seal();
+        }
+        let floor = rng.range_inclusive_u64(0, mv.stamp());
+        mv.prune(floor);
+        for stamp in floor..=mv.stamp() {
+            for item in 0..6u32 {
+                assert_eq!(
+                    mv.read_at(ItemId(item), stamp),
+                    states[stamp as usize].get(&item).copied(),
+                    "after prune({floor}): stamp {stamp}, item {item}"
+                );
+            }
+        }
+    });
+}
+
+/// Memory flatness: an unpinned store soaked with far more publishes
+/// than the sweep interval keeps every chain bounded by the interval
+/// (plus the burst since the last sweep), and a pinned reader only ever
+/// holds history back to its own stamp — released, the store collapses.
+#[test]
+fn epoch_gc_keeps_chains_flat() {
+    forall(CASES, |rng| {
+        let publishes = rng.range_inclusive_u64(700, 1_500);
+        let hot_items = rng.range_inclusive_u64(1, 3) as u32;
+        let snap = SnapshotStore::new(hot_items as usize, 2);
+        let pin_at = rng.range_inclusive_u64(0, publishes / 2);
+        let mut pinned = None;
+        for i in 1..=publishes {
+            if i == pin_at {
+                pinned = Some(snap.pin(0));
+            }
+            let writes: Vec<(ItemId, VersionedValue)> = (0..hot_items)
+                .map(|item| {
+                    (
+                        ItemId(item),
+                        VersionedValue {
+                            value: Value(i),
+                            version: i,
+                            writer: None,
+                            installed_at: Tick::ZERO,
+                        },
+                    )
+                })
+                .collect();
+            snap.publish(&writes);
+        }
+        // The pinned snapshot still reads exactly.
+        if let Some(s) = pinned {
+            let got = snap.read_at(ItemId(0), s);
+            assert_eq!(got.map(|v| v.version), (s > 0).then_some(s));
+            snap.unpin(0);
+        }
+        snap.advance_floor();
+        // With no pins the chains collapse to one entry each, and the
+        // latest state survives.
+        assert_eq!(snap.max_chain_len(), 1);
+        assert_eq!(
+            snap.read_at(ItemId(0), snap.stamp()).map(|v| v.version),
+            Some(publishes)
+        );
+    });
+}

@@ -90,6 +90,17 @@ impl TransactionTemplate {
         self.steps.iter().filter_map(|s| s.op.item()).collect()
     }
 
+    /// True if no step of this template writes: every instance is a pure
+    /// reader. Read-only templates are the candidates for the snapshot
+    /// read path (`rtdb_core::TxnMode::ReadOnly`) — they stage nothing,
+    /// install nothing, and can serialize at a commit epoch.
+    pub fn is_read_only(&self) -> bool {
+        !self
+            .steps
+            .iter()
+            .any(|s| matches!(s.op, Operation::Write(_)))
+    }
+
     /// True if the template may access `item` in `mode`.
     pub fn may_access(&self, item: ItemId, mode: LockMode) -> bool {
         self.steps.iter().any(|s| match (s.op, mode) {
@@ -185,6 +196,16 @@ mod tests {
         assert_eq!(t.access_set().len(), 2);
         assert!(t.may_access(ItemId(0), LockMode::Read));
         assert!(!t.may_access(ItemId(0), LockMode::Write));
+    }
+
+    #[test]
+    fn read_only_detection() {
+        assert!(!t().is_read_only());
+        let ro =
+            TransactionTemplate::new("R", 10, vec![Step::read(ItemId(0), 1), Step::compute(2)]);
+        assert!(ro.is_read_only());
+        let compute_only = TransactionTemplate::new("C", 10, vec![Step::compute(1)]);
+        assert!(compute_only.is_read_only());
     }
 
     #[test]

@@ -37,6 +37,10 @@ fn arb_params(rng: &mut Rng) -> WorkloadParams {
         write_fraction: rng.f64() * 0.8,
         hotspot_items: 3,
         hotspot_prob: rng.f64() * 0.9,
+        // Exercise both item-popularity models and the read-only
+        // template prefix: the theorems must hold regardless of mix.
+        zipf_theta: rng.bool().then(|| rng.f64() * 1.2),
+        read_only_templates: rng.range_inclusive_usize(0, 2),
         seed: rng.next_u64(),
     }
 }
