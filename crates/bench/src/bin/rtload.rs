@@ -7,6 +7,7 @@
 //! cargo run --release -p rtdb-bench --bin rtload -- --threads 8 --kind pcp-da --seed 7
 //! cargo run --release -p rtdb-bench --bin rtload -- --manager combining --threads 1,4,16
 //! cargo run --release -p rtdb-bench --bin rtload -- --arrival-rate 50000 --sweep-points 6
+//! cargo run --release -p rtdb-bench --bin rtload -- --shards 1,4 --cross-fraction 0.2
 //! cargo run --release -p rtdb-bench --bin rtload -- --check       # advisory regression check
 //! ```
 //!
@@ -74,6 +75,23 @@
 //! sweep — PCP-DA, 95/5, θ ∈ {0, 0.6, 0.9}, snapshot off vs on, both
 //! managers — and prints a warn-only snapshot-on-vs-off A/B summary.
 //!
+//! **Sharded family.** `--shards` (comma-separated, default `1`) sweeps
+//! the partitioned lock-manager axis: every listed count runs the
+//! closed-loop line-up with the runtime's sharded manager
+//! (`RtConfig::with_shards`). A non-trivial sweep switches the workload
+//! to [`rtdb_bench::partitioned_workload`] — a partitioned-Zipfian pool
+//! whose partition count is the sweep's *maximum* shard count, so every
+//! point measures the identical item distribution and only the manager
+//! sharding varies; `--cross-fraction F` (default 0.1) sets the
+//! probability that a data step leaves its template's home partition.
+//! Records carry `"shards"`, `"partitions"` and `"cross_fraction"` tags
+//! plus per-shard telemetry (`cross_shard_txns` and a `per_shard` array
+//! of ops / commits / state-lock acquisitions / ceiling publishes).
+//! Non-shardable protocols are skipped at shard counts above 1 (refused
+//! loudly when named with `--kind`); a non-trivial sweep runs the
+//! closed loop only (the open loop stays unsharded) and cannot combine
+//! with the read-heavy family flags.
+//!
 //! `--check [baseline.json]` measures without writing and **warns**
 //! (exit 0 — wall-clock throughput of a threaded run on a shared CI box
 //! is too noisy to gate merges on) when committed throughput drops more
@@ -137,6 +155,10 @@ struct Args {
     skew: Option<f64>,
     /// Snapshot-path settings to run (`[false]`, `[true]`, or both).
     snapshots: Vec<bool>,
+    /// Shard counts for the closed-loop sharded-manager sweep.
+    shards: Vec<usize>,
+    /// Cross-partition probability of the partitioned workload family.
+    cross_fraction: f64,
     /// Output path (measure mode) or baseline path (`--check` mode).
     path: String,
 }
@@ -160,6 +182,8 @@ fn parse_args() -> Args {
         read_fraction: None,
         skew: None,
         snapshots: vec![false],
+        shards: vec![1],
+        cross_fraction: 0.1,
         path: "BENCH_rt.json".into(),
     };
     let mut it = std::env::args().skip(1);
@@ -237,6 +261,29 @@ fn parse_args() -> Args {
                 );
                 args.skew = Some(theta);
             }
+            "--shards" => {
+                let v = value("--shards");
+                let list: Vec<usize> = v
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--shards: integer list"))
+                    .collect();
+                assert!(!list.is_empty(), "--shards needs at least one value");
+                assert!(
+                    list.iter().all(|&s| (1..=64).contains(&s)),
+                    "--shards values must be in 1..=64"
+                );
+                args.shards = list;
+            }
+            "--cross-fraction" => {
+                let f: f64 = value("--cross-fraction")
+                    .parse()
+                    .expect("--cross-fraction: fraction in [0, 1]");
+                assert!(
+                    (0.0..=1.0).contains(&f),
+                    "--cross-fraction must be in [0, 1]"
+                );
+                args.cross_fraction = f;
+            }
             "--snapshot" => {
                 let v = value("--snapshot");
                 args.snapshots = match v.to_ascii_lowercase().as_str() {
@@ -261,15 +308,39 @@ fn parse_args() -> Args {
 struct Mix {
     family: Option<(f64, f64)>,
     snapshot: bool,
+    /// `Some((shards, partitions, cross_fraction))` for the sharded
+    /// sweep: the manager's shard count, the workload's partition count
+    /// (the sweep maximum, fixed across points) and the cross-partition
+    /// probability. `None` for legacy unsharded runs, whose records stay
+    /// untagged so old baselines keep matching.
+    shard_axis: Option<(usize, usize, f64)>,
 }
 
 impl Mix {
+    fn unsharded(family: Option<(f64, f64)>, snapshot: bool) -> Self {
+        Mix {
+            family,
+            snapshot,
+            shard_axis: None,
+        }
+    }
+
+    fn shards(self) -> usize {
+        self.shard_axis.map_or(1, |(s, _, _)| s)
+    }
+
     fn tag(self, mut rec: Json) -> Json {
         if let Some((read_fraction, skew)) = self.family {
             rec = rec.set("read_fraction", read_fraction).set("skew", skew);
         }
         if self.snapshot {
             rec = rec.set("snapshot", true);
+        }
+        if let Some((shards, partitions, cross)) = self.shard_axis {
+            rec = rec
+                .set("shards", shards as u64)
+                .set("partitions", partitions as u64)
+                .set("cross_fraction", cross);
         }
         rec
     }
@@ -379,7 +450,8 @@ fn measure_once(
             .with_threads(threads)
             .with_tick_ns(args.tick_ns)
             .with_manager(manager)
-            .with_snapshot_reads(mix.snapshot),
+            .with_snapshot_reads(mix.snapshot)
+            .with_shards(mix.shards()),
     );
     assert_eq!(result.committed, jobs.len() as u64, "runtime dropped jobs");
 
@@ -444,6 +516,23 @@ fn measure_once(
             .set("snapshots", result.snapshots)
             .set("lock_transitions", result.lock_transitions)
             .set("mv_high_water", result.mv_high_water as u64);
+    }
+    if result.shards > 1 {
+        let shard_records: Vec<Json> = result
+            .per_shard
+            .iter()
+            .map(|s| {
+                Json::obj()
+                    .set("shard", s.shard as u64)
+                    .set("ops", s.ops)
+                    .set("commits", s.commits)
+                    .set("state_lock_acquires", s.state_lock_acquires)
+                    .set("ceiling_publishes", s.ceiling_publishes)
+            })
+            .collect();
+        rec = rec
+            .set("cross_shard_txns", result.cross_shard_txns)
+            .set("per_shard", Json::Arr(shard_records));
     }
     mix.tag(rec)
 }
@@ -605,6 +694,9 @@ fn config_keys(rec: &Json) -> &'static [&'static str] {
             "read_fraction",
             "skew",
             "snapshot",
+            "shards",
+            "partitions",
+            "cross_fraction",
         ]
     }
 }
@@ -628,7 +720,7 @@ fn baseline_of<'a>(baseline: &'a [Json], rec: &Json) -> Option<&'a Json> {
 
 fn short_label(rec: &Json) -> String {
     format!(
-        "{} ({}{}{} @{}t)",
+        "{} ({}{}{}{} @{}t)",
         rec.get("protocol").and_then(Json::as_str).unwrap_or("?"),
         rec.get("mode").and_then(Json::as_str).unwrap_or("?"),
         rec.get("point")
@@ -638,6 +730,10 @@ fn short_label(rec: &Json) -> String {
         rec.get("skew")
             .and_then(Json::as_f64)
             .map(|s| format!(" θ={s}"))
+            .unwrap_or_default(),
+        rec.get("shards")
+            .and_then(Json::as_i64)
+            .map(|s| format!(" {s}sh"))
             .unwrap_or_default(),
         rec.get("threads").and_then(Json::as_i64).unwrap_or(0),
     )
@@ -734,9 +830,44 @@ fn main() {
     let args = parse_args();
     let family = (args.read_fraction.is_some() || args.skew.is_some())
         .then(|| (args.read_fraction.unwrap_or(0.95), args.skew.unwrap_or(0.0)));
+    // A non-trivial `--shards` sweep replaces the workload with the
+    // partitioned family sized at the sweep's *maximum* shard count, so
+    // every point measures the identical item distribution and only the
+    // manager sharding varies (the router rule nests: partitioning for
+    // the max count also partitions for every divisor of it, and a
+    // single-shard template stays single-shard under fewer shards).
+    let sharded_sweep = args.shards.iter().any(|&s| s > 1);
+    if sharded_sweep {
+        if let Some(kind) = args.kind {
+            if !kind.shardable() {
+                let valid: Vec<&str> = ProtocolKind::ALL
+                    .iter()
+                    .filter(|k| k.shardable())
+                    .map(|k| k.name())
+                    .collect();
+                eprintln!(
+                    "{} cannot run sharded; shardable protocols: {}",
+                    kind.name(),
+                    valid.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+        if family.is_some() {
+            eprintln!(
+                "--shards > 1 uses the partitioned workload family; \
+                 it cannot combine with --read-fraction / --skew"
+            );
+            std::process::exit(2);
+        }
+    }
+    let max_shards = args.shards.iter().copied().max().unwrap_or(1);
     let set = match family {
         Some((read_fraction, skew)) => {
             rtdb_bench::read_heavy_workload(args.seed, read_fraction, skew)
+        }
+        None if sharded_sweep => {
+            rtdb_bench::partitioned_workload(args.seed, max_shards, args.cross_fraction)
         }
         None => rtdb_bench::standard_workload(args.seed),
     };
@@ -773,12 +904,31 @@ fn main() {
     };
 
     let mut records = Vec::new();
-    for &kind in &closed_kinds {
-        for &threads in &closed_threads {
-            for &manager in &args.managers {
-                for &snapshot in &args.snapshots {
-                    let mix = Mix { family, snapshot };
-                    records.push(measure(&set, kind, manager, threads, mix, &args));
+    for &shards in &args.shards {
+        for &kind in &closed_kinds {
+            if shards > 1 && !kind.shardable() {
+                eprintln!(
+                    "skipping {} at {shards} shards (not shardable)",
+                    kind.name()
+                );
+                continue;
+            }
+            for &threads in &closed_threads {
+                for &manager in &args.managers {
+                    for &snapshot in &args.snapshots {
+                        // Tag every point of a sharded sweep — including
+                        // shards == 1 — because the partitioned workload
+                        // differs from the legacy standard one and its
+                        // records must never match untagged baselines.
+                        let shard_axis =
+                            sharded_sweep.then_some((shards, max_shards, args.cross_fraction));
+                        let mix = Mix {
+                            family,
+                            snapshot,
+                            shard_axis,
+                        };
+                        records.push(measure(&set, kind, manager, threads, mix, &args));
+                    }
                 }
             }
         }
@@ -787,7 +937,7 @@ fn main() {
     // three Zipf exponents, snapshot off vs on, both managers — the A/B
     // that the snapshot path exists for. Explicit `--read-fraction` /
     // `--skew` runs already measure their own family above.
-    if args.kind.is_none() && !args.open_only && family.is_none() {
+    if args.kind.is_none() && !args.open_only && family.is_none() && !sharded_sweep {
         let family_threads: Vec<usize> = match args.threads.as_deref() {
             Some([single]) => vec![*single],
             _ => vec![4, 8],
@@ -797,10 +947,7 @@ fn main() {
             for &threads in &family_threads {
                 for &manager in &args.managers {
                     for snapshot in [false, true] {
-                        let mix = Mix {
-                            family: Some((0.95, skew)),
-                            snapshot,
-                        };
+                        let mix = Mix::unsharded(Some((0.95, skew)), snapshot);
                         records.push(measure(
                             &rh,
                             ProtocolKind::PcpDa,
@@ -822,10 +969,7 @@ fn main() {
         let rate = top_rate(&rh, ProtocolKind::PcpDa, open_threads, &args);
         for &manager in &args.managers {
             for snapshot in [false, true] {
-                let mix = Mix {
-                    family: Some((0.95, 0.9)),
-                    snapshot,
-                };
+                let mix = Mix::unsharded(Some((0.95, 0.9)), snapshot);
                 records.extend(measure_open_loop(
                     &rh,
                     ProtocolKind::PcpDa,
@@ -838,20 +982,25 @@ fn main() {
             }
         }
     }
-    for &kind in &open_kinds {
-        let rate = top_rate(&set, kind, open_threads, &args);
-        for &manager in &args.managers {
-            for &snapshot in &args.snapshots {
-                let mix = Mix { family, snapshot };
-                records.extend(measure_open_loop(
-                    &set,
-                    kind,
-                    manager,
-                    open_threads,
-                    rate,
-                    mix,
-                    &args,
-                ));
+    // The open loop stays unsharded; a non-trivial `--shards` sweep has
+    // already replaced `set` with the partitioned workload, whose records
+    // must not masquerade as standard-workload open-loop points.
+    if !sharded_sweep {
+        for &kind in &open_kinds {
+            let rate = top_rate(&set, kind, open_threads, &args);
+            for &manager in &args.managers {
+                for &snapshot in &args.snapshots {
+                    let mix = Mix::unsharded(family, snapshot);
+                    records.extend(measure_open_loop(
+                        &set,
+                        kind,
+                        manager,
+                        open_threads,
+                        rate,
+                        mix,
+                        &args,
+                    ));
+                }
             }
         }
     }

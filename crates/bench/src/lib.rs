@@ -68,6 +68,32 @@ pub fn read_heavy_workload(seed: u64, read_fraction: f64, theta: f64) -> Transac
     .set
 }
 
+/// The partitioned-Zipfian workload family for the sharded-manager
+/// sweeps: a 32-item pool split across `partitions` partitions under the
+/// shared router rule (`item mod partitions`), Zipf(0.7) skew *within*
+/// each partition, and `cross_fraction` of the data steps sent to a
+/// foreign partition — the cross-shard traffic knob `rtload --shards`
+/// exposes. With `cross_fraction = 0` every template is single-shard by
+/// construction.
+pub fn partitioned_workload(seed: u64, partitions: usize, cross_fraction: f64) -> TransactionSet {
+    WorkloadParams {
+        templates: 8,
+        items: 32,
+        target_utilization: 0.6,
+        hotspot_items: 0,
+        hotspot_prob: 0.0,
+        zipf_theta: Some(0.7),
+        partitions,
+        cross_partition_prob: cross_fraction,
+        write_fraction: 0.4,
+        seed,
+        ..Default::default()
+    }
+    .generate()
+    .expect("partitioned workload is valid")
+    .set
+}
+
 /// A high-contention workload (every access in a 3-item hotspot).
 pub fn contended_workload(seed: u64) -> TransactionSet {
     WorkloadParams {
@@ -99,6 +125,32 @@ mod tests {
         assert!(w.total_utilization() > 0.3);
         let c = contended_workload(1);
         assert!(!c.items().is_empty());
+    }
+
+    #[test]
+    fn partitioned_workload_confines_templates_without_crossings() {
+        let w = partitioned_workload(1, 4, 0.0);
+        let router = rtdb_core::ShardRouter::new(4);
+        for t in w.templates() {
+            let shards: std::collections::BTreeSet<usize> =
+                t.access_set().iter().map(|&i| router.shard_of(i)).collect();
+            assert!(shards.len() <= 1, "template spans shards at cross 0");
+        }
+        // A positive cross fraction produces at least one spanning
+        // template on this seed.
+        let w = partitioned_workload(1, 4, 0.5);
+        let spanning = w.templates().iter().any(|t| {
+            t.access_set()
+                .iter()
+                .map(|&i| router.shard_of(i))
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+                > 1
+        });
+        assert!(
+            spanning,
+            "cross fraction 0.5 produced no cross-shard template"
+        );
     }
 
     #[test]

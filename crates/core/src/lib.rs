@@ -32,6 +32,10 @@
 //! * [`PriorityManager`] — base priorities plus transitive priority
 //!   inheritance over the current blocking edges;
 //! * [`waitfor`] — the wait-for graph and deadlock detection;
+//! * [`shard`] — the sharded-ceiling substrate: item→shard routing and
+//!   the lock-free published-per-shard global ceiling (DPCP-p style),
+//!   shared by the runtime's sharded manager and the simulator's
+//!   multi-shard mode;
 //! * [`testkit`] — a minimal static [`EngineView`] for protocol unit
 //!   tests outside the engine.
 
@@ -43,6 +47,7 @@ pub mod inherit;
 pub mod locks;
 pub mod protocol;
 pub mod registry;
+pub mod shard;
 pub mod testkit;
 pub mod waitfor;
 
@@ -55,4 +60,7 @@ pub use protocol::{
     TxnMode, UpdateModel,
 };
 pub use registry::{ProtocolFamily, ProtocolKind, UnknownProtocol};
+pub use shard::{
+    deadlock_victim, find_deadlock_victim, GlobalCeiling, ShardRouter, ShardSet, MAX_SHARDS,
+};
 pub use waitfor::WaitForGraph;

@@ -165,6 +165,32 @@ impl ProtocolKind {
         self.update_model() == UpdateModel::Workspace
     }
 
+    /// Whether the protocol's correctness argument survives partitioned
+    /// (per-shard) ceilings, i.e. whether a sharded lock manager may run
+    /// it with `--shards > 1`.
+    ///
+    /// A kind qualifies when its decisions depend only on shard-local
+    /// state once items are partitioned: per-shard `Sysceil`/`Aceil`
+    /// plus canonical-order shard entry preserves the ceiling protocols'
+    /// blocking argument (DPCP-p's construction), 2PL variants never
+    /// consult a global quantity, and OCC validates against per-shard
+    /// holder sets. Excluded: CCP installs writes at early release, so a
+    /// cross-shard transaction would expose non-atomic commit prefixes
+    /// across shards; the deliberately defective demonstration variants
+    /// (`PCP-DA-literal`, `Naive-DA`) have no correctness argument to
+    /// preserve.
+    pub fn shardable(self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::PcpDa
+                | ProtocolKind::RwPcp
+                | ProtocolKind::Pcp
+                | ProtocolKind::TwoPlPi
+                | ProtocolKind::TwoPlHp
+                | ProtocolKind::OccBc
+        )
+    }
+
     /// Whether the protocol may abort/restart transactions; equals the
     /// constructed protocol's `Protocol::may_abort()`.
     pub fn may_abort(self) -> bool {
@@ -339,6 +365,15 @@ mod tests {
         }
         assert!(ProtocolKind::TwoPlPi.may_deadlock());
         assert!(!ProtocolKind::PcpDa.may_deadlock());
+        // Shardable kinds are exactly the standard line-up minus CCP
+        // (install-on-early-release breaks cross-shard commit atomicity).
+        for k in ProtocolKind::ALL {
+            assert_eq!(
+                k.shardable(),
+                k.is_standard() && k.update_model() == UpdateModel::Workspace,
+                "{k}"
+            );
+        }
         let table = ProtocolKind::markdown_table();
         for k in ProtocolKind::ALL {
             assert!(table.contains(k.name()));

@@ -70,7 +70,8 @@
 
 use crate::histogram::LatencyHistogram;
 use crate::manager::{
-    CommitOutcome, JobStats, ManagerReport, Outcome, Shared, TryAcquire, WorkerCtx,
+    CommitOutcome, JobStats, ManagerReport, ManagerTuning, Outcome, ShardCtx, Shared, TryAcquire,
+    WorkerCtx,
 };
 use rtdb_core::ProtocolKind;
 use rtdb_storage::Workspace;
@@ -82,20 +83,22 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
-/// How long a parked acquire stays hot (yield-polling its slot) before
-/// falling back to the condvar sleep. Sized to cover a few commit
-/// intervals at closed-loop rates, where Retry wakes arrive; catching
-/// one while still runnable skips the condvar sleep/wake pair entirely.
-const PARK_GRACE: Duration = Duration::from_micros(200);
+/// Default for [`crate::RtConfig::park_grace`]: how long a parked acquire
+/// stays hot (yield-polling its slot) before falling back to the condvar
+/// sleep. Sized to cover a few commit intervals at closed-loop rates,
+/// where Retry wakes arrive; catching one while still runnable skips the
+/// condvar sleep/wake pair entirely.
+pub(crate) const DEFAULT_PARK_GRACE: Duration = Duration::from_micros(200);
 
 /// Bounded slot wait while our op rides in another server's in-flight
 /// batch; the response posts as soon as that server re-takes the state
 /// lock, so this only bounds against a missed race, not real work.
 const IN_FLIGHT_WAIT: Duration = Duration::from_micros(200);
 
-/// Fast-path retries (with a `yield_now` between each) before an op is
-/// published for delegation. See `fast_lock`.
-const FAST_RETRIES: u32 = 3;
+/// Default for [`crate::RtConfig::fast_retries`]: fast-path retries (with
+/// a `yield_now` between each) before an op is published for delegation.
+/// See `fast_lock`.
+pub(crate) const DEFAULT_FAST_RETRIES: u32 = 3;
 
 /// Telemetry of the combining passes, exposed via
 /// [`crate::RtResult::combiner`] (all-zero under the mutex manager).
@@ -335,6 +338,10 @@ pub(crate) struct CombiningManager<'a> {
     state: Mutex<Shared<'a>>,
     intake: Mutex<Intake>,
     park_timeout: Duration,
+    /// Fast-path `try_lock` retries before delegating (see `fast_lock`).
+    fast_retries: u32,
+    /// Hot-poll window of a parked acquire before the condvar sleep.
+    park_grace: Duration,
     /// Worker-side park-timeout firings (merged into the report).
     timeout_wakeups: AtomicU64,
 }
@@ -343,16 +350,19 @@ impl<'a> CombiningManager<'a> {
     pub(crate) fn new(
         set: &'a TransactionSet,
         kind: ProtocolKind,
-        park_timeout: Duration,
+        tuning: ManagerTuning,
         snap: Option<Arc<crate::snapshot::SnapshotSide>>,
+        shard_ctx: ShardCtx,
     ) -> Self {
         CombiningManager {
-            state: Mutex::new(Shared::new(set, kind, true, snap)),
+            state: Mutex::new(Shared::new(set, kind, true, snap, shard_ctx)),
             intake: Mutex::new(Intake {
                 queue: Vec::new(),
                 combiner: false,
             }),
-            park_timeout,
+            park_timeout: tuning.park_timeout,
+            fast_retries: tuning.fast_retries,
+            park_grace: tuning.park_grace,
             timeout_wakeups: AtomicU64::new(0),
         }
     }
@@ -364,9 +374,28 @@ impl<'a> CombiningManager<'a> {
     }
 
     fn lock_state(&self) -> MutexGuard<'_, Shared<'a>> {
-        self.state
+        let mut g = self
+            .state
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        g.state_lock_acquires += 1;
+        g
+    }
+
+    /// The raw state mutex — the sharded manager's direct cross-shard
+    /// access path (see [`crate::manager::LockManager::lock_shared`]).
+    pub(crate) fn state_mutex(&self) -> &Mutex<Shared<'a>> {
+        &self.state
+    }
+
+    /// Drain the woken queue on behalf of an external state-lock holder
+    /// (the sharded manager's cross-shard path): every parked op a
+    /// re-evaluation woke is answered with `Retry` through its own slot.
+    pub(crate) fn drain_woken_external(&self, g: &mut Shared<'a>) {
+        let no_slot = Arc::new(OpSlot::new());
+        let mut none = None;
+        self.drain_woken(g, &no_slot, &mut none);
+        debug_assert!(none.is_none());
     }
 
     /// Publish `op`; returns true if the caller became the combiner.
@@ -397,15 +426,20 @@ impl<'a> CombiningManager<'a> {
         use std::sync::TryLockError;
         let mut spins = 0;
         loop {
-            match self.state.try_lock() {
-                Ok(g) => return Some(g),
-                Err(TryLockError::Poisoned(p)) => return Some(p.into_inner()),
-                Err(TryLockError::WouldBlock) if spins < FAST_RETRIES => {
+            let got = match self.state.try_lock() {
+                Ok(g) => Some(g),
+                Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+                Err(TryLockError::WouldBlock) if spins < self.fast_retries => {
                     spins += 1;
                     thread::yield_now();
+                    continue;
                 }
                 Err(TryLockError::WouldBlock) => return None,
-            }
+            };
+            return got.map(|mut g| {
+                g.state_lock_acquires += 1;
+                g
+            });
         }
     }
 
@@ -503,7 +537,7 @@ impl<'a> CombiningManager<'a> {
     /// oversubscribed. The yield loop keeps the thread hot through that
     /// window at zero cost to others.
     fn parked_wait(&self, id: InstanceId, slot: &Arc<OpSlot>) -> Response {
-        let grace = Instant::now() + PARK_GRACE;
+        let grace = Instant::now() + self.park_grace;
         loop {
             if let Some(r) = slot.try_take() {
                 return r;

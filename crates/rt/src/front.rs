@@ -30,10 +30,11 @@
 
 use crate::admission::{AdmissionPolicy, AdmissionQueue, Admitted, Push};
 use crate::histogram::LatencyHistogram;
-use crate::manager::{LockManager, WorkerCtx};
+use crate::manager::WorkerCtx;
 use crate::runtime::{
     dur_ns, execute_job, merge_snapshot_jobs, snapshot_side, JobReport, RtConfig, RtResult,
 };
+use crate::sharded::ShardedManager;
 use crate::snapshot::SnapshotSide;
 use rtdb_core::ProtocolKind;
 use rtdb_types::{InstanceId, TransactionSet, TxnId};
@@ -350,7 +351,7 @@ fn dispatcher(set: &TransactionSet, admission: &AdmissionQueue, dispatch: &Dispa
 #[allow(clippy::too_many_arguments)]
 fn front_worker(
     set: &TransactionSet,
-    manager: &LockManager<'_>,
+    manager: &ShardedManager<'_>,
     snap: Option<&SnapshotSide>,
     dispatch: &DispatchQueue,
     reports: &Mutex<Vec<JobReport>>,
@@ -407,13 +408,8 @@ pub fn run_front<R>(
 ) -> (RtResult, R) {
     let threads = config.rt.threads.max(1);
     let snap = snapshot_side(set, &config.rt);
-    let manager = LockManager::new(
-        set,
-        config.rt.kind,
-        config.rt.manager,
-        config.rt.park_timeout,
-        snap.clone(),
-    );
+    let manager = ShardedManager::new(set, &config.rt, snap.clone());
+    let shards = manager.shard_count();
     let dispatch = DispatchQueue::new(threads);
     let reports: Mutex<Vec<JobReport>> = Mutex::new(Vec::new());
     let shared = FrontShared {
@@ -459,7 +455,8 @@ pub fn run_front<R>(
     });
     let elapsed = shared.t0.elapsed();
 
-    let mut report = manager.finish();
+    let sharded = manager.finish();
+    let mut report = sharded.report;
     let jobs = reports
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -488,6 +485,9 @@ pub fn run_front<R>(
             snapshots,
             lock_transitions: report.lock_transitions,
             mv_high_water,
+            shards,
+            cross_shard_txns: sharded.cross_shard_txns,
+            per_shard: sharded.per_shard,
         },
         value,
     )

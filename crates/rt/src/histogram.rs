@@ -69,9 +69,14 @@ impl LatencyHistogram {
 
     /// Fold `other` into `self`, bucket by bucket, so per-worker
     /// histograms can be combined after the threads join without any
-    /// locking during recording. Counts saturate at `u64::MAX` (the same
-    /// semantics as [`LatencyHistogram::record`]), so merging can never
-    /// wrap; min/max stay exact.
+    /// locking during recording. The sharded runtime leans on the same
+    /// property along its other axis: each shard's lock manager keeps its
+    /// own histograms, and the run-level latency report is the merge of
+    /// the per-shard ones — merge order never matters because bucket
+    /// addition commutes, so "per worker, then per shard" and "per
+    /// shard, then per worker" aggregate identically. Counts saturate at
+    /// `u64::MAX` (the same semantics as [`LatencyHistogram::record`]),
+    /// so merging can never wrap; min/max stay exact.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *b = b.saturating_add(*o);

@@ -15,6 +15,12 @@
 //!   combiner executes everyone's grant/deny/reevaluate decisions in one
 //!   cache-hot pass, in descending running-priority order (telemetry in
 //!   [`CombinerStats`]);
+//! * `sharded` (internal) — the partitioned architecture: a static
+//!   router spreads items across `N` independent per-shard lock managers
+//!   (each its own [`ManagerKind`] instance) coordinated by a lock-free
+//!   published-per-shard global ceiling; cross-shard transactions
+//!   acquire shards in canonical order under a no-wait rule (DESIGN.md
+//!   §6e, per-shard telemetry in [`ShardStats`]);
 //! * [`runtime`] — the closed-loop executor: a pool of worker threads
 //!   drains a job queue, each job running one transaction instance to
 //!   commit (with abort/restart for the wound/validate protocols);
@@ -47,6 +53,7 @@ pub mod histogram;
 pub mod jobs;
 mod manager;
 pub mod runtime;
+mod sharded;
 mod snapshot;
 
 pub use admission::AdmissionPolicy;
@@ -58,3 +65,4 @@ pub use histogram::LatencyHistogram;
 pub use jobs::job_list;
 pub use manager::ManagerKind;
 pub use runtime::{run, run_jobs, JobReport, PriorityMisses, RestartBackoff, RtConfig, RtResult};
+pub use sharded::ShardStats;

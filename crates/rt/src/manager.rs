@@ -30,13 +30,14 @@
 use crate::combining::{CombinerStats, CombiningManager, OpSlot, ParkedOp, Response};
 use crate::snapshot::SnapshotSide;
 use rtdb_core::{
-    CeilingTable, Decision, EngineView, LockRequest, LockTable, PriorityManager, ProtocolFor,
-    ProtocolKind, UpdateModel, WaitForGraph,
+    deadlock_victim, CeilingTable, Decision, EngineView, GlobalCeiling, LockRequest, LockTable,
+    PriorityManager, ProtocolFor, ProtocolKind, ShardRouter, UpdateModel, WaitForGraph,
 };
 use rtdb_sim::{instantiate, AnyProtocol};
 use rtdb_storage::{Database, EventKind, History, VersionedValue, Workspace};
 use rtdb_types::{InstanceId, ItemId, LockMode, Priority, Tick, TransactionSet, TxnId};
 use std::cmp::Reverse;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
@@ -45,6 +46,50 @@ use std::time::Duration;
 /// the fast path, short enough to keep worst-case recovery invisible in
 /// tests.
 pub(crate) const DEFAULT_PARK_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// Manager tuning knobs threaded from [`crate::RtConfig`]: the park
+/// timeout applies to both kinds, the fast-path retry budget and parked
+/// grace spin only to the combining manager.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ManagerTuning {
+    pub park_timeout: Duration,
+    pub fast_retries: u32,
+    pub park_grace: Duration,
+}
+
+/// Per-shard wiring of the [`Shared`] core. [`ShardCtx::single`] is the
+/// classic unsharded configuration: a private clock and none of the
+/// cross-shard machinery, so the state machine is bit-identical to the
+/// pre-sharding manager.
+pub(crate) struct ShardCtx {
+    /// The run-global logical event clock, shared by every shard so the
+    /// merged history can be rebuilt in tick order.
+    pub clock: Arc<AtomicU64>,
+    /// This shard's index.
+    pub shard: usize,
+    /// Item→shard routing (multi-shard runs only); used to filter the
+    /// protocol-visible mirrors down to shard-owned items.
+    pub router: Option<ShardRouter>,
+    /// The published-per-shard global ceiling layer (multi-shard only).
+    pub global: Option<Arc<GlobalCeiling>>,
+    /// The commit gate: the run-global next-commit-index counter, locked
+    /// around {commit tick, installs, snapshot publish} so commit ticks,
+    /// commit indices and snapshot stamps agree across shards
+    /// (multi-shard only; `None` keeps single-shard commits gate-free).
+    pub gate: Option<Arc<Mutex<u64>>>,
+}
+
+impl ShardCtx {
+    pub(crate) fn single() -> Self {
+        ShardCtx {
+            clock: Arc::new(AtomicU64::new(0)),
+            shard: 0,
+            router: None,
+            global: None,
+            gate: None,
+        }
+    }
+}
 
 /// Which lock-manager implementation mediates protocol state.
 ///
@@ -146,6 +191,11 @@ pub(crate) struct ManagerReport {
     /// — 0 means the run never granted, released or converted a single
     /// lock (the snapshot path's zero-lock assertion hook).
     pub lock_transitions: u64,
+    /// Times this manager's state mutex was acquired (shard-isolation
+    /// telemetry).
+    pub state_lock_acquires: u64,
+    /// Which shard produced this report (0 in unsharded runs).
+    pub shard: usize,
 }
 
 /// Per-worker context threaded through every manager call: the recycled
@@ -157,6 +207,9 @@ pub(crate) struct WorkerCtx {
     /// This worker's index in `0..threads` — its reader slot in the
     /// snapshot store's pin table.
     pub worker: usize,
+    /// Cross-shard state of the job currently executing on this worker
+    /// (`None` for single-shard jobs and unsharded runs).
+    pub cross: Option<crate::sharded::CrossJob>,
 }
 
 impl WorkerCtx {
@@ -165,6 +218,7 @@ impl WorkerCtx {
             ws: Workspace::new(InstanceId::first(TxnId(0))),
             slot: Arc::new(OpSlot::new()),
             worker,
+            cross: None,
         }
     }
 }
@@ -195,6 +249,12 @@ pub(crate) struct Meta {
     pub(crate) lower_blockers: Vec<TxnId>,
     pub(crate) block_events: u32,
     pub(crate) restarts: u32,
+    /// Cross-shard abort signal (multi-shard runs only): set instead of
+    /// `aborted` when this instance spans shards, because its owner never
+    /// parks inside any one shard and polls this flag at the sharded
+    /// manager's entry points instead. Shared with every shard the
+    /// instance registered in.
+    pub(crate) signal: Option<Arc<AtomicBool>>,
 }
 
 impl Meta {
@@ -212,6 +272,7 @@ impl Meta {
             lower_blockers: Vec::new(),
             block_events: 0,
             restarts: 0,
+            signal: None,
         }
     }
 
@@ -313,8 +374,27 @@ pub(crate) struct Shared<'a> {
     pub(crate) db: Database,
     pub(crate) history: History,
     /// Logical event clock: history ticks order events for readers of the
-    /// log; correctness oracles never compare tick values across runs.
-    pub(crate) now: u64,
+    /// log; correctness oracles never compare tick values across runs. In
+    /// multi-shard runs the counter is shared by every shard, so ticks
+    /// are globally unique and the per-shard histories merge by tick.
+    pub(crate) clock: Arc<AtomicU64>,
+    /// This shard's index (0 in unsharded runs).
+    pub(crate) shard: usize,
+    /// Item→shard routing; `Some` exactly in multi-shard runs.
+    pub(crate) router: Option<ShardRouter>,
+    /// Where this shard publishes its local system ceiling (multi-shard
+    /// runs only).
+    pub(crate) global: Option<Arc<GlobalCeiling>>,
+    /// The cross-shard commit gate (multi-shard runs only); see
+    /// [`ShardCtx::gate`].
+    pub(crate) gate: Option<Arc<Mutex<u64>>>,
+    /// Lock-table version at the last ceiling publication, so a shard
+    /// publishes only when a transition actually happened.
+    last_pub_version: u64,
+    /// Times this shard's state mutex was acquired — the shard-isolation
+    /// telemetry behind the "single-shard transactions never touch
+    /// another shard's state lock" assertion.
+    pub(crate) state_lock_acquires: u64,
     pub(crate) commits: u64,
     pub(crate) restarts: u64,
     pub(crate) deadlocks_resolved: u64,
@@ -352,6 +432,7 @@ impl<'a> Shared<'a> {
         kind: ProtocolKind,
         delegated: bool,
         snap: Option<Arc<SnapshotSide>>,
+        shard_ctx: ShardCtx,
     ) -> Self {
         let ceilings = CeilingTable::new(set);
         let locks = LockTable::with_index(&ceilings);
@@ -369,7 +450,13 @@ impl<'a> Shared<'a> {
             delegated,
             db: Database::new(),
             history: History::new(),
-            now: 0,
+            clock: shard_ctx.clock,
+            shard: shard_ctx.shard,
+            router: shard_ctx.router,
+            global: shard_ctx.global,
+            gate: shard_ctx.gate,
+            last_pub_version: 0,
+            state_lock_acquires: 0,
             commits: 0,
             restarts: 0,
             deadlocks_resolved: 0,
@@ -393,13 +480,33 @@ impl<'a> Shared<'a> {
             park_timeout_wakeups: self.park_timeout_wakeups + extra_timeout_wakeups,
             combiner: self.combiner,
             lock_transitions: self.view.locks.version(),
+            state_lock_acquires: self.state_lock_acquires,
+            shard: self.shard,
         }
     }
 
     #[inline]
     pub(crate) fn tick(&mut self) -> Tick {
-        self.now += 1;
-        Tick(self.now)
+        Tick(self.clock.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Publish this shard's local system ceiling to the global layer if a
+    /// lock-table transition happened since the last publication. No-op
+    /// in unsharded runs. Called at the end of every state-mutating entry
+    /// point, i.e. before the shard's state lock is released.
+    pub(crate) fn maybe_publish_ceiling(&mut self) {
+        let Some(global) = self.global.clone() else {
+            return;
+        };
+        let v = self.view.locks.version();
+        if v != self.last_pub_version {
+            self.last_pub_version = v;
+            let ceiling = {
+                let Shared { view, protocol, .. } = self;
+                protocol.system_ceiling(view)
+            };
+            global.publish(self.shard, ceiling);
+        }
     }
 
     pub(crate) fn take_abort(&mut self, who: InstanceId) -> bool {
@@ -415,18 +522,37 @@ impl<'a> Shared<'a> {
 
     /// Register a released instance.
     pub(crate) fn begin(&mut self, id: InstanceId) {
+        self.begin_sharded(id, true, None);
+    }
+
+    /// Register a released instance in this shard. A cross-shard instance
+    /// registers in every shard it will touch (ascending order) but logs
+    /// its Begin event only in its *home* shard (`log_begin`), carrying
+    /// the shared abort `signal` everywhere so any shard can flag it.
+    pub(crate) fn begin_sharded(
+        &mut self,
+        id: InstanceId,
+        log_begin: bool,
+        signal: Option<Arc<AtomicBool>>,
+    ) {
         let base = self.view.set.priority_of(id.txn);
-        let at = self.tick();
+        let at = log_begin.then(|| self.tick());
         match self.view.metas.binary_search_by_key(&id, |m| m.id) {
             Ok(_) => panic!("instance {id:?} begun twice"),
-            Err(i) => self.view.metas.insert(i, Meta::new(id)),
+            Err(i) => {
+                let mut m = Meta::new(id);
+                m.signal = signal;
+                self.view.metas.insert(i, m);
+            }
         }
         match self.view.active.binary_search(&id) {
             Ok(_) => unreachable!(),
             Err(i) => self.view.active.insert(i, id),
         }
         self.view.pm.register(id, base);
-        self.history.push(at, id, EventKind::Begin);
+        if let Some(at) = at {
+            self.history.push(at, id, EventKind::Begin);
+        }
     }
 
     /// Perform the granted data operation through the worker's private
@@ -441,7 +567,12 @@ impl<'a> Shared<'a> {
     ) {
         let at = self.tick();
         let Shared {
-            view, db, history, ..
+            view,
+            db,
+            history,
+            router,
+            shard,
+            ..
         } = self;
         match mode {
             LockMode::Read => {
@@ -458,7 +589,16 @@ impl<'a> Shared<'a> {
                 );
                 let m = view.meta_mut(who);
                 m.data_read.clear();
-                m.data_read.extend_from_slice(ws.data_read());
+                match router {
+                    // Multi-shard: this shard's protocol instance must
+                    // only see the reads it governs — a cross-shard
+                    // reader's off-shard items would otherwise produce
+                    // spurious OCC invalidations here.
+                    Some(r) => m
+                        .data_read
+                        .extend(ws.data_read().iter().filter(|&&i| r.shard_of(i) == *shard)),
+                    None => m.data_read.extend_from_slice(ws.data_read()),
+                }
             }
             LockMode::Write => {
                 let value = ws.write(step_index, item);
@@ -472,6 +612,19 @@ impl<'a> Shared<'a> {
     }
 
     pub(crate) fn try_acquire(
+        &mut self,
+        who: InstanceId,
+        step_index: usize,
+        item: ItemId,
+        mode: LockMode,
+        ws: &mut Workspace,
+    ) -> TryAcquire {
+        let result = self.try_acquire_inner(who, step_index, item, mode, ws);
+        self.maybe_publish_ceiling();
+        result
+    }
+
+    fn try_acquire_inner(
         &mut self,
         who: InstanceId,
         step_index: usize,
@@ -626,11 +779,7 @@ impl<'a> Shared<'a> {
             let Some(cycle) = WaitForGraph::from_edges(self.view.pm.edges()).find_cycle() else {
                 return;
             };
-            let victim = cycle
-                .iter()
-                .copied()
-                .min_by_key(|&v| (self.view.set.priority_of(v.txn), v))
-                .expect("cycle is non-empty");
+            let victim = deadlock_victim(&cycle, |v| self.view.set.priority_of(v.txn));
             self.deadlocks_resolved += 1;
             self.abort_victim(victim);
             self.reevaluate();
@@ -654,6 +803,36 @@ impl<'a> Shared<'a> {
             UpdateModel::Workspace,
             "aborts require the workspace model (no undo implemented)"
         );
+        // A cross-shard victim is aborted *locally*: clean this shard's
+        // slice of its state and raise the shared signal; the victim's
+        // own worker (which never parks while it holds anything) observes
+        // the signal at its next sharded-manager entry point, cleans its
+        // remaining shards the same way, and logs the single Abort +
+        // restart-Begin pair in its home shard. `aborted` doubles as the
+        // "this shard already ran its local abort" marker the victim's
+        // sweep consumes.
+        if let Some(sig) = self.view.meta(victim).signal.clone() {
+            let m = self.view.meta_mut(victim);
+            debug_assert!(m.parked.is_none(), "cross-shard instances never park");
+            if m.aborted {
+                return; // local abort already ran; victim not yet swept
+            }
+            m.aborted = true;
+            m.pending = None;
+            m.woken = false;
+            m.data_read.clear();
+            m.staged.clear();
+            m.installed_early.clear();
+            sig.store(true, Ordering::Release);
+            self.view.locks.release_all(victim);
+            self.view.pm.clear_blocked(victim);
+            {
+                let Shared { view, protocol, .. } = self;
+                protocol.on_abort(view, victim);
+            }
+            self.maybe_publish_ceiling();
+            return;
+        }
         let at = self.tick();
         self.history.push(at, victim, EventKind::Abort);
         self.view.locks.release_all(victim);
@@ -694,6 +873,7 @@ impl<'a> Shared<'a> {
         }
         let at = self.tick();
         self.history.push(at, victim, EventKind::Begin);
+        self.maybe_publish_ceiling();
     }
 
     /// Report step `completed_step` finished; applies the protocol's early
@@ -735,22 +915,84 @@ impl<'a> Shared<'a> {
             }
         }
         self.reevaluate();
+        self.maybe_publish_ceiling();
+    }
+
+    /// The protocol's commit victims for `id` — borrow helper for the
+    /// sharded manager's multi-guard cross-shard commit.
+    pub(crate) fn protocol_commit_victims(&mut self, id: InstanceId) -> Vec<InstanceId> {
+        let Shared { view, protocol, .. } = self;
+        protocol.commit_victims(view, id)
+    }
+
+    /// Commit-side teardown of `id` in this shard: release its locks,
+    /// drop it from the priority manager, notify the protocol and remove
+    /// its registration, returning the meta for stats accounting. The
+    /// sharded manager's cross-shard commit runs this once per touched
+    /// shard (the Commit/Install events are logged by the caller).
+    pub(crate) fn remove_instance(&mut self, id: InstanceId) -> Meta {
+        self.view.locks.release_all(id);
+        self.view.pm.remove(id);
+        {
+            let Shared { view, protocol, .. } = self;
+            protocol.on_commit(view, id);
+        }
+        let i = self.view.meta_idx(id).expect("instance is live");
+        let meta = self.view.metas.remove(i);
+        if let Ok(i) = self.view.active.binary_search(&id) {
+            self.view.active.remove(i);
+        }
+        meta
+    }
+
+    /// The victim's side of a cross-shard abort, run per shard by the
+    /// victim's own sweep: consume the "local abort already ran" marker
+    /// if an aborter got here first, otherwise release this shard's
+    /// slice silently — the sweep logs the single Abort/Begin pair in
+    /// the home shard itself.
+    pub(crate) fn abort_local_cross(&mut self, id: InstanceId) {
+        if !self.view.is_active(id) {
+            return;
+        }
+        let m = self.view.meta_mut(id);
+        if m.aborted {
+            m.aborted = false; // the aborting shard already released everything here
+            return;
+        }
+        m.pending = None;
+        m.woken = false;
+        m.data_read.clear();
+        m.staged.clear();
+        m.installed_early.clear();
+        self.view.locks.release_all(id);
+        self.view.pm.clear_blocked(id);
+        {
+            let Shared { view, protocol, .. } = self;
+            protocol.on_abort(view, id);
+        }
     }
 
     /// Commit `id`: abort the protocol's commit victims, install staged
     /// writes, release everything, re-evaluate waiters. The caller has
     /// already consumed any abort flag.
     pub(crate) fn commit_inner(&mut self, id: InstanceId, ws: &Workspace) -> JobStats {
-        let victims = {
-            let Shared { view, protocol, .. } = self;
-            protocol.commit_victims(view, id)
-        };
+        let victims = self.protocol_commit_victims(id);
         for v in victims {
             if v != id {
                 self.abort_victim(v);
             }
         }
 
+        // Multi-shard runs serialize {commit tick, installs, snapshot
+        // publish, commit index} through the run-global commit gate, so
+        // commit-tick order, commit-index order and snapshot-stamp order
+        // all agree across shards (and the single-publisher contract of
+        // `SnapshotStore::publish` holds). Unsharded runs have no gate:
+        // the state mutex already serializes all of this.
+        let gate = self.gate.clone();
+        let mut gate_guard = gate
+            .as_ref()
+            .map(|g| g.lock().unwrap_or_else(std::sync::PoisonError::into_inner));
         let at = self.tick();
         self.history.push(at, id, EventKind::Commit);
         {
@@ -797,30 +1039,26 @@ impl<'a> Shared<'a> {
                 publish_scratch.clear();
             }
         }
-        self.view.locks.release_all(id);
-        self.view.pm.remove(id);
-        {
-            let Shared { view, protocol, .. } = self;
-            protocol.on_commit(view, id);
-        }
-
-        let commit_index = self.commits;
-        self.commits += 1;
-        let stats = {
-            let i = self.view.meta_idx(id).expect("committing instance is live");
-            let meta = self.view.metas.remove(i);
-            JobStats {
-                commit_index,
-                restarts: meta.restarts,
-                block_events: meta.block_events,
-                lower_blockers: meta.lower_blockers,
-                snapshot: None,
+        let commit_index = match gate_guard.as_deref_mut() {
+            Some(next) => {
+                let i = *next;
+                *next += 1;
+                i
             }
+            None => self.commits,
         };
-        if let Ok(i) = self.view.active.binary_search(&id) {
-            self.view.active.remove(i);
-        }
+        drop(gate_guard);
+        self.commits += 1;
+        let meta = self.remove_instance(id);
+        let stats = JobStats {
+            commit_index,
+            restarts: meta.restarts,
+            block_events: meta.block_events,
+            lower_blockers: meta.lower_blockers,
+            snapshot: None,
+        };
         self.reevaluate();
+        self.maybe_publish_ceiling();
         stats
     }
 }
@@ -838,12 +1076,13 @@ impl<'a> MutexManager<'a> {
     pub(crate) fn new(
         set: &'a TransactionSet,
         kind: ProtocolKind,
-        park_timeout: Duration,
+        tuning: ManagerTuning,
         snap: Option<Arc<SnapshotSide>>,
+        shard_ctx: ShardCtx,
     ) -> Self {
         MutexManager {
-            park_timeout,
-            state: Mutex::new(Shared::new(set, kind, false, snap)),
+            park_timeout: tuning.park_timeout,
+            state: Mutex::new(Shared::new(set, kind, false, snap, shard_ctx)),
         }
     }
 
@@ -851,9 +1090,18 @@ impl<'a> MutexManager<'a> {
     /// worker already fails the run via the scope join; secondary threads
     /// should not cascade with confusing poison panics).
     fn lock(&self) -> MutexGuard<'_, Shared<'a>> {
-        self.state
+        let mut g = self
+            .state
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        g.state_lock_acquires += 1;
+        g
+    }
+
+    /// The raw state mutex — the sharded manager's direct cross-shard
+    /// access path.
+    pub(crate) fn state_mutex(&self) -> &Mutex<Shared<'a>> {
+        &self.state
     }
 
     pub(crate) fn begin(&self, id: InstanceId) {
@@ -953,16 +1201,46 @@ impl<'a> LockManager<'a> {
         set: &'a TransactionSet,
         kind: ProtocolKind,
         manager: ManagerKind,
-        park_timeout: Duration,
+        tuning: ManagerTuning,
         snap: Option<Arc<SnapshotSide>>,
+        shard_ctx: ShardCtx,
     ) -> Self {
         match manager {
             ManagerKind::Mutex => {
-                LockManager::Mutex(MutexManager::new(set, kind, park_timeout, snap))
+                LockManager::Mutex(MutexManager::new(set, kind, tuning, snap, shard_ctx))
             }
             ManagerKind::Combining => {
-                LockManager::Combining(CombiningManager::new(set, kind, park_timeout, snap))
+                LockManager::Combining(CombiningManager::new(set, kind, tuning, snap, shard_ctx))
             }
+        }
+    }
+
+    /// Lock this shard's state directly — the sharded manager's
+    /// cross-shard path. Legal for both kinds: the combining manager's
+    /// combiner owns the *intake* protocol, but any state-lock holder may
+    /// act on [`Shared`] (the combiner simply waits its turn on the same
+    /// mutex). The caller must call [`LockManager::drain_woken_external`]
+    /// before dropping the guard if its actions may have woken waiters.
+    pub(crate) fn lock_shared(&self) -> MutexGuard<'_, Shared<'a>> {
+        let state = match self {
+            LockManager::Mutex(m) => m.state_mutex(),
+            LockManager::Combining(m) => m.state_mutex(),
+        };
+        let mut g = state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        g.state_lock_acquires += 1;
+        g
+    }
+
+    /// Answer any parked operations a cross-shard action woke: the
+    /// combining manager queues wakes for the combiner, so an external
+    /// state-lock holder must drain the queue itself before unlocking
+    /// (no-op for the mutex manager, whose wakes notify condvars
+    /// directly).
+    pub(crate) fn drain_woken_external(&self, g: &mut MutexGuard<'_, Shared<'a>>) {
+        if let LockManager::Combining(m) = self {
+            m.drain_woken_external(g);
         }
     }
 

@@ -9,12 +9,13 @@
 //! restarts the same job from step 0 on the same thread, exactly like the
 //! simulator's slot reset.
 
-use crate::combining::CombinerStats;
+use crate::combining::{CombinerStats, DEFAULT_FAST_RETRIES, DEFAULT_PARK_GRACE};
 use crate::histogram::LatencyHistogram;
 use crate::jobs;
 use crate::manager::{
-    CommitOutcome, JobStats, LockManager, ManagerKind, Outcome, WorkerCtx, DEFAULT_PARK_TIMEOUT,
+    CommitOutcome, JobStats, ManagerKind, Outcome, WorkerCtx, DEFAULT_PARK_TIMEOUT,
 };
+use crate::sharded::{ShardStats, ShardedManager};
 use crate::snapshot::{ReaderLog, SnapshotSide};
 use rtdb_core::ProtocolKind;
 use rtdb_storage::{Database, History, SerializationGraph, VersionedValue};
@@ -46,6 +47,20 @@ pub struct RtConfig {
     /// the admission dispatcher and latency-sensitive tests can tighten
     /// it.
     pub park_timeout: Duration,
+    /// Lock-manager shards: items partition across this many independent
+    /// per-shard managers (see the `sharded` module). `1` (the default)
+    /// is the classic unsharded manager, bit-identical to earlier
+    /// releases. Values above 1 require a shardable protocol
+    /// ([`ProtocolKind::shardable`]) and are clamped to
+    /// [`rtdb_core::MAX_SHARDS`].
+    pub shards: usize,
+    /// Combining-manager fast-path retry budget: how many times a worker
+    /// attempts the opportunistic `try_lock` before publishing its
+    /// operation to the combiner. Ignored by [`ManagerKind::Mutex`].
+    pub fast_retries: u32,
+    /// Combining-manager grace spin a parked operation waits before
+    /// parking its thread. Ignored by [`ManagerKind::Mutex`].
+    pub park_grace: Duration,
     /// Serve read-only transactions from multiversion snapshots instead
     /// of the lock manager. Effective only for protocols whose update
     /// model makes commit-stamp snapshots serializable (see
@@ -96,9 +111,30 @@ impl RtConfig {
             threads: 4,
             tick_ns: 0,
             park_timeout: DEFAULT_PARK_TIMEOUT,
+            shards: 1,
+            fast_retries: DEFAULT_FAST_RETRIES,
+            park_grace: DEFAULT_PARK_GRACE,
             snapshot_reads: false,
             backoff: RestartBackoff::default(),
         }
+    }
+
+    /// Set the lock-manager shard count (1 = unsharded).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Set the combining fast-path retry budget.
+    pub fn with_fast_retries(mut self, fast_retries: u32) -> Self {
+        self.fast_retries = fast_retries;
+        self
+    }
+
+    /// Set the combining parked-operation grace spin.
+    pub fn with_park_grace(mut self, park_grace: Duration) -> Self {
+        self.park_grace = park_grace;
+        self
     }
 
     /// Select the lock-manager implementation.
@@ -282,6 +318,16 @@ pub struct RtResult {
     /// Longest per-item version chain the snapshot store ever held — the
     /// epoch GC's memory-flatness telemetry (0 when the path is off).
     pub mv_high_water: usize,
+    /// Lock-manager shards the run used (1 = unsharded).
+    pub shards: usize,
+    /// Jobs whose template spans more than one shard (0 when
+    /// [`RtResult::shards`] is 1).
+    pub cross_shard_txns: u64,
+    /// Per-shard telemetry, indexed by shard. Per-shard latency
+    /// distributions, when a caller collects them, aggregate through
+    /// [`LatencyHistogram::merge`] exactly like the per-worker histograms
+    /// do.
+    pub per_shard: Vec<ShardStats>,
 }
 
 impl RtResult {
@@ -366,13 +412,8 @@ impl RtResult {
 pub fn run(set: &TransactionSet, job_queue: &[InstanceId], config: RtConfig) -> RtResult {
     let threads = config.threads.max(1);
     let snap = snapshot_side(set, &config);
-    let manager = LockManager::new(
-        set,
-        config.kind,
-        config.manager,
-        config.park_timeout,
-        snap.clone(),
-    );
+    let manager = ShardedManager::new(set, &config, snap.clone());
+    let shards = manager.shard_count();
     let next = AtomicUsize::new(0);
     let reports: Mutex<Vec<JobReport>> = Mutex::new(Vec::with_capacity(job_queue.len()));
 
@@ -400,7 +441,8 @@ pub fn run(set: &TransactionSet, job_queue: &[InstanceId], config: RtConfig) -> 
     });
     let elapsed = start.elapsed();
 
-    let mut report = manager.finish();
+    let sharded = manager.finish();
+    let mut report = sharded.report;
     let jobs = reports
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -428,6 +470,9 @@ pub fn run(set: &TransactionSet, job_queue: &[InstanceId], config: RtConfig) -> 
         snapshots,
         lock_transitions: report.lock_transitions,
         mv_high_water,
+        shards,
+        cross_shard_txns: sharded.cross_shard_txns,
+        per_shard: sharded.per_shard,
     }
 }
 
@@ -478,7 +523,7 @@ pub(crate) fn dur_ns(d: Duration) -> u64 {
 fn worker(
     set: &TransactionSet,
     job_queue: &[InstanceId],
-    manager: &LockManager<'_>,
+    manager: &ShardedManager<'_>,
     snap: Option<&SnapshotSide>,
     next: &AtomicUsize,
     reports: &Mutex<Vec<JobReport>>,
@@ -527,7 +572,7 @@ fn worker(
 /// Read-only jobs take the lock-free snapshot path when `snap` is live.
 pub(crate) fn execute_job(
     set: &TransactionSet,
-    manager: &LockManager<'_>,
+    manager: &ShardedManager<'_>,
     snap: Option<&SnapshotSide>,
     id: InstanceId,
     ctx: &mut WorkerCtx,

@@ -43,15 +43,17 @@ use crate::metrics::{InstanceMetrics, MetricsReport};
 use crate::registry::{instantiate, AnyProtocol};
 use crate::trace::{SegKind, Trace, TraceEvent};
 use rtdb_core::{
-    CeilingTable, Decision, DynProtocol, EngineView, LockRequest, LockTable, PriorityManager,
-    Protocol, ProtocolFor, ProtocolKind, TxnMode, UpdateModel, WaitForGraph,
+    deadlock_victim, CeilingTable, Decision, DynProtocol, EngineView, LockRequest, LockTable,
+    PriorityManager, Protocol, ProtocolFor, ProtocolKind, ShardRouter, TxnMode, UpdateModel,
+    WaitForGraph, MAX_SHARDS,
 };
 use rtdb_storage::{
     Database, EventKind, History, MvStore, ReplayOutcome, SerializationGraph, VersionedValue,
     Workspace,
 };
 use rtdb_types::{
-    Duration, Error, InstanceId, ItemId, LockMode, Priority, Result, Tick, TransactionSet, TxnId,
+    Ceiling, Duration, Error, InstanceId, ItemId, LockMode, Priority, Result, Tick, TransactionSet,
+    TxnId,
 };
 use std::cmp::Reverse;
 #[cfg(any(debug_assertions, feature = "oracle-checks"))]
@@ -74,6 +76,16 @@ pub struct SimConfig {
     /// [`rtdb_core::ProtocolFor::lock_exempt`] accepts (the
     /// deferred-update kinds; CCP declines and keeps lock-based reads).
     pub snapshot_reads: bool,
+    /// Number of lock-table shards (clamped to
+    /// `1..=`[`rtdb_core::MAX_SHARDS`]). At `1` (the default) the engine
+    /// is the classic single-table simulator, bit-for-bit. Above `1` the
+    /// engine partitions items across per-shard lock tables with the same
+    /// [`ShardRouter`] rule the runtime's sharded manager uses, and
+    /// protocol decisions consult the requested item's shard-local table
+    /// — the simulator analogue of DPCP-p's partitioned ceilings
+    /// (DESIGN.md §6e). Requires a [`ProtocolKind::shardable`] protocol;
+    /// [`Engine::run_kind`] and [`Engine::run_any`] reject others.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -83,6 +95,7 @@ impl Default for SimConfig {
             resolve_deadlocks: false,
             max_steps: 10_000_000,
             snapshot_reads: false,
+            shards: 1,
         }
     }
 }
@@ -105,6 +118,13 @@ impl SimConfig {
     /// Enable the multiversion snapshot path for read-only transactions.
     pub fn with_snapshot_reads(mut self) -> Self {
         self.snapshot_reads = true;
+        self
+    }
+
+    /// Partition the lock table across `shards` shards (clamped to
+    /// `1..=`[`MAX_SHARDS`]).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 }
@@ -143,6 +163,8 @@ pub struct RunResult {
     /// held (0 when the snapshot path was off) — the memory-flatness
     /// telemetry the epoch GC is asserted against.
     pub mv_high_water: usize,
+    /// Number of lock-table shards the run executed with.
+    pub shards: usize,
 }
 
 impl RunResult {
@@ -236,7 +258,28 @@ impl<'a> Engine<'a> {
     /// (static dispatch). Lets the caller keep the instance — e.g. to
     /// read [`AnyProtocol::requests`] afterwards.
     pub fn run_any(&self, protocol: &mut AnyProtocol) -> Result<RunResult> {
+        self.check_shardable(protocol.kind())?;
         self.run_generic::<SlotStore, _>(protocol)
+    }
+
+    /// Reject multi-shard configs for protocols whose invariants do not
+    /// survive partitioning ([`ProtocolKind::shardable`]). `Engine::run`
+    /// takes a view-erased protocol with no kind to inspect; sharded runs
+    /// through it are the caller's responsibility.
+    fn check_shardable(&self, kind: ProtocolKind) -> Result<()> {
+        if self.config.shards > 1 && !kind.shardable() {
+            let valid: Vec<&str> = ProtocolKind::ALL
+                .iter()
+                .filter(|k| k.shardable())
+                .map(|k| k.name())
+                .collect();
+            return Err(Error::Config(format!(
+                "{} cannot run sharded; shardable protocols: {}",
+                kind.name(),
+                valid.join(", ")
+            )));
+        }
+        Ok(())
     }
 
     /// Execute one full run on the map-backed instance store instead of
@@ -251,6 +294,7 @@ impl<'a> Engine<'a> {
     /// [`Engine::run_kind`] on the map-backed oracle store.
     #[cfg(any(debug_assertions, feature = "oracle-checks"))]
     pub fn run_kind_map_oracle(&self, kind: ProtocolKind) -> Result<RunResult> {
+        self.check_shardable(kind)?;
         self.run_generic::<MapStore, _>(&mut instantiate(kind))
     }
 
@@ -537,7 +581,21 @@ impl ArrivalCalendar {
 struct ViewState<'a, S> {
     set: &'a TransactionSet,
     ceilings: CeilingTable,
-    locks: LockTable,
+    /// One lock table per shard — exactly one in the classic single-shard
+    /// mode. Every table carries its own incremental Sysceil index, so a
+    /// shard's *local* ceiling stays O(1): the simulator analogue of the
+    /// runtime's per-shard lock managers.
+    tables: Vec<LockTable>,
+    /// Which shard's table [`EngineView::locks`] currently exposes. The
+    /// engine focuses the requested item's shard before every protocol
+    /// consultation, so one protocol instance makes shard-local decisions
+    /// against per-shard ceilings — the modelling approximation of the
+    /// runtime's one-instance-per-shard layout (DESIGN.md §6e). Always 0
+    /// when unsharded.
+    focus: usize,
+    /// The shared item→shard rule ([`ShardRouter`]); everything maps to
+    /// shard 0 when unsharded.
+    router: ShardRouter,
     pm: PriorityManager,
     store: S,
     /// Live instances, sorted ascending — the iteration order every sweep
@@ -560,6 +618,42 @@ impl<S> ViewState<'_, S> {
     fn exempt(&self, who: InstanceId) -> bool {
         self.snapshot_on && self.read_only[who.txn.index()]
     }
+
+    /// Aim [`EngineView::locks`] at the shard owning `item`. Must precede
+    /// every protocol consultation about a concrete request.
+    #[inline]
+    fn focus_item(&mut self, item: ItemId) {
+        self.focus = self.router.shard_of(item);
+    }
+
+    #[inline]
+    fn covers(&self, who: InstanceId, item: ItemId, mode: LockMode) -> bool {
+        self.tables[self.router.shard_of(item)].covers(who, item, mode)
+    }
+
+    #[inline]
+    fn holds(&self, who: InstanceId, item: ItemId, mode: LockMode) -> bool {
+        self.tables[self.router.shard_of(item)].holds(who, item, mode)
+    }
+
+    #[inline]
+    fn grant(&mut self, who: InstanceId, item: ItemId, mode: LockMode) {
+        let shard = self.router.shard_of(item);
+        self.tables[shard].grant(who, item, mode);
+    }
+
+    #[inline]
+    fn release(&mut self, who: InstanceId, item: ItemId, mode: LockMode) {
+        let shard = self.router.shard_of(item);
+        self.tables[shard].release(who, item, mode);
+    }
+
+    /// Release everything `who` holds, across every shard.
+    fn release_all(&mut self, who: InstanceId) {
+        for table in &mut self.tables {
+            table.release_all(who);
+        }
+    }
 }
 
 impl<S: InstanceStore> EngineView for ViewState<'_, S> {
@@ -567,7 +661,7 @@ impl<S: InstanceStore> EngineView for ViewState<'_, S> {
         self.set
     }
     fn locks(&self) -> &LockTable {
-        &self.locks
+        &self.tables[self.focus]
     }
     fn ceilings(&self) -> &CeilingTable {
         &self.ceilings
@@ -670,14 +764,21 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
         );
 
         let ceilings = CeilingTable::new(set);
-        // The incremental Sysceil index rides inside the lock table, so
+        // The incremental Sysceil index rides inside each lock table, so
         // every protocol's ceiling queries are O(1) instead of full scans.
-        let locks = LockTable::with_index(&ceilings);
+        // Ceilings are static (a function of the whole set), so every
+        // shard indexes the identical table.
+        let shards = config.shards.clamp(1, MAX_SHARDS);
+        let tables = (0..shards)
+            .map(|_| LockTable::with_index(&ceilings))
+            .collect();
         Sim {
             vs: ViewState {
                 set,
                 ceilings,
-                locks,
+                tables,
+                focus: 0,
+                router: ShardRouter::new(shards),
                 pm: PriorityManager::new(),
                 store: S::with_templates(set.templates().len()),
                 active: Vec::new(),
@@ -722,10 +823,22 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
         }
     }
 
+    /// Sample the system ceiling for the trace: the max of every shard's
+    /// local ceiling — identical to the single table's ceiling when
+    /// unsharded, and exactly what [`rtdb_core::GlobalCeiling`] publishes
+    /// in the runtime.
+    fn push_ceiling<P: ProtocolFor<ViewState<'a, S>>>(&mut self, protocol: &P) {
+        let mut max = Ceiling::Dummy;
+        for shard in 0..self.vs.tables.len() {
+            self.vs.focus = shard;
+            max = max.max(protocol.system_ceiling(&self.vs));
+        }
+        self.trace.push_ceiling(self.clock, max);
+    }
+
     fn run<P: ProtocolFor<ViewState<'a, S>>>(&mut self, protocol: &mut P) -> Result<()> {
         self.vs.snapshot_on = self.config.snapshot_reads && protocol.lock_exempt(TxnMode::ReadOnly);
-        self.trace
-            .push_ceiling(Tick::ZERO, protocol.system_ceiling(&self.vs));
+        self.push_ceiling(protocol);
         let mut budget = self.config.max_steps;
         loop {
             budget = budget.checked_sub(1).ok_or(Error::EventBudgetExhausted)?;
@@ -839,13 +952,14 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
             // A lock already held in a sufficient mode needs no request:
             // a write lock covers reads of the own staged value; an exact
             // re-grant is idempotent.
-            if self.vs.locks.covers(who, item, mode) {
+            if self.vs.covers(who, item, mode) {
                 self.perform_data_op(who, step_index, item, mode);
                 self.slot_mut(who).acquired = true;
                 return Some(who);
             }
 
             let req = LockRequest { who, item, mode };
+            self.vs.focus_item(item);
             match protocol.request(&self.vs, req) {
                 Decision::Grant => {
                     self.apply_grant(req, protocol, resumed);
@@ -1008,7 +1122,8 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
         protocol: &mut P,
         resumed: bool,
     ) {
-        self.vs.locks.grant(req.who, req.item, req.mode);
+        self.vs.focus_item(req.item);
+        self.vs.grant(req.who, req.item, req.mode);
         protocol.on_grant(&self.vs, req);
         let step_index = self.slot(req.who).step;
         self.perform_data_op(req.who, step_index, req.item, req.mode);
@@ -1029,8 +1144,7 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
             }
         };
         self.trace.push_event(ev);
-        self.trace
-            .push_ceiling(self.clock, protocol.system_ceiling(&self.vs));
+        self.push_ceiling(protocol);
     }
 
     fn block<P: ProtocolFor<ViewState<'a, S>>>(
@@ -1086,12 +1200,9 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
         let wf = WaitForGraph::from_edges(self.vs.pm.edges());
         if let Some(cycle) = wf.find_cycle() {
             if self.config.resolve_deadlocks {
-                // Abort the lowest-base-priority instance on the cycle.
-                let victim = cycle
-                    .iter()
-                    .copied()
-                    .min_by_key(|v| self.vs.set.priority_of(v.txn))
-                    .expect("cycle is non-empty");
+                // Abort the lowest-base-priority instance on the cycle —
+                // the victim rule shared with the runtime lock managers.
+                let victim = deadlock_victim(&cycle, |v| self.vs.set.priority_of(v.txn));
                 self.trace.push_event(TraceEvent::DeadlockDetected {
                     at: self.clock,
                     cycle,
@@ -1166,6 +1277,7 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
                 .access()
                 .expect("blocked on a data step");
             let req = LockRequest { who, item, mode };
+            self.vs.focus_item(item);
             match protocol.request(&self.vs, req) {
                 Decision::Grant | Decision::AbortHolders { .. } => {
                     // Would be granted now: wake up; the actual request
@@ -1224,8 +1336,8 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
         if !releases.is_empty() {
             let install_early = protocol.update_model() == UpdateModel::InstallOnEarlyRelease;
             for (item, mode) in releases {
-                debug_assert!(self.vs.locks.holds(who, item, mode));
-                self.vs.locks.release(who, item, mode);
+                debug_assert!(self.vs.holds(who, item, mode));
+                self.vs.release(who, item, mode);
                 self.trace.push_event(TraceEvent::EarlyRelease {
                     at: self.clock,
                     who,
@@ -1255,8 +1367,7 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
                     }
                 }
             }
-            self.trace
-                .push_ceiling(self.clock, protocol.system_ceiling(&self.vs));
+            self.push_ceiling(protocol);
             self.reevaluate(protocol);
         }
     }
@@ -1328,15 +1439,14 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
             self.prune_mv();
         }
 
-        self.vs.locks.release_all(who);
+        self.vs.release_all(who);
         self.vs.pm.remove(who);
         protocol.on_commit(&self.vs, who);
         self.trace.push_event(TraceEvent::Commit {
             at: self.clock,
             who,
         });
-        self.trace
-            .push_ceiling(self.clock, protocol.system_ceiling(&self.vs));
+        self.push_ceiling(protocol);
 
         let (release, deadline, blocking, lower_exec, restarts, lower_blockers) = {
             let slot = self.slot_mut(who);
@@ -1426,7 +1536,7 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
             at: self.clock,
             who: victim,
         });
-        self.vs.locks.release_all(victim);
+        self.vs.release_all(victim);
         // If the victim was itself blocked, flush its blocked segment.
         if self.slot(victim).blocked_since.is_some() {
             self.unblock(victim);
@@ -1447,8 +1557,7 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
         }
         protocol.on_abort(&self.vs, victim);
         self.history.push(self.clock, victim, EventKind::Begin);
-        self.trace
-            .push_ceiling(self.clock, protocol.system_ceiling(&self.vs));
+        self.push_ceiling(protocol);
     }
 
     fn finish(mut self) -> RunResult {
@@ -1497,6 +1606,7 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
             final_clock: self.clock,
             snapshot_reads: self.vs.snapshot_on,
             mv_high_water: self.mv.high_water(),
+            shards: self.vs.tables.len(),
         }
     }
 }

@@ -42,6 +42,20 @@ pub struct WorkloadParams {
     /// item) is item 0, matching the hotspot convention. θ = 0 is
     /// uniform; 0.9 is a sharp hotspot.
     pub zipf_theta: Option<f64>,
+    /// Partition the item pool for sharded runs: items split across
+    /// `partitions` partitions by the shared `item mod partitions`
+    /// routing rule ([`rtdb_core::ShardRouter`]), template `i` homes in
+    /// partition `i % partitions`, and every data step is remapped into
+    /// the home partition unless a [`WorkloadParams::cross_partition_prob`]
+    /// coin sends it to a random other one. The base item distribution
+    /// (two-tier hotspot or Zipf) keeps its skew *within* each partition.
+    /// `1` — the default — leaves the generator, and its exact RNG
+    /// stream, untouched, so existing seeds reproduce.
+    pub partitions: usize,
+    /// Probability that a data step of a partitioned workload touches a
+    /// partition other than its template's home — the cross-shard
+    /// traffic knob. Ignored when [`WorkloadParams::partitions`] is 1.
+    pub cross_partition_prob: f64,
     /// Force the first `read_only_templates` templates to be pure
     /// readers (every data step reads) — the knob the read-heavy
     /// snapshot scenarios use to dial a read fraction: with round-robin
@@ -67,6 +81,8 @@ impl Default for WorkloadParams {
             hotspot_items: 4,
             hotspot_prob: 0.5,
             zipf_theta: None,
+            partitions: 1,
+            cross_partition_prob: 0.0,
             read_only_templates: 0,
             seed: 42,
         }
@@ -97,10 +113,11 @@ impl WorkloadParams {
             let period = (lo * (hi / lo).powf(rng.f64())).round() as u64;
 
             let force_read = idx < self.read_only_templates;
+            let home = idx % self.partitions.max(1);
             let n_data = rng.range_inclusive_usize(self.min_data_steps, self.max_data_steps);
             let mut ops: Vec<Operation> = Vec::with_capacity(n_data + 1);
             for _ in 0..n_data {
-                let item = self.pick_item(&mut rng, zipf_cdf.as_deref());
+                let item = self.pick_item(&mut rng, zipf_cdf.as_deref(), home);
                 if !force_read && rng.f64() < self.write_fraction {
                     ops.push(Operation::Write(item));
                 } else {
@@ -177,18 +194,35 @@ impl WorkloadParams {
         Some(w)
     }
 
-    fn pick_item(&self, rng: &mut Rng, zipf_cdf: Option<&[f64]>) -> ItemId {
-        if let Some(cdf) = zipf_cdf {
+    fn pick_item(&self, rng: &mut Rng, zipf_cdf: Option<&[f64]>, home: usize) -> ItemId {
+        let base = if let Some(cdf) = zipf_cdf {
             let u = rng.f64();
-            let idx = cdf.partition_point(|&c| c < u).min(self.items - 1);
-            return ItemId(idx as u32);
-        }
-        let hot = self.hotspot_items.min(self.items);
-        if hot > 0 && rng.f64() < self.hotspot_prob {
-            ItemId(rng.range_usize(0..hot) as u32)
+            cdf.partition_point(|&c| c < u).min(self.items - 1)
         } else {
-            ItemId(rng.range_usize(0..self.items) as u32)
+            let hot = self.hotspot_items.min(self.items);
+            if hot > 0 && rng.f64() < self.hotspot_prob {
+                rng.range_usize(0..hot)
+            } else {
+                rng.range_usize(0..self.items)
+            }
+        };
+        if self.partitions <= 1 {
+            // Unpartitioned: the base pick *is* the item (and no extra
+            // RNG draws happen, preserving legacy seed streams).
+            return ItemId(base as u32);
         }
+        // Remap the base rank into the target partition: items ≡ p
+        // (mod partitions) under the shared router rule, with low base
+        // ranks landing on low in-partition ranks so the hotspot/Zipf
+        // skew survives partitioning.
+        let p = if rng.f64() < self.cross_partition_prob {
+            let r = rng.range_usize(0..self.partitions - 1);
+            r + usize::from(r >= home)
+        } else {
+            home
+        };
+        let slots = (self.items - p).div_ceil(self.partitions);
+        ItemId((p + (base % slots) * self.partitions) as u32)
     }
 
     fn validate(&self) -> Result<()> {
@@ -209,6 +243,16 @@ impl WorkloadParams {
             .is_some_and(|t| !t.is_finite() || !(0.0..=16.0).contains(&t))
         {
             return Err(Error::Config("zipf_theta must be in [0, 16]".into()));
+        }
+        if self.partitions == 0 || self.partitions > self.items.min(64) {
+            return Err(Error::Config(
+                "partitions must be in 1..=min(items, 64)".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.cross_partition_prob) {
+            return Err(Error::Config(
+                "cross_partition_prob must be in [0, 1]".into(),
+            ));
         }
         if self.read_only_templates > self.templates {
             return Err(Error::Config(
@@ -376,6 +420,106 @@ mod tests {
     }
 
     #[test]
+    fn partitions_of_one_preserve_the_legacy_stream() {
+        let legacy = WorkloadParams::default().generate().unwrap();
+        let partitioned = WorkloadParams {
+            partitions: 1,
+            cross_partition_prob: 0.7,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        for (a, b) in legacy
+            .set
+            .templates()
+            .iter()
+            .zip(partitioned.set.templates())
+        {
+            assert_eq!(a.period, b.period);
+            assert_eq!(a.steps, b.steps);
+        }
+    }
+
+    #[test]
+    fn zero_cross_prob_confines_templates_to_their_home_partition() {
+        let parts = 4usize;
+        let w = WorkloadParams {
+            templates: 8,
+            partitions: parts,
+            cross_partition_prob: 0.0,
+            seed: 5,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        let router = rtdb_core::ShardRouter::new(parts);
+        for (idx, t) in w.set.templates().iter().enumerate() {
+            for item in t.access_set() {
+                assert_eq!(
+                    router.shard_of(item),
+                    idx % parts,
+                    "template {idx} escaped its home partition"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_cross_prob_sends_every_step_abroad() {
+        let parts = 4usize;
+        let w = WorkloadParams {
+            templates: 8,
+            partitions: parts,
+            cross_partition_prob: 1.0,
+            seed: 5,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        let router = rtdb_core::ShardRouter::new(parts);
+        for (idx, t) in w.set.templates().iter().enumerate() {
+            for item in t.access_set() {
+                assert_ne!(
+                    router.shard_of(item),
+                    idx % parts,
+                    "template {idx} stayed home at cross prob 1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_zipf_keeps_low_in_partition_ranks_hot() {
+        let w = WorkloadParams {
+            templates: 40,
+            partitions: 4,
+            zipf_theta: Some(0.9),
+            min_data_steps: 4,
+            max_data_steps: 6,
+            seed: 9,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        // The hottest slot of each partition is item id < 4 (in-partition
+        // rank 0); Zipf(0.9) should concentrate well above the uniform
+        // share (4/20 = 0.2) — remapping folds ranks {0,5,10,15} onto
+        // in-partition rank 0, ~0.34 of the mass.
+        let mut hot = 0usize;
+        let mut total = 0usize;
+        for t in w.set.templates() {
+            for s in &t.steps {
+                if let Some(item) = s.op.item() {
+                    total += 1;
+                    hot += usize::from(item.0 < 4);
+                }
+            }
+        }
+        let share = hot as f64 / total as f64;
+        assert!(share > 0.28, "rank-0 share {share} not skewed");
+    }
+
+    #[test]
     fn invalid_params_are_rejected() {
         let bad = WorkloadParams {
             templates: 0,
@@ -400,6 +544,17 @@ mod tests {
         assert!(bad.generate().is_err());
         let bad = WorkloadParams {
             read_only_templates: 7,
+            ..Default::default()
+        };
+        assert!(bad.generate().is_err());
+        let bad = WorkloadParams {
+            partitions: 21, // > items
+            ..Default::default()
+        };
+        assert!(bad.generate().is_err());
+        let bad = WorkloadParams {
+            partitions: 2,
+            cross_partition_prob: 1.5,
             ..Default::default()
         };
         assert!(bad.generate().is_err());

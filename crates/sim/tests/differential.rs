@@ -34,6 +34,8 @@ fn arb_params(rng: &mut Rng) -> WorkloadParams {
         hotspot_items: 3,
         hotspot_prob: rng.f64() * 0.9,
         zipf_theta: None,
+        partitions: 1,
+        cross_partition_prob: 0.0,
         read_only_templates: 0,
         seed: rng.next_u64(),
     }

@@ -1,0 +1,152 @@
+//! Multi-shard simulator mode.
+//!
+//! The engine's sharded mode partitions items across per-shard lock
+//! tables under the same `ShardRouter` rule the runtime uses; these
+//! tests pin down its safety (serializability for every shardable
+//! protocol), its degenerate case (a workload confined to one shard is
+//! bit-identical to the unsharded engine), its validation (non-shardable
+//! kinds are rejected), and its store-differential (slot arena vs map
+//! oracle agree under sharding too).
+
+use rtdb_core::ProtocolKind;
+use rtdb_sim::{Engine, RunOutcome, SimConfig, WorkloadParams};
+use rtdb_types::{Error, ItemId, SetBuilder, Step, TransactionSet, TransactionTemplate};
+
+fn shardable_kinds() -> impl Iterator<Item = ProtocolKind> {
+    ProtocolKind::ALL.into_iter().filter(|k| k.shardable())
+}
+
+/// A bounded contended workload spanning enough items for 4 shards.
+fn bounded_workload(seed: u64) -> TransactionSet {
+    let spec = WorkloadParams {
+        templates: 4,
+        items: 12,
+        target_utilization: 0.5,
+        hotspot_items: 3,
+        hotspot_prob: 0.6,
+        seed,
+        ..WorkloadParams::default()
+    }
+    .generate()
+    .expect("workload generation");
+    let mut b = SetBuilder::new();
+    for t in spec.set.templates() {
+        let mut t = t.clone();
+        t.instances = Some(2);
+        b.add(t);
+    }
+    b.build_rate_monotonic().expect("rebuild")
+}
+
+fn config(kind: ProtocolKind, shards: usize) -> SimConfig {
+    let mut c = SimConfig::default().with_shards(shards);
+    if kind.may_deadlock() {
+        c = c.resolving_deadlocks();
+    }
+    c
+}
+
+/// Every shardable protocol completes multi-shard runs with a
+/// conflict-serializable history that passes the serial-replay oracle.
+#[test]
+fn multi_shard_runs_stay_serializable() {
+    for kind in shardable_kinds() {
+        for shards in [2usize, 4] {
+            let set = bounded_workload(0x51AD + kind as u64);
+            let r = Engine::new(&set, config(kind, shards))
+                .run_kind(kind)
+                .expect("sharded sim run");
+            assert_eq!(r.outcome, RunOutcome::Completed, "{kind:?}/{shards}");
+            assert_eq!(r.shards, shards);
+            assert!(
+                r.is_conflict_serializable(),
+                "{kind:?}/{shards} shards: cyclic serialization graph"
+            );
+            assert!(
+                r.replay_check(&set).is_serializable(),
+                "{kind:?}/{shards} shards: replay diverged"
+            );
+        }
+    }
+}
+
+/// A workload whose items all live in shard 0 of 4 must produce the
+/// bit-identical history, database and clock the unsharded engine
+/// produces: the other three tables stay empty and shard 0's local
+/// ceiling *is* the system ceiling.
+#[test]
+fn single_shard_workload_is_bit_identical_to_unsharded() {
+    let set = SetBuilder::new()
+        .with(
+            TransactionTemplate::new(
+                "A",
+                6,
+                vec![Step::read(ItemId(0), 1), Step::write(ItemId(4), 1)],
+            )
+            .with_instances(2),
+        )
+        .with(
+            TransactionTemplate::new(
+                "B",
+                9,
+                vec![Step::write(ItemId(0), 1), Step::write(ItemId(8), 1)],
+            )
+            .with_instances(2),
+        )
+        .build()
+        .expect("set");
+    for kind in shardable_kinds() {
+        let base = Engine::new(&set, config(kind, 1))
+            .run_kind(kind)
+            .expect("unsharded run");
+        let sharded = Engine::new(&set, config(kind, 4))
+            .run_kind(kind)
+            .expect("sharded run");
+        assert_eq!(base.history.events(), sharded.history.events(), "{kind:?}");
+        assert_eq!(base.db.snapshot(), sharded.db.snapshot(), "{kind:?}");
+        assert_eq!(base.final_clock, sharded.final_clock, "{kind:?}");
+    }
+}
+
+/// Non-shardable kinds are rejected with a config error naming the
+/// shardable alternatives.
+#[test]
+fn non_shardable_kinds_are_rejected() {
+    let set = bounded_workload(0xE44);
+    for kind in ProtocolKind::ALL.into_iter().filter(|k| !k.shardable()) {
+        let err = Engine::new(&set, config(kind, 2))
+            .run_kind(kind)
+            .expect_err("must reject");
+        match err {
+            Error::Config(msg) => {
+                assert!(msg.contains("cannot run sharded"), "{kind:?}: {msg}");
+                assert!(msg.contains("PCP-DA"), "{kind:?}: {msg}");
+            }
+            other => panic!("{kind:?}: unexpected error {other:?}"),
+        }
+        // Sharded runs only need clamping above 1; 1 shard always works.
+        Engine::new(&set, config(kind, 1))
+            .run_kind(kind)
+            .expect("single shard is the classic engine");
+    }
+}
+
+/// The slot-arena and map-oracle stores agree under sharding exactly as
+/// they do unsharded. The oracle store only compiles in debug builds or
+/// under `oracle-checks`, so this test is gated the same way as
+/// `tests/differential.rs`.
+#[cfg(any(debug_assertions, feature = "oracle-checks"))]
+#[test]
+fn sharded_map_oracle_matches_slot_store() {
+    for kind in shardable_kinds() {
+        let set = bounded_workload(0x0AC1 + kind as u64);
+        let slot = Engine::new(&set, config(kind, 4))
+            .run_kind(kind)
+            .expect("slot run");
+        let map = Engine::new(&set, config(kind, 4))
+            .run_kind_map_oracle(kind)
+            .expect("map run");
+        assert_eq!(slot.history.events(), map.history.events(), "{kind:?}");
+        assert_eq!(slot.db.snapshot(), map.db.snapshot(), "{kind:?}");
+    }
+}

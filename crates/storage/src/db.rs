@@ -78,6 +78,16 @@ impl Database {
         entry.version
     }
 
+    /// Absorb another database whose written items are disjoint from this
+    /// one's — the shard-merge path: each shard installs only the items it
+    /// owns, so the union of per-shard databases is the global store.
+    pub fn absorb(&mut self, other: Database) {
+        for (item, v) in other.items {
+            let prev = self.items.insert(item, v);
+            debug_assert!(prev.is_none(), "shards wrote overlapping item {item:?}");
+        }
+    }
+
     /// Snapshot of all item states (for final-state comparison).
     pub fn snapshot(&self) -> BTreeMap<ItemId, Value> {
         self.items.iter().map(|(k, v)| (*k, v.value)).collect()
@@ -139,6 +149,20 @@ mod tests {
         db.install(w, ItemId(0), Value(1), Tick(1));
         assert_eq!(db.read(ItemId(1)).version, 0);
         assert_eq!(db.install(w, ItemId(1), Value(2), Tick(2)), 1);
+    }
+
+    #[test]
+    fn absorb_merges_disjoint_shards() {
+        let w = InstanceId::first(TxnId(0));
+        let mut even = Database::new();
+        even.install(w, ItemId(0), Value(10), Tick(1));
+        even.install(w, ItemId(2), Value(12), Tick(2));
+        let mut odd = Database::new();
+        odd.install(w, ItemId(1), Value(11), Tick(3));
+        even.absorb(odd);
+        assert_eq!(even.len(), 3);
+        assert_eq!(even.read(ItemId(1)).value, Value(11));
+        assert_eq!(even.read(ItemId(2)).installed_at, Tick(2));
     }
 
     #[test]

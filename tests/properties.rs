@@ -40,6 +40,8 @@ fn arb_params(rng: &mut Rng) -> WorkloadParams {
         // Exercise both item-popularity models and the read-only
         // template prefix: the theorems must hold regardless of mix.
         zipf_theta: rng.bool().then(|| rng.f64() * 1.2),
+        partitions: 1,
+        cross_partition_prob: 0.0,
         read_only_templates: rng.range_inclusive_usize(0, 2),
         seed: rng.next_u64(),
     }
