@@ -8,6 +8,8 @@
 //! cargo run --release -p rtdb-bench --bin rtload -- --manager combining --threads 1,4,16
 //! cargo run --release -p rtdb-bench --bin rtload -- --arrival-rate 50000 --sweep-points 6
 //! cargo run --release -p rtdb-bench --bin rtload -- --shards 1,4 --cross-fraction 0.2
+//! cargo run --release -p rtdb-bench --bin rtload -- --tenants 2 --fairness both
+//! cargo run --release -p rtdb-bench --bin rtload -- --tenants 2 --net --check
 //! cargo run --release -p rtdb-bench --bin rtload -- --check       # advisory regression check
 //! ```
 //!
@@ -88,9 +90,39 @@
 //! plus per-shard telemetry (`cross_shard_txns` and a `per_shard` array
 //! of ops / commits / state-lock acquisitions / ceiling publishes).
 //! Non-shardable protocols are skipped at shard counts above 1 (refused
-//! loudly when named with `--kind`); a non-trivial sweep runs the
-//! closed loop only (the open loop stays unsharded) and cannot combine
-//! with the read-heavy family flags.
+//! loudly when named with `--kind`). Both loops honour the sweep: the
+//! open loop runs once per listed shard count, sharded through
+//! `RtConfig::with_shards` and tagged with the same shard axis, so its
+//! records never masquerade as unsharded points. A non-trivial sweep
+//! cannot combine with the read-heavy family flags.
+//!
+//! **Multi-tenant overload scenario.** `--tenants N` (or an explicit
+//! `--tenant-weights 1,8` list) runs *only* the scenario: N tenants
+//! submit the same template mix at offered rates split by weight
+//! (default: every tenant at weight 1 except the last at 8), at 2× the
+//! measured saturation rate, under `least-slack` admission (override
+//! with `--policy`). `--fairness on|off|both` (default `both`) toggles
+//! per-tenant token-bucket budgets (`FairnessConfig::for_capacity` — an
+//! equal share of the *measured* ceiling, so a high-rate tenant really
+//! can run out of budget); both
+//! settings replay the *identical* arrival schedule, so the low-rate
+//! tenant's fail ratio — (missed + shed + rejected) / offered, the
+//! headline metric, since a shed job misses its deadline by definition —
+//! is directly comparable, and a warn-only A/B summary prints it
+//! fairness-on vs fairness-off. Each fairness setting runs `--reps`
+//! times and keeps the run with the median headline metric (the same
+//! noise treatment as the closed loop). Scenario records carry `"scenario":
+//! "multi-tenant-overload"`, `"fairness"`, `"tenant_weights"`, a
+//! per-tenant `"tenants"` array and per-priority `"shed_by_priority"`
+//! counts (via `RtResult::shed_by_txn` mapped through the set's
+//! priorities). The default full line-up appends the scenario
+//! (in-process, PCP-DA, fairness off vs on) after the open-loop sweeps.
+//!
+//! **`--net`.** Routes every open-loop run — sweeps and scenario —
+//! through the loopback TCP edge ([`rtdb::net::serve`]): one socket
+//! client per tenant submits the schedule over the wire protocol, and
+//! the records gain a `"net": true` tag so they only compare against
+//! networked baselines. The closed loop is unaffected.
 //!
 //! `--check [baseline.json]` measures without writing and **warns**
 //! (exit 0 — wall-clock throughput of a threaded run on a shared CI box
@@ -117,8 +149,21 @@ const DEFAULT_TICK_NS: u64 = 2_000;
 const DEFAULT_SEED: u64 = 7;
 const DEFAULT_SWEEP_POINTS: usize = 4;
 const DEFAULT_QUEUE_CAP: usize = 64;
+/// Scenario default admission-queue bound: shallow enough that the
+/// head-of-queue wait stays on the deadline scale — behind a 64-deep
+/// queue *every* admitted job misses and shedding policy is moot.
+const SCENARIO_QUEUE_CAP: usize = 8;
+/// Scenario deadline laxity: deadlines sit at this multiple of the
+/// periodic convention (`release + period·tick·scale`). At scale 1 the
+/// contention-limited service time alone busts most deadlines and every
+/// committed job misses — shedding policy becomes unobservable in the
+/// miss numbers.
+const SCENARIO_DEADLINE_SCALE: u64 = 4;
 /// Default sweep top: this multiple of the service-capacity estimate.
 const DEFAULT_OVERLOAD: f64 = 1.5;
+/// Offered rate of the multi-tenant overload scenario: 2× measured
+/// saturation, so shedding is guaranteed and fairness has work to do.
+const SCENARIO_OVERLOAD: f64 = 2.0;
 /// Advisory tolerance: a warning is printed when committed-txns/sec
 /// drops by more than this fraction against a same-config baseline (or,
 /// in the A/B summary, when combining lags mutex by more than this).
@@ -143,8 +188,14 @@ struct Args {
     arrival_rate: Option<f64>,
     sweep_points: usize,
     interarrival: Interarrival,
-    policy: rt::AdmissionPolicy,
-    queue_cap: usize,
+    /// `None` = the mode's default: `reject` for the saturation sweeps,
+    /// `least-slack` for the multi-tenant overload scenario.
+    policy: Option<rt::AdmissionPolicy>,
+    /// `None` = the mode's default: [`DEFAULT_QUEUE_CAP`] for the
+    /// sweeps, the shallow [`SCENARIO_QUEUE_CAP`] for the scenario
+    /// (queueing delay must stay on the deadline scale for slack-aware
+    /// shedding to save anything).
+    queue_cap: Option<usize>,
     /// Skip the closed-loop line-up (open-loop sweep only).
     open_only: bool,
     /// Fraction of templates that are pure readers; selects the
@@ -159,6 +210,17 @@ struct Args {
     shards: Vec<usize>,
     /// Cross-partition probability of the partitioned workload family.
     cross_fraction: f64,
+    /// Route open-loop runs through the loopback TCP edge.
+    net: bool,
+    /// Tenant count for the multi-tenant overload scenario; selecting it
+    /// (or `tenant_weights`) runs *only* the scenario.
+    tenants: Option<usize>,
+    /// Explicit per-tenant rate weights (overrides the `--tenants`
+    /// default of every tenant at 1 with the last at 8).
+    tenant_weights: Option<Vec<u64>>,
+    /// Fairness settings the scenario runs (`[false]`, `[true]`, or the
+    /// A/B default `[false, true]`).
+    fairness_modes: Vec<bool>,
     /// Output path (measure mode) or baseline path (`--check` mode).
     path: String,
 }
@@ -176,14 +238,18 @@ fn parse_args() -> Args {
         arrival_rate: None,
         sweep_points: DEFAULT_SWEEP_POINTS,
         interarrival: Interarrival::Exponential,
-        policy: rt::AdmissionPolicy::Reject,
-        queue_cap: DEFAULT_QUEUE_CAP,
+        policy: None,
+        queue_cap: None,
         open_only: false,
         read_fraction: None,
         skew: None,
         snapshots: vec![false],
         shards: vec![1],
         cross_fraction: 0.1,
+        net: false,
+        tenants: None,
+        tenant_weights: None,
+        fairness_modes: vec![false, true],
         path: "BENCH_rt.json".into(),
     };
     let mut it = std::env::args().skip(1);
@@ -238,10 +304,10 @@ fn parse_args() -> Args {
             }
             "--policy" => {
                 let v = value("--policy");
-                args.policy = v.parse().unwrap_or_else(|e| panic!("{e}"));
+                args.policy = Some(v.parse().unwrap_or_else(|e| panic!("{e}")));
             }
             "--queue-cap" => {
-                args.queue_cap = value("--queue-cap").parse().expect("--queue-cap: integer");
+                args.queue_cap = Some(value("--queue-cap").parse().expect("--queue-cap: integer"));
             }
             "--read-fraction" => {
                 let f: f64 = value("--read-fraction")
@@ -283,6 +349,40 @@ fn parse_args() -> Args {
                     "--cross-fraction must be in [0, 1]"
                 );
                 args.cross_fraction = f;
+            }
+            "--net" => args.net = true,
+            "--tenants" => {
+                let n: usize = value("--tenants").parse().expect("--tenants: integer");
+                assert!(
+                    (2..=64).contains(&n),
+                    "--tenants must be in 2..=64 (one tenant is the legacy single stream)"
+                );
+                args.tenants = Some(n);
+            }
+            "--tenant-weights" => {
+                let v = value("--tenant-weights");
+                let list: Vec<u64> = v
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--tenant-weights: integer list"))
+                    .collect();
+                assert!(
+                    list.len() >= 2,
+                    "--tenant-weights needs at least two tenants"
+                );
+                assert!(
+                    list.iter().all(|&w| w > 0),
+                    "--tenant-weights must be positive"
+                );
+                args.tenant_weights = Some(list);
+            }
+            "--fairness" => {
+                let v = value("--fairness");
+                args.fairness_modes = match v.to_ascii_lowercase().as_str() {
+                    "on" | "true" => vec![true],
+                    "off" | "false" => vec![false],
+                    "both" | "ab" => vec![false, true],
+                    other => panic!("--fairness: expected on, off or both, got `{other}`"),
+                };
             }
             "--snapshot" => {
                 let v = value("--snapshot");
@@ -537,8 +637,18 @@ fn measure_once(
     mix.tag(rec)
 }
 
+/// One open-loop run, either in-process or through the loopback TCP
+/// edge — same schedule, same report shape, selected by `--net`.
+fn run_open(set: &TransactionSet, p: &OpenLoopParams, net: bool) -> OpenLoopReport {
+    if net {
+        rtdb_bench::netload::run_net_open_loop(set, p).expect("networked open-loop run")
+    } else {
+        rtdb_bench::loadgen::run_open_loop(set, p)
+    }
+}
+
 /// Fold one open-loop sweep point into a JSON record.
-fn open_loop_record(report: &OpenLoopReport, point: usize, mix: Mix) -> Json {
+fn open_loop_record(report: &OpenLoopReport, point: usize, mix: Mix, net: bool) -> Json {
     let p = &report.params;
     let r = &report.result;
     let band_records: Vec<Json> = r
@@ -593,6 +703,12 @@ fn open_loop_record(report: &OpenLoopReport, point: usize, mix: Mix) -> Json {
         .set("service_p95_us", us(report.service_hist.quantile(0.95)))
         .set("service_p99_us", us(report.service_hist.quantile(0.99)))
         .set("bands", Json::Arr(band_records));
+    if net {
+        rec = rec.set("net", true);
+    }
+    if p.deadline_scale > 1 {
+        rec = rec.set("deadline_scale", p.deadline_scale);
+    }
     if p.manager == rt::ManagerKind::Combining {
         rec = rec.set("combiner", combiner_record(&r.combiner));
     }
@@ -605,31 +721,38 @@ fn open_loop_record(report: &OpenLoopReport, point: usize, mix: Mix) -> Json {
     mix.tag(rec)
 }
 
+/// Measured saturation rate for one protocol: a short closed-loop
+/// calibration run, capped by the first-order [`service_capacity`]
+/// estimate. The estimate alone knows nothing about blocking or
+/// lock-manager overhead and can sit several times above the real
+/// ceiling, which would leave every sweep point saturated; the min
+/// guards against a calibration run inflated by scheduler luck.
+/// Calibration runs under the mutex manager (the oracle), so both
+/// managers sweep at the *same* rates and their records compare like
+/// for like.
+fn calibrated_ceiling(
+    set: &TransactionSet,
+    kind: ProtocolKind,
+    threads: usize,
+    args: &Args,
+) -> f64 {
+    let jobs = rt::job_list(set, 200, args.seed);
+    let cal = rt::run(
+        set,
+        &jobs,
+        rt::RtConfig::new(kind)
+            .with_threads(threads)
+            .with_tick_ns(args.tick_ns),
+    );
+    cal.throughput()
+        .min(service_capacity(set, threads, args.tick_ns))
+}
+
 /// Sweep-top offered rate for one protocol: the explicit `--arrival-rate`
-/// if given, else 1.5× a short closed-loop calibration. Calibration runs
-/// under the mutex manager (the oracle), so both managers sweep at the
-/// *same* rates and their records compare like for like.
+/// if given, else 1.5× the measured saturation rate.
 fn top_rate(set: &TransactionSet, kind: ProtocolKind, threads: usize, args: &Args) -> f64 {
-    args.arrival_rate.unwrap_or_else(|| {
-        // Calibrate the sweep top against *measured* closed-loop
-        // throughput: the first-order `service_capacity` estimate knows
-        // nothing about blocking or lock-manager overhead and can sit
-        // several times above the real ceiling, which would leave every
-        // sweep point saturated. The min guards against a calibration
-        // run inflated by scheduler luck.
-        let jobs = rt::job_list(set, 200, args.seed);
-        let cal = rt::run(
-            set,
-            &jobs,
-            rt::RtConfig::new(kind)
-                .with_threads(threads)
-                .with_tick_ns(args.tick_ns),
-        );
-        let ceiling = cal
-            .throughput()
-            .min(service_capacity(set, threads, args.tick_ns));
-        DEFAULT_OVERLOAD * ceiling
-    })
+    args.arrival_rate
+        .unwrap_or_else(|| DEFAULT_OVERLOAD * calibrated_ceiling(set, kind, threads, args))
 }
 
 /// Run the saturation sweep for one protocol, lowest offered rate first.
@@ -650,16 +773,201 @@ fn measure_open_loop(
         jobs: args.jobs,
         arrival_rate: rate,
         interarrival: args.interarrival,
-        policy: args.policy,
-        capacity: args.queue_cap,
+        policy: args.policy.unwrap_or(rt::AdmissionPolicy::Reject),
+        capacity: args.queue_cap.unwrap_or(DEFAULT_QUEUE_CAP),
         snapshot: mix.snapshot,
+        shards: mix.shards(),
+        tenant_weights: Vec::new(),
+        fairness: None,
+        deadline_scale: 1,
         seed: args.seed,
     };
-    rtdb_bench::loadgen::saturation_sweep(set, &base, args.sweep_points)
+    (1..=args.sweep_points)
+        .map(|k| {
+            let mut p = base.clone();
+            p.arrival_rate = rate * k as f64 / args.sweep_points as f64;
+            let report = run_open(set, &p, args.net);
+            open_loop_record(&report, k, mix, args.net)
+        })
+        .collect()
+}
+
+/// The multi-tenant overload scenario: tenants split the offered rate by
+/// weight, 2× the measured saturation rate, slack-aware shedding —
+/// fairness off and on replay the *identical* schedule, so the records
+/// are an A/B on the budget mechanism alone.
+fn measure_scenario(
+    set: &TransactionSet,
+    kind: ProtocolKind,
+    manager: rt::ManagerKind,
+    threads: usize,
+    weights: &[u64],
+    args: &Args,
+) -> Vec<Json> {
+    let ceiling = args.arrival_rate.map_or_else(
+        || calibrated_ceiling(set, kind, threads, args),
+        |r| r / SCENARIO_OVERLOAD,
+    );
+    let rate = SCENARIO_OVERLOAD * ceiling;
+    // Budget the *measured* ceiling, not the raw thread capacity: under
+    // contention the real ceiling sits far below `threads` seconds of
+    // service per second, and a budget no tenant can exhaust enforces
+    // nothing. Three further corrections matter at benchmark scale:
+    //
+    // * the per-job cost is weighted by arrival share (∝ 1/period,
+    //   matching the schedule), not the unweighted template mean;
+    // * the ceiling is a closed-loop number — an open-loop run under
+    //   shedding and blocking delivers roughly half of it, and since
+    //   queued sheds are refunded, a tenant's *net* spend is its commit
+    //   flow; the equal share is therefore halved so a hogging tenant's
+    //   commit flow really can exceed it;
+    // * the burst is one queue's worth of mean-cost jobs — enough to
+    //   forgive the light tenant's Poisson clumps, small enough that the
+    //   heavy tenant's sustained overdraft blows through it early in the
+    //   run (a default quarter-second burst would mask every debt).
+    let arrival_weights: Vec<f64> = set
+        .templates()
+        .iter()
+        .map(|t| 1.0 / t.period.raw() as f64)
+        .collect();
+    let wsum: f64 = arrival_weights.iter().sum();
+    let arrival_cost_ns: f64 = set
+        .templates()
+        .iter()
+        .zip(&arrival_weights)
+        .map(|(t, w)| w / wsum * t.wcet().raw() as f64 * args.tick_ns as f64)
+        .sum();
+    let cap = args.queue_cap.unwrap_or(SCENARIO_QUEUE_CAP);
+    let budget = rt::FairnessConfig {
+        refill_per_sec: rt::FairnessConfig::for_capacity(
+            ceiling / 2.0,
+            arrival_cost_ns,
+            weights.len(),
+        )
+        .refill_per_sec,
+        burst_ns: ((cap as f64 * arrival_cost_ns) as u64).max(1),
+    };
+    args.fairness_modes
+        .iter()
+        .map(|&fairness| {
+            let p = OpenLoopParams {
+                kind,
+                manager,
+                threads,
+                tick_ns: args.tick_ns,
+                jobs: args.jobs,
+                arrival_rate: rate,
+                interarrival: args.interarrival,
+                policy: args.policy.unwrap_or(rt::AdmissionPolicy::LeastSlack),
+                capacity: args.queue_cap.unwrap_or(SCENARIO_QUEUE_CAP),
+                snapshot: false,
+                shards: 1,
+                tenant_weights: weights.to_vec(),
+                fairness: fairness.then_some(budget),
+                deadline_scale: SCENARIO_DEADLINE_SCALE,
+                seed: args.seed,
+            };
+            // The same median-of-reps treatment as the closed loop, keyed
+            // on the headline metric: a single threaded run's fail ratios
+            // swing several points with scheduler noise.
+            let mut runs: Vec<(f64, OpenLoopReport)> = (0..args.reps)
+                .map(|_| {
+                    let report = run_open(set, &p, args.net);
+                    (low_rate_fail_ratio(&report, weights), report)
+                })
+                .collect();
+            runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let (_, median) = runs.swap_remove(runs.len() / 2);
+            scenario_record(set, &median, fairness, args.net).set("reps", args.reps as u64)
+        })
+        .collect()
+}
+
+/// The scenario's headline metric for one run: the low-rate tenant's
+/// fail ratio (lowest weight, ties toward the lowest tenant index).
+fn low_rate_fail_ratio(report: &OpenLoopReport, weights: &[u64]) -> f64 {
+    let low = weights
         .iter()
         .enumerate()
-        .map(|(i, report)| open_loop_record(report, i + 1, mix))
-        .collect()
+        .min_by_key(|&(i, &w)| (w, i))
+        .map(|(i, _)| i)
+        .expect("scenario has at least one tenant");
+    report
+        .result
+        .tenants
+        .iter()
+        .find(|r| r.tenant as usize == low)
+        .map_or(0.0, |r| r.fail_ratio())
+}
+
+/// Fold one scenario run into a JSON record: the open-loop base plus the
+/// scenario tags, per-tenant rows and per-priority shed counts.
+fn scenario_record(
+    set: &TransactionSet,
+    report: &OpenLoopReport,
+    fairness: bool,
+    net: bool,
+) -> Json {
+    let p = &report.params;
+    let r = &report.result;
+    println!(
+        "scenario multi-tenant-overload: fairness {}{}",
+        if fairness { "on" } else { "off" },
+        if net { ", via TCP edge" } else { "" },
+    );
+    let base = open_loop_record(report, 0, Mix::unsharded(None, false), net);
+    let tenant_rows: Vec<Json> = r
+        .tenants
+        .iter()
+        .map(|t| {
+            let weight = p.tenant_weights.get(t.tenant as usize).copied().unwrap_or(1);
+            println!(
+                "  tenant {} (weight {}): {:>4} offered {:>4} committed {:>4} shed {:>4} rejected {:>4} missed  fail {:>5.1}%",
+                t.tenant,
+                weight,
+                t.offered(),
+                t.committed,
+                t.shed,
+                t.rejected,
+                t.missed,
+                100.0 * t.fail_ratio(),
+            );
+            Json::obj()
+                .set("tenant", t.tenant as u64)
+                .set("weight", weight)
+                .set("offered", t.offered())
+                .set("committed", t.committed)
+                .set("missed", t.missed)
+                .set("shed", t.shed)
+                .set("rejected", t.rejected)
+                .set("miss_ratio", t.miss_ratio())
+                .set("fail_ratio", t.fail_ratio())
+        })
+        .collect();
+    // Per-priority shed counts: the queue's per-template telemetry
+    // folded through the set's base priorities, highest first.
+    let mut shed_bands: Vec<(u32, u64)> = Vec::new();
+    for (txn, &count) in r.shed_by_txn.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let level = set.priority_of(TxnId(txn as u32)).level();
+        match shed_bands.iter_mut().find(|(l, _)| *l == level) {
+            Some((_, c)) => *c += count,
+            None => shed_bands.push((level, count)),
+        }
+    }
+    shed_bands.sort_by_key(|&(l, _)| std::cmp::Reverse(l));
+    let shed_records: Vec<Json> = shed_bands
+        .iter()
+        .map(|&(level, count)| Json::obj().set("priority", level as u64).set("shed", count))
+        .collect();
+    let weight_list: Vec<Json> = p.tenant_weights.iter().map(|&w| Json::from(w)).collect();
+    base.set("scenario", "multi-tenant-overload")
+        .set("fairness", fairness)
+        .set("tenant_weights", Json::Arr(weight_list))
+        .set("tenants", Json::Arr(tenant_rows))
+        .set("shed_by_priority", Json::Arr(shed_records))
 }
 
 /// The identity keys two records must share to be comparable: everything
@@ -683,6 +991,14 @@ fn config_keys(rec: &Json) -> &'static [&'static str] {
             "read_fraction",
             "skew",
             "snapshot",
+            "shards",
+            "partitions",
+            "cross_fraction",
+            "net",
+            "scenario",
+            "fairness",
+            "tenant_weights",
+            "deadline_scale",
         ]
     } else {
         &[
@@ -826,6 +1142,61 @@ fn snapshot_summary(records: &[Json], warnings: &mut Vec<String>) {
     }
 }
 
+/// Warn-only fairness A/B summary: for every scenario record with
+/// fairness on and a fairness-off twin (same config, same schedule),
+/// compare the *low-rate* tenant's fail ratio — the number the budgets
+/// exist to protect. Warn when fairness fails to improve it.
+fn fairness_summary(records: &[Json], warnings: &mut Vec<String>) {
+    let fairness_of = |r: &Json| r.get("fairness").and_then(Json::as_bool) == Some(true);
+    let scenario_of = |r: &Json| r.get("scenario").is_some();
+    // The tenant row with the smallest weight (ties: lowest tenant id —
+    // rows are already tenant-sorted).
+    let low_rate_row = |r: &Json| -> Option<Json> {
+        let rows = r.get("tenants")?.as_array()?;
+        rows.iter()
+            .min_by_key(|row| row.get("weight").and_then(Json::as_i64).unwrap_or(i64::MAX))
+            .cloned()
+    };
+    for rec in records.iter().filter(|r| scenario_of(r) && fairness_of(r)) {
+        let keys: Vec<&str> = config_keys(rec)
+            .iter()
+            .copied()
+            .filter(|&k| k != "fairness")
+            .chain(["manager"])
+            .collect();
+        let Some(twin) = records
+            .iter()
+            .filter(|r| scenario_of(r) && !fairness_of(r))
+            .find(|r| keys_match(r, rec, &keys))
+        else {
+            continue;
+        };
+        let (Some(on), Some(off)) = (low_rate_row(rec), low_rate_row(twin)) else {
+            continue;
+        };
+        let (Some(on_fail), Some(off_fail)) = (
+            on.get("fail_ratio").and_then(Json::as_f64),
+            off.get("fail_ratio").and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        let label = short_label(rec);
+        eprintln!(
+            "fairness A/B {label}: low-rate tenant fail ratio {:.1}% (on) vs {:.1}% (off)",
+            100.0 * on_fail,
+            100.0 * off_fail,
+        );
+        if off_fail > 0.0 && on_fail >= off_fail {
+            warnings.push(format!(
+                "fairness A/B {label}: budgets did not improve the low-rate tenant \
+                 ({:.1}% on vs {:.1}% off)",
+                100.0 * on_fail,
+                100.0 * off_fail,
+            ));
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
     let family = (args.read_fraction.is_some() || args.skew.is_some())
@@ -876,7 +1247,12 @@ fn main() {
         .and_then(|text| Json::parse(&text).ok())
         .and_then(|json| json.as_array().map(<[Json]>::to_vec));
 
-    let closed_kinds: Vec<ProtocolKind> = if args.open_only {
+    // Naming tenants (`--tenants` / `--tenant-weights`) runs *only* the
+    // multi-tenant overload scenario: its records answer a different
+    // question (who gets shed under overload) and the full line-up
+    // around it would bury that answer in runtime.
+    let scenario_only = args.tenants.is_some() || args.tenant_weights.is_some();
+    let closed_kinds: Vec<ProtocolKind> = if args.open_only || scenario_only {
         Vec::new()
     } else {
         match args.kind {
@@ -937,7 +1313,12 @@ fn main() {
     // three Zipf exponents, snapshot off vs on, both managers — the A/B
     // that the snapshot path exists for. Explicit `--read-fraction` /
     // `--skew` runs already measure their own family above.
-    if args.kind.is_none() && !args.open_only && family.is_none() && !sharded_sweep {
+    if args.kind.is_none()
+        && !args.open_only
+        && !scenario_only
+        && family.is_none()
+        && !sharded_sweep
+    {
         let family_threads: Vec<usize> = match args.threads.as_deref() {
             Some([single]) => vec![*single],
             _ => vec![4, 8],
@@ -982,27 +1363,67 @@ fn main() {
             }
         }
     }
-    // The open loop stays unsharded; a non-trivial `--shards` sweep has
-    // already replaced `set` with the partitioned workload, whose records
-    // must not masquerade as standard-workload open-loop points.
-    if !sharded_sweep {
+    // The open-loop sweeps honour `--shards` too: calibration runs once
+    // per protocol (unsharded, mutex — the oracle), so every shard count
+    // sweeps the *same* offered rates and the records compare like for
+    // like; sharded points carry the shard-axis tags, so they never
+    // masquerade as standard-workload baselines.
+    if !scenario_only {
         for &kind in &open_kinds {
             let rate = top_rate(&set, kind, open_threads, &args);
-            for &manager in &args.managers {
-                for &snapshot in &args.snapshots {
-                    let mix = Mix::unsharded(family, snapshot);
-                    records.extend(measure_open_loop(
-                        &set,
-                        kind,
-                        manager,
-                        open_threads,
-                        rate,
-                        mix,
-                        &args,
-                    ));
+            for &shards in &args.shards {
+                if shards > 1 && !kind.shardable() {
+                    eprintln!(
+                        "skipping {} open loop at {shards} shards (not shardable)",
+                        kind.name()
+                    );
+                    continue;
+                }
+                let shard_axis = sharded_sweep.then_some((shards, max_shards, args.cross_fraction));
+                for &manager in &args.managers {
+                    for &snapshot in &args.snapshots {
+                        let mix = Mix {
+                            family,
+                            snapshot,
+                            shard_axis,
+                        };
+                        records.extend(measure_open_loop(
+                            &set,
+                            kind,
+                            manager,
+                            open_threads,
+                            rate,
+                            mix,
+                            &args,
+                        ));
+                    }
                 }
             }
         }
+    }
+    // The multi-tenant overload scenario: explicitly requested via
+    // `--tenants` / `--tenant-weights`, and part of the default full
+    // line-up (PCP-DA, two tenants at 1:8, fairness off vs on). The 1:8
+    // asymmetry keeps the light tenant inside its equal-share budget on
+    // *offered* load (2/9 of 2x the ceiling < a 1/4-ceiling share) while
+    // the hog clearly exceeds it; at 1:4 the separation is marginal and
+    // scheduler noise can swallow the fairness effect.
+    if scenario_only || (args.kind.is_none() && family.is_none() && !sharded_sweep) {
+        let weights: Vec<u64> = args.tenant_weights.clone().unwrap_or_else(|| {
+            let n = args.tenants.unwrap_or(2);
+            let mut w = vec![1u64; n];
+            w[n - 1] = 8;
+            w
+        });
+        let kind = args.kind.unwrap_or(ProtocolKind::PcpDa);
+        records.extend(measure_scenario(
+            &set,
+            kind,
+            args.managers[0],
+            open_threads,
+            &weights,
+            &args,
+        ));
     }
 
     let mut warnings = Vec::new();
@@ -1028,6 +1449,7 @@ fn main() {
     }
     ab_summary(&records, &mut warnings);
     snapshot_summary(&records, &mut warnings);
+    fairness_summary(&records, &mut warnings);
 
     if !warnings.is_empty() {
         // Advisory only: threaded wall-clock throughput on shared hardware

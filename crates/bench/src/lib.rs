@@ -18,6 +18,7 @@
 
 pub mod harness;
 pub mod loadgen;
+pub mod netload;
 
 use rtdb::prelude::*;
 

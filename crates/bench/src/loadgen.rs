@@ -83,14 +83,38 @@ pub struct OpenLoopParams {
     pub capacity: usize,
     /// Offer read-only jobs the lock-exempt snapshot path.
     pub snapshot: bool,
+    /// Lock-manager shards (1 = unsharded, the legacy behaviour).
+    pub shards: usize,
+    /// Relative offered-rate weights per tenant. Empty or single-entry
+    /// means the legacy single-tenant schedule (tenant 0, byte-identical
+    /// arrival stream to earlier releases); `[1, 4]` is two tenants with
+    /// tenant 1 offering 4× tenant 0's rate.
+    pub tenant_weights: Vec<u64>,
+    /// Per-tenant fairness budgets handed to the admission queue.
+    pub fairness: Option<rt::FairnessConfig>,
+    /// Deadline-laxity multiplier: each job's deadline is
+    /// `release + period·tick·deadline_scale`. 1 is the legacy periodic
+    /// convention (deadline = next release); the overload scenario uses
+    /// a laxer scale so that head-of-queue jobs *can* meet their
+    /// deadlines and shed-protection shows up in the miss numbers.
+    pub deadline_scale: u64,
     pub seed: u64,
 }
 
-/// One scheduled arrival: a template released at an offset from run start.
+impl OpenLoopParams {
+    /// Number of tenants the schedule spreads arrivals across.
+    pub fn tenants(&self) -> usize {
+        self.tenant_weights.len().max(1)
+    }
+}
+
+/// One scheduled arrival: a template released at an offset from run
+/// start, billed to a tenant.
 #[derive(Clone, Copy, Debug)]
 pub struct Arrival {
     pub at_ns: u64,
     pub txn: TxnId,
+    pub tenant: u32,
 }
 
 /// First-order service-capacity estimate in jobs/sec: `threads` workers,
@@ -110,9 +134,11 @@ pub fn service_capacity(set: &TransactionSet, threads: usize, tick_ns: u64) -> f
 
 /// Build the merged, time-sorted arrival schedule for `p.jobs` arrivals.
 ///
-/// Deterministic in `(set, p)`: each template gets its own split of the
-/// seed, so adding sweep points or reordering runs never perturbs a
-/// template's arrival pattern.
+/// Deterministic in `(set, p)`: each `(tenant, template)` stream gets its
+/// own split of the seed, so adding sweep points or reordering runs never
+/// perturbs a stream's arrival pattern. With no tenant weights (the
+/// legacy single-tenant case) the arrival stream is byte-identical to
+/// earlier releases, so existing baselines keep matching.
 pub fn arrival_schedule(set: &TransactionSet, p: &OpenLoopParams) -> Vec<Arrival> {
     assert!(p.arrival_rate > 0.0, "arrival rate must be positive");
     let weights: Vec<f64> = set
@@ -123,27 +149,39 @@ pub fn arrival_schedule(set: &TransactionSet, p: &OpenLoopParams) -> Vec<Arrival
     let wsum: f64 = weights.iter().sum();
     let mut root = Rng::seed(p.seed ^ 0x4f50_454e); // "OPEN"
 
+    // Tenant rate shares: the legacy path is a single full-rate tenant.
+    let tenant_weights: Vec<u64> = if p.tenant_weights.len() > 1 {
+        p.tenant_weights.clone()
+    } else {
+        vec![1]
+    };
+    let twsum: f64 = tenant_weights.iter().map(|&w| w.max(1) as f64).sum();
+
     let mut arrivals: Vec<Arrival> = Vec::with_capacity(p.jobs * set.len());
-    for (t, w) in set.templates().iter().zip(&weights) {
-        let rate = p.arrival_rate * w / wsum;
-        let gap_ns = 1e9 / rate;
-        let mut rng = root.split();
-        // Seeded phase: spread template starts across one mean gap.
-        let mut at = rng.f64() * gap_ns;
-        for _ in 0..p.jobs {
-            arrivals.push(Arrival {
-                at_ns: at as u64,
-                txn: t.id,
-            });
-            at += match p.interarrival {
-                Interarrival::Exponential => -(1.0 - rng.f64()).ln() * gap_ns,
-                Interarrival::Periodic => gap_ns,
-            };
+    for (tenant, &tw) in tenant_weights.iter().enumerate() {
+        let tenant_rate = p.arrival_rate * tw.max(1) as f64 / twsum;
+        for (t, w) in set.templates().iter().zip(&weights) {
+            let rate = tenant_rate * w / wsum;
+            let gap_ns = 1e9 / rate;
+            let mut rng = root.split();
+            // Seeded phase: spread stream starts across one mean gap.
+            let mut at = rng.f64() * gap_ns;
+            for _ in 0..p.jobs {
+                arrivals.push(Arrival {
+                    at_ns: at as u64,
+                    txn: t.id,
+                    tenant: tenant as u32,
+                });
+                at += match p.interarrival {
+                    Interarrival::Exponential => -(1.0 - rng.f64()).ln() * gap_ns,
+                    Interarrival::Periodic => gap_ns,
+                };
+            }
         }
     }
-    // Earliest `p.jobs` arrivals overall; ties broken by template id so
-    // the merge is deterministic.
-    arrivals.sort_by_key(|a| (a.at_ns, a.txn.0));
+    // Earliest `p.jobs` arrivals overall; ties broken by template then
+    // tenant so the merge is deterministic.
+    arrivals.sort_by_key(|a| (a.at_ns, a.txn.0, a.tenant));
     arrivals.truncate(p.jobs);
     arrivals
 }
@@ -153,7 +191,10 @@ pub struct OpenLoopReport {
     pub params: OpenLoopParams,
     /// Scheduled arrivals (== `params.jobs`).
     pub offered: u64,
-    /// Submissions the admission queue accepted (committed + shed).
+    /// Scheduled arrivals per tenant (sums to `offered`).
+    pub offered_by_tenant: Vec<u64>,
+    /// Submissions the admission queue accepted (committed + later-shed;
+    /// least-slack self-sheds are *not* accepted).
     pub admitted: u64,
     pub result: rt::RtResult,
     /// Admission → worker-start delay of committed jobs.
@@ -176,16 +217,7 @@ impl OpenLoopReport {
 /// and service histograms.
 pub fn run_open_loop(set: &TransactionSet, p: &OpenLoopParams) -> OpenLoopReport {
     let schedule = arrival_schedule(set, p);
-    let config = rt::FrontConfig::new(p.kind)
-        .with_policy(p.policy)
-        .with_capacity(p.capacity)
-        .with_rt(
-            rt::RtConfig::new(p.kind)
-                .with_threads(p.threads)
-                .with_tick_ns(p.tick_ns)
-                .with_manager(p.manager)
-                .with_snapshot_reads(p.snapshot),
-        );
+    let config = front_config(set, p);
     let (result, admitted) = rt::run_front(set, config, |front| {
         let (sub, _rx) = front.submitter();
         let mut admitted = 0u64;
@@ -203,7 +235,18 @@ pub fn run_open_loop(set: &TransactionSet, p: &OpenLoopParams) -> OpenLoopReport
                     std::hint::spin_loop();
                 }
             }
-            let req = rt::JobRequest::periodic(set, a.txn, a.at_ns, p.tick_ns);
+            let mut req =
+                rt::JobRequest::periodic(set, a.txn, a.at_ns, p.tick_ns).for_tenant(a.tenant);
+            if p.deadline_scale > 1 {
+                let period = set.template(a.txn).period.raw();
+                req.deadline_ns = Some(
+                    a.at_ns.saturating_add(
+                        period
+                            .saturating_mul(p.tick_ns)
+                            .saturating_mul(p.deadline_scale),
+                    ),
+                );
+            }
             if let rt::SubmitOutcome::Admitted { .. } = sub.submit(req) {
                 admitted += 1;
             }
@@ -211,6 +254,41 @@ pub fn run_open_loop(set: &TransactionSet, p: &OpenLoopParams) -> OpenLoopReport
         admitted
     });
 
+    finish_report(p, &schedule, admitted, result)
+}
+
+/// The [`rt::FrontConfig`] an open-loop run (in-process or networked)
+/// drives.
+pub fn front_config(_set: &TransactionSet, p: &OpenLoopParams) -> rt::FrontConfig {
+    let mut config = rt::FrontConfig::new(p.kind)
+        .with_policy(p.policy)
+        .with_capacity(p.capacity)
+        .with_rt(
+            rt::RtConfig::new(p.kind)
+                .with_threads(p.threads)
+                .with_tick_ns(p.tick_ns)
+                .with_manager(p.manager)
+                .with_snapshot_reads(p.snapshot)
+                .with_shards(p.shards.max(1)),
+        );
+    if let Some(f) = p.fairness {
+        config = config.with_fairness(f);
+    }
+    config
+}
+
+/// Fold a finished run into an [`OpenLoopReport`] (shared with the
+/// networked path in `netload`).
+pub(crate) fn finish_report(
+    p: &OpenLoopParams,
+    schedule: &[Arrival],
+    admitted: u64,
+    result: rt::RtResult,
+) -> OpenLoopReport {
+    let mut offered_by_tenant = vec![0u64; p.tenants()];
+    for a in schedule {
+        offered_by_tenant[a.tenant as usize] += 1;
+    }
     let mut queue_hist = rt::LatencyHistogram::new();
     let mut service_hist = rt::LatencyHistogram::new();
     for job in &result.jobs {
@@ -220,6 +298,7 @@ pub fn run_open_loop(set: &TransactionSet, p: &OpenLoopParams) -> OpenLoopReport
     OpenLoopReport {
         params: p.clone(),
         offered: schedule.len() as u64,
+        offered_by_tenant,
         admitted,
         result,
         queue_hist,
@@ -261,8 +340,48 @@ mod tests {
             policy: rt::AdmissionPolicy::Reject,
             capacity: 2,
             snapshot: false,
+            shards: 1,
+            tenant_weights: Vec::new(),
+            fairness: None,
+            deadline_scale: 1,
             seed: 7,
         }
+    }
+
+    #[test]
+    fn multi_tenant_schedule_splits_rate_by_weight() {
+        let set = crate::standard_workload(7);
+        let mut p = params(50_000.0);
+        // Single-tenant schedules ignore a 1-entry weight vector: the
+        // legacy stream must stay byte-identical.
+        let legacy = arrival_schedule(&set, &p);
+        p.tenant_weights = vec![3];
+        let one = arrival_schedule(&set, &p);
+        assert!(legacy
+            .iter()
+            .zip(&one)
+            .all(|(a, b)| a.at_ns == b.at_ns && a.txn == b.txn && a.tenant == b.tenant));
+        assert!(legacy.iter().all(|a| a.tenant == 0));
+
+        // Two tenants at 1:4 — the heavy tenant dominates the truncated
+        // earliest-arrivals window roughly in proportion.
+        p.tenant_weights = vec![1, 4];
+        p.jobs = 500;
+        let multi = arrival_schedule(&set, &p);
+        assert_eq!(multi.len(), 500);
+        let heavy = multi.iter().filter(|a| a.tenant == 1).count();
+        let light = multi.len() - heavy;
+        assert!(light > 0, "light tenant never scheduled");
+        assert!(
+            heavy > 2 * light,
+            "weight 4 tenant not dominant: {heavy} vs {light}"
+        );
+        // Deterministic.
+        let again = arrival_schedule(&set, &p);
+        assert!(multi
+            .iter()
+            .zip(&again)
+            .all(|(a, b)| a.at_ns == b.at_ns && a.txn == b.txn && a.tenant == b.tenant));
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! A small blocking-with-timeout client for the wire protocol — the
+//! load generator's (and the tests') view of the service edge.
+
+use crate::wire::{FrameBuf, Request, Response, WireError};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// One client connection. Submissions are pipelined: [`NetClient::submit`]
+/// returns as soon as the frame is written; responses are pulled with
+/// [`NetClient::poll_response`] / [`NetClient::wait_response`] and
+/// correlated by the client-chosen ticket.
+pub struct NetClient {
+    stream: TcpStream,
+    rbuf: FrameBuf,
+}
+
+fn wire_err(e: WireError) -> std::io::Error {
+    std::io::Error::new(ErrorKind::InvalidData, e)
+}
+
+impl NetClient {
+    /// Connect to a [`crate::serve`] endpoint.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        Ok(NetClient {
+            stream,
+            rbuf: FrameBuf::new(),
+        })
+    }
+
+    /// Write one request frame, spinning through `WouldBlock` until the
+    /// kernel accepts every byte (frames are tiny; this never spins in
+    /// practice unless the server has stalled).
+    pub fn submit(&mut self, req: Request) -> std::io::Result<()> {
+        let mut bytes = Vec::with_capacity(40);
+        req.encode(&mut bytes);
+        let mut written = 0;
+        while written < bytes.len() {
+            match self.stream.write(&bytes[written..]) {
+                Ok(0) => return Err(ErrorKind::WriteZero.into()),
+                Ok(n) => written += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Non-blocking: the next buffered response, reading whatever the
+    /// socket has first. `Ok(None)` means no complete frame yet.
+    pub fn poll_response(&mut self) -> std::io::Result<Option<Response>> {
+        if let Some(payload) = self.rbuf.next_frame().map_err(wire_err)? {
+            return Ok(Some(Response::decode(&payload).map_err(wire_err)?));
+        }
+        let mut tmp = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut tmp) {
+                Ok(0) => return Err(ErrorKind::UnexpectedEof.into()),
+                Ok(n) => self.rbuf.extend(&tmp[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        match self.rbuf.next_frame().map_err(wire_err)? {
+            Some(payload) => Ok(Some(Response::decode(&payload).map_err(wire_err)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Block (politely) until a response arrives or `timeout` elapses.
+    pub fn wait_response(&mut self, timeout: Duration) -> std::io::Result<Response> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(resp) = self.poll_response()? {
+                return Ok(resp);
+            }
+            if Instant::now() >= deadline {
+                return Err(ErrorKind::TimedOut.into());
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+}

@@ -28,11 +28,12 @@
 //! returns — everything already admitted still executes, everything
 //! submitted afterwards bounces.
 
-use crate::admission::{AdmissionPolicy, AdmissionQueue, Admitted, Push};
+use crate::admission::{AdmissionPolicy, AdmissionQueue, Admitted, FairnessConfig, Push};
 use crate::histogram::LatencyHistogram;
 use crate::manager::WorkerCtx;
 use crate::runtime::{
-    dur_ns, execute_job, merge_snapshot_jobs, snapshot_side, JobReport, RtConfig, RtResult,
+    dur_ns, execute_job, merge_snapshot_jobs, snapshot_side, tenant_stats, JobReport, RtConfig,
+    RtResult,
 };
 use crate::sharded::ShardedManager;
 use crate::snapshot::SnapshotSide;
@@ -56,15 +57,20 @@ pub struct JobRequest {
     pub release_ns: u64,
     /// Absolute deadline, ns since `t0`; `None` = no deadline tracking.
     pub deadline_ns: Option<u64>,
+    /// The tenant this request is billed to under the fairness budgets
+    /// (see [`FairnessConfig`]). Tenant ids are small dense integers;
+    /// `0` is the default tenant.
+    pub tenant: u32,
 }
 
 impl JobRequest {
-    /// A request with release `0` and no deadline.
+    /// A request with release `0`, no deadline, tenant `0`.
     pub fn new(txn: TxnId) -> Self {
         JobRequest {
             txn,
             release_ns: 0,
             deadline_ns: None,
+            tenant: 0,
         }
     }
 
@@ -80,6 +86,12 @@ impl JobRequest {
         self
     }
 
+    /// Bill this request to `tenant`.
+    pub fn for_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
     /// The paper's periodic-transaction convention: deadline = release +
     /// period, with the template's period (in ticks) scaled to wall-clock
     /// nanoseconds by `ns_per_tick` — use the same scale as
@@ -92,6 +104,7 @@ impl JobRequest {
             txn,
             release_ns,
             deadline_ns: Some(release_ns.saturating_add(period.saturating_mul(ns_per_tick))),
+            tenant: 0,
         }
     }
 }
@@ -106,15 +119,21 @@ pub struct FrontConfig {
     pub capacity: usize,
     /// What happens to new requests when the queue is full.
     pub policy: AdmissionPolicy,
+    /// Per-tenant token-bucket fairness budgets; `None` (the default)
+    /// disables tenant accounting and makes shed decisions pure
+    /// least-slack.
+    pub fairness: Option<FairnessConfig>,
 }
 
 impl FrontConfig {
-    /// Defaults: [`RtConfig::new`], capacity 1024, [`AdmissionPolicy::Block`].
+    /// Defaults: [`RtConfig::new`], capacity 1024, [`AdmissionPolicy::Block`],
+    /// fairness off.
     pub fn new(kind: ProtocolKind) -> Self {
         FrontConfig {
             rt: RtConfig::new(kind),
             capacity: 1024,
             policy: AdmissionPolicy::Block,
+            fairness: None,
         }
     }
 
@@ -135,6 +154,12 @@ impl FrontConfig {
         self.policy = policy;
         self
     }
+
+    /// Enable per-tenant fairness budgets.
+    pub fn with_fairness(mut self, fairness: FairnessConfig) -> Self {
+        self.fairness = Some(fairness);
+        self
+    }
 }
 
 /// What [`Submitter::submit`] told the submitter, synchronously.
@@ -148,6 +173,13 @@ pub enum SubmitOutcome {
     },
     /// Bounced by a full queue under [`AdmissionPolicy::Reject`].
     Rejected,
+    /// Shed synchronously under [`AdmissionPolicy::LeastSlack`]: the
+    /// incoming request itself had the least remaining slack, so it never
+    /// entered the queue and no [`Completion`] will arrive for it.
+    Shed {
+        /// The submission ticket (burned; counted in [`RtResult::shed`]).
+        ticket: u64,
+    },
     /// Bounced because the front-end has shut down.
     Closed,
 }
@@ -163,7 +195,8 @@ pub enum Completion {
         report: JobReport,
     },
     /// The job was shed from the admission queue to make room
-    /// ([`AdmissionPolicy::ShedOldest`]); it never ran.
+    /// ([`AdmissionPolicy::ShedOldest`] / [`AdmissionPolicy::LeastSlack`]);
+    /// it never ran.
     Shed {
         /// Ticket of the originating [`Submitter::submit`] call.
         ticket: u64,
@@ -180,6 +213,9 @@ struct FrontShared {
     tickets: AtomicU64,
     shed: AtomicU64,
     rejected: AtomicU64,
+    /// Estimated service cost per template (WCET × tick), the fairness
+    /// ledger's charge unit.
+    costs: Vec<u64>,
 }
 
 /// The caller's view of a running front-end (see [`run_front`]).
@@ -226,14 +262,32 @@ impl Submitter<'_> {
     /// Submit one request. Blocks only under [`AdmissionPolicy::Block`]
     /// on a full queue; never blocks on the lock manager.
     pub fn submit(&self, req: JobRequest) -> SubmitOutcome {
+        self.push(req, self.shared.policy)
+    }
+
+    /// Submit one request, never blocking: [`AdmissionPolicy::Block`] is
+    /// demoted to [`AdmissionPolicy::Reject`] for this call. The network
+    /// event loop submits through this — a full queue must bounce a
+    /// frame, not park the loop.
+    pub fn try_submit(&self, req: JobRequest) -> SubmitOutcome {
+        let policy = match self.shared.policy {
+            AdmissionPolicy::Block => AdmissionPolicy::Reject,
+            p => p,
+        };
+        self.push(req, policy)
+    }
+
+    fn push(&self, req: JobRequest, policy: AdmissionPolicy) -> SubmitOutcome {
         let ticket = self.shared.tickets.fetch_add(1, Ordering::Relaxed);
+        let cost_ns = self.shared.costs.get(req.txn.index()).copied().unwrap_or(0);
         let item = Admitted {
             req,
             ticket,
             admitted_at: Instant::now(),
+            cost_ns,
             done: self.done.clone(),
         };
-        match self.shared.queue.push(item, self.shared.policy) {
+        match self.shared.queue.push(item, policy) {
             Push::Admitted => SubmitOutcome::Admitted { ticket },
             Push::AdmittedShed(old) => {
                 self.shared.shed.fetch_add(1, Ordering::Relaxed);
@@ -242,6 +296,10 @@ impl Submitter<'_> {
                     txn: old.req.txn,
                 });
                 SubmitOutcome::Admitted { ticket }
+            }
+            Push::SelfShed => {
+                self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                SubmitOutcome::Shed { ticket }
             }
             Push::Rejected => {
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
@@ -374,6 +432,7 @@ fn front_worker(
             queue_ns: dur_ns(started.duration_since(d.job.admitted_at)),
             service_ns: dur_ns(committed.duration_since(started)),
             release_ns: d.job.req.release_ns,
+            tenant: d.job.req.tenant,
             deadline_ns: d.job.req.deadline_ns,
             commit_ns: dur_ns(committed.duration_since(t0)),
             restarts: stats.restarts,
@@ -412,13 +471,22 @@ pub fn run_front<R>(
     let shards = manager.shard_count();
     let dispatch = DispatchQueue::new(threads);
     let reports: Mutex<Vec<JobReport>> = Mutex::new(Vec::new());
+    let t0 = Instant::now();
     let shared = FrontShared {
-        t0: Instant::now(),
+        t0,
         policy: config.policy,
-        queue: AdmissionQueue::new(config.capacity),
+        queue: AdmissionQueue::new(config.capacity, set.len(), t0, config.fairness),
         tickets: AtomicU64::new(0),
         shed: AtomicU64::new(0),
         rejected: AtomicU64::new(0),
+        costs: (0..set.len())
+            .map(|i| {
+                set.template(TxnId(i as u32))
+                    .wcet()
+                    .raw()
+                    .saturating_mul(config.rt.tick_ns.max(1))
+            })
+            .collect(),
     };
 
     let (value, latency_hist) = std::thread::scope(|scope| {
@@ -462,6 +530,8 @@ pub fn run_front<R>(
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     let (jobs, snapshots, mv_high_water) =
         merge_snapshot_jobs(jobs, snap.as_deref(), &mut report.history, report.commits);
+    let (tenant_counts, shed_by_txn) = shared.queue.counters();
+    let tenants = tenant_stats(&jobs, &tenant_counts);
 
     (
         RtResult {
@@ -478,6 +548,8 @@ pub fn run_front<R>(
             jobs,
             shed: shared.shed.load(Ordering::Relaxed),
             rejected: shared.rejected.load(Ordering::Relaxed),
+            tenants,
+            shed_by_txn,
             latency_hist,
             park_timeout_wakeups: report.park_timeout_wakeups,
             combiner: report.combiner,

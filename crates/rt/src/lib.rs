@@ -29,8 +29,9 @@
 //!   admission queue, a dispatcher feeds the worker pool, completions
 //!   return over per-submitter channels — open-loop arrivals with
 //!   runtime deadline tracking;
-//! * [`admission`] — the bounded MPSC admission queue and its overload
-//!   policies (reject / shed-oldest / block-submitter);
+//! * [`admission`] — the bounded MPSC admission queue, its overload
+//!   policies (reject / shed-oldest / least-slack / block-submitter) and
+//!   the per-tenant token-bucket fairness budgets ([`FairnessConfig`]);
 //! * [`jobs`] — deterministic seeded job queues;
 //! * [`histogram`] — a dependency-free log-bucketed latency histogram for
 //!   the `rtload` load generator.
@@ -56,7 +57,7 @@ pub mod runtime;
 mod sharded;
 mod snapshot;
 
-pub use admission::AdmissionPolicy;
+pub use admission::{shed_victim, AdmissionPolicy, FairnessConfig, ShedCandidate};
 pub use combining::CombinerStats;
 pub use front::{
     run_front, Completion, FrontConfig, FrontHandle, JobRequest, SubmitOutcome, Submitter,
@@ -64,5 +65,7 @@ pub use front::{
 pub use histogram::LatencyHistogram;
 pub use jobs::job_list;
 pub use manager::ManagerKind;
-pub use runtime::{run, run_jobs, JobReport, PriorityMisses, RestartBackoff, RtConfig, RtResult};
+pub use runtime::{
+    run, run_jobs, JobReport, PriorityMisses, RestartBackoff, RtConfig, RtResult, TenantStats,
+};
 pub use sharded::ShardStats;

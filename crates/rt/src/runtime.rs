@@ -208,6 +208,9 @@ pub struct JobReport {
     /// Intended release time. The closed loop has no releases; there this
     /// equals the admission time.
     pub release_ns: u64,
+    /// The tenant the originating request was billed to (0 — the default
+    /// tenant — for every closed-loop job).
+    pub tenant: u32,
     /// Absolute deadline (`release + period`, scaled to wall-clock ns by
     /// the submitter). `None` when the job carries no deadline — every
     /// closed-loop job.
@@ -261,6 +264,95 @@ impl PriorityMisses {
     }
 }
 
+/// Per-tenant admission/outcome accounting of one front-end run.
+///
+/// `committed + shed + rejected` equals the tenant's offered load — every
+/// request a submitter pushed is exactly one of the three (a
+/// [`crate::SubmitOutcome::Closed`] bounce counts as rejected).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant id ([`crate::JobRequest::tenant`]).
+    pub tenant: u32,
+    /// Jobs of this tenant that committed.
+    pub committed: u64,
+    /// Of those, jobs that committed after their deadline.
+    pub missed: u64,
+    /// Jobs shed from the admission queue before running.
+    pub shed: u64,
+    /// Jobs rejected at admission (full queue under
+    /// [`crate::AdmissionPolicy::Reject`], or submitted after shutdown).
+    pub rejected: u64,
+}
+
+impl TenantStats {
+    /// Requests this tenant offered: `committed + shed + rejected`.
+    pub fn offered(&self) -> u64 {
+        self.committed + self.shed + self.rejected
+    }
+
+    /// Deadline-miss ratio over *committed* jobs (0.0 when none
+    /// committed).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.missed as f64 / self.committed as f64
+        }
+    }
+
+    /// Fraction of *offered* requests that failed to meet their deadline
+    /// for any reason — missed, shed, or rejected. A shed or rejected
+    /// job never commits, so it never meets its deadline; this is the
+    /// tenant-experienced failure ratio and the headline metric of the
+    /// multi-tenant overload scenario.
+    pub fn fail_ratio(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            0.0
+        } else {
+            (self.missed + self.shed + self.rejected) as f64 / offered as f64
+        }
+    }
+}
+
+/// Fold per-job reports and the admission queue's per-tenant shed/reject
+/// counters into [`TenantStats`] rows, sorted by tenant id.
+pub(crate) fn tenant_stats(
+    jobs: &[JobReport],
+    counts: &[crate::admission::TenantCounts],
+) -> Vec<TenantStats> {
+    let mut rows: Vec<TenantStats> = Vec::new();
+    let row = |tenant: u32, rows: &mut Vec<TenantStats>| -> usize {
+        match rows.iter().position(|r| r.tenant == tenant) {
+            Some(i) => i,
+            None => {
+                rows.push(TenantStats {
+                    tenant,
+                    committed: 0,
+                    missed: 0,
+                    shed: 0,
+                    rejected: 0,
+                });
+                rows.len() - 1
+            }
+        }
+    };
+    for job in jobs {
+        let i = row(job.tenant, &mut rows);
+        rows[i].committed += 1;
+        if job.missed_deadline() {
+            rows[i].missed += 1;
+        }
+    }
+    for c in counts {
+        let i = row(c.tenant, &mut rows);
+        rows[i].shed += c.shed;
+        rows[i].rejected += c.rejected;
+    }
+    rows.sort_by_key(|r| r.tenant);
+    rows
+}
+
 /// Everything a [`run`] produced.
 #[derive(Debug)]
 pub struct RtResult {
@@ -287,13 +379,21 @@ pub struct RtResult {
     /// Per-job outcomes, sorted by commit order.
     pub jobs: Vec<JobReport>,
     /// Jobs the admission queue shed under
-    /// [`crate::AdmissionPolicy::ShedOldest`]. Always 0 in the closed
+    /// [`crate::AdmissionPolicy::ShedOldest`] /
+    /// [`crate::AdmissionPolicy::LeastSlack`]. Always 0 in the closed
     /// loop.
     pub shed: u64,
     /// Jobs the admission queue rejected under
     /// [`crate::AdmissionPolicy::Reject`] (or submitted after shutdown).
     /// Always 0 in the closed loop.
     pub rejected: u64,
+    /// Per-tenant outcome accounting, sorted by tenant id. A single row
+    /// for tenant 0 when nobody tagged tenants; empty in the closed loop.
+    pub tenants: Vec<TenantStats>,
+    /// Sheds per transaction template ([`rtdb_types::TxnId::index`]) —
+    /// the per-priority shed telemetry (map through
+    /// `set.priority_of`). Empty in the closed loop.
+    pub shed_by_txn: Vec<u64>,
     /// Total admission→commit latency distribution, merged from the
     /// per-worker histograms after the threads joined.
     pub latency_hist: LatencyHistogram,
@@ -463,6 +563,8 @@ pub fn run(set: &TransactionSet, job_queue: &[InstanceId], config: RtConfig) -> 
         jobs,
         shed: 0,
         rejected: 0,
+        tenants: Vec::new(),
+        shed_by_txn: Vec::new(),
         latency_hist,
         park_timeout_wakeups: report.park_timeout_wakeups,
         combiner: report.combiner,
@@ -553,6 +655,7 @@ fn worker(
             queue_ns: 0,
             service_ns: latency_ns,
             release_ns: dur_ns(begun.duration_since(t0)),
+            tenant: 0,
             deadline_ns: None,
             commit_ns: dur_ns(committed.duration_since(t0)),
             restarts: stats.restarts,

@@ -256,34 +256,32 @@ fn open_loop_replay_through_front_matches_sim_under_contention() {
 /// submission: committed + shed + rejected == offered, under each policy.
 #[test]
 fn open_loop_accounts_for_every_submission_under_each_policy() {
-    for policy in [
-        AdmissionPolicy::Reject,
-        AdmissionPolicy::ShedOldest,
-        AdmissionPolicy::Block,
-    ] {
+    for policy in AdmissionPolicy::ALL {
         let set = bounded_workload(0xACC0);
         let config = FrontConfig::new(ProtocolKind::PcpDa)
             .with_policy(policy)
             .with_capacity(2)
             .with_rt(RtConfig::new(ProtocolKind::PcpDa).with_threads(4));
         let offered = 40u64;
-        let (rt, admitted) = run_front(&set, config, |front| {
+        let (rt, (admitted, self_shed)) = run_front(&set, config, |front| {
             let (sub, _rx) = front.submitter();
-            let mut admitted = 0u64;
+            let (mut admitted, mut self_shed) = (0u64, 0u64);
             for i in 0..offered {
                 let txn = TxnId((i % set.len() as u64) as u32);
-                if let SubmitOutcome::Admitted { .. } = sub.submit(JobRequest::new(txn)) {
-                    admitted += 1;
+                match sub.submit(JobRequest::new(txn)) {
+                    SubmitOutcome::Admitted { .. } => admitted += 1,
+                    SubmitOutcome::Shed { .. } => self_shed += 1,
+                    _ => {}
                 }
             }
-            admitted
+            (admitted, self_shed)
         });
         assert_eq!(
             rt.committed + rt.shed + rt.rejected,
             offered,
             "{policy}: submissions leaked"
         );
-        assert_eq!(rt.committed + rt.shed, admitted, "{policy}");
+        assert_eq!(rt.committed + rt.shed, admitted + self_shed, "{policy}");
         assert_eq!(rt.jobs.len() as u64, rt.committed, "{policy}");
         let violations = serializability_violations(&set, &rt.history, &rt.db, true);
         assert!(violations.is_empty(), "{policy}: {violations:?}");

@@ -8,7 +8,8 @@
 
 use rtdb_core::ProtocolKind;
 use rtdb_rt::{
-    job_list, run, run_front, AdmissionPolicy, FrontConfig, JobRequest, RtConfig, SubmitOutcome,
+    job_list, run, run_front, shed_victim, AdmissionPolicy, FairnessConfig, FrontConfig,
+    JobRequest, RtConfig, ShedCandidate, SubmitOutcome,
 };
 use rtdb_sim::{serializability_violations, WorkloadParams};
 use rtdb_types::TxnId;
@@ -116,6 +117,143 @@ fn front_queueing_plus_service_equals_latency_for_every_committed_job() {
                 job.deadline_ns.is_some(),
                 "periodic request lost its deadline"
             );
+        }
+    });
+}
+
+/// Per-tenant conservation under `least-slack` shedding: for *every*
+/// tenant, `committed + shed + rejected == offered` — no submission is
+/// double-counted or lost, whatever mix of queued sheds, self-sheds and
+/// commits the race produces, with and without fairness budgets.
+#[test]
+fn least_slack_conserves_every_tenants_offered_load() {
+    prop::forall(16, |rng| {
+        let set = WorkloadParams {
+            templates: rng.range_usize(3..6),
+            items: rng.range_usize(6..14),
+            target_utilization: 0.5,
+            hotspot_items: 3,
+            hotspot_prob: 0.5 + 0.3 * rng.f64(),
+            seed: rng.next_u64(),
+            ..WorkloadParams::default()
+        }
+        .generate()
+        .expect("workload generation")
+        .set;
+
+        let tenants = 1 + rng.bounded(4) as u32;
+        let threads = 1 + rng.bounded(3) as usize;
+        let capacity = 1 + rng.bounded(4) as usize;
+        let mut config = FrontConfig::new(ProtocolKind::PcpDa)
+            .with_policy(AdmissionPolicy::LeastSlack)
+            .with_capacity(capacity)
+            .with_rt(RtConfig::new(ProtocolKind::PcpDa).with_threads(threads));
+        if rng.bounded(2) == 0 {
+            config = config.with_fairness(FairnessConfig::fair_share(threads, tenants as usize));
+        }
+        // Deadlines vary from already-past to comfortable, so shed
+        // victims come from both queued entries and incoming requests.
+        let offered: Vec<(TxnId, u32, Option<u64>)> = (0..32)
+            .map(|_| {
+                let txn = TxnId(rng.bounded(set.len() as u64) as u32);
+                let tenant = rng.bounded(tenants as u64) as u32;
+                let deadline = match rng.bounded(3) {
+                    0 => None,
+                    1 => Some(1),
+                    _ => Some(1_000_000 + rng.bounded(50_000_000)),
+                };
+                (txn, tenant, deadline)
+            })
+            .collect();
+        let mut offered_by_tenant = vec![0u64; tenants as usize];
+        for &(_, tenant, _) in &offered {
+            offered_by_tenant[tenant as usize] += 1;
+        }
+
+        let (rt, ()) = run_front(&set, config, |front| {
+            let (sub, _rx) = front.submitter();
+            for &(txn, tenant, deadline) in &offered {
+                let mut req = JobRequest::new(txn).for_tenant(tenant);
+                req.deadline_ns = deadline;
+                let out = sub.submit(req);
+                assert!(!matches!(out, SubmitOutcome::Closed));
+            }
+        });
+
+        assert_eq!(
+            rt.committed + rt.shed + rt.rejected,
+            offered.len() as u64,
+            "global conservation broke"
+        );
+        let mut seen = 0u64;
+        for row in &rt.tenants {
+            assert_eq!(
+                row.offered(),
+                offered_by_tenant[row.tenant as usize],
+                "tenant {} conservation broke: {row:?}",
+                row.tenant
+            );
+            seen += row.offered();
+        }
+        assert_eq!(seen, offered.len() as u64, "tenant rows miss submissions");
+        assert_eq!(
+            rt.shed_by_txn.iter().sum::<u64>(),
+            rt.shed,
+            "per-template shed telemetry out of balance"
+        );
+    });
+}
+
+/// The shed-victim rule itself: when no tenant is over budget, a
+/// positive-slack candidate is never shed while a negative-slack
+/// candidate sits in the pool; with debtors present, the victim always
+/// comes from the debtor class, least slack first.
+#[test]
+fn shed_victim_never_prefers_positive_slack_over_negative() {
+    prop::forall(256, |rng| {
+        let n = 1 + rng.bounded(12) as usize;
+        let any_fairness = rng.bounded(2) == 0;
+        let candidates: Vec<ShedCandidate> = (0..n)
+            .map(|_| ShedCandidate {
+                // Mix of negative, small-positive and infinite slack.
+                slack_ns: match rng.bounded(4) {
+                    0 => -(rng.bounded(1_000_000) as i64) - 1,
+                    1 => rng.bounded(1_000_000) as i64,
+                    2 => rng.bounded(1_000_000_000) as i64,
+                    _ => i64::MAX,
+                },
+                over_budget: any_fairness && rng.bounded(3) == 0,
+            })
+            .collect();
+
+        let victim = shed_victim(&candidates);
+        let v = candidates[victim];
+        if candidates.iter().any(|c| c.over_budget) {
+            // Fairness outranks slack: the victim is a debtor, with the
+            // least slack among debtors.
+            assert!(v.over_budget, "victim {v:?} not over budget");
+            let min_debtor = candidates
+                .iter()
+                .filter(|c| c.over_budget)
+                .map(|c| c.slack_ns)
+                .min()
+                .expect("some debtor");
+            assert_eq!(v.slack_ns, min_debtor);
+        } else {
+            // The satellite property: no positive-slack candidate sheds
+            // while a negative-slack one is available.
+            let min_slack = candidates
+                .iter()
+                .map(|c| c.slack_ns)
+                .min()
+                .expect("non-empty");
+            assert_eq!(v.slack_ns, min_slack);
+            if v.slack_ns > 0 {
+                assert!(
+                    candidates.iter().all(|c| c.slack_ns > 0),
+                    "positive-slack victim {v:?} with negative-slack candidate queued"
+                );
+            }
         }
     });
 }

@@ -14,8 +14,12 @@
 //! * [`rt`] — the multi-threaded runtime (crate `rtdb-rt`): the same
 //!   protocols executed on real OS threads through a parking lock
 //!   manager, with closed-loop job execution, an asynchronous admission
-//!   front-end for open-loop arrivals with runtime deadline tracking,
-//!   and latency histograms;
+//!   front-end for open-loop arrivals with runtime deadline tracking
+//!   (slack-aware admission, per-tenant fairness budgets), and latency
+//!   histograms;
+//! * [`net`] — the TCP service edge (crate `rtdb-net`): a non-blocking
+//!   event loop speaking a length-prefixed binary wire protocol,
+//!   bridging socket clients onto the admission front-end;
 //! * [`analysis`] — the §9 worst-case schedulability analysis (`BTS_i`,
 //!   `B_i`, Liu–Layland with blocking, response-time analysis, breakdown
 //!   utilization);
@@ -64,6 +68,7 @@ pub use rtdb_analysis as analysis;
 pub use rtdb_baselines as baselines;
 pub use rtdb_cc as pcpda;
 pub use rtdb_core as cc;
+pub use rtdb_net as net;
 pub use rtdb_rt as rt;
 pub use rtdb_sim as sim;
 pub use rtdb_storage as storage;
@@ -75,9 +80,10 @@ pub mod prelude {
     pub use rtdb_baselines::{Ccp, NaiveDa, OccBc, Pcp, RwPcp, TwoPlHp, TwoPlPi};
     pub use rtdb_cc::{GrantRule, PcpDa};
     pub use rtdb_core::{Decision, EngineView, LockRequest, Protocol, ProtocolFor, ProtocolKind};
+    pub use rtdb_net::{serve, NetClient, NetConfig};
     pub use rtdb_rt::{
-        job_list, run_front, AdmissionPolicy, CombinerStats, FrontConfig, JobRequest,
-        LatencyHistogram, ManagerKind, RtConfig, RtResult,
+        job_list, run_front, AdmissionPolicy, CombinerStats, FairnessConfig, FrontConfig,
+        JobRequest, LatencyHistogram, ManagerKind, RtConfig, RtResult, TenantStats,
     };
     pub use rtdb_sim::{
         compare_protocols, Engine, MetricsReport, RunOutcome, RunResult, SimConfig, WorkloadParams,
