@@ -77,6 +77,24 @@
 //! sweep — PCP-DA, 95/5, θ ∈ {0, 0.6, 0.9}, snapshot off vs on, both
 //! managers — and prints a warn-only snapshot-on-vs-off A/B summary.
 //!
+//! **Zipfian-hotspot family.** `--skew θ` *without* `--read-fraction`
+//! switches the workload to [`rtdb_bench::hotspot_workload`] — the
+//! write-heavy early-release sweep: long transactions (3–6 data steps,
+//! 90% writes, hottest item accessed first) over a Zipf(θ) 16-item
+//! pool, the regime where Bamboo and Brook-2PL retire write locks early
+//! instead of pinning them across the transaction body — the payoff
+//! shows in the latency tail (p99 bands), not committed/sec, on a
+//! CPU-bound box. Without `--kind` the closed loop runs the
+//! early-release pair plus the blocking / abort-based baselines (PCP-DA,
+//! 2PL-HP, Bamboo, Brook-2PL). Records carry `"family": "hotspot"` and
+//! `"skew"`, so they never match read-heavy or standard baselines. The
+//! default full line-up additionally appends a hotspot sweep — those four
+//! kinds at θ ∈ {0, 0.6, 0.9, 1.2}, both managers — and every closed-loop
+//! summary line and record now includes the abort-reason breakdown
+//! (`wound` / `cascade` / `deadlock_victim` / `ceiling_block`), which is
+//! how the cascade cost of early release stays visible next to its
+//! throughput win.
+//!
 //! **Sharded family.** `--shards` (comma-separated, default `1`) sweeps
 //! the partitioned lock-manager axis: every listed count runs the
 //! closed-loop line-up with the runtime's sharded manager
@@ -407,6 +425,11 @@ fn parse_args() -> Args {
 #[derive(Clone, Copy)]
 struct Mix {
     family: Option<(f64, f64)>,
+    /// `Some(theta)` for the write-heavy Zipfian-hotspot family
+    /// ([`rtdb_bench::hotspot_workload`]); records carry `"family":
+    /// "hotspot"` plus the skew tag so they never match read-heavy or
+    /// standard baselines.
+    hotspot: Option<f64>,
     snapshot: bool,
     /// `Some((shards, partitions, cross_fraction))` for the sharded
     /// sweep: the manager's shard count, the workload's partition count
@@ -420,7 +443,17 @@ impl Mix {
     fn unsharded(family: Option<(f64, f64)>, snapshot: bool) -> Self {
         Mix {
             family,
+            hotspot: None,
             snapshot,
+            shard_axis: None,
+        }
+    }
+
+    fn hotspot(theta: f64) -> Self {
+        Mix {
+            family: None,
+            hotspot: Some(theta),
+            snapshot: false,
             shard_axis: None,
         }
     }
@@ -432,6 +465,9 @@ impl Mix {
     fn tag(self, mut rec: Json) -> Json {
         if let Some((read_fraction, skew)) = self.family {
             rec = rec.set("read_fraction", read_fraction).set("skew", skew);
+        }
+        if let Some(theta) = self.hotspot {
+            rec = rec.set("family", "hotspot").set("skew", theta);
         }
         if self.snapshot {
             rec = rec.set("snapshot", true);
@@ -474,6 +510,35 @@ fn latency_bands(result: &rt::RtResult) -> Vec<Band> {
 
 fn us(ns: u64) -> f64 {
     ns as f64 / 1_000.0
+}
+
+/// The abort-reason breakdown as a JSON object, plus the compact
+/// `[wound N cascade N ...]` suffix the summary lines print (empty when
+/// the run never aborted anything).
+fn abort_reason_record(r: &AbortBreakdown) -> Json {
+    Json::obj()
+        .set("ceiling_block", r.ceiling_block)
+        .set("deadlock_victim", r.deadlock_victim)
+        .set("wound", r.wound)
+        .set("cascade", r.cascade)
+}
+
+fn abort_reason_suffix(r: &AbortBreakdown) -> String {
+    if r.total() == 0 {
+        return String::new();
+    }
+    let mut parts = Vec::new();
+    for (label, count) in [
+        ("wound", r.wound),
+        ("cascade", r.cascade),
+        ("deadlock", r.deadlock_victim),
+        ("ceiling", r.ceiling_block),
+    ] {
+        if count > 0 {
+            parts.push(format!("{label} {count}"));
+        }
+    }
+    format!(" [{}]", parts.join(", "))
 }
 
 /// Fold a combining run's pass/slot telemetry into a JSON object.
@@ -572,7 +637,7 @@ fn measure_once(
 
     let throughput = result.throughput();
     println!(
-        "{:<8} {:<9} {:>3} threads {:>6} jobs {:>12.0} committed/sec {:>8} restarts {:>4} deadlocks",
+        "{:<8} {:<9} {:>3} threads {:>6} jobs {:>12.0} committed/sec {:>8} restarts {:>4} deadlocks{}",
         kind.name(),
         manager.name(),
         threads,
@@ -580,6 +645,7 @@ fn measure_once(
         throughput,
         result.restarts,
         result.deadlocks_resolved,
+        abort_reason_suffix(&result.abort_reasons),
     );
     for b in &bands {
         println!(
@@ -605,6 +671,7 @@ fn measure_once(
         .set("committed", result.committed)
         .set("committed_per_sec", throughput)
         .set("restarts", result.restarts)
+        .set("abort_reasons", abort_reason_record(&result.abort_reasons))
         .set("deadlocks_resolved", result.deadlocks_resolved)
         .set("park_timeout_wakeups", result.park_timeout_wakeups)
         .set("bands", Json::Arr(band_records));
@@ -695,6 +762,7 @@ fn open_loop_record(report: &OpenLoopReport, point: usize, mix: Mix, net: bool) 
         .set("rejected", r.rejected)
         .set("committed_per_sec", r.throughput())
         .set("miss_ratio", r.miss_ratio())
+        .set("abort_reasons", abort_reason_record(&r.abort_reasons))
         .set("park_timeout_wakeups", r.park_timeout_wakeups)
         .set("queue_p50_us", us(report.queue_hist.quantile(0.50)))
         .set("queue_p95_us", us(report.queue_hist.quantile(0.95)))
@@ -988,6 +1056,7 @@ fn config_keys(rec: &Json) -> &'static [&'static str] {
             "policy",
             "interarrival",
             "arrival_rate",
+            "family",
             "read_fraction",
             "skew",
             "snapshot",
@@ -1007,6 +1076,7 @@ fn config_keys(rec: &Json) -> &'static [&'static str] {
             "threads",
             "jobs",
             "tick_ns",
+            "family",
             "read_fraction",
             "skew",
             "snapshot",
@@ -1197,10 +1267,29 @@ fn fairness_summary(records: &[Json], warnings: &mut Vec<String>) {
     }
 }
 
+/// The Zipfian-hotspot sweep line-up: the two early-release kinds plus
+/// the blocking / abort-based baselines they are meant to beat as skew
+/// rises.
+const HOTSPOT_KINDS: [ProtocolKind; 4] = [
+    ProtocolKind::PcpDa,
+    ProtocolKind::TwoPlHp,
+    ProtocolKind::Bamboo,
+    ProtocolKind::Brook2Pl,
+];
+/// Skew points of the default full line-up's hotspot sweep.
+const HOTSPOT_SKEWS: [f64; 4] = [0.0, 0.6, 0.9, 1.2];
+
 fn main() {
     let args = parse_args();
-    let family = (args.read_fraction.is_some() || args.skew.is_some())
-        .then(|| (args.read_fraction.unwrap_or(0.95), args.skew.unwrap_or(0.0)));
+    // `--read-fraction` (optionally with `--skew`) selects the read-heavy
+    // family; `--skew` alone selects the write-heavy Zipfian-hotspot
+    // family the early-release protocols sweep.
+    let family = args.read_fraction.map(|f| (f, args.skew.unwrap_or(0.0)));
+    let hotspot_family = if args.read_fraction.is_none() {
+        args.skew
+    } else {
+        None
+    };
     // A non-trivial `--shards` sweep replaces the workload with the
     // partitioned family sized at the sweep's *maximum* shard count, so
     // every point measures the identical item distribution and only the
@@ -1224,7 +1313,7 @@ fn main() {
                 std::process::exit(2);
             }
         }
-        if family.is_some() {
+        if family.is_some() || hotspot_family.is_some() {
             eprintln!(
                 "--shards > 1 uses the partitioned workload family; \
                  it cannot combine with --read-fraction / --skew"
@@ -1233,14 +1322,15 @@ fn main() {
         }
     }
     let max_shards = args.shards.iter().copied().max().unwrap_or(1);
-    let set = match family {
-        Some((read_fraction, skew)) => {
+    let set = match (family, hotspot_family) {
+        (Some((read_fraction, skew)), _) => {
             rtdb_bench::read_heavy_workload(args.seed, read_fraction, skew)
         }
-        None if sharded_sweep => {
+        (None, Some(theta)) => rtdb_bench::hotspot_workload(args.seed, theta),
+        (None, None) if sharded_sweep => {
             rtdb_bench::partitioned_workload(args.seed, max_shards, args.cross_fraction)
         }
-        None => rtdb_bench::standard_workload(args.seed),
+        (None, None) => rtdb_bench::standard_workload(args.seed),
     };
     let baseline: Option<Vec<Json>> = std::fs::read_to_string(&args.path)
         .ok()
@@ -1257,6 +1347,10 @@ fn main() {
     } else {
         match args.kind {
             Some(k) => vec![k],
+            // The hotspot family answers one question — does early
+            // release beat blocking as skew rises — so its default
+            // line-up is the four kinds that question is about.
+            None if hotspot_family.is_some() => HOTSPOT_KINDS.to_vec(),
             None => ProtocolKind::STANDARD.to_vec(),
         }
     };
@@ -1300,6 +1394,7 @@ fn main() {
                             sharded_sweep.then_some((shards, max_shards, args.cross_fraction));
                         let mix = Mix {
                             family,
+                            hotspot: hotspot_family,
                             snapshot,
                             shard_axis,
                         };
@@ -1317,6 +1412,7 @@ fn main() {
         && !args.open_only
         && !scenario_only
         && family.is_none()
+        && hotspot_family.is_none()
         && !sharded_sweep
     {
         let family_threads: Vec<usize> = match args.threads.as_deref() {
@@ -1362,6 +1458,30 @@ fn main() {
                 ));
             }
         }
+        // The Zipfian-hotspot sweep of the default full line-up: the
+        // early-release pair against the blocking / abort-based
+        // baselines, write-heavy long transactions, skew as the axis.
+        // The crossover this measures — early release pulling the p99
+        // bands down as θ rises while blocking kinds convoy on the hot
+        // lock — is the committed headline of the dependency-tracking
+        // subsystem. Eight workers on purpose (not DEFAULT_THREADS):
+        // over-subscribing the box deepens the hot-lock queue, which is
+        // the regime where the tail separation shows.
+        let hotspot_threads: Vec<usize> = match args.threads.as_deref() {
+            Some([single]) => vec![*single],
+            _ => vec![8],
+        };
+        for &theta in &HOTSPOT_SKEWS {
+            let hw = rtdb_bench::hotspot_workload(args.seed, theta);
+            for &threads in &hotspot_threads {
+                for &manager in &args.managers {
+                    for &kind in &HOTSPOT_KINDS {
+                        let mix = Mix::hotspot(theta);
+                        records.push(measure(&hw, kind, manager, threads, mix, &args));
+                    }
+                }
+            }
+        }
     }
     // The open-loop sweeps honour `--shards` too: calibration runs once
     // per protocol (unsharded, mutex — the oracle), so every shard count
@@ -1384,6 +1504,7 @@ fn main() {
                     for &snapshot in &args.snapshots {
                         let mix = Mix {
                             family,
+                            hotspot: hotspot_family,
                             snapshot,
                             shard_axis,
                         };
@@ -1408,7 +1529,9 @@ fn main() {
     // *offered* load (2/9 of 2x the ceiling < a 1/4-ceiling share) while
     // the hog clearly exceeds it; at 1:4 the separation is marginal and
     // scheduler noise can swallow the fairness effect.
-    if scenario_only || (args.kind.is_none() && family.is_none() && !sharded_sweep) {
+    if scenario_only
+        || (args.kind.is_none() && family.is_none() && hotspot_family.is_none() && !sharded_sweep)
+    {
         let weights: Vec<u64> = args.tenant_weights.clone().unwrap_or_else(|| {
             let n = args.tenants.unwrap_or(2);
             let mut w = vec![1u64; n];

@@ -69,6 +69,38 @@ pub fn read_heavy_workload(seed: u64, read_fraction: f64, theta: f64) -> Transac
     .set
 }
 
+/// The write-heavy Zipfian-hotspot workload family for the early-release
+/// experiments: item popularity follows Zipf(θ) over a small 16-item
+/// pool, 90% of data steps write (read locks never retire, so a
+/// read-mixed hotspot would re-serialize on body-length read holds),
+/// transactions are long (3–6 data steps), and each template accesses
+/// its hottest item *first* (`hot_first`) — so a blocking protocol pins
+/// the hot write lock across the whole remaining body, which is exactly
+/// the window early lock release (Bamboo / Brook-2PL) exists to shrink.
+/// θ = 0 falls back to the legacy two-tier hotspot item picker for the
+/// sweep's baseline point. `rtload --skew θ` selects this family; the
+/// default full line-up sweeps θ ∈ {0, 0.6, 0.9, 1.2} over the
+/// early-release kinds and the blocking baselines.
+pub fn hotspot_workload(seed: u64, theta: f64) -> TransactionSet {
+    WorkloadParams {
+        templates: 8,
+        items: 16,
+        target_utilization: 0.6,
+        min_data_steps: 3,
+        max_data_steps: 6,
+        hotspot_items: 3,
+        hotspot_prob: 0.5,
+        zipf_theta: Some(theta),
+        write_fraction: 0.9,
+        hot_first: true,
+        seed,
+        ..Default::default()
+    }
+    .generate()
+    .expect("hotspot workload is valid")
+    .set
+}
+
 /// The partitioned-Zipfian workload family for the sharded-manager
 /// sweeps: a 32-item pool split across `partitions` partitions under the
 /// shared router rule (`item mod partitions`), Zipf(0.7) skew *within*

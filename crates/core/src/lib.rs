@@ -43,6 +43,7 @@
 
 pub mod ceiling_index;
 pub mod ceilings;
+pub mod deps;
 pub mod inherit;
 pub mod locks;
 pub mod protocol;
@@ -53,6 +54,7 @@ pub mod waitfor;
 
 pub use ceiling_index::CeilingIndex;
 pub use ceilings::{CeilingTable, SysCeil};
+pub use deps::{AbortBreakdown, AbortReason, DepTracker, RetiredWrite};
 pub use inherit::PriorityManager;
 pub use locks::{HeldLock, LockTable};
 pub use protocol::{

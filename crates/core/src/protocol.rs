@@ -1,6 +1,7 @@
 //! The protocol trait and the engine-side view it consults.
 
 use crate::ceilings::CeilingTable;
+use crate::deps::DepTracker;
 use crate::locks::LockTable;
 use rtdb_types::{InstanceId, ItemId, LockMode, Priority, TransactionSet};
 
@@ -80,6 +81,16 @@ pub enum Decision {
         /// Instances to abort; must not contain the requester.
         victims: Vec<InstanceId>,
     },
+    /// The *requester* aborts itself and restarts (wait-die style: the
+    /// protocol's ordering rule forbids both waiting for and wounding
+    /// the conflict holders). `blockers` names the instances responsible;
+    /// engines may delay the restart until one of them commits or aborts
+    /// so the retry can make progress.
+    AbortSelf {
+        /// The conflicting instances; must be non-empty and must not
+        /// contain the requester.
+        blockers: Vec<InstanceId>,
+    },
 }
 
 /// What a protocol may observe about the running system.
@@ -114,6 +125,15 @@ pub trait EngineView {
     /// set — used by optimistic validation), sorted ascending. Called only
     /// on the validation path, so an owned `Vec` is acceptable.
     fn staged_write_items(&self, who: InstanceId) -> Vec<ItemId>;
+
+    /// The dependency tracker (retired-lock lists + commit-dependency
+    /// graph), when the engine maintains one. Early-release protocols
+    /// (Bamboo, Brook-2PL) consult it to decide against retired writers;
+    /// `None` (the default, kept by minimal views such as the testkit)
+    /// reads as "nothing retired".
+    fn deps(&self) -> Option<&DepTracker> {
+        None
+    }
 }
 
 /// True if two ascending-sorted slices share no element — the slice
@@ -177,6 +197,17 @@ pub trait ProtocolFor<V: EngineView + ?Sized> {
         _who: InstanceId,
         _completed_step: usize,
     ) -> Vec<(ItemId, LockMode)> {
+        Vec::new()
+    }
+
+    /// Called after `who` finished its `completed_step`-th step: the
+    /// *write* locks to **retire** — release before commit into the
+    /// dependency tracker's retired list, staged value and all, so later
+    /// lockers can read the dirty value and be gated behind `who`
+    /// (DESIGN.md §6h). Unlike [`ProtocolFor::early_releases`], retired
+    /// writes install only at commit; the engine must maintain a
+    /// [`DepTracker`] for any protocol returning non-empty here.
+    fn retires(&mut self, _view: &V, _who: InstanceId, _completed_step: usize) -> Vec<ItemId> {
         Vec::new()
     }
 
@@ -259,6 +290,13 @@ pub trait Protocol {
         who: InstanceId,
         completed_step: usize,
     ) -> Vec<(ItemId, LockMode)>;
+    /// See [`ProtocolFor::retires`].
+    fn retires(
+        &mut self,
+        view: &dyn EngineView,
+        who: InstanceId,
+        completed_step: usize,
+    ) -> Vec<ItemId>;
     /// See [`ProtocolFor::update_model`].
     fn update_model(&self) -> UpdateModel;
     /// See [`ProtocolFor::lock_exempt`].
@@ -305,6 +343,15 @@ where
         completed_step: usize,
     ) -> Vec<(ItemId, LockMode)> {
         ProtocolFor::early_releases(self, view, who, completed_step)
+    }
+
+    fn retires(
+        &mut self,
+        view: &dyn EngineView,
+        who: InstanceId,
+        completed_step: usize,
+    ) -> Vec<ItemId> {
+        ProtocolFor::retires(self, view, who, completed_step)
     }
 
     fn update_model(&self) -> UpdateModel {
@@ -378,6 +425,10 @@ impl<V: EngineView> ProtocolFor<V> for DynProtocol<'_> {
         completed_step: usize,
     ) -> Vec<(ItemId, LockMode)> {
         self.inner.early_releases(view, who, completed_step)
+    }
+
+    fn retires(&mut self, view: &V, who: InstanceId, completed_step: usize) -> Vec<ItemId> {
+        self.inner.retires(view, who, completed_step)
     }
 
     fn update_model(&self) -> UpdateModel {

@@ -69,6 +69,17 @@ pub enum ProtocolKind {
     TwoPlHp,
     /// Optimistic concurrency control with broadcast commit.
     OccBc,
+    /// Bamboo-style early lock release (Guo et al.): 2PL-HP base, write
+    /// locks retire after their last access into the dependency tracker's
+    /// retired list, dirty readers are gated behind the retirer and
+    /// cascade-abort if it aborts; a retired chain is always acquirable
+    /// via a commit dependency on the latest retiree.
+    Bamboo,
+    /// Brook-2PL-style deadlock-free early release (Habibi et al.,
+    /// adapted): wait-die polarity over a static seniority order — all
+    /// lock waits *and* commit-gate dependencies point senior→junior, so
+    /// no cycle can form; juniors facing senior conflicts self-abort.
+    Brook2Pl,
     /// The paper's Example 5 protocol: condition (2) without the `T*`
     /// safeguards. Deadlocks by design.
     NaiveDa,
@@ -76,7 +87,7 @@ pub enum ProtocolKind {
 
 impl ProtocolKind {
     /// Every protocol the workspace implements, in presentation order.
-    pub const ALL: [ProtocolKind; 9] = [
+    pub const ALL: [ProtocolKind; 11] = [
         ProtocolKind::PcpDa,
         ProtocolKind::PcpDaLiteral,
         ProtocolKind::RwPcp,
@@ -85,13 +96,16 @@ impl ProtocolKind {
         ProtocolKind::TwoPlPi,
         ProtocolKind::TwoPlHp,
         ProtocolKind::OccBc,
+        ProtocolKind::Bamboo,
+        ProtocolKind::Brook2Pl,
         ProtocolKind::NaiveDa,
     ];
 
     /// The standard evaluation line-up: PCP-DA plus every baseline of the
-    /// paper's comparison, excluding the deliberately defective
-    /// demonstration variants (`PCP-DA-literal`, `Naive-DA`).
-    pub const STANDARD: [ProtocolKind; 7] = [
+    /// paper's comparison and the contention-tolerant early-release kinds,
+    /// excluding the deliberately defective demonstration variants
+    /// (`PCP-DA-literal`, `Naive-DA`).
+    pub const STANDARD: [ProtocolKind; 9] = [
         ProtocolKind::PcpDa,
         ProtocolKind::RwPcp,
         ProtocolKind::Pcp,
@@ -99,6 +113,8 @@ impl ProtocolKind {
         ProtocolKind::TwoPlPi,
         ProtocolKind::TwoPlHp,
         ProtocolKind::OccBc,
+        ProtocolKind::Bamboo,
+        ProtocolKind::Brook2Pl,
     ];
 
     /// Canonical report name; equals the constructed protocol's
@@ -113,6 +129,8 @@ impl ProtocolKind {
             ProtocolKind::TwoPlPi => "2PL-PI",
             ProtocolKind::TwoPlHp => "2PL-HP",
             ProtocolKind::OccBc => "OCC-BC",
+            ProtocolKind::Bamboo => "Bamboo",
+            ProtocolKind::Brook2Pl => "Brook-2PL",
             ProtocolKind::NaiveDa => "Naive-DA",
         }
     }
@@ -129,6 +147,8 @@ impl ProtocolKind {
             ProtocolKind::TwoPlPi => &["2plpi"],
             ProtocolKind::TwoPlHp => &["2plhp"],
             ProtocolKind::OccBc => &["occ"],
+            ProtocolKind::Bamboo => &[],
+            ProtocolKind::Brook2Pl => &["brook", "brook2pl"],
             ProtocolKind::NaiveDa => &["naiveda"],
         }
     }
@@ -142,7 +162,10 @@ impl ProtocolKind {
             | ProtocolKind::Pcp
             | ProtocolKind::Ccp
             | ProtocolKind::NaiveDa => ProtocolFamily::PriorityCeiling,
-            ProtocolKind::TwoPlPi | ProtocolKind::TwoPlHp => ProtocolFamily::TwoPhaseLocking,
+            ProtocolKind::TwoPlPi
+            | ProtocolKind::TwoPlHp
+            | ProtocolKind::Bamboo
+            | ProtocolKind::Brook2Pl => ProtocolFamily::TwoPhaseLocking,
             ProtocolKind::OccBc => ProtocolFamily::Optimistic,
         }
     }
@@ -180,6 +203,10 @@ impl ProtocolKind {
     /// (`PCP-DA-literal`, `Naive-DA`) have no correctness argument to
     /// preserve.
     pub fn shardable(self) -> bool {
+        // Also excluded: the early-release kinds (Bamboo, Brook-2PL) —
+        // their retired-lock lists and commit-dependency graph are global
+        // structures; per-shard instances would gate and cascade against
+        // disjoint graphs, so sharding them is unsound for now (v1).
         matches!(
             self,
             ProtocolKind::PcpDa
@@ -194,16 +221,30 @@ impl ProtocolKind {
     /// Whether the protocol may abort/restart transactions; equals the
     /// constructed protocol's `Protocol::may_abort()`.
     pub fn may_abort(self) -> bool {
-        matches!(self, ProtocolKind::TwoPlHp | ProtocolKind::OccBc)
+        matches!(
+            self,
+            ProtocolKind::TwoPlHp
+                | ProtocolKind::OccBc
+                | ProtocolKind::Bamboo
+                | ProtocolKind::Brook2Pl
+        )
     }
 
     /// Whether the protocol can reach a deadlock; equals the constructed
     /// protocol's `Protocol::may_deadlock()`. Drivers enable the engine's
     /// wait-for deadlock resolution exactly for these kinds.
     pub fn may_deadlock(self) -> bool {
+        // Bamboo both aborts *and* deadlocks: commit-gate dependencies add
+        // wait edges that the high-priority-wins rule does not orient, so
+        // gate/lock-wait cycles can form and are resolved by victim abort.
+        // Brook-2PL is deadlock-free by construction (every wait edge —
+        // lock or gate — points senior→junior in a static total order).
         matches!(
             self,
-            ProtocolKind::TwoPlPi | ProtocolKind::PcpDaLiteral | ProtocolKind::NaiveDa
+            ProtocolKind::TwoPlPi
+                | ProtocolKind::PcpDaLiteral
+                | ProtocolKind::NaiveDa
+                | ProtocolKind::Bamboo
         )
     }
 
@@ -227,6 +268,12 @@ impl ProtocolKind {
             ProtocolKind::TwoPlPi => "strict two-phase locking with priority inheritance",
             ProtocolKind::TwoPlHp => "2PL High Priority: aborts lower-priority conflicting holders",
             ProtocolKind::OccBc => "optimistic concurrency control with broadcast commit",
+            ProtocolKind::Bamboo => {
+                "early lock release (Guo et al.): retired write locks, dirty reads gated on commit dependencies, wound-on-conflict"
+            }
+            ProtocolKind::Brook2Pl => {
+                "deadlock-free early release (Habibi et al., adapted): wait-die seniority order over locks and commit gates"
+            }
             ProtocolKind::NaiveDa => "Example 5: condition (2) without safeguards; deadlocks by design",
         }
     }
@@ -356,21 +403,32 @@ mod tests {
 
     #[test]
     fn metadata_is_consistent() {
-        // Deadlock-capable kinds are exactly the 2PL-PI baseline and the
-        // two demonstration variants; aborting kinds never deadlock.
+        // Deadlock-capable kinds that cannot abort are exactly the ones
+        // drivers must pair with engine-side deadlock resolution; Bamboo
+        // is the one kind that both aborts (wound/cascade) and deadlocks
+        // (gate-wait cycles).
         for k in ProtocolKind::ALL {
-            if k.may_deadlock() {
+            if k.may_deadlock() && k != ProtocolKind::Bamboo {
                 assert!(!k.may_abort(), "{k}");
             }
         }
         assert!(ProtocolKind::TwoPlPi.may_deadlock());
         assert!(!ProtocolKind::PcpDa.may_deadlock());
+        assert!(ProtocolKind::Bamboo.may_deadlock() && ProtocolKind::Bamboo.may_abort());
+        assert!(!ProtocolKind::Brook2Pl.may_deadlock() && ProtocolKind::Brook2Pl.may_abort());
         // Shardable kinds are exactly the standard line-up minus CCP
-        // (install-on-early-release breaks cross-shard commit atomicity).
+        // (install-on-early-release breaks cross-shard commit atomicity)
+        // and minus the early-release kinds (global retired lists and a
+        // global dependency graph make per-shard instances unsound, v1).
+        let unshardable_standard = [
+            ProtocolKind::Ccp,
+            ProtocolKind::Bamboo,
+            ProtocolKind::Brook2Pl,
+        ];
         for k in ProtocolKind::ALL {
             assert_eq!(
                 k.shardable(),
-                k.is_standard() && k.update_model() == UpdateModel::Workspace,
+                k.is_standard() && !unshardable_standard.contains(&k),
                 "{k}"
             );
         }

@@ -5,7 +5,7 @@
 //! by hand and ask the protocol to decide requests. Base and running
 //! priorities coincide here (no scheduling, hence no inheritance).
 
-use crate::{CeilingTable, EngineView, LockTable};
+use crate::{CeilingTable, DepTracker, EngineView, LockTable};
 use rtdb_types::{InstanceId, ItemId, LockMode, Priority, TransactionSet};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -18,6 +18,9 @@ pub struct StaticView<'a> {
     data_read: BTreeMap<InstanceId, Vec<ItemId>>,
     staged: BTreeMap<InstanceId, Vec<ItemId>>,
     pending: BTreeMap<InstanceId, crate::LockRequest>,
+    /// Retired-lock lists and commit dependencies (for early-release
+    /// protocol tests; empty unless a test retires something).
+    deps: DepTracker,
     /// Sorted list of instances that hold locks or have read something —
     /// recomputed on mutation (this is a test fixture; simplicity wins).
     active: Vec<InstanceId>,
@@ -37,6 +40,7 @@ impl<'a> StaticView<'a> {
             data_read: BTreeMap::new(),
             staged: BTreeMap::new(),
             pending: BTreeMap::new(),
+            deps: DepTracker::new(),
             active: Vec::new(),
         }
     }
@@ -88,6 +92,12 @@ impl<'a> StaticView<'a> {
     pub fn locks_mut(&mut self) -> &mut LockTable {
         &mut self.locks
     }
+
+    /// Mutable access to the dependency tracker (for early-release tests:
+    /// retire writes and register dependencies by hand).
+    pub fn deps_mut(&mut self) -> &mut DepTracker {
+        &mut self.deps
+    }
 }
 
 impl EngineView for StaticView<'_> {
@@ -125,6 +135,10 @@ impl EngineView for StaticView<'_> {
 
     fn staged_write_items(&self, who: InstanceId) -> Vec<ItemId> {
         self.staged.get(&who).cloned().unwrap_or_default()
+    }
+
+    fn deps(&self) -> Option<&DepTracker> {
+        Some(&self.deps)
     }
 }
 

@@ -697,6 +697,24 @@ impl<'a> CombiningManager<'a> {
             Op::Commit { id, ws } => {
                 let r = if g.take_abort(id) {
                     Response::Restart(ws)
+                } else if g.gate_commit(id) {
+                    if g.take_abort(id) {
+                        // The gate's own deadlock sweep picked us.
+                        Response::Restart(ws)
+                    } else {
+                        // Park the commit at the gate; the drain wake of
+                        // the last dependency's commit answers `Retry`
+                        // and the worker re-presents the commit (a
+                        // cascading abort answers `Restart` directly).
+                        let m = g.view.meta_mut(id);
+                        debug_assert!(m.parked.is_none(), "double park for {id:?}");
+                        m.parked = Some(ParkedOp {
+                            ws,
+                            slot: Arc::clone(slot),
+                            published: published.unwrap_or_else(Instant::now),
+                        });
+                        return;
+                    }
                 } else {
                     let stats = g.commit_inner(id, &ws);
                     Response::Committed(Box::new(stats), ws)
@@ -705,7 +723,10 @@ impl<'a> CombiningManager<'a> {
             }
             Op::Nudge { id } => {
                 g.reevaluate();
-                if g.view.is_active(id) && g.view.meta(id).pending.is_some() {
+                if g.has_blocked() {
+                    // Lock waits *or* gate waits outstanding: sweep for
+                    // cycles (the nudger may be parked at the commit
+                    // gate, where it has no pending request).
                     g.resolve_deadlocks();
                 }
                 respond(
@@ -945,27 +966,56 @@ impl<'a> CombiningManager<'a> {
     }
 
     pub(crate) fn commit(&self, id: InstanceId, ctx: &mut WorkerCtx) -> CommitOutcome {
-        if let Some(mut g) = self.fast_lock() {
-            let out = if g.take_abort(id) {
-                CommitOutcome::Restart
+        loop {
+            let resp = if let Some(mut g) = self.fast_lock() {
+                let out = if g.take_abort(id) {
+                    Some(CommitOutcome::Restart)
+                } else if !g.gate_commit(id) {
+                    Some(CommitOutcome::Committed(g.commit_inner(id, &ctx.ws)))
+                } else if g.take_abort(id) {
+                    // The gate's own deadlock sweep picked us.
+                    Some(CommitOutcome::Restart)
+                } else {
+                    None
+                };
+                if let Some(out) = out {
+                    let mine = self.fast_epilogue(&mut g, &ctx.slot);
+                    debug_assert!(mine.is_none(), "response for an unparked op");
+                    return out;
+                }
+                // Gated: park the commit op at the gate; the drain wake
+                // answers `Retry` through the slot, a cascading abort
+                // answers `Restart`. The workspace moves out so it
+                // survives while we sleep.
+                let ws = mem::replace(&mut ctx.ws, Workspace::new(id));
+                let m = g.view.meta_mut(id);
+                debug_assert!(m.parked.is_none(), "double park for {id:?}");
+                m.parked = Some(ParkedOp {
+                    ws,
+                    slot: Arc::clone(&ctx.slot),
+                    published: Instant::now(),
+                });
+                // A same-pass wake can answer the op we just parked.
+                let mine = self.fast_epilogue(&mut g, &ctx.slot);
+                drop(g);
+                mine.unwrap_or_else(|| self.parked_wait(id, &ctx.slot))
             } else {
-                CommitOutcome::Committed(g.commit_inner(id, &ctx.ws))
+                let ws = mem::replace(&mut ctx.ws, Workspace::new(id));
+                self.call_slow(id, Op::Commit { id, ws }, &ctx.slot)
             };
-            let mine = self.fast_epilogue(&mut g, &ctx.slot);
-            debug_assert!(mine.is_none(), "commit never parks");
-            return out;
-        }
-        let ws = mem::replace(&mut ctx.ws, Workspace::new(id));
-        match self.call_slow(id, Op::Commit { id, ws }, &ctx.slot) {
-            Response::Committed(stats, ws) => {
-                ctx.ws = ws;
-                CommitOutcome::Committed(*stats)
+            match resp {
+                Response::Committed(stats, ws) => {
+                    ctx.ws = ws;
+                    return CommitOutcome::Committed(*stats);
+                }
+                Response::Restart(ws) => {
+                    ctx.ws = ws;
+                    return CommitOutcome::Restart;
+                }
+                // Gate drained (or advisory wake): re-present the commit.
+                Response::Retry(ws) => ctx.ws = ws,
+                _ => unreachable!("commit returns Committed, Restart, or Retry"),
             }
-            Response::Restart(ws) => {
-                ctx.ws = ws;
-                CommitOutcome::Restart
-            }
-            _ => unreachable!("commit returns Committed or Restart"),
         }
     }
 

@@ -543,6 +543,7 @@ pub fn run_front<R>(
             db: report.db,
             committed: report.commits + snapshots,
             restarts: report.restarts,
+            abort_reasons: report.abort_reasons,
             deadlocks_resolved: report.deadlocks_resolved,
             elapsed,
             jobs,

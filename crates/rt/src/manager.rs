@@ -30,8 +30,9 @@
 use crate::combining::{CombinerStats, CombiningManager, OpSlot, ParkedOp, Response};
 use crate::snapshot::SnapshotSide;
 use rtdb_core::{
-    deadlock_victim, CeilingTable, Decision, EngineView, GlobalCeiling, LockRequest, LockTable,
-    PriorityManager, ProtocolFor, ProtocolKind, ShardRouter, UpdateModel, WaitForGraph,
+    deadlock_victim, AbortBreakdown, AbortReason, CeilingTable, Decision, DepTracker, EngineView,
+    GlobalCeiling, LockRequest, LockTable, PriorityManager, ProtocolFor, ProtocolKind, ShardRouter,
+    UpdateModel, WaitForGraph,
 };
 use rtdb_sim::{instantiate, AnyProtocol};
 use rtdb_storage::{Database, EventKind, History, VersionedValue, Workspace};
@@ -196,6 +197,8 @@ pub(crate) struct ManagerReport {
     pub state_lock_acquires: u64,
     /// Which shard produced this report (0 in unsharded runs).
     pub shard: usize,
+    /// Why instances aborted, by cause; totals [`ManagerReport::restarts`].
+    pub abort_reasons: AbortBreakdown,
 }
 
 /// Per-worker context threaded through every manager call: the recycled
@@ -304,6 +307,9 @@ pub(crate) struct RtView<'a> {
     pub(crate) active: Vec<InstanceId>,
     /// Parallel per-instance bookkeeping, sorted by `Meta::id`.
     pub(crate) metas: Vec<Meta>,
+    /// Retired-lock chains and commit dependencies (the early-release
+    /// protocols' dependency tracker; empty for every other kind).
+    pub(crate) deps: DepTracker,
 }
 
 impl RtView<'_> {
@@ -358,6 +364,9 @@ impl EngineView for RtView<'_> {
         self.meta_idx(who)
             .map_or_else(Vec::new, |i| self.metas[i].staged.clone())
     }
+    fn deps(&self) -> Option<&DepTracker> {
+        Some(&self.deps)
+    }
 }
 
 /// The guarded heart of the runtime, shared by both manager kinds: under
@@ -410,6 +419,8 @@ pub(crate) struct Shared<'a> {
     /// publishes its installs (and seals a stamp) here, inside this state
     /// core's critical section.
     pub(crate) snap: Option<Arc<SnapshotSide>>,
+    /// Why instances aborted, by cause.
+    pub(crate) abort_reasons: AbortBreakdown,
     reeval_scratch: Vec<InstanceId>,
     /// Scratch for the publish batch handed to the snapshot store.
     publish_scratch: Vec<(ItemId, VersionedValue)>,
@@ -444,6 +455,7 @@ impl<'a> Shared<'a> {
                 pm: PriorityManager::new(),
                 active: Vec::new(),
                 metas: Vec::new(),
+                deps: DepTracker::new(),
             },
             protocol: instantiate(kind),
             kind,
@@ -464,6 +476,7 @@ impl<'a> Shared<'a> {
             woken_queue: Vec::new(),
             combiner: CombinerStats::default(),
             snap,
+            abort_reasons: AbortBreakdown::default(),
             reeval_scratch: Vec::new(),
             publish_scratch: Vec::new(),
         }
@@ -482,6 +495,7 @@ impl<'a> Shared<'a> {
             lock_transitions: self.view.locks.version(),
             state_lock_acquires: self.state_lock_acquires,
             shard: self.shard,
+            abort_reasons: self.abort_reasons,
         }
     }
 
@@ -576,7 +590,24 @@ impl<'a> Shared<'a> {
         } = self;
         match mode {
             LockMode::Read => {
-                let rec = ws.read(db, item);
+                // Dirty read over a retired chain: with no own staged
+                // value, the latest live retired writer's value is the
+                // one this reader is ordered after (the commit dependency
+                // taken at grant time). Its predicted version is the
+                // committed version plus the chain length — every live
+                // chain member installs exactly one bump first.
+                let dirty = if ws.staged_value(item).is_none() {
+                    view.deps.latest_retired(item)
+                } else {
+                    None
+                };
+                let rec = match dirty {
+                    Some((rw, chain_len)) if rw.owner != who => {
+                        let version = db.get(item).version + chain_len as u64;
+                        ws.read_dirty(item, rw.value, version)
+                    }
+                    _ => ws.read(db, item),
+                };
                 history.push(
                     at,
                     who,
@@ -648,6 +679,15 @@ impl<'a> Shared<'a> {
         match decision {
             Decision::Grant => {
                 self.view.locks.grant(who, item, mode);
+                // Acquiring an item with live retired writes orders the
+                // grantee after the latest such writer — its commit gates
+                // on the writer's, and the writer's abort cascades.
+                // Registered for *every* mode: a write over the chain
+                // must also install after the chain.
+                let latest = self.view.deps.latest_retired(item).map(|(rw, _)| rw.owner);
+                if let Some(owner) = latest {
+                    self.view.deps.add_dep(who, owner);
+                }
                 {
                     let Shared { view, protocol, .. } = self;
                     protocol.on_grant(view, req);
@@ -658,10 +698,18 @@ impl<'a> Shared<'a> {
             Decision::AbortHolders { victims } => {
                 for v in victims {
                     if v != who {
-                        self.abort_victim(v);
+                        self.abort_victim(v, AbortReason::Wound);
                     }
                 }
                 self.reevaluate();
+                TryAcquire::Retry
+            }
+            Decision::AbortSelf { .. } => {
+                // Ordered self-abort (Brook-2PL yielding to a senior):
+                // restart the requester. The runtime's restart backoff
+                // provides the retry gap the simulator models with an
+                // explicit wait-die hold.
+                self.abort_victim(who, AbortReason::CeilingBlock);
                 TryAcquire::Retry
             }
             Decision::Block { blockers } => {
@@ -730,7 +778,12 @@ impl<'a> Shared<'a> {
                 protocol.request(view, req)
             };
             match decision {
-                Decision::Grant | Decision::AbortHolders { .. } => self.wake(who),
+                Decision::Grant | Decision::AbortHolders { .. } | Decision::AbortSelf { .. } => {
+                    // Would be granted now — or would abort (the woken
+                    // worker must run to find out): advisory wake either
+                    // way.
+                    self.wake(who)
+                }
                 Decision::Block { blockers } => {
                     debug_assert!(!blockers.is_empty());
                     let my_base = self.view.set.priority_of(who.txn);
@@ -781,7 +834,7 @@ impl<'a> Shared<'a> {
             };
             let victim = deadlock_victim(&cycle, |v| self.view.set.priority_of(v.txn));
             self.deadlocks_resolved += 1;
-            self.abort_victim(victim);
+            self.abort_victim(victim, AbortReason::DeadlockVictim);
             self.reevaluate();
         }
     }
@@ -794,7 +847,7 @@ impl<'a> Shared<'a> {
     /// combining manager a victim parked on a denied request is answered
     /// directly: its parked operation completes with `Restart` and its
     /// workspace travels back through the publication slot.
-    pub(crate) fn abort_victim(&mut self, victim: InstanceId) {
+    pub(crate) fn abort_victim(&mut self, victim: InstanceId, reason: AbortReason) {
         if !self.view.is_active(victim) {
             return; // committed between the decision and now — same critical section, so only via commit_victims listing a stale id
         }
@@ -817,6 +870,7 @@ impl<'a> Shared<'a> {
             if m.aborted {
                 return; // local abort already ran; victim not yet swept
             }
+            self.abort_reasons.record(reason);
             m.aborted = true;
             m.pending = None;
             m.woken = false;
@@ -833,6 +887,7 @@ impl<'a> Shared<'a> {
             self.maybe_publish_ceiling();
             return;
         }
+        self.abort_reasons.record(reason);
         let at = self.tick();
         self.history.push(at, victim, EventKind::Abort);
         self.view.locks.release_all(victim);
@@ -873,6 +928,15 @@ impl<'a> Shared<'a> {
         }
         let at = self.tick();
         self.history.push(at, victim, EventKind::Begin);
+        // Everyone who observed (or overwrote) the victim's retired
+        // writes aborts with it — the dependency tracker hands back the
+        // transitive closure, each member exactly once.
+        let cascade = self.view.deps.on_abort(victim);
+        for d in cascade {
+            if self.view.is_active(d) {
+                self.abort_victim(d, AbortReason::Cascade);
+            }
+        }
         self.maybe_publish_ceiling();
     }
 
@@ -889,7 +953,11 @@ impl<'a> Shared<'a> {
             let Shared { view, protocol, .. } = self;
             protocol.early_releases(view, id, completed_step)
         };
-        if releases.is_empty() {
+        let retired = {
+            let Shared { view, protocol, .. } = self;
+            protocol.retires(view, id, completed_step)
+        };
+        if releases.is_empty() && retired.is_empty() {
             return;
         }
         let install_early = self.kind.update_model() == UpdateModel::InstallOnEarlyRelease;
@@ -913,6 +981,24 @@ impl<'a> Shared<'a> {
                     }
                 }
             }
+        }
+        // Early release into the retired list (Bamboo / Brook-2PL):
+        // write locks past their last access release now; the staged
+        // value stays visible through the dependency tracker, and
+        // successors order themselves behind the retiree via commit
+        // dependencies instead of lock waits.
+        for item in retired {
+            debug_assert!(self.view.locks.holds(id, item, LockMode::Write));
+            let staged = ws
+                .staged_value(item)
+                .expect("retired an item without a staged write");
+            if self.view.locks.holds(id, item, LockMode::Read) {
+                // An upgrade's read lock goes with the write lock:
+                // successors are ordered by the dependency anyway.
+                self.view.locks.release(id, item, LockMode::Read);
+            }
+            self.view.locks.release(id, item, LockMode::Write);
+            self.view.deps.retire(id, item, staged);
         }
         self.reevaluate();
         self.maybe_publish_ceiling();
@@ -972,14 +1058,36 @@ impl<'a> Shared<'a> {
         }
     }
 
+    /// Commit gate: with outstanding commit dependencies `id` must not
+    /// commit yet (recoverability — nobody commits a value derived from a
+    /// dirty read whose writer can still abort). Registers the gate waits
+    /// in the priority manager — the committer donates its priority to
+    /// the dependencies it waits on, and the wait-for graph sees gate
+    /// edges, so a gate-plus-lock cycle (possible under Bamboo) resolves
+    /// like any other deadlock. Returns true when the caller must park:
+    /// the drain in a dependency's commit wakes it (`woken`), a cascading
+    /// abort restarts it (`aborted`).
+    pub(crate) fn gate_commit(&mut self, id: InstanceId) -> bool {
+        let deps: Vec<InstanceId> = self.view.deps.deps_of(id).to_vec();
+        if deps.is_empty() {
+            return false;
+        }
+        self.view.meta_mut(id).woken = false;
+        self.view.pm.set_blocked(id, &deps);
+        self.resolve_deadlocks();
+        true
+    }
+
     /// Commit `id`: abort the protocol's commit victims, install staged
     /// writes, release everything, re-evaluate waiters. The caller has
-    /// already consumed any abort flag.
+    /// already consumed any abort flag and cleared the commit gate
+    /// ([`Shared::gate_commit`] returned false).
     pub(crate) fn commit_inner(&mut self, id: InstanceId, ws: &Workspace) -> JobStats {
+        debug_assert!(!self.view.deps.has_deps(id), "commit through a closed gate");
         let victims = self.protocol_commit_victims(id);
         for v in victims {
             if v != id {
-                self.abort_victim(v);
+                self.abort_victim(v, AbortReason::Wound);
             }
         }
 
@@ -1049,6 +1157,10 @@ impl<'a> Shared<'a> {
         };
         drop(gate_guard);
         self.commits += 1;
+        // Dependency bookkeeping: the retired entries become committed
+        // state, and dependents whose last dependency this was may now
+        // pass the commit gate.
+        let drained = self.view.deps.on_commit(id);
         let meta = self.remove_instance(id);
         let stats = JobStats {
             commit_index,
@@ -1058,6 +1170,14 @@ impl<'a> Shared<'a> {
             snapshot: None,
         };
         self.reevaluate();
+        // Advisory wakes for the drained dependents: a committer parked
+        // at the gate re-presents its commit; one still mid-execution
+        // simply finds the gate open when it arrives.
+        for d in drained {
+            if self.view.is_active(d) {
+                self.wake(d);
+            }
+        }
         self.maybe_publish_ceiling();
         stats
     }
@@ -1170,14 +1290,42 @@ impl<'a> MutexManager<'a> {
     }
 
     /// Commit: validate (OCC), install staged writes, release everything,
-    /// wake waiters. Fails with [`CommitOutcome::Restart`] if the instance
-    /// was aborted before the commit point.
+    /// wake waiters. Parks at the commit gate while the instance still
+    /// has commit dependencies (early-release protocols). Fails with
+    /// [`CommitOutcome::Restart`] if the instance was aborted before the
+    /// commit point (or cascaded out of the gate).
     pub(crate) fn commit(&self, id: InstanceId, ws: &Workspace) -> CommitOutcome {
         let mut g = self.lock();
-        if g.take_abort(id) {
-            return CommitOutcome::Restart;
+        loop {
+            if g.take_abort(id) {
+                return CommitOutcome::Restart;
+            }
+            if !g.gate_commit(id) {
+                return CommitOutcome::Committed(g.commit_inner(id, ws));
+            }
+            // Gated: wait for the drain wake of the last dependency's
+            // commit, or the abort flag of its cascade.
+            let cv = g.view.meta(id).cv.clone();
+            loop {
+                {
+                    let m = g.view.meta(id);
+                    if m.aborted || m.woken {
+                        break;
+                    }
+                }
+                let (g2, timeout) = cv
+                    .wait_timeout(g, self.park_timeout)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                g = g2;
+                if timeout.timed_out() {
+                    // Safety net: heal lost wake-ups and gate cycles that
+                    // formed without a block event.
+                    g.park_timeout_wakeups += 1;
+                    g.reevaluate();
+                    g.resolve_deadlocks();
+                }
+            }
         }
-        CommitOutcome::Committed(g.commit_inner(id, ws))
     }
 
     pub(crate) fn finish(self) -> ManagerReport {

@@ -17,7 +17,7 @@ use crate::manager::{
 };
 use crate::sharded::{ShardStats, ShardedManager};
 use crate::snapshot::{ReaderLog, SnapshotSide};
-use rtdb_core::ProtocolKind;
+use rtdb_core::{AbortBreakdown, ProtocolKind};
 use rtdb_storage::{Database, History, SerializationGraph, VersionedValue};
 use rtdb_types::{InstanceId, LockMode, Priority, TransactionSet, TxnId};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -372,6 +372,10 @@ pub struct RtResult {
     pub committed: u64,
     /// Total aborts absorbed across all jobs.
     pub restarts: u64,
+    /// Why the manager aborted instances, by cause. Restarts the manager
+    /// never saw (cross-shard no-wait self-aborts) are *not* included, so
+    /// `abort_reasons.total() <= restarts`.
+    pub abort_reasons: AbortBreakdown,
     /// Wait-for cycles broken by aborting a victim.
     pub deadlocks_resolved: u64,
     /// Wall-clock duration of the whole run.
@@ -558,6 +562,7 @@ pub fn run(set: &TransactionSet, job_queue: &[InstanceId], config: RtConfig) -> 
         db: report.db,
         committed: report.commits + snapshots,
         restarts: report.restarts,
+        abort_reasons: report.abort_reasons,
         deadlocks_resolved: report.deadlocks_resolved,
         elapsed,
         jobs,

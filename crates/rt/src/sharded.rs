@@ -47,7 +47,7 @@ use crate::manager::{
 };
 use crate::runtime::RtConfig;
 use crate::snapshot::SnapshotSide;
-use rtdb_core::{GlobalCeiling, ShardRouter, ShardSet, MAX_SHARDS};
+use rtdb_core::{AbortReason, GlobalCeiling, ShardRouter, ShardSet, MAX_SHARDS};
 use rtdb_storage::{Database, Event, EventKind, History, VersionedValue};
 use rtdb_types::{InstanceId, ItemId, LockMode, TransactionSet, TxnId};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -347,7 +347,7 @@ impl<'a> ShardedManager<'a> {
             let victims = g.protocol_commit_victims(id);
             for v in victims {
                 if v != id {
-                    g.abort_victim(v);
+                    g.abort_victim(v, AbortReason::Wound);
                 }
             }
         }
@@ -517,6 +517,7 @@ impl<'a> ShardedManager<'a> {
                 db: Database::new(),
                 commits: 0,
                 restarts: cross_restarts,
+                abort_reasons: Default::default(),
                 deadlocks_resolved: 0,
                 park_timeout_wakeups: 0,
                 combiner: Default::default(),
@@ -536,6 +537,7 @@ impl<'a> ShardedManager<'a> {
             merged.report.lock_transitions += r.lock_transitions;
             merged.report.state_lock_acquires += r.state_lock_acquires;
             merged.report.combiner.merge(&r.combiner);
+            merged.report.abort_reasons.merge(&r.abort_reasons);
         }
         merged.report.db = db;
         merged

@@ -50,6 +50,56 @@ fn two_pl_hp_runtime_histories_are_conflict_serializable() {
     check_kind(ProtocolKind::TwoPlHp);
 }
 
+#[test]
+fn bamboo_runtime_histories_are_conflict_serializable() {
+    check_kind(ProtocolKind::Bamboo);
+}
+
+/// Brook-2PL never needs a deadlock victim: all its wait edges — lock
+/// waits *and* commit-gate edges — point senior → junior, so the
+/// wait-for graph is acyclic by construction. Hammer hotspot workloads
+/// through 4–8 threads and assert the runtime's cycle breaker stayed
+/// idle (and every job still committed, serializably).
+#[test]
+fn brook_2pl_never_resolves_a_deadlock() {
+    prop::forall(CASES, |rng| {
+        let set = WorkloadParams {
+            templates: rng.range_usize(4..8),
+            items: rng.range_usize(4..10),
+            target_utilization: 0.5,
+            hotspot_items: 2,
+            hotspot_prob: 0.7 + 0.3 * rng.f64(),
+            write_fraction: 0.6,
+            seed: rng.next_u64(),
+            ..WorkloadParams::default()
+        }
+        .generate()
+        .expect("workload generation")
+        .set;
+
+        let threads = rng.range_usize(4..9);
+        let jobs = job_list(&set, 24, rng.next_u64());
+        let rt = run(
+            &set,
+            &jobs,
+            RtConfig::new(ProtocolKind::Brook2Pl).with_threads(threads),
+        );
+        assert_eq!(rt.committed, jobs.len() as u64, "dropped jobs");
+        assert_eq!(
+            rt.deadlocks_resolved, 0,
+            "Brook-2PL should be deadlock-free by static order"
+        );
+        assert_eq!(rt.abort_reasons.deadlock_victim, 0);
+        assert_eq!(
+            rt.abort_reasons.total(),
+            rt.restarts,
+            "every restart must carry a recorded reason"
+        );
+        let violations = serializability_violations(&set, &rt.history, &rt.db, true);
+        assert!(violations.is_empty(), "{violations:?}");
+    });
+}
+
 /// Deadline-accounting invariant of the admission front-end: for *every*
 /// committed job, queueing delay plus service time equals total latency
 /// exactly — all three are derived from the same three `Instant`s

@@ -43,9 +43,9 @@ use crate::metrics::{InstanceMetrics, MetricsReport};
 use crate::registry::{instantiate, AnyProtocol};
 use crate::trace::{SegKind, Trace, TraceEvent};
 use rtdb_core::{
-    deadlock_victim, CeilingTable, Decision, DynProtocol, EngineView, LockRequest, LockTable,
-    PriorityManager, Protocol, ProtocolFor, ProtocolKind, ShardRouter, TxnMode, UpdateModel,
-    WaitForGraph, MAX_SHARDS,
+    deadlock_victim, AbortReason, CeilingTable, Decision, DepTracker, DynProtocol, EngineView,
+    LockRequest, LockTable, PriorityManager, Protocol, ProtocolFor, ProtocolKind, ShardRouter,
+    TxnMode, UpdateModel, WaitForGraph, MAX_SHARDS,
 };
 use rtdb_storage::{
     Database, EventKind, History, MvStore, ReplayOutcome, SerializationGraph, VersionedValue,
@@ -342,6 +342,15 @@ struct InstanceSlot {
     installed_early: Vec<ItemId>,
     /// Commit stamp pinned by a snapshot reader at its first read.
     snapshot: Option<u64>,
+    /// Parked at the commit gate: all steps done, waiting for commit
+    /// dependencies to drain. Never dispatched (its `step` is past the
+    /// template's last index).
+    gated: bool,
+    /// Wait-die hold after a self-abort: the restarted instance is not
+    /// dispatched until one of these (its former blockers) commits or
+    /// aborts — otherwise the retry would re-die in the same instant.
+    /// Sorted ascending.
+    hold_on: Vec<InstanceId>,
 }
 
 impl InstanceSlot {
@@ -364,6 +373,8 @@ impl InstanceSlot {
             pending: None,
             installed_early: Vec::new(),
             snapshot: None,
+            gated: false,
+            hold_on: Vec::new(),
         }
     }
 
@@ -386,6 +397,8 @@ impl InstanceSlot {
         self.pending = None;
         self.installed_early.clear();
         self.snapshot = None;
+        self.gated = false;
+        self.hold_on.clear();
     }
 
     fn note_lower_blocker(&mut self, txn: TxnId) {
@@ -597,6 +610,9 @@ struct ViewState<'a, S> {
     /// shard 0 when unsharded.
     router: ShardRouter,
     pm: PriorityManager,
+    /// Retired-lock lists and the commit-dependency graph (early-release
+    /// protocols; empty for everyone else).
+    deps: DepTracker,
     store: S,
     /// Live instances, sorted ascending — the iteration order every sweep
     /// (dispatch, deadline misses, lower-priority attribution, finish)
@@ -697,6 +713,9 @@ impl<S: InstanceStore> EngineView for ViewState<'_, S> {
                 .collect()
         })
     }
+    fn deps(&self) -> Option<&DepTracker> {
+        Some(&self.deps)
+    }
 }
 
 struct Sim<'a, S> {
@@ -716,6 +735,10 @@ struct Sim<'a, S> {
     reeval_scratch: Vec<InstanceId>,
     /// Number of live instances with `blocked_since` set.
     n_blocked: usize,
+    /// Number of live instances parked at the commit gate.
+    n_gated: usize,
+    /// Number of live instances with a non-empty wait-die hold.
+    n_held: usize,
     /// Earliest deadline that may still need a miss event; the sweep in
     /// [`Sim::log_deadline_misses`] is skipped while the clock is before
     /// it.
@@ -780,6 +803,7 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
                 focus: 0,
                 router: ShardRouter::new(shards),
                 pm: PriorityManager::new(),
+                deps: DepTracker::new(),
                 store: S::with_templates(set.templates().len()),
                 active: Vec::new(),
                 read_only: set.templates().iter().map(|t| t.is_read_only()).collect(),
@@ -796,6 +820,8 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
             outcome: RunOutcome::Completed,
             reeval_scratch: Vec::new(),
             n_blocked: 0,
+            n_gated: 0,
+            n_held: 0,
             next_miss_check: Tick(u64::MAX),
         }
     }
@@ -859,9 +885,21 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
                     break; // all done
                 }
                 // No runner, no arrivals, live instances remain: every
-                // live instance is blocked — a circular wait by
-                // construction (blockers never commit unnoticed).
+                // live instance is blocked, gated or held — a circular
+                // wait by construction (blockers never commit unnoticed).
                 let wf = WaitForGraph::from_edges(self.vs.pm.edges());
+                if self.config.resolve_deadlocks {
+                    if let Some(cycle) = wf.find_cycle() {
+                        let victim = deadlock_victim(&cycle, |v| self.vs.set.priority_of(v.txn));
+                        self.trace.push_event(TraceEvent::DeadlockDetected {
+                            at: self.clock,
+                            cycle,
+                        });
+                        self.abort(victim, AbortReason::DeadlockVictim, protocol);
+                        self.reevaluate(protocol);
+                        continue;
+                    }
+                }
                 let cycle = wf.find_cycle().unwrap_or_else(|| self.vs.active.clone());
                 self.trace.push_event(TraceEvent::DeadlockDetected {
                     at: self.clock,
@@ -975,22 +1013,48 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
                 Decision::AbortHolders { victims } => {
                     debug_assert!(protocol.may_abort());
                     for v in victims {
-                        self.abort(v, protocol);
+                        self.abort(v, AbortReason::Wound, protocol);
                     }
                     self.reevaluate(protocol);
                     // Loop: the request is retried (holders are gone).
+                }
+                Decision::AbortSelf { blockers } => {
+                    debug_assert!(protocol.may_abort());
+                    debug_assert!(!blockers.is_empty() && !blockers.contains(&who));
+                    self.abort(who, AbortReason::CeilingBlock, protocol);
+                    self.reevaluate(protocol);
+                    // Wait-die hold: park the restarted instance until a
+                    // blocker commits or aborts, so the retry is not
+                    // re-decided (and re-died) in the same instant. Set
+                    // *after* the reevaluate so it is not cleared by it.
+                    let mut hold: Vec<InstanceId> = blockers
+                        .into_iter()
+                        .filter(|&b| b != who && self.vs.store.get(b).is_some())
+                        .collect();
+                    hold.sort_unstable();
+                    hold.dedup();
+                    if !hold.is_empty() && self.vs.store.get(who).is_some() {
+                        self.vs.pm.set_blocked(who, &hold);
+                        self.slot_mut(who).hold_on = hold;
+                        self.n_held += 1;
+                    }
+                    // Pick someone else.
                 }
             }
         }
     }
 
-    /// Highest-running-priority ready (live, unblocked) instance.
+    /// Highest-running-priority ready (live, unblocked, not gated or
+    /// held) instance.
     fn pick_ready(&self) -> Option<InstanceId> {
         self.vs
             .active
             .iter()
             .copied()
-            .filter(|&id| self.slot(id).blocked_since.is_none())
+            .filter(|&id| {
+                let s = self.slot(id);
+                s.blocked_since.is_none() && !s.gated && s.hold_on.is_empty()
+            })
             .max_by_key(|&id| {
                 (
                     self.vs.pm.running(id),
@@ -1052,12 +1116,37 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
         item: ItemId,
         mode: LockMode,
     ) {
-        let slot = self.vs.store.get_mut(who).expect("live workspace");
+        let Sim {
+            vs,
+            db,
+            history,
+            clock,
+            ..
+        } = self;
+        let ViewState { store, deps, .. } = vs;
+        let slot = store.get_mut(who).expect("live workspace");
         match mode {
             LockMode::Read => {
-                let rec = slot.workspace.read(&self.db, item);
-                self.history.push(
-                    self.clock,
+                // Dirty read over a retired chain: with no own staged
+                // value, the latest live retired writer's value is the
+                // one this reader is ordered after (the commit
+                // dependency taken at grant time). Its predicted version
+                // is the committed version plus the chain length — every
+                // live chain member installs exactly one bump first.
+                let dirty = if slot.workspace.staged_value(item).is_none() {
+                    deps.latest_retired(item)
+                } else {
+                    None
+                };
+                let rec = match dirty {
+                    Some((rw, chain_len)) if rw.owner != who => {
+                        let version = db.get(item).version + chain_len as u64;
+                        slot.workspace.read_dirty(item, rw.value, version)
+                    }
+                    _ => slot.workspace.read(db, item),
+                };
+                history.push(
+                    *clock,
                     who,
                     EventKind::Read {
                         item,
@@ -1069,8 +1158,7 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
             }
             LockMode::Write => {
                 let value = slot.workspace.write(step_index, item);
-                self.history
-                    .push(self.clock, who, EventKind::StageWrite { item, value });
+                history.push(*clock, who, EventKind::StageWrite { item, value });
             }
         }
     }
@@ -1124,6 +1212,19 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
     ) {
         self.vs.focus_item(req.item);
         self.vs.grant(req.who, req.item, req.mode);
+        // Early-release bookkeeping: acquiring an item with live retired
+        // writes orders the grantee after the latest such writer — its
+        // commit gates on the writer's, and the writer's abort cascades.
+        // Registered for *every* mode: a write over the chain must also
+        // install after the chain (install order = retire order).
+        let latest = self
+            .vs
+            .deps
+            .latest_retired(req.item)
+            .map(|(rw, _)| rw.owner);
+        if let Some(owner) = latest {
+            self.vs.deps.add_dep(req.who, owner);
+        }
         protocol.on_grant(&self.vs, req);
         let step_index = self.slot(req.who).step;
         self.perform_data_op(req.who, step_index, req.item, req.mode);
@@ -1207,7 +1308,7 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
                     at: self.clock,
                     cycle,
                 });
-                self.abort(victim, protocol);
+                self.abort(victim, AbortReason::DeadlockVictim, protocol);
                 self.reevaluate(protocol);
             } else {
                 self.trace.push_event(TraceEvent::DeadlockDetected {
@@ -1279,10 +1380,11 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
             let req = LockRequest { who, item, mode };
             self.vs.focus_item(item);
             match protocol.request(&self.vs, req) {
-                Decision::Grant | Decision::AbortHolders { .. } => {
-                    // Would be granted now: wake up; the actual request
-                    // (including any AbortHolders side effect) happens at
-                    // dispatch time.
+                Decision::Grant | Decision::AbortHolders { .. } | Decision::AbortSelf { .. } => {
+                    // Would be granted now — or would abort (either way the
+                    // instance must run to find out): wake up; the actual
+                    // request and any abort side effect happen at dispatch
+                    // time.
                     self.unblock(who);
                 }
                 Decision::Block { blockers } => {
@@ -1370,11 +1472,53 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
             self.push_ceiling(protocol);
             self.reevaluate(protocol);
         }
+
+        // Early release into the retired list (Bamboo / Brook-2PL):
+        // write locks past their last access release now; the staged
+        // value stays visible through the dependency tracker, and
+        // successors order themselves behind the retiree via commit
+        // dependencies instead of lock waits.
+        let retired = protocol.retires(&self.vs, who, completed_step);
+        if !retired.is_empty() {
+            for item in retired {
+                debug_assert!(self.vs.holds(who, item, LockMode::Write));
+                let staged = self
+                    .vs
+                    .store
+                    .get(who)
+                    .and_then(|s| s.workspace.staged_value(item))
+                    .expect("retired an item without a staged write");
+                if self.vs.holds(who, item, LockMode::Read) {
+                    // An upgrade's read lock goes with the write lock:
+                    // successors are ordered by the dependency anyway.
+                    self.vs.release(who, item, LockMode::Read);
+                }
+                self.vs.release(who, item, LockMode::Write);
+                self.vs.deps.retire(who, item, staged);
+                self.trace.push_event(TraceEvent::EarlyRelease {
+                    at: self.clock,
+                    who,
+                    item,
+                    mode: LockMode::Write,
+                });
+            }
+            self.push_ceiling(protocol);
+            self.reevaluate(protocol);
+        }
     }
 
     fn commit<P: ProtocolFor<ViewState<'a, S>>>(&mut self, who: InstanceId, protocol: &mut P) {
         if self.vs.exempt(who) {
             self.commit_snapshot(who);
+            return;
+        }
+        // Commit gate: with outstanding commit dependencies the instance
+        // parks until the last dependency commits (recoverability — no
+        // one commits a dirty value whose writer can still abort). The
+        // drain in the committing dependency's own `commit` re-enters
+        // here.
+        if self.vs.deps.has_deps(who) {
+            self.gate(who, protocol);
             return;
         }
         // Optimistic protocols validate at commit: abort every active
@@ -1386,7 +1530,7 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
             debug_assert!(protocol.may_abort());
             for v in victims {
                 if v != who && self.vs.store.get(v).is_some() && !self.vs.exempt(v) {
-                    self.abort(v, protocol);
+                    self.abort(v, AbortReason::Wound, protocol);
                 }
             }
         }
@@ -1441,6 +1585,11 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
 
         self.vs.release_all(who);
         self.vs.pm.remove(who);
+        // Dependency bookkeeping: the retired entries become committed
+        // state, and dependents whose last dependency this was leave the
+        // commit gate (committed below, after this commit is recorded).
+        let drained = self.vs.deps.on_commit(who);
+        self.release_holds_on(who);
         protocol.on_commit(&self.vs, who);
         self.trace.push_event(TraceEvent::Commit {
             at: self.clock,
@@ -1474,6 +1623,86 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
         });
 
         self.reevaluate(protocol);
+
+        // Let drained dependents through the commit gate, in dependency
+        // order at the same clock — their commits land after the one
+        // they waited for, which is exactly the serialization the gate
+        // enforces. (Drained instances still mid-execution are simply
+        // no longer gated when they reach their own commit.)
+        for d in drained {
+            if self.vs.store.get(d).is_some_and(|s| s.gated) {
+                self.ungate(d);
+                self.commit(d, protocol);
+            }
+        }
+    }
+
+    /// Park `who` at the commit gate: it stays live and holds its read
+    /// locks, but is never dispatched until its commit dependencies
+    /// drain. Gate edges enter the priority manager — the parked
+    /// instance donates its priority to the dependencies it waits on,
+    /// and the wait-for graph sees gate waits, so a gate-plus-lock cycle
+    /// (possible under Bamboo) is detected and resolved like any other
+    /// deadlock.
+    fn gate<P: ProtocolFor<ViewState<'a, S>>>(&mut self, who: InstanceId, protocol: &mut P) {
+        let deps: Vec<InstanceId> = self.vs.deps.deps_of(who).to_vec();
+        debug_assert!(!deps.is_empty());
+        {
+            let slot = self.slot_mut(who);
+            debug_assert!(!slot.gated && slot.blocked_since.is_none());
+            slot.gated = true;
+        }
+        self.n_gated += 1;
+        self.vs.pm.set_blocked(who, &deps);
+
+        let wf = WaitForGraph::from_edges(self.vs.pm.edges());
+        if let Some(cycle) = wf.find_cycle() {
+            if self.config.resolve_deadlocks {
+                let victim = deadlock_victim(&cycle, |v| self.vs.set.priority_of(v.txn));
+                self.trace.push_event(TraceEvent::DeadlockDetected {
+                    at: self.clock,
+                    cycle,
+                });
+                self.abort(victim, AbortReason::DeadlockVictim, protocol);
+                self.reevaluate(protocol);
+            } else {
+                self.trace.push_event(TraceEvent::DeadlockDetected {
+                    at: self.clock,
+                    cycle: cycle.clone(),
+                });
+                self.outcome = RunOutcome::Deadlock(cycle);
+            }
+        }
+    }
+
+    /// Reverse of [`Sim::gate`].
+    fn ungate(&mut self, who: InstanceId) {
+        let slot = self.slot_mut(who);
+        debug_assert!(slot.gated);
+        slot.gated = false;
+        self.n_gated -= 1;
+        self.vs.pm.clear_blocked(who);
+    }
+
+    /// `who` commits or aborts: clear every wait-die hold naming it.
+    fn release_holds_on(&mut self, who: InstanceId) {
+        if self.n_held == 0 {
+            return;
+        }
+        for i in 0..self.vs.active.len() {
+            let id = self.vs.active[i];
+            if id == who {
+                continue;
+            }
+            let slot = self.vs.store.get_mut(id).expect("active is live");
+            if let Ok(pos) = slot.hold_on.binary_search(&who) {
+                slot.hold_on.remove(pos);
+                if slot.hold_on.is_empty() {
+                    self.n_held -= 1;
+                    self.vs.pm.clear_blocked(id);
+                }
+            }
+        }
     }
 
     /// Slim commit for a snapshot reader: no validation, no installs, no
@@ -1521,7 +1750,12 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
         self.prune_mv();
     }
 
-    fn abort<P: ProtocolFor<ViewState<'a, S>>>(&mut self, victim: InstanceId, protocol: &mut P) {
+    fn abort<P: ProtocolFor<ViewState<'a, S>>>(
+        &mut self,
+        victim: InstanceId,
+        reason: AbortReason,
+        protocol: &mut P,
+    ) {
         debug_assert_eq!(
             protocol.update_model(),
             UpdateModel::Workspace,
@@ -1531,6 +1765,7 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
             !self.vs.exempt(victim),
             "snapshot readers never abort (hold no locks, block nobody)"
         );
+        self.metrics.abort_reasons.record(reason);
         self.history.push(self.clock, victim, EventKind::Abort);
         self.trace.push_event(TraceEvent::Abort {
             at: self.clock,
@@ -1545,7 +1780,7 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
             self.slot_mut(victim).pending = None;
         }
         // Reset execution state; the instance restarts from scratch.
-        {
+        let (was_gated, was_held) = {
             let slot = self.slot_mut(victim);
             slot.step = 0;
             slot.consumed = 0;
@@ -1554,10 +1789,32 @@ impl<'a, S: InstanceStore> Sim<'a, S> {
             slot.restarts += 1;
             slot.workspace.reset(victim);
             slot.installed_early.clear();
+            let flags = (slot.gated, !slot.hold_on.is_empty());
+            slot.gated = false;
+            slot.hold_on.clear();
+            flags
+        };
+        if was_gated {
+            self.n_gated -= 1;
+        }
+        if was_held {
+            self.n_held -= 1;
         }
         protocol.on_abort(&self.vs, victim);
         self.history.push(self.clock, victim, EventKind::Begin);
         self.push_ceiling(protocol);
+
+        // Anyone holding back a wait-die retry on this victim may go
+        // again, and everyone who observed (or overwrote) its retired
+        // writes aborts with it — the dependency tracker hands back the
+        // transitive closure, each member exactly once.
+        self.release_holds_on(victim);
+        let cascade = self.vs.deps.on_abort(victim);
+        for d in cascade {
+            if self.vs.store.get(d).is_some() {
+                self.abort(d, AbortReason::Cascade, protocol);
+            }
+        }
     }
 
     fn finish(mut self) -> RunResult {

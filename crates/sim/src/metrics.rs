@@ -1,5 +1,6 @@
 //! Per-instance and per-template statistics of a run.
 
+use rtdb_core::AbortBreakdown;
 use rtdb_types::{Ceiling, Duration, InstanceId, Tick, TxnId};
 use std::collections::BTreeMap;
 
@@ -76,6 +77,10 @@ pub struct MetricsReport {
     instances: BTreeMap<InstanceId, InstanceMetrics>,
     /// Highest system ceiling observed (the paper's `Max_Sysceil`).
     pub max_sysceil: Ceiling,
+    /// Why instances aborted, by cause. Its [`AbortBreakdown::total`]
+    /// equals [`MetricsReport::total_restarts`] — every abort restarts
+    /// its instance.
+    pub abort_reasons: AbortBreakdown,
 }
 
 impl MetricsReport {

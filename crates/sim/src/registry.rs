@@ -15,6 +15,7 @@
 
 use rtdb_baselines::{Ccp, NaiveDa, OccBc, Pcp, RwPcp, TwoPlHp, TwoPlPi};
 use rtdb_cc::PcpDa;
+use rtdb_contention::{Bamboo, Brook2Pl};
 use rtdb_core::{
     Decision, EngineView, LockRequest, Protocol, ProtocolFor, ProtocolKind, UpdateModel,
 };
@@ -30,6 +31,8 @@ enum Inner {
     TwoPlPi(TwoPlPi),
     TwoPlHp(TwoPlHp),
     OccBc(OccBc),
+    Bamboo(Bamboo),
+    Brook2Pl(Brook2Pl),
     NaiveDa(NaiveDa),
 }
 
@@ -62,6 +65,8 @@ pub fn instantiate(kind: ProtocolKind) -> AnyProtocol {
         ProtocolKind::TwoPlPi => Inner::TwoPlPi(TwoPlPi::new()),
         ProtocolKind::TwoPlHp => Inner::TwoPlHp(TwoPlHp::new()),
         ProtocolKind::OccBc => Inner::OccBc(OccBc::new()),
+        ProtocolKind::Bamboo => Inner::Bamboo(Bamboo::new()),
+        ProtocolKind::Brook2Pl => Inner::Brook2Pl(Brook2Pl::new()),
         ProtocolKind::NaiveDa => Inner::NaiveDa(NaiveDa::new()),
     };
     AnyProtocol {
@@ -99,6 +104,8 @@ macro_rules! dispatch {
             Inner::TwoPlPi($p) => $body,
             Inner::TwoPlHp($p) => $body,
             Inner::OccBc($p) => $body,
+            Inner::Bamboo($p) => $body,
+            Inner::Brook2Pl($p) => $body,
             Inner::NaiveDa($p) => $body,
         }
     };
@@ -133,6 +140,10 @@ impl<V: EngineView + ?Sized> ProtocolFor<V> for AnyProtocol {
         completed_step: usize,
     ) -> Vec<(ItemId, LockMode)> {
         dispatch!(&mut self.inner, p => ProtocolFor::early_releases(p, view, who, completed_step))
+    }
+
+    fn retires(&mut self, view: &V, who: InstanceId, completed_step: usize) -> Vec<ItemId> {
+        dispatch!(&mut self.inner, p => ProtocolFor::retires(p, view, who, completed_step))
     }
 
     fn update_model(&self) -> UpdateModel {

@@ -37,6 +37,9 @@ fn arb_params(rng: &mut Rng) -> WorkloadParams {
         partitions: 1,
         cross_partition_prob: 0.0,
         read_only_templates: 0,
+        // Exercise both step orderings: hot-first reshapes every
+        // template, so the arena/oracle equivalence must hold for it too.
+        hot_first: rng.range_inclusive_usize(0, 1) == 1,
         seed: rng.next_u64(),
     }
 }

@@ -200,6 +200,85 @@ fn ccp_early_install_is_visible() {
         .is_serializable());
 }
 
+/// Directed cascade: A early-releases a write that B and C dirty-read,
+/// then A self-aborts against a senior holder — B and C must be
+/// cascade-aborted exactly once each, and the rerun loses no updates.
+///
+/// Brook-2PL is the vehicle because its wait-die order is *seniority*
+/// (template order), not priority: the senior-and-higher-priority B and
+/// C preempt the junior A mid-compute, dirty-read its retired write on
+/// `x` and become dependents (senior → junior gate edges), while A later
+/// dies wait-die style against the senior S.
+#[test]
+fn early_release_cascade_aborts_dependents_exactly_once() {
+    let (x, y) = (ItemId(0), ItemId(1));
+    let set = SetBuilder::new()
+        // S: most senior, lowest priority; pins a read lock on y for the
+        // whole run so the junior A's eventual `write y` wait-dies.
+        .with(
+            TransactionTemplate::new("S", 150, vec![Step::read(y, 1), Step::compute(25)])
+                .with_instances(1),
+        )
+        // B and C: senior to A, higher priority — they preempt A's
+        // compute window, dirty-read x and gate on A at commit.
+        .with(
+            TransactionTemplate::new("B", 60, vec![Step::read(x, 1), Step::compute(1)])
+                .with_offset(3)
+                .with_instances(1),
+        )
+        .with(
+            TransactionTemplate::new("C", 50, vec![Step::read(x, 1), Step::compute(1)])
+                .with_offset(4)
+                .with_instances(1),
+        )
+        // A: most junior. Writes x (which retires immediately — nothing
+        // later touches it), computes, then hits the senior S on y.
+        .with(
+            TransactionTemplate::new(
+                "A",
+                90,
+                vec![Step::write(x, 1), Step::compute(10), Step::write(y, 1)],
+            )
+            .with_offset(1)
+            .with_instances(1),
+        )
+        // Rate-monotonic: priority comes from the period, so the
+        // insertion order above is free to encode seniority (S < A < B
+        // < C) while the priority order crosses it (C > B > A > S).
+        .build_rate_monotonic()
+        .unwrap();
+    let r = Engine::new(&set, SimConfig::default())
+        .run(&mut rtdb_sim::instantiate(
+            rtdb_core::ProtocolKind::Brook2Pl,
+        ))
+        .unwrap();
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    assert_eq!(r.history.committed(), 4);
+
+    // A self-aborted once; B and C each aborted exactly once, as cascades.
+    let aborts_of = |t: u32| {
+        r.trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Abort { who, .. } if who.txn == TxnId(t)))
+            .count()
+    };
+    assert_eq!(aborts_of(3), 1, "A self-aborted once");
+    assert_eq!(aborts_of(1), 1, "B cascade-aborted exactly once");
+    assert_eq!(aborts_of(2), 1, "C cascade-aborted exactly once");
+    assert_eq!(aborts_of(0), 0, "the senior holder never aborts");
+    assert_eq!(r.metrics.abort_reasons.ceiling_block, 1);
+    assert_eq!(r.metrics.abort_reasons.cascade, 2);
+    assert_eq!(r.metrics.abort_reasons.wound, 0);
+
+    // No lost updates: the final database matches a serial replay.
+    assert!(r.is_conflict_serializable());
+    assert!(r
+        .replay_check_topological(&set)
+        .expect("acyclic")
+        .is_serializable());
+}
+
 /// The event budget aborts runaway configurations instead of hanging.
 #[test]
 fn event_budget_is_enforced() {

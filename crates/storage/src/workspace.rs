@@ -153,6 +153,32 @@ impl Workspace {
         rec
     }
 
+    /// Record a **dirty** read: `value` is another transaction's
+    /// uncommitted (early-released) write, `version` the version it is
+    /// predicted to install at. Unlike [`Workspace::read_versioned`] the
+    /// reader may stage writes of its own — early-release protocols mix
+    /// dirty reads with updates — and like a committed-pre-image read the
+    /// item enters `DataRead` (the read *can* be invalidated: a cascading
+    /// abort discards it along with the whole instance).
+    pub fn read_dirty(&mut self, item: ItemId, value: Value, version: Version) -> ReadRecord {
+        debug_assert!(
+            self.staged_value(item).is_none(),
+            "own staged value shadows any dirty read"
+        );
+        let rec = ReadRecord {
+            item,
+            value,
+            version,
+            own: false,
+        };
+        self.reads.push(rec);
+        if let Err(idx) = self.data_read.binary_search(&item) {
+            self.data_read.insert(idx, item);
+        }
+        self.digest = self.digest.mix(rec.value);
+        rec
+    }
+
     /// Stage a write whose value is derived deterministically from the
     /// instance identity, the step index and everything read so far
     /// (see [`rtdb_types::derive_write`]). Returns the staged value.

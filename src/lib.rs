@@ -79,7 +79,10 @@ pub mod prelude {
     pub use rtdb_analysis::{breakdown_utilization, schedulable, AnalysisProtocol};
     pub use rtdb_baselines::{Ccp, NaiveDa, OccBc, Pcp, RwPcp, TwoPlHp, TwoPlPi};
     pub use rtdb_cc::{GrantRule, PcpDa};
-    pub use rtdb_core::{Decision, EngineView, LockRequest, Protocol, ProtocolFor, ProtocolKind};
+    pub use rtdb_core::{
+        AbortBreakdown, AbortReason, Decision, EngineView, LockRequest, Protocol, ProtocolFor,
+        ProtocolKind,
+    };
     pub use rtdb_net::{serve, NetClient, NetConfig};
     pub use rtdb_rt::{
         job_list, run_front, AdmissionPolicy, CombinerStats, FairnessConfig, FrontConfig,

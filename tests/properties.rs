@@ -43,6 +43,7 @@ fn arb_params(rng: &mut Rng) -> WorkloadParams {
         partitions: 1,
         cross_partition_prob: 0.0,
         read_only_templates: rng.range_inclusive_usize(0, 2),
+        hot_first: rng.bool(),
         seed: rng.next_u64(),
     }
 }
